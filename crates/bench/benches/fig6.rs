@@ -1,0 +1,88 @@
+//! Figure 6 — design space exploration with latency, accuracy and
+//! uncertainty constraints for ResNet-18, Opt-Confidence mode.
+//!
+//! Dumps every candidate point (latency, accuracy, aPE, ECE), the four
+//! global optima and the constrained Opt-Confidence selection.
+
+use bnn_accel::AccelConfig;
+use bnn_bench::{write_csv, Workload};
+use bnn_framework::{Explorer, OptMode, Requirements};
+use bnn_nn::arch::extract_layers;
+
+fn main() {
+    let w = Workload::ResNet18;
+    let net = w.network();
+    let layers = extract_layers(&net, w.input_shape());
+    let explorer = Explorer::new(AccelConfig::paper_default(), layers, net.n_sites());
+    let mut provider = w.provider();
+
+    let candidates = {
+        let r = explorer.explore(&mut provider, OptMode::Latency, &Requirements::none());
+        r.candidates
+    };
+
+    // Global optima per mode.
+    println!("Figure 6 — DSE candidates for ResNet-18 ({} points)\n", candidates.len());
+    for mode in OptMode::all() {
+        let best = bnn_framework::select(&candidates, mode, &Requirements::none())
+            .expect("non-empty grid");
+        println!(
+            "global {:<16} -> {{L={}, S={}}}: {:.2} ms, acc {:.3}, aPE {:.3}, ECE {:.4}",
+            mode.label(),
+            best.l,
+            best.s,
+            best.fpga_ms,
+            best.accuracy,
+            best.ape,
+            best.ece
+        );
+    }
+
+    // The paper's constraint box, then Opt-Confidence inside it.
+    let med_acc = {
+        let mut accs: Vec<f64> = candidates.iter().map(|c| c.accuracy).collect();
+        accs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        accs[accs.len() / 2]
+    };
+    let req = Requirements {
+        max_latency_ms: Some(20.0),
+        min_accuracy: Some(med_acc),
+        min_ape: Some(0.3),
+        max_ece: None,
+    };
+    let sel = bnn_framework::select(&candidates, OptMode::Confidence, &req);
+    println!(
+        "\nconstraint box: latency <= 20 ms, accuracy >= {med_acc:.3} (median), aPE >= 0.3"
+    );
+    match sel {
+        Some(c) => println!(
+            "constrained Opt-Confidence -> {{L={}, S={}}}: {:.2} ms, acc {:.3}, aPE {:.3}, ECE {:.4}",
+            c.l, c.s, c.fpga_ms, c.accuracy, c.ape, c.ece
+        ),
+        None => println!("no feasible point in the box"),
+    }
+    let feasible = candidates.iter().filter(|c| c.feasible(&req)).count();
+    println!("feasible points: {feasible}/{}", candidates.len());
+
+    let rows: Vec<String> = candidates
+        .iter()
+        .map(|c| {
+            format!(
+                "{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{}",
+                c.l,
+                c.s,
+                c.fpga_ms,
+                c.accuracy,
+                c.ape,
+                c.ece,
+                c.fpga_no_ic_ms,
+                u8::from(c.feasible(&req))
+            )
+        })
+        .collect();
+    write_csv(
+        "fig6_candidates.csv",
+        "L,S,fpga_ms,accuracy,ape_nats,ece,fpga_no_ic_ms,feasible",
+        &rows,
+    );
+}

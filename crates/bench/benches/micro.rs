@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks of the performance-critical kernels:
+//! LFSR stepping, Bernoulli mask generation, f32 GEMM, the int8 tiled
+//! engine and the fixed-point Gaussian samplers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bnn_accel::{AccelConfig, Accelerator};
+use bnn_mcd::BayesConfig;
+use bnn_nn::models;
+use bnn_quant::Quantizer;
+use bnn_rng::{
+    BernoulliSampler, BoxMullerFixedSampler, DropProbability, GaussianSampler, Lfsr,
+};
+use bnn_tensor::{gemm, Shape4, Tensor};
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("lfsr128_step_1k", |b| {
+        let mut l = Lfsr::paper_128(0xDEAD_BEEF);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for _ in 0..1000 {
+                acc += u32::from(l.step());
+            }
+            black_box(acc)
+        });
+    });
+    c.bench_function("bernoulli_mask_64", |b| {
+        let mut s = BernoulliSampler::new(DropProbability::quarter(), 64, 64, 7);
+        b.iter(|| black_box(s.generate_mask(64)));
+    });
+    c.bench_function("box_muller_fixed_1k", |b| {
+        let mut g = BoxMullerFixedSampler::new(3);
+        b.iter(|| black_box(g.sample_n(1000)));
+    });
+}
+
+fn bench_tensor(c: &mut Criterion) {
+    c.bench_function("gemm_64x576x256", |b| {
+        let a = vec![0.5f32; 64 * 576];
+        let bm = vec![0.25f32; 576 * 256];
+        b.iter(|| {
+            let mut out = vec![0.0f32; 64 * 256];
+            gemm(64, 576, 256, &a, &bm, &mut out);
+            black_box(out)
+        });
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    // One full int8 LeNet pass on the simulated accelerator.
+    let net = models::lenet5(10, 1, 16, 1).fold_batch_norm();
+    let calib = Tensor::full(Shape4::new(2, 1, 16, 16), 0.3);
+    let qg = Quantizer::new(&net).calibrate(&calib).quantize();
+    let accel = Accelerator::new(AccelConfig::paper_default(), &net, &qg, calib.shape());
+    let img = calib.select_item(0);
+    c.bench_function("accel_lenet16_s3", |b| {
+        b.iter(|| black_box(accel.run(&img, BayesConfig::new(2, 3), 9)));
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_rng, bench_tensor, bench_engine
+}
+criterion_main!(benches);

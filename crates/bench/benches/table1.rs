@@ -1,0 +1,73 @@
+//! Table I — resultant {L, S} configurations of the BNNs under the
+//! four optimization modes, with latency (FPGA/CPU/GPU), aPE, ECE and
+//! accuracy. Quality metrics come from *trained* networks on the
+//! synthetic datasets; latency from the performance models.
+
+use bnn_accel::AccelConfig;
+use bnn_bench::{write_csv, Workload};
+use bnn_framework::{Explorer, OptMode, Requirements};
+use bnn_nn::arch::extract_layers;
+
+/// Paper Table I rows for side-by-side printing:
+/// (net, mode, L_desc, S, fpga_ms, cpu_ms, gpu_ms, ape, ece%, acc%).
+const PAPER: &[(&str, &str, &str, usize, f64, f64, f64, f64, f64, f64)] = &[
+    ("LeNet-5", "Opt-Latency", "1", 3, 0.42, 0.67, 0.24, 0.63, 0.25, 99.27),
+    ("LeNet-5", "Opt-Accuracy", "2N/3", 100, 14.32, 24.69, 12.87, 0.75, 0.13, 99.39),
+    ("LeNet-5", "Opt-Uncertainty", "N", 100, 14.83, 42.0, 19.91, 1.06, 0.17, 99.32),
+    ("LeNet-5", "Opt-Confidence", "N", 9, 1.29, 3.68, 1.68, 0.98, 0.10, 99.31),
+    ("VGG-11", "Opt-Latency", "1", 3, 0.57, 0.95, 0.68, 1.38, 2.8, 95.38),
+    ("VGG-11", "Opt-Accuracy", "N", 100, 57.32, 186.24, 88.93, 1.97, 2.42, 96.49),
+    ("VGG-11", "Opt-Uncertainty", "2N/3", 100, 42.89, 110.32, 59.78, 2.02, 0.41, 96.13),
+    ("VGG-11", "Opt-Confidence", "2N/3", 100, 42.89, 110.32, 59.78, 2.02, 0.41, 96.13),
+    ("ResNet-18", "Opt-Latency", "1", 3, 0.47, 1.31, 0.87, 0.36, 4.85, 92.84),
+    ("ResNet-18", "Opt-Accuracy", "1", 8, 0.50, 2.03, 1.17, 0.38, 4.74, 92.91),
+    ("ResNet-18", "Opt-Uncertainty", "N/2", 100, 32.04, 173.53, 93.23, 1.27, 2.74, 91.12),
+    ("ResNet-18", "Opt-Confidence", "2N/3", 3, 1.20, 7.66, 3.93, 1.05, 1.08, 89.99),
+];
+
+fn main() {
+    println!("Table I — optimal configurations per mode (trained on synthetic data)");
+    println!("paper values in parentheses; absolute quality differs (synthetic data),");
+    println!("orderings and latency shapes are the reproduction target\n");
+
+    let mut rows = Vec::new();
+    for w in Workload::all() {
+        let net = w.network();
+        let layers = extract_layers(&net, w.input_shape());
+        let explorer = Explorer::new(AccelConfig::paper_default(), layers, net.n_sites());
+        let mut provider = w.provider();
+        println!("== {} (N = {}) ==", w.name(), net.n_sites());
+        println!(
+            "{:<16} {:>4} {:>4} {:>9} {:>9} {:>9} {:>7} {:>8} {:>8}",
+            "mode", "L", "S", "FPGA[ms]", "CPU[ms]", "GPU[ms]", "aPE", "ECE[%]", "acc[%]"
+        );
+        for mode in OptMode::all() {
+            let r = explorer.explore(&mut provider, mode, &Requirements::none());
+            let c = r.selected.expect("unconstrained selection exists");
+            let p = PAPER
+                .iter()
+                .find(|p| p.0 == w.name() && p.1 == mode.label())
+                .expect("paper row exists");
+            println!(
+                "{:<16} {:>4} {:>4} {:>9.2} {:>9.2} {:>9.2} {:>7.2} {:>8.2} {:>8.2}",
+                mode.label(), c.l, c.s, c.fpga_ms, c.cpu_ms, c.gpu_ms, c.ape,
+                c.ece * 100.0, c.accuracy * 100.0
+            );
+            println!(
+                "{:<16} {:>4} {:>4} {:>9.2} {:>9.2} {:>9.2} {:>7.2} {:>8.2} {:>8.2}  (paper)",
+                "", p.2, p.3, p.4, p.5, p.6, p.7, p.8, p.9
+            );
+            rows.push(format!(
+                "{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
+                w.name(), mode.label(), c.l, c.s, c.fpga_ms, c.cpu_ms, c.gpu_ms,
+                c.ape, c.ece, c.accuracy
+            ));
+        }
+        println!();
+    }
+    write_csv(
+        "table1.csv",
+        "network,mode,L,S,fpga_ms,cpu_ms,gpu_ms,ape_nats,ece,accuracy",
+        &rows,
+    );
+}

@@ -1,0 +1,52 @@
+//! Table II — resource utilization of the accelerator on the
+//! Arria 10 SX660 at the paper's P_C=64, P_F=64, P_V=1 configuration.
+
+use bnn_accel::{AccelConfig, FpgaDevice, ResourceModel};
+use bnn_bench::{write_csv, Workload};
+use bnn_nn::arch::{extract_layers, resnet101_desc};
+
+fn main() {
+    let device = FpgaDevice::arria10_sx660();
+    let model = ResourceModel::new(device.clone());
+    let cfg = AccelConfig::paper_default();
+
+    // Buffers must hold every evaluated network, incl. ResNet-101.
+    let mut workloads: Vec<Vec<_>> = Workload::all()
+        .iter()
+        .map(|w| extract_layers(&w.network(), w.input_shape()))
+        .collect();
+    workloads.push(resnet101_desc());
+    let refs: Vec<&[_]> = workloads.iter().map(|v| v.as_slice()).collect();
+    let u = model.estimate(&cfg, &refs);
+
+    // Paper Table II.
+    let paper = [("ALMs", 303_913u64, 427_200u64), ("Registers", 889_869, 1_708_800),
+        ("DSPs", 1_473, 1_518), ("M20K", 2_334, 2_713)];
+    let ours = [u.alms, u.registers, u.dsps, u.m20k];
+
+    println!("Table II — resource utilization ({} @ P_C=64 P_F=64 P_V=1)\n", device.name);
+    println!(
+        "{:<10} {:>12} {:>8} {:>12} {:>8} {:>10}",
+        "resource", "paper", "paper%", "model", "model%", "total"
+    );
+    let mut rows = Vec::new();
+    for ((name, pv, total), ov) in paper.iter().zip(ours) {
+        println!(
+            "{:<10} {:>12} {:>7.0}% {:>12} {:>7.0}% {:>10}",
+            name,
+            pv,
+            100.0 * *pv as f64 / *total as f64,
+            ov,
+            100.0 * ov as f64 / *total as f64,
+            total
+        );
+        rows.push(format!("{name},{pv},{ov},{total}"));
+    }
+    println!(
+        "\nmodel detail: {} multipliers, {} overflowed to ALMs, {:.2} MiB buffers",
+        cfg.multipliers(),
+        u.dsp_overflow,
+        u.buffer_bytes as f64 / (1024.0 * 1024.0)
+    );
+    write_csv("table2.csv", "resource,paper_used,model_used,total", &rows);
+}

@@ -1,0 +1,64 @@
+//! Table III — latency comparison: FPGA with/without intermediate-layer
+//! caching vs CPU vs GPU, at {L,S} = {1,100} and {2N/3,50}.
+
+use bnn_accel::{AccelConfig, PerfModel};
+use bnn_bench::{write_csv, Workload};
+use bnn_mcd::BayesConfig;
+use bnn_nn::arch::extract_layers;
+use bnn_platforms::PlatformModel;
+
+/// Paper Table III values: (net, l_desc, s, fpga_ic, fpga_no_ic, cpu, gpu).
+const PAPER: &[(&str, &str, usize, f64, f64, f64, f64)] = &[
+    ("LeNet-5", "1", 100, 13.73, 14.38, 11.17, 5.81),
+    ("LeNet-5", "2N/3", 50, 7.16, 7.20, 12.02, 6.07),
+    ("VGG-11", "1", 100, 0.76, 57.3, 11.76, 6.33),
+    ("VGG-11", "2N/3", 50, 21.52, 28.67, 55.94, 30.09),
+    ("ResNet-18", "1", 100, 1.22, 44.97, 13.96, 7.05),
+    ("ResNet-18", "2N/3", 50, 18.90, 22.48, 131.41, 65.9),
+];
+
+fn main() {
+    let cfg = AccelConfig::paper_default();
+    let perf = PerfModel::new(cfg);
+    let cpu = PlatformModel::i9_9900k();
+    let gpu = PlatformModel::rtx_2080_super();
+
+    println!("Table III — latency [ms]: FPGA w/IC | w/o IC | CPU | GPU (paper in parens)\n");
+    println!(
+        "{:<10} {:>6} {:>4} {:>18} {:>18} {:>18} {:>18}",
+        "network", "L", "S", "FPGA w/ IC", "FPGA w/o IC", "CPU", "GPU"
+    );
+    let mut rows = Vec::new();
+    for w in Workload::all() {
+        let net = w.network();
+        let layers = extract_layers(&net, w.input_shape());
+        let n = net.n_sites();
+        for (l, l_desc, s) in [(1usize, "1", 100usize), ((2 * n).div_ceil(3), "2N/3", 50)] {
+            let bayes = BayesConfig::new(l, s);
+            let ic = perf.network_timing(&layers, bayes, true).latency_ms(&cfg);
+            let no_ic = perf.network_timing(&layers, bayes, false).latency_ms(&cfg);
+            let c = cpu.bayes_latency_ms(&layers, bayes);
+            let g = gpu.bayes_latency_ms(&layers, bayes);
+            let p = PAPER
+                .iter()
+                .find(|r| r.0 == w.name() && r.1 == l_desc && r.2 == s)
+                .expect("paper row exists");
+            println!(
+                "{:<10} {:>6} {:>4} {:>8.2} ({:>6.2}) {:>8.2} ({:>6.2}) {:>8.2} ({:>6.2}) {:>8.2} ({:>6.2})",
+                w.name(), l_desc, s, ic, p.3, no_ic, p.4, c, p.5, g, p.6
+            );
+            rows.push(format!(
+                "{},{},{},{:.4},{:.4},{:.4},{:.4},{},{},{},{}",
+                w.name(), l, s, ic, no_ic, c, g, p.3, p.4, p.5, p.6
+            ));
+        }
+    }
+    println!("\nshape checks:");
+    println!("  - IC speedup at {{1,100}} is large for conv nets, ~1x at {{2N/3,50}}");
+    println!("  - FPGA beats CPU/GPU on VGG-11/ResNet-18 (paper: up to 15x/8x)");
+    write_csv(
+        "table3.csv",
+        "network,L,S,fpga_ic_ms,fpga_no_ic_ms,cpu_ms,gpu_ms,paper_ic,paper_no_ic,paper_cpu,paper_gpu",
+        &rows,
+    );
+}

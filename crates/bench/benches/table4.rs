@@ -1,0 +1,95 @@
+//! Table IV — comparison with other BNN accelerators (VIBNN, BYNQNet)
+//! on throughput, energy efficiency and compute efficiency.
+//!
+//! Our row runs ResNet-101 with MCD on every layer (L = N), as the
+//! paper does; the baselines are the reproduced VIBNN and BYNQNet
+//! performance models.
+
+use bnn_accel::{AccelConfig, FpgaDevice, PerfModel, ResourceModel};
+use bnn_bench::write_csv;
+use bnn_mcd::BayesConfig;
+use bnn_nn::arch::resnet101_desc;
+use bnn_platforms::{bynqnet::BynqnetPerfModel, vibnn::VibnnPerfModel, AcceleratorSummary};
+
+fn main() {
+    let cfg = AccelConfig::paper_default();
+    let perf = PerfModel::new(cfg);
+    let layers = resnet101_desc();
+    let n = layers.iter().filter_map(|l| l.input_site).count();
+
+    // DSPs from the resource model (Table II).
+    let rm = ResourceModel::new(FpgaDevice::arria10_sx660());
+    let refs: Vec<&[_]> = vec![&layers];
+    let usage = rm.estimate(&cfg, &refs);
+
+    let ours = AcceleratorSummary {
+        name: "This work (repro)".into(),
+        fpga: "Arria 10 SX660".into(),
+        clock_mhz: cfg.clock_mhz,
+        dsps: usage.dsps,
+        power_w: cfg.board_power_w,
+        throughput_gops: perf.throughput_gops(&layers, BayesConfig::new(n, 1), true),
+    };
+    let rows_data =
+        [VibnnPerfModel::default().summary(), BynqnetPerfModel::default().summary(), ours];
+
+    // Paper Table IV for reference.
+    let paper = [
+        ("VIBNN [8]", 59.6, 9.75, 0.174),
+        ("BYNQNet [10]", 24.22, 8.77, 0.121),
+        ("Our work", 1590.0, 33.3, 1.079),
+    ];
+
+    println!("Table IV — BNN accelerator comparison (ResNet-101, L = N)\n");
+    println!(
+        "{:<20} {:<18} {:>8} {:>6} {:>8} {:>10} {:>11} {:>12}",
+        "accelerator", "FPGA", "clock", "DSPs", "power", "GOP/s", "GOP/s/W", "GOP/s/DSP"
+    );
+    let mut rows = Vec::new();
+    for (s, p) in rows_data.iter().zip(paper) {
+        println!(
+            "{:<20} {:<18} {:>8.1} {:>6} {:>8.2} {:>10.1} {:>11.2} {:>12.3}",
+            s.name,
+            s.fpga,
+            s.clock_mhz,
+            s.dsps,
+            s.power_w,
+            s.throughput_gops,
+            s.energy_efficiency(),
+            s.compute_efficiency()
+        );
+        println!(
+            "{:<20} {:<18} {:>8} {:>6} {:>8} {:>10.1} {:>11.2} {:>12.3}  (paper)",
+            "", "", "", "", "", p.1, p.2, p.3
+        );
+        rows.push(format!(
+            "{},{:.2},{},{:.2},{:.2},{:.3},{:.3},{},{},{}",
+            s.name,
+            s.clock_mhz,
+            s.dsps,
+            s.power_w,
+            s.throughput_gops,
+            s.energy_efficiency(),
+            s.compute_efficiency(),
+            p.1,
+            p.2,
+            p.3
+        ));
+    }
+    let ours_row = &rows_data[2];
+    println!(
+        "\nshape checks: energy-efficiency ratio vs VIBNN = {:.1}x (paper ~3.4x), vs BYNQNet = {:.1}x (paper ~3.8x)",
+        ours_row.energy_efficiency() / rows_data[0].energy_efficiency(),
+        ours_row.energy_efficiency() / rows_data[1].energy_efficiency()
+    );
+    println!(
+        "compute-efficiency ratio vs VIBNN = {:.1}x (paper ~6.2x), vs BYNQNet = {:.1}x (paper ~8.9x)",
+        ours_row.compute_efficiency() / rows_data[0].compute_efficiency(),
+        ours_row.compute_efficiency() / rows_data[1].compute_efficiency()
+    );
+    write_csv(
+        "table4.csv",
+        "accelerator,clock_mhz,dsps,power_w,gops,gops_per_w,gops_per_dsp,paper_gops,paper_gops_per_w,paper_gops_per_dsp",
+        &rows,
+    );
+}

@@ -1,0 +1,163 @@
+//! A clocked model of one processing-unit MAC module: `P_C`
+//! multipliers feeding a pipelined binary adder tree with an
+//! accumulator at the root.
+//!
+//! This is not used on the fast path — it exists to *cross-validate*
+//! the analytic cycle formula in [`crate::PerfModel`]: for a reduction
+//! of length `R` the module must take `ceil(R/P_C) + log2(P_C) + 1`
+//! cycles and produce the exact dot product. The tests pin both.
+
+/// One pipelined MAC module.
+#[derive(Debug)]
+pub struct MacModule {
+    pc: usize,
+    /// Adder-tree pipeline: stage `s` holds the partial sums emitted
+    /// `s` cycles ago (stage 0 = multiplier outputs).
+    stages: Vec<Vec<i64>>,
+    acc: i64,
+    cycles: u64,
+}
+
+impl MacModule {
+    /// Create a module with `pc` multipliers (`pc` must be a power of
+    /// two, as in the RTL adder tree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is not a power of two.
+    pub fn new(pc: usize) -> MacModule {
+        assert!(pc.is_power_of_two(), "adder tree needs a power-of-two width");
+        let depth = pc.ilog2() as usize;
+        MacModule { pc, stages: vec![Vec::new(); depth + 1], acc: 0, cycles: 0 }
+    }
+
+    /// Clock one cycle: feed up to `pc` operand pairs (shorter slices
+    /// model a partially-filled final tile; missing lanes contribute 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `pc` pairs are supplied.
+    pub fn clock(&mut self, xs: &[i32], ws: &[i32]) {
+        assert!(xs.len() <= self.pc && ws.len() == xs.len(), "tile wider than the module");
+        // Stage 0: multiplier outputs.
+        let mut level: Vec<i64> =
+            xs.iter().zip(ws).map(|(&x, &w)| i64::from(x) * i64::from(w)).collect();
+        level.resize(self.pc, 0);
+        // Shift the pipeline from the root back so each stage's data
+        // advances exactly one level per cycle.
+        for s in (1..self.stages.len()).rev() {
+            let prev = std::mem::take(&mut self.stages[s - 1]);
+            let reduced: Vec<i64> = prev.chunks(2).map(|c| c.iter().sum()).collect();
+            if s == self.stages.len() - 1 {
+                // Root: a single value drops into the accumulator.
+                if let Some(&v) = reduced.first() {
+                    self.acc += v;
+                }
+                self.stages[s] = Vec::new();
+            } else {
+                self.stages[s] = reduced;
+            }
+        }
+        self.stages[0] = level;
+        self.cycles += 1;
+    }
+
+    /// Clock with no new operands (pipeline drain).
+    pub fn drain_cycle(&mut self) {
+        self.clock(&[], &[]);
+    }
+
+    /// Accumulated dot product so far.
+    pub fn accumulator(&self) -> i64 {
+        self.acc
+    }
+
+    /// Cycles elapsed.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Run a full reduction: stream `xs·ws` through the module and
+    /// drain; returns `(dot, cycles)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand slices differ in length.
+    pub fn run_reduction(pc: usize, xs: &[i32], ws: &[i32]) -> (i64, u64) {
+        assert_eq!(xs.len(), ws.len(), "operand length mismatch");
+        let mut m = MacModule::new(pc);
+        for (cx, cw) in xs.chunks(pc).zip(ws.chunks(pc)) {
+            m.clock(cx, cw);
+        }
+        // Drain the adder tree (depth log2(pc)) plus the root
+        // accumulate cycle... the root writes during the shift, so
+        // exactly `depth` drain cycles empty the pipe.
+        for _ in 0..pc.ilog2() {
+            m.drain_cycle();
+        }
+        (m.accumulator(), m.cycles())
+    }
+}
+
+/// The analytic cycle count the performance model assumes for one
+/// reduction of length `r` on a `pc`-wide module.
+pub fn analytic_cycles(pc: usize, r: usize) -> u64 {
+    (r as u64).div_ceil(pc as u64) + u64::from(pc.ilog2())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dot(xs: &[i32], ws: &[i32]) -> i64 {
+        xs.iter().zip(ws).map(|(&a, &b)| i64::from(a) * i64::from(b)).sum()
+    }
+
+    fn operands(n: usize, seed: i32) -> (Vec<i32>, Vec<i32>) {
+        let xs: Vec<i32> = (0..n).map(|i| ((i as i32 * 31 + seed) % 255) - 127).collect();
+        let ws: Vec<i32> = (0..n).map(|i| ((i as i32 * 17 + seed * 3) % 255) - 127).collect();
+        (xs, ws)
+    }
+
+    #[test]
+    fn exact_dot_product_multiple_of_pc() {
+        let (xs, ws) = operands(64, 5);
+        let (got, _) = MacModule::run_reduction(16, &xs, &ws);
+        assert_eq!(got, dot(&xs, &ws));
+    }
+
+    #[test]
+    fn exact_dot_product_ragged_tail() {
+        let (xs, ws) = operands(37, 9); // 37 = 2*16 + 5
+        let (got, _) = MacModule::run_reduction(16, &xs, &ws);
+        assert_eq!(got, dot(&xs, &ws));
+    }
+
+    #[test]
+    fn cycle_count_matches_analytic_formula() {
+        for (pc, r) in [(8usize, 8usize), (8, 64), (16, 37), (64, 576), (64, 64), (4, 1)] {
+            let (xs, ws) = operands(r, 3);
+            let (_, cycles) = MacModule::run_reduction(pc, &xs, &ws);
+            assert_eq!(
+                cycles,
+                analytic_cycles(pc, r),
+                "pc={pc} r={r}: clocked {cycles} vs analytic {}",
+                analytic_cycles(pc, r)
+            );
+        }
+    }
+
+    #[test]
+    fn negative_values_accumulate_correctly() {
+        let xs = vec![-128, 127, -1, 1];
+        let ws = vec![127, 127, -127, -127];
+        let (got, _) = MacModule::run_reduction(4, &xs, &ws);
+        assert_eq!(got, dot(&xs, &ws));
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        let _ = MacModule::new(6);
+    }
+}

@@ -1,0 +1,146 @@
+//! 7×5 bitmap glyphs for the digits 0-9 (classic dot-matrix font).
+
+/// Row-major 7×5 bitmaps; `1` marks an inked cell.
+pub const DIGITS: [[u8; 35]; 10] = [
+    // 0
+    [0,1,1,1,0,
+     1,0,0,0,1,
+     1,0,0,1,1,
+     1,0,1,0,1,
+     1,1,0,0,1,
+     1,0,0,0,1,
+     0,1,1,1,0],
+    // 1
+    [0,0,1,0,0,
+     0,1,1,0,0,
+     0,0,1,0,0,
+     0,0,1,0,0,
+     0,0,1,0,0,
+     0,0,1,0,0,
+     0,1,1,1,0],
+    // 2
+    [0,1,1,1,0,
+     1,0,0,0,1,
+     0,0,0,0,1,
+     0,0,0,1,0,
+     0,0,1,0,0,
+     0,1,0,0,0,
+     1,1,1,1,1],
+    // 3
+    [0,1,1,1,0,
+     1,0,0,0,1,
+     0,0,0,0,1,
+     0,0,1,1,0,
+     0,0,0,0,1,
+     1,0,0,0,1,
+     0,1,1,1,0],
+    // 4
+    [0,0,0,1,0,
+     0,0,1,1,0,
+     0,1,0,1,0,
+     1,0,0,1,0,
+     1,1,1,1,1,
+     0,0,0,1,0,
+     0,0,0,1,0],
+    // 5
+    [1,1,1,1,1,
+     1,0,0,0,0,
+     1,1,1,1,0,
+     0,0,0,0,1,
+     0,0,0,0,1,
+     1,0,0,0,1,
+     0,1,1,1,0],
+    // 6
+    [0,0,1,1,0,
+     0,1,0,0,0,
+     1,0,0,0,0,
+     1,1,1,1,0,
+     1,0,0,0,1,
+     1,0,0,0,1,
+     0,1,1,1,0],
+    // 7
+    [1,1,1,1,1,
+     0,0,0,0,1,
+     0,0,0,1,0,
+     0,0,1,0,0,
+     0,1,0,0,0,
+     0,1,0,0,0,
+     0,1,0,0,0],
+    // 8
+    [0,1,1,1,0,
+     1,0,0,0,1,
+     1,0,0,0,1,
+     0,1,1,1,0,
+     1,0,0,0,1,
+     1,0,0,0,1,
+     0,1,1,1,0],
+    // 9
+    [0,1,1,1,0,
+     1,0,0,0,1,
+     1,0,0,0,1,
+     0,1,1,1,1,
+     0,0,0,0,1,
+     0,0,0,1,0,
+     0,1,1,0,0],
+];
+
+/// Bilinear sample of a glyph at continuous coordinates
+/// `(u, v) ∈ [0,1]²` (outside → 0).
+pub fn sample(digit: usize, u: f32, v: f32) -> f32 {
+    if !(0.0..1.0).contains(&u) || !(0.0..1.0).contains(&v) {
+        return 0.0;
+    }
+    let g = &DIGITS[digit];
+    let x = u * 4.0; // 5 columns
+    let y = v * 6.0; // 7 rows
+    let (x0, y0) = (x.floor() as usize, y.floor() as usize);
+    let (fx, fy) = (x - x0 as f32, y - y0 as f32);
+    let at = |r: usize, c: usize| -> f32 {
+        if r < 7 && c < 5 {
+            f32::from(g[r * 5 + c])
+        } else {
+            0.0
+        }
+    };
+    let top = at(y0, x0) * (1.0 - fx) + at(y0, x0 + 1) * fx;
+    let bot = at(y0 + 1, x0) * (1.0 - fx) + at(y0 + 1, x0 + 1) * fx;
+    top * (1.0 - fy) + bot * fy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glyphs_are_distinct() {
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                assert_ne!(DIGITS[a], DIGITS[b], "digits {a} and {b} identical");
+            }
+        }
+    }
+
+    #[test]
+    fn glyphs_have_reasonable_ink() {
+        for (d, g) in DIGITS.iter().enumerate() {
+            let ink: u32 = g.iter().map(|&v| u32::from(v)).sum();
+            assert!((7..=20).contains(&ink), "digit {d} ink {ink} out of range");
+        }
+    }
+
+    #[test]
+    fn sample_interpolates() {
+        // Centre of digit 1's stem is inked.
+        assert!(sample(1, 0.5, 0.5) > 0.5);
+        // Far corner outside the glyph is empty.
+        assert_eq!(sample(1, 1.5, 0.5), 0.0);
+        assert_eq!(sample(1, 0.5, -0.1), 0.0);
+    }
+
+    #[test]
+    fn sample_is_continuous_between_cells() {
+        let a = sample(8, 0.49, 0.5);
+        let b = sample(8, 0.51, 0.5);
+        assert!((a - b).abs() < 0.3, "bilinear sampling should be smooth");
+    }
+}

@@ -1,0 +1,119 @@
+//! Digit rendering with geometric and photometric jitter.
+
+use crate::glyphs;
+use bnn_rng::SoftRng;
+
+/// Style knobs for grey digit rendering.
+#[derive(Debug, Clone, Copy)]
+pub struct DigitStyle {
+    /// Max rotation (radians).
+    pub rot: f32,
+    /// Scale jitter around the nominal glyph size.
+    pub scale_jitter: f32,
+    /// Max translation in pixels.
+    pub shift: f32,
+    /// Additive Gaussian pixel noise std.
+    pub noise: f32,
+}
+
+impl DigitStyle {
+    /// The easy (MNIST-like) style.
+    pub fn grey_easy() -> DigitStyle {
+        DigitStyle { rot: 0.15, scale_jitter: 0.12, shift: 2.5, noise: 0.08 }
+    }
+}
+
+/// Render a grey digit into a `img×img` single-channel buffer in
+/// `[0, 1]`.
+pub fn draw_digit(class: usize, rng: &mut SoftRng, out: &mut [f32], img: usize, st: DigitStyle) {
+    debug_assert_eq!(out.len(), img * img);
+    let rot = rng.range_f32(-st.rot, st.rot);
+    let scale = 0.62 * (1.0 + rng.range_f32(-st.scale_jitter, st.scale_jitter));
+    let (sx, sy) = (rng.range_f32(-st.shift, st.shift), rng.range_f32(-st.shift, st.shift));
+    let (cos, sin) = (rot.cos(), rot.sin());
+    let c = img as f32 / 2.0;
+    let half = scale * img as f32 / 2.0;
+    for y in 0..img {
+        for x in 0..img {
+            // Map pixel to glyph space via inverse affine.
+            let px = x as f32 - c - sx;
+            let py = y as f32 - c - sy;
+            let gx = (cos * px + sin * py) / (half * 0.78) / 2.0 + 0.5; // aspect 5/7 ≈ 0.71
+            let gy = (-sin * px + cos * py) / half / 2.0 + 0.5;
+            let ink = glyphs::sample(class, gx, gy);
+            let v = ink * rng.range_f32(0.85, 1.0) + rng.normal_f32(0.0, st.noise);
+            out[y * img + x] = v.clamp(0.0, 1.0);
+        }
+    }
+}
+
+/// Render a colored digit over a colored background into a 3-channel
+/// `img×img` buffer (SVHN-like: photometric variation + clutter).
+pub fn draw_digit_color(class: usize, rng: &mut SoftRng, out: &mut [f32], img: usize) {
+    debug_assert_eq!(out.len(), 3 * img * img);
+    let plane = img * img;
+    // Background and foreground colors with guaranteed contrast.
+    let bg = [rng.next_f32() * 0.6, rng.next_f32() * 0.6, rng.next_f32() * 0.6];
+    let mut fg = [
+        0.4 + rng.next_f32() * 0.6,
+        0.4 + rng.next_f32() * 0.6,
+        0.4 + rng.next_f32() * 0.6,
+    ];
+    // Ensure at least one strongly-contrasting channel.
+    let k = rng.next_below(3);
+    fg[k] = (bg[k] + 0.55).min(1.0);
+
+    let st = DigitStyle { rot: 0.22, scale_jitter: 0.18, shift: 3.5, noise: 0.0 };
+    let mut ink = vec![0.0f32; plane];
+    draw_digit(class, rng, &mut ink, img, st);
+
+    // Horizontal brightness gradient (street-lighting feel).
+    let grad = rng.range_f32(-0.25, 0.25);
+    for y in 0..img {
+        for x in 0..img {
+            let i = y * img + x;
+            let a = ink[i];
+            let light = 1.0 + grad * (x as f32 / img as f32 - 0.5);
+            for ch in 0..3 {
+                let v = (bg[ch] * (1.0 - a) + fg[ch] * a) * light
+                    + rng.normal_f32(0.0, 0.12);
+                out[ch * plane + i] = v.clamp(0.0, 1.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grey_digit_in_unit_range() {
+        let mut rng = SoftRng::new(1);
+        let mut buf = vec![0.0f32; 28 * 28];
+        draw_digit(7, &mut rng, &mut buf, 28, DigitStyle::grey_easy());
+        assert!(buf.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(buf.iter().any(|&v| v > 0.5), "some ink must be visible");
+    }
+
+    #[test]
+    fn color_digit_has_three_planes() {
+        let mut rng = SoftRng::new(2);
+        let mut buf = vec![0.0f32; 3 * 32 * 32];
+        draw_digit_color(4, &mut rng, &mut buf, 32);
+        assert!(buf.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Channels must differ (colored, not grey).
+        let p = 32 * 32;
+        assert_ne!(&buf[0..p], &buf[p..2 * p]);
+    }
+
+    #[test]
+    fn different_classes_render_differently() {
+        // Same RNG stream position → differences come from the glyph.
+        let mut a = vec![0.0f32; 28 * 28];
+        let mut b = vec![0.0f32; 28 * 28];
+        draw_digit(0, &mut SoftRng::new(3), &mut a, 28, DigitStyle::grey_easy());
+        draw_digit(1, &mut SoftRng::new(3), &mut b, 28, DigitStyle::grey_easy());
+        assert_ne!(a, b);
+    }
+}

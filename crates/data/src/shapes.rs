@@ -1,0 +1,107 @@
+//! Textured-shape rendering for the CIFAR-like family.
+//!
+//! Ten shape classes with heavy appearance variation: random colors,
+//! textures, position/scale jitter and strong pixel noise, making this
+//! the hardest of the three synthetic families.
+
+use bnn_rng::SoftRng;
+
+/// Signed distance-ish membership of pixel `(x, y)` (centred, in
+/// `[-1, 1]²`) in shape `class`.
+fn inside(class: usize, x: f32, y: f32) -> bool {
+    let r2 = x * x + y * y;
+    match class {
+        0 => r2 < 0.55,                                   // disc
+        1 => r2 < 0.6 && r2 > 0.22,                       // ring
+        2 => x.abs() < 0.62 && y.abs() < 0.62,            // square
+        3 => y > -0.6 && y < 0.55 && x.abs() < (y + 0.62) * 0.6, // triangle
+        4 => x.abs() < 0.22 || y.abs() < 0.22,            // cross
+        5 => (y * 4.7).sin() > 0.0,                       // horizontal stripes
+        6 => (x * 4.7).sin() > 0.0,                       // vertical stripes
+        7 => ((x * 4.0).sin() * (y * 4.0).sin()) > 0.0,   // checker
+        8 => (x + y).abs() < 0.3,                         // diagonal bar
+        9 => ((x * 2.5).sin() + (y * 2.5).cos()) > 0.35,  // blob field
+        _ => unreachable!("ten shape classes"),
+    }
+}
+
+/// Render one textured shape into a 3-channel `img×img` buffer in
+/// `[0, 1]`.
+pub fn draw_shape(class: usize, rng: &mut SoftRng, out: &mut [f32], img: usize) {
+    debug_assert_eq!(out.len(), 3 * img * img);
+    let plane = img * img;
+    let bg = [rng.next_f32() * 0.7, rng.next_f32() * 0.7, rng.next_f32() * 0.7];
+    let mut fg = [rng.next_f32(), rng.next_f32(), rng.next_f32()];
+    let k = rng.next_below(3);
+    fg[k] = (bg[k] + 0.5).min(1.0);
+
+    let rot = rng.range_f32(-0.5, 0.5);
+    let (cos, sin) = (rot.cos(), rot.sin());
+    let scale = rng.range_f32(0.7, 1.15);
+    let (sx, sy) = (rng.range_f32(-0.25, 0.25), rng.range_f32(-0.25, 0.25));
+    // Texture frequency/phase for the foreground.
+    let tf = rng.range_f32(2.0, 6.0);
+    let tp = rng.range_f32(0.0, std::f32::consts::TAU);
+    let noise = 0.16f32;
+
+    let c = img as f32 / 2.0;
+    for yy in 0..img {
+        for xx in 0..img {
+            let ux = (xx as f32 - c) / c / scale - sx;
+            let uy = (yy as f32 - c) / c / scale - sy;
+            let (rx, ry) = (cos * ux + sin * uy, -sin * ux + cos * uy);
+            let i = yy * img + xx;
+            let is_fg = inside(class, rx, ry);
+            let tex = 0.85 + 0.15 * (tf * rx + tp).sin() * (tf * ry).cos();
+            for ch in 0..3 {
+                let base = if is_fg { fg[ch] * tex } else { bg[ch] };
+                out[ch * plane + i] = (base + rng.normal_f32(0.0, noise)).clamp(0.0, 1.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_render_in_unit_range() {
+        let mut rng = SoftRng::new(4);
+        for class in 0..10 {
+            let mut buf = vec![0.0f32; 3 * 32 * 32];
+            draw_shape(class, &mut rng, &mut buf, 32);
+            assert!(buf.iter().all(|&v| (0.0..=1.0).contains(&v)), "class {class}");
+        }
+    }
+
+    #[test]
+    fn shape_masks_are_distinct() {
+        // Count membership grid differences between classes.
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                let mut diff = 0;
+                for yi in 0..16 {
+                    for xi in 0..16 {
+                        let x = (xi as f32 / 8.0) - 1.0;
+                        let y = (yi as f32 / 8.0) - 1.0;
+                        if inside(a, x, y) != inside(b, x, y) {
+                            diff += 1;
+                        }
+                    }
+                }
+                assert!(diff > 10, "classes {a} and {b} are nearly identical ({diff})");
+            }
+        }
+    }
+
+    #[test]
+    fn rendering_is_instance_varied() {
+        let mut rng = SoftRng::new(5);
+        let mut a = vec![0.0f32; 3 * 32 * 32];
+        let mut b = vec![0.0f32; 3 * 32 * 32];
+        draw_shape(0, &mut rng, &mut a, 32);
+        draw_shape(0, &mut rng, &mut b, 32);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,39 @@
+//! Property-based tests of the synthetic dataset generators.
+
+use bnn_data::{gaussian_noise_like, synth_cifar, synth_mnist, synth_svhn};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every family: deterministic per seed, labels in range, finite
+    /// standardized pixels.
+    #[test]
+    fn generator_invariants(seed in 0u64..5000, family in 0u8..3) {
+        let make = |s| match family {
+            0 => synth_mnist(24, 8, s),
+            1 => synth_svhn(24, 8, s),
+            _ => synth_cifar(24, 8, s),
+        };
+        let a = make(seed);
+        let b = make(seed);
+        prop_assert_eq!(a.train_x.as_slice(), b.train_x.as_slice());
+        prop_assert_eq!(&a.train_y, &b.train_y);
+        prop_assert!(a.train_y.iter().all(|&y| y < a.classes));
+        prop_assert!(a.test_y.iter().all(|&y| y < a.classes));
+        prop_assert!(a.train_x.iter().all(|v| v.is_finite()));
+        prop_assert!(a.raw_std > 0.0);
+    }
+
+    /// The OOD noise probe matches the dataset's image shape and is
+    /// roughly standard-normal in network input space.
+    #[test]
+    fn noise_probe_shape_and_moments(seed in 0u64..5000) {
+        let ds = synth_mnist(48, 16, seed);
+        let noise = gaussian_noise_like(&ds, 24, seed ^ 1);
+        prop_assert_eq!(noise.shape().c, 1);
+        prop_assert_eq!((noise.shape().h, noise.shape().w), (28, 28));
+        prop_assert!(noise.mean().abs() < 0.2);
+        prop_assert!((noise.variance() - 1.0).abs() < 0.3);
+    }
+}

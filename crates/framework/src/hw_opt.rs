@@ -1,0 +1,84 @@
+//! Stage 1: greedy hardware optimization.
+
+use bnn_accel::{AccelConfig, FpgaDevice, PerfModel, ResourceModel};
+use bnn_mcd::BayesConfig;
+use bnn_nn::arch::LayerDesc;
+
+/// Pick the highest-parallelism configuration that fits the device for
+/// every workload (the paper's "determines the maximum parallelism
+/// level implementable on the target hardware").
+///
+/// Ties on multiplier count are broken by the lower summed latency of
+/// one full pass over all workloads — a balanced `(P_C, P_F)` split
+/// usually wins because real layers rarely saturate an extreme one.
+pub fn optimize_hardware(device: &FpgaDevice, workloads: &[&[LayerDesc]]) -> AccelConfig {
+    let model = ResourceModel::new(device.clone());
+    let mut best: Option<(AccelConfig, usize, u64)> = None;
+    for cfg in AccelConfig::design_space() {
+        let (_, fits) = model.check(&cfg, workloads);
+        if !fits {
+            continue;
+        }
+        let mults = cfg.multipliers();
+        let perf = PerfModel::new(cfg);
+        let lat: u64 = workloads
+            .iter()
+            .map(|ls| {
+                let n = ls.iter().filter_map(|l| l.input_site).count().max(1);
+                perf.network_timing(ls, BayesConfig::new(n, 1), true).total_cycles
+            })
+            .sum();
+        let better = match &best {
+            None => true,
+            Some((_, bm, bl)) => mults > *bm || (mults == *bm && lat < *bl),
+        };
+        if better {
+            best = Some((cfg, mults, lat));
+        }
+    }
+    best.map(|(c, _, _)| c).expect("the smallest design-space point always fits")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnn_nn::arch::extract_layers;
+    use bnn_nn::models;
+    use bnn_tensor::Shape4;
+
+    fn workload() -> Vec<LayerDesc> {
+        extract_layers(&models::resnet18(10, 3, 16, 1), Shape4::new(1, 3, 32, 32))
+    }
+
+    #[test]
+    fn arria10_yields_large_parallelism() {
+        let wl = workload();
+        let cfg = optimize_hardware(&FpgaDevice::arria10_sx660(), &[&wl]);
+        // The paper lands on 64x64x1 = 4096 multipliers; the greedy
+        // stage must reach at least that scale on the same device.
+        assert!(cfg.multipliers() >= 4096, "got {:?}", cfg);
+    }
+
+    #[test]
+    fn small_device_yields_small_parallelism() {
+        let wl = workload();
+        let big = optimize_hardware(&FpgaDevice::arria10_sx660(), &[&wl]);
+        let small = optimize_hardware(&FpgaDevice::zynq_7020(), &[&wl]);
+        assert!(small.multipliers() < big.multipliers());
+        // And it must actually fit.
+        let model = ResourceModel::new(FpgaDevice::zynq_7020());
+        let (_, fits) = model.check(&small, &[&wl]);
+        assert!(fits);
+    }
+
+    #[test]
+    fn selected_config_fits_device() {
+        let wl = workload();
+        for dev in [FpgaDevice::arria10_sx660(), FpgaDevice::cyclone_v()] {
+            let cfg = optimize_hardware(&dev, &[&wl]);
+            let model = ResourceModel::new(dev);
+            let (_, fits) = model.check(&cfg, &[&wl]);
+            assert!(fits);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! The paper's automatic optimization framework (Section IV, Figure 5).
+//!
+//! Given user inputs — hardware constraints, an optimization mode and
+//! minimal metric requirements — the framework runs two greedy stages:
+//!
+//! 1. **Hardware optimization** ([`optimize_hardware`]): pick the
+//!    maximum parallelism `(P_C, P_F, P_V)` whose estimated resource
+//!    usage fits the device, using the `bnn-accel` resource model.
+//! 2. **Algorithmic optimization** ([`Explorer`]): sweep the partial
+//!    Bayesian configurations `L × S`, read latency from the
+//!    performance model (the paper's "performance lookup table") and
+//!    quality metrics (accuracy, aPE, ECE) from software evaluation,
+//!    filter by the requirements and select by mode.
+//!
+//! Quality metrics come from a [`MetricProvider`]:
+//! [`TrainedMetricProvider`] trains and evaluates real networks on the
+//! synthetic datasets (the honest, slower path used by the benchmark
+//! harness), while [`SyntheticMetricProvider`] is a closed-form trend
+//! model calibrated to the paper's Table I for fast exploration demos.
+//!
+//! # Example
+//!
+//! ```
+//! use bnn_framework::{
+//!     optimize_hardware, Explorer, OptMode, Requirements, SyntheticMetricProvider,
+//! };
+//! use bnn_accel::FpgaDevice;
+//! use bnn_nn::{arch::extract_layers, models};
+//! use bnn_tensor::Shape4;
+//!
+//! let net = models::lenet5(10, 1, 28, 1);
+//! let layers = extract_layers(&net, Shape4::new(1, 1, 28, 28));
+//! let cfg = optimize_hardware(&FpgaDevice::arria10_sx660(), &[&layers]);
+//! let explorer = Explorer::new(cfg, layers, net.n_sites());
+//! let mut provider = SyntheticMetricProvider::lenet5();
+//! let result = explorer.explore(&mut provider, OptMode::Latency, &Requirements::none());
+//! assert!(result.selected.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod explore;
+mod hw_opt;
+mod modes;
+mod providers;
+
+pub use explore::{pareto_front, select, CandidatePoint, ExplorationResult, Explorer};
+pub use hw_opt::optimize_hardware;
+pub use modes::{OptMode, Requirements};
+pub use providers::{
+    MetricProvider, NetKind, QualityMetrics, SyntheticMetricProvider, TrainedMetricProvider,
+    TrainingBudget,
+};

@@ -1,0 +1,40 @@
+//! Monte Carlo Dropout (MCD) Bayesian inference and uncertainty
+//! metrics.
+//!
+//! Implements the algorithmic side of the paper: partial Bayesian
+//! inference over the last `L` of `N` weight layers, `S`-sample
+//! predictive averaging, and the evaluation metrics — accuracy, average
+//! predictive entropy (aPE) and expected calibration error (ECE).
+//!
+//! Mask bits can come from a software PRNG ([`SoftwareMaskSource`]) or
+//! from the bit-exact hardware Bernoulli sampler model
+//! ([`HardwareMaskSource`], built on `bnn-rng`'s LFSR pipeline) so the
+//! algorithmic experiments can run against the exact bit stream the
+//! accelerator would produce.
+//!
+//! # Example
+//!
+//! ```
+//! use bnn_mcd::{BayesConfig, McdPredictor, SoftwareMaskSource};
+//! use bnn_nn::models;
+//! use bnn_tensor::{Shape4, Tensor};
+//!
+//! let net = models::lenet5(10, 1, 28, 1);
+//! let x = Tensor::zeros(Shape4::new(2, 1, 28, 28));
+//! let cfg = BayesConfig::new(2, 5); // last 2 layers Bayesian, 5 samples
+//! let mut src = SoftwareMaskSource::new(42);
+//! let probs = McdPredictor::new(&net).predictive(&x, cfg, &mut src);
+//! let row: f32 = probs.item(0).iter().sum();
+//! assert!((row - 1.0).abs() < 1e-4, "predictive rows are distributions");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod predict;
+mod source;
+
+pub use metrics::{accuracy, avg_predictive_entropy, ece, mutual_information, nll, Calibration};
+pub use predict::{active_sites, mean_probs, predictive_batched, BayesConfig, McdPredictor};
+pub use source::{HardwareMaskSource, MaskSource, SoftwareMaskSource};

@@ -1,0 +1,81 @@
+//! Property-based tests of the MCD metrics and predictive machinery.
+
+use bnn_mcd::{accuracy, avg_predictive_entropy, ece, mean_probs, mutual_information, nll};
+use bnn_tensor::{softmax_rows, Shape4, Tensor};
+use proptest::prelude::*;
+
+fn prob_rows(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f32 / (1u64 << 31) as f32) * 4.0 - 2.0
+    };
+    let mut logits: Vec<f32> = (0..rows * cols).map(|_| next()).collect();
+    softmax_rows(&mut logits, rows, cols);
+    Tensor::from_vec(Shape4::vec(rows, cols), logits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Entropy lies in [0, ln k] for any probability rows.
+    #[test]
+    fn entropy_bounds(rows in 1usize..10, cols in 2usize..12, seed in 0u64..1000) {
+        let p = prob_rows(rows, cols, seed);
+        let h = avg_predictive_entropy(&p);
+        prop_assert!(h >= -1e-9 && h <= (cols as f64).ln() + 1e-6);
+    }
+
+    /// ECE lies in [0, 1] and its bins partition the dataset.
+    #[test]
+    fn ece_bounds(rows in 1usize..12, cols in 2usize..8, seed in 0u64..1000) {
+        let p = prob_rows(rows, cols, seed);
+        let labels: Vec<usize> = (0..rows).map(|i| i % cols).collect();
+        let c = ece(&p, &labels, 10);
+        prop_assert!((0.0..=1.0).contains(&c.ece));
+        prop_assert_eq!(c.counts.iter().sum::<usize>(), rows);
+    }
+
+    /// Accuracy and NLL are consistent: perfect one-hot rows on the
+    /// true label give accuracy 1 and NLL ~ 0.
+    #[test]
+    fn accuracy_nll_consistency(rows in 1usize..10, cols in 2usize..6) {
+        let mut data = vec![0.0f32; rows * cols];
+        let labels: Vec<usize> = (0..rows).map(|i| (i * 7) % cols).collect();
+        for (i, &y) in labels.iter().enumerate() {
+            data[i * cols + y] = 1.0;
+        }
+        let p = Tensor::from_vec(Shape4::vec(rows, cols), data);
+        prop_assert!((accuracy(&p, &labels) - 1.0).abs() < 1e-12);
+        prop_assert!(nll(&p, &labels) < 1e-6);
+    }
+
+    /// mean_probs(passes, s) rows remain distributions, and averaging
+    /// all passes equals the incremental running mean.
+    #[test]
+    fn mean_probs_is_distribution(
+        passes in 1usize..8, rows in 1usize..5, cols in 2usize..6, seed in 0u64..500
+    ) {
+        let ps: Vec<Tensor> =
+            (0..passes).map(|i| prob_rows(rows, cols, seed + i as u64)).collect();
+        let m = mean_probs(&ps, passes);
+        for i in 0..rows {
+            let s: f32 = m.item(i).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    /// Mutual information is non-negative and bounded by the
+    /// predictive-mean entropy.
+    #[test]
+    fn mutual_information_bounds(
+        passes in 2usize..6, rows in 1usize..5, cols in 2usize..6, seed in 0u64..500
+    ) {
+        let ps: Vec<Tensor> =
+            (0..passes).map(|i| prob_rows(rows, cols, seed + 31 * i as u64)).collect();
+        let mi = mutual_information(&ps);
+        let h_mean = avg_predictive_entropy(&mean_probs(&ps, passes));
+        prop_assert!(mi >= -1e-12);
+        prop_assert!(mi <= h_mean + 1e-9, "MI {} exceeds H[mean] {}", mi, h_mean);
+    }
+}

@@ -1,0 +1,788 @@
+//! Forward and backward execution of a [`Graph`] in f32.
+
+use crate::graph::{Graph, Node, NodeId, Op};
+use crate::param::ParamStore;
+use bnn_rng::SoftRng;
+use bnn_tensor::{
+    add_inplace, avg_pool, avg_pool_backward, col2im, gemm, gemm_at, gemm_bt, global_avg_pool,
+    im2col, max_pool, max_pool_backward, relu_inplace, Shape4, Tensor,
+};
+
+/// A channel-wise dropout mask: `keep[c]` keeps channel `c` (scaled by
+/// `scale = 1/(1-p)`), otherwise the channel is zeroed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mask {
+    /// Keep decision per channel.
+    pub keep: Vec<bool>,
+    /// Rescale factor applied to kept channels.
+    pub scale: f32,
+}
+
+/// The masks supplied to one forward pass, indexed by MCD site.
+///
+/// `None` at a site means the site is inactive (identity), which is how
+/// partial Bayesian inference deactivates the first `N - L` sites.
+#[derive(Debug, Clone, Default)]
+pub struct MaskSet {
+    masks: Vec<Option<Mask>>,
+}
+
+impl MaskSet {
+    /// No active sites — the standard (deterministic) network.
+    pub fn none() -> MaskSet {
+        MaskSet { masks: Vec::new() }
+    }
+
+    /// Build from per-site masks (index = site id).
+    pub fn from_masks(masks: Vec<Option<Mask>>) -> MaskSet {
+        MaskSet { masks }
+    }
+
+    /// Sample software Bernoulli masks for the active sites.
+    ///
+    /// `active[i]` enables site `i`; `channels[i]` is the mask length
+    /// (from [`Graph::site_channels`]); `p` is the drop probability.
+    pub fn sample_software(
+        active: &[bool],
+        channels: &[usize],
+        p: f32,
+        rng: &mut SoftRng,
+    ) -> MaskSet {
+        assert_eq!(active.len(), channels.len(), "active/channels length mismatch");
+        let scale = 1.0 / (1.0 - p);
+        let masks = active
+            .iter()
+            .zip(channels)
+            .map(|(&on, &c)| {
+                if on {
+                    let keep = (0..c).map(|_| !rng.bernoulli(f64::from(p))).collect();
+                    Some(Mask { keep, scale })
+                } else {
+                    None
+                }
+            })
+            .collect();
+        MaskSet { masks }
+    }
+
+    /// Mask at `site`, if the site is active.
+    pub fn get(&self, site: usize) -> Option<&Mask> {
+        self.masks.get(site).and_then(|m| m.as_ref())
+    }
+
+    /// Number of sites covered (sites beyond this are inactive).
+    pub fn len(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Whether no site is covered.
+    pub fn is_empty(&self) -> bool {
+        self.masks.is_empty()
+    }
+}
+
+/// Per-node data cached by a training forward pass.
+#[derive(Debug, Clone)]
+enum Aux {
+    None,
+    MaxPool(Vec<u32>),
+    Bn { xhat: Tensor, inv_std: Vec<f32> },
+}
+
+/// Cached activations of a training-mode forward pass, consumed by
+/// [`Graph::backward`].
+#[derive(Debug, Clone)]
+pub struct Activations {
+    outs: Vec<Tensor>,
+    aux: Vec<Aux>,
+}
+
+impl Activations {
+    /// Output tensor of a node.
+    pub fn output(&self, node: usize) -> &Tensor {
+        &self.outs[node]
+    }
+
+    /// The logits (output of the last node executed).
+    pub fn logits(&self, graph: &Graph) -> &Tensor {
+        &self.outs[graph.output_id()]
+    }
+}
+
+fn apply_mask(x: &mut Tensor, mask: &Mask, name: &str) {
+    let s = x.shape();
+    assert_eq!(mask.keep.len(), s.c, "{name}: mask length != channels");
+    let plane = s.h * s.w;
+    for n in 0..s.n {
+        let item = x.item_mut(n);
+        for (c, &keep) in mask.keep.iter().enumerate() {
+            let sl = &mut item[c * plane..(c + 1) * plane];
+            if keep {
+                for v in sl {
+                    *v *= mask.scale;
+                }
+            } else {
+                sl.fill(0.0);
+            }
+        }
+    }
+}
+
+fn conv_forward(
+    x: &Tensor,
+    w: &Tensor,
+    b: &Tensor,
+    out_shape: Shape4,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    let si = x.shape();
+    let so = out_shape;
+    let mut y = Tensor::zeros(so);
+    let (f, ckk, howo) = (so.c, si.c * k * k, so.h * so.w);
+    let item_len = so.item_len();
+    let one_item = |n: usize, yi: &mut [f32]| {
+        let cols = im2col(x.item(n), si.c, si.h, si.w, k, stride, pad);
+        gemm(f, ckk, howo, w.as_slice(), &cols, yi);
+        for (c, &bias) in b.as_slice().iter().enumerate() {
+            for v in &mut yi[c * howo..(c + 1) * howo] {
+                *v += bias;
+            }
+        }
+    };
+    if si.n >= 4 {
+        // Batch items are independent; split across two workers.
+        let mid = si.n / 2;
+        let (lo, hi) = y.as_mut_slice().split_at_mut(mid * item_len);
+        crossbeam::thread::scope(|scope| {
+            scope.spawn(|_| {
+                for n in 0..mid {
+                    one_item(n, &mut lo[n * item_len..(n + 1) * item_len]);
+                }
+            });
+            for n in mid..si.n {
+                one_item(n, &mut hi[(n - mid) * item_len..(n - mid + 1) * item_len]);
+            }
+        })
+        .expect("conv worker panicked");
+    } else {
+        for n in 0..si.n {
+            one_item(n, y.item_mut(n));
+        }
+    }
+    y
+}
+
+fn linear_forward(x: &Tensor, w: &Tensor, b: &Tensor, out_f: usize) -> Tensor {
+    let si = x.shape();
+    let in_f = si.item_len();
+    let mut y = Tensor::zeros(Shape4::vec(si.n, out_f));
+    gemm_bt(si.n, in_f, out_f, x.as_slice(), w.as_slice(), y.as_mut_slice());
+    for n in 0..si.n {
+        add_inplace(y.item_mut(n), b.as_slice());
+    }
+    y
+}
+
+/// Per-channel batch statistics over (N, H, W).
+fn bn_batch_stats(x: &Tensor) -> (Vec<f32>, Vec<f32>) {
+    let s = x.shape();
+    let plane = s.h * s.w;
+    let m = (s.n * plane) as f64;
+    let mut mean = vec![0f64; s.c];
+    let mut var = vec![0f64; s.c];
+    for n in 0..s.n {
+        let item = x.item(n);
+        for c in 0..s.c {
+            for &v in &item[c * plane..(c + 1) * plane] {
+                mean[c] += f64::from(v);
+            }
+        }
+    }
+    for mc in &mut mean {
+        *mc /= m;
+    }
+    for n in 0..s.n {
+        let item = x.item(n);
+        for c in 0..s.c {
+            for &v in &item[c * plane..(c + 1) * plane] {
+                let d = f64::from(v) - mean[c];
+                var[c] += d * d;
+            }
+        }
+    }
+    for vc in &mut var {
+        *vc /= m;
+    }
+    (mean.into_iter().map(|v| v as f32).collect(), var.into_iter().map(|v| v as f32).collect())
+}
+
+fn bn_apply(
+    x: &Tensor,
+    mean: &[f32],
+    var: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+) -> (Tensor, Tensor, Vec<f32>) {
+    let s = x.shape();
+    let plane = s.h * s.w;
+    let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
+    let mut xhat = Tensor::zeros(s);
+    let mut y = Tensor::zeros(s);
+    for n in 0..s.n {
+        let xi = x.item(n);
+        let range = n * s.item_len()..(n + 1) * s.item_len();
+        let xh = &mut xhat.as_mut_slice()[range.clone()];
+        let yo = &mut y.as_mut_slice()[range];
+        for c in 0..s.c {
+            let (g, b, mu, is) = (gamma[c], beta[c], mean[c], inv_std[c]);
+            for i in c * plane..(c + 1) * plane {
+                let h = (xi[i] - mu) * is;
+                xh[i] = h;
+                yo[i] = g * h + b;
+            }
+        }
+    }
+    (y, xhat, inv_std)
+}
+
+/// Evaluation-mode driver: BN reads running statistics, nothing mutates.
+fn run_forward_eval(
+    nodes: &[Node],
+    params: &ParamStore,
+    input: &Tensor,
+    masks: &MaskSet,
+) -> Activations {
+    let mut outs: Vec<Tensor> = Vec::with_capacity(nodes.len());
+    let mut aux: Vec<Aux> = Vec::with_capacity(nodes.len());
+    for node in nodes {
+        let mut a = Aux::None;
+        let y = match &node.op {
+            Op::BatchNorm { gamma, beta, mean, var, eps, .. } => {
+                let x = &outs[node.inputs[0]];
+                let (y, _xhat, _inv_std) = bn_apply(
+                    x,
+                    params.get(*mean).as_slice(),
+                    params.get(*var).as_slice(),
+                    params.get(*gamma).as_slice(),
+                    params.get(*beta).as_slice(),
+                    *eps,
+                );
+                y
+            }
+            _ => {
+                let single = std::slice::from_ref(node);
+                let mut sub = run_single(single, params, &outs, input, masks, &mut a);
+                sub.pop().expect("single node produces one output")
+            }
+        };
+        outs.push(y);
+        aux.push(a);
+    }
+    Activations { outs, aux }
+}
+
+impl Graph {
+    /// Evaluation-mode forward pass (BN uses running statistics).
+    ///
+    /// Supplying masks makes the active MCD sites stochastic — this is
+    /// exactly "MCD at test time". With [`MaskSet::none`] the network
+    /// is the deterministic standard NN.
+    pub fn forward(&self, input: &Tensor, masks: &MaskSet) -> Tensor {
+        let acts = run_forward_eval(&self.nodes, &self.params, input, masks);
+        acts.outs.into_iter().nth(self.output).expect("output node exists")
+    }
+
+    /// Evaluation-mode forward pass that keeps every node's output.
+    ///
+    /// Used by software intermediate-layer caching (run the prefix once,
+    /// re-run only the Bayesian suffix) and by executor cross-checks.
+    pub fn forward_full(&self, input: &Tensor, masks: &MaskSet) -> Activations {
+        run_forward_eval(&self.nodes, &self.params, input, masks)
+    }
+
+    /// Resume an evaluation-mode pass from node `from` (exclusive),
+    /// reusing `prefix` outputs for all nodes `<= from`.
+    ///
+    /// This is the software analogue of the paper's intermediate-layer
+    /// caching: the deterministic prefix is computed once and the
+    /// Bayesian suffix re-runs per Monte Carlo sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix` does not cover node `from`.
+    pub fn forward_from(&self, prefix: &Activations, from: NodeId, masks: &MaskSet) -> Tensor {
+        assert!(prefix.outs.len() > from, "prefix does not cover node {from}");
+        let mut outs: Vec<Tensor> = prefix.outs[..=from].to_vec();
+        let input = prefix.outs[self.input].clone();
+        for node in &self.nodes[from + 1..] {
+            let mut a = Aux::None;
+            let y = match &node.op {
+                Op::BatchNorm { gamma, beta, mean, var, eps, .. } => {
+                    let x = &outs[node.inputs[0]];
+                    let (y, _, _) = bn_apply(
+                        x,
+                        self.params.get(*mean).as_slice(),
+                        self.params.get(*var).as_slice(),
+                        self.params.get(*gamma).as_slice(),
+                        self.params.get(*beta).as_slice(),
+                        *eps,
+                    );
+                    y
+                }
+                _ => {
+                    let single = std::slice::from_ref(node);
+                    let mut sub =
+                        run_single(single, &self.params, &outs, &input, masks, &mut a);
+                    sub.pop().expect("single node produces one output")
+                }
+            };
+            outs.push(y);
+        }
+        outs.into_iter().nth(self.output).expect("output node exists")
+    }
+
+    /// Training-mode forward pass: BN uses batch statistics and updates
+    /// running ones; every intermediate needed by [`Graph::backward`]
+    /// is cached.
+    pub fn forward_train(&mut self, input: &Tensor, masks: &MaskSet) -> Activations {
+        // Split borrows: read-only view for weights, mutable for BN stats.
+        // ParamStore is cloned-free: we pass the same store as both views
+        // by running with the mutable one.
+        let nodes = std::mem::take(&mut self.nodes);
+        let mut params = std::mem::take(&mut self.params);
+        let acts = {
+            let params_ptr = &mut params;
+            // `run_forward` only mutates the BN running-stat tensors,
+            // which are disjoint from the weights it reads, but the
+            // borrow checker cannot see that; give it one mutable view
+            // and re-read weights through it.
+            run_forward_trainmode(&nodes, params_ptr, input, masks)
+        };
+        self.nodes = nodes;
+        self.params = params;
+        acts
+    }
+
+    /// Backward pass: accumulates parameter gradients into the store.
+    ///
+    /// `dlogits` is the gradient of the loss w.r.t. the logits
+    /// (from [`crate::cross_entropy`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acts` was not produced by a matching
+    /// [`Graph::forward_train`] call.
+    pub fn backward(&mut self, acts: &Activations, masks: &MaskSet, dlogits: Tensor) {
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[self.output] = Some(dlogits);
+        for id in (0..self.nodes.len()).rev() {
+            let Some(g) = grads[id].take() else { continue };
+            let node = &self.nodes[id];
+            match &node.op {
+                Op::Input => {}
+                Op::Conv { w, b, k, stride, pad, in_c, .. } => {
+                    let (w, b, k, stride, pad, in_c) = (*w, *b, *k, *stride, *pad, *in_c);
+                    let xid = node.inputs[0];
+                    let x = &acts.outs[xid];
+                    let si = x.shape();
+                    let so = g.shape();
+                    let (f, ckk, howo) = (so.c, in_c * k * k, so.h * so.w);
+                    let mut dx = Tensor::zeros(si);
+                    {
+                        let wt = self.params.get(w).as_slice().to_vec();
+                        let dw = self.params.grad_mut(w);
+                        for n in 0..si.n {
+                            let cols = im2col(x.item(n), si.c, si.h, si.w, k, stride, pad);
+                            // dW += dY · colsᵀ  (cols stored [ckk, howo])
+                            gemm_bt(f, howo, ckk, g.item(n), &cols, dw.as_mut_slice());
+                            // dcols = Wᵀ · dY
+                            let mut dcols = vec![0.0f32; ckk * howo];
+                            gemm_at(ckk, f, howo, &wt, g.item(n), &mut dcols);
+                            col2im(&dcols, si.c, si.h, si.w, k, stride, pad, dx.item_mut(n));
+                        }
+                    }
+                    {
+                        let db = self.params.grad_mut(b);
+                        for n in 0..so.n {
+                            let gi = g.item(n);
+                            for c in 0..f {
+                                db.as_mut_slice()[c] += gi[c * howo..(c + 1) * howo]
+                                    .iter()
+                                    .sum::<f32>();
+                            }
+                        }
+                    }
+                    accumulate(&mut grads, xid, dx);
+                }
+                Op::Linear { w, b, in_f, out_f } => {
+                    let (w, b, in_f, out_f) = (*w, *b, *in_f, *out_f);
+                    let xid = node.inputs[0];
+                    let x = &acts.outs[xid];
+                    let n = x.shape().n;
+                    {
+                        // dW[out,in] += dYᵀ · X
+                        let dw = self.params.grad_mut(w);
+                        gemm_at(out_f, n, in_f, g.as_slice(), x.as_slice(), dw.as_mut_slice());
+                    }
+                    {
+                        let db = self.params.grad_mut(b);
+                        for i in 0..n {
+                            add_inplace(db.as_mut_slice(), g.item(i));
+                        }
+                    }
+                    // dX = dY · W
+                    let mut dx = Tensor::zeros(x.shape());
+                    gemm(
+                        n,
+                        out_f,
+                        in_f,
+                        g.as_slice(),
+                        self.params.get(w).as_slice(),
+                        dx.as_mut_slice(),
+                    );
+                    accumulate(&mut grads, xid, dx);
+                }
+                Op::BatchNorm { gamma, beta, channels, .. } => {
+                    let (gamma, beta, channels) = (*gamma, *beta, *channels);
+                    let xid = node.inputs[0];
+                    let Aux::Bn { xhat, inv_std } = &acts.aux[id] else {
+                        panic!("{}: BN cache missing — not a training pass", node.name)
+                    };
+                    let s = g.shape();
+                    let plane = s.h * s.w;
+                    let m = (s.n * plane) as f32;
+                    // Channel sums of g and g·xhat.
+                    let mut sum_g = vec![0f32; channels];
+                    let mut sum_gx = vec![0f32; channels];
+                    for n in 0..s.n {
+                        let gi = g.item(n);
+                        let xh = xhat.item(n);
+                        for c in 0..channels {
+                            for i in c * plane..(c + 1) * plane {
+                                sum_g[c] += gi[i];
+                                sum_gx[c] += gi[i] * xh[i];
+                            }
+                        }
+                    }
+                    {
+                        let dgm = self.params.grad_mut(gamma);
+                        add_inplace(dgm.as_mut_slice(), &sum_gx);
+                    }
+                    {
+                        let dbt = self.params.grad_mut(beta);
+                        add_inplace(dbt.as_mut_slice(), &sum_g);
+                    }
+                    let gm = self.params.get(gamma).as_slice().to_vec();
+                    let mut dx = Tensor::zeros(s);
+                    for n in 0..s.n {
+                        let gi = g.item(n);
+                        let xh = xhat.item(n);
+                        let dxi = dx.item_mut(n);
+                        for c in 0..channels {
+                            let coef = gm[c] * inv_std[c];
+                            let mg = sum_g[c] / m;
+                            let mgx = sum_gx[c] / m;
+                            for i in c * plane..(c + 1) * plane {
+                                dxi[i] = coef * (gi[i] - mg - xh[i] * mgx);
+                            }
+                        }
+                    }
+                    accumulate(&mut grads, xid, dx);
+                }
+                Op::Relu => {
+                    let xid = node.inputs[0];
+                    let y = &acts.outs[id];
+                    let mut dx = g;
+                    for (d, &v) in dx.as_mut_slice().iter_mut().zip(y.iter()) {
+                        if v <= 0.0 {
+                            *d = 0.0;
+                        }
+                    }
+                    accumulate(&mut grads, xid, dx);
+                }
+                Op::MaxPool { .. } => {
+                    let xid = node.inputs[0];
+                    let Aux::MaxPool(arg) = &acts.aux[id] else {
+                        panic!("{}: maxpool cache missing", node.name)
+                    };
+                    let dx = max_pool_backward(&g, arg, acts.outs[xid].shape());
+                    accumulate(&mut grads, xid, dx);
+                }
+                Op::AvgPool { k, stride } => {
+                    let xid = node.inputs[0];
+                    let dx = avg_pool_backward(&g, *k, *stride, acts.outs[xid].shape());
+                    accumulate(&mut grads, xid, dx);
+                }
+                Op::GlobalAvgPool => {
+                    let xid = node.inputs[0];
+                    let si = acts.outs[xid].shape();
+                    let mut dx = Tensor::zeros(si);
+                    let inv = 1.0 / (si.h * si.w) as f32;
+                    for n in 0..si.n {
+                        for c in 0..si.c {
+                            let gv = g.at(n, c, 0, 0) * inv;
+                            for y in 0..si.h {
+                                for x in 0..si.w {
+                                    *dx.at_mut(n, c, y, x) = gv;
+                                }
+                            }
+                        }
+                    }
+                    accumulate(&mut grads, xid, dx);
+                }
+                Op::Flatten => {
+                    let xid = node.inputs[0];
+                    let dx = g.reshape(acts.outs[xid].shape());
+                    accumulate(&mut grads, xid, dx);
+                }
+                Op::Add => {
+                    let (a, b) = (node.inputs[0], node.inputs[1]);
+                    accumulate(&mut grads, a, g.clone());
+                    accumulate(&mut grads, b, g);
+                }
+                Op::McdSite { site, .. } => {
+                    let xid = node.inputs[0];
+                    let mut dx = g;
+                    if let Some(mask) = masks.get(site.0) {
+                        apply_mask(&mut dx, mask, &node.name);
+                    }
+                    accumulate(&mut grads, xid, dx);
+                }
+            }
+        }
+    }
+}
+
+fn accumulate(grads: &mut [Option<Tensor>], id: usize, g: Tensor) {
+    match &mut grads[id] {
+        Some(existing) => add_inplace(existing.as_mut_slice(), g.as_slice()),
+        slot @ None => *slot = Some(g),
+    }
+}
+
+/// Training-mode driver: same walk as `run_forward` but BN reads batch
+/// statistics and writes running ones through the single mutable view.
+fn run_forward_trainmode(
+    nodes: &[Node],
+    params: &mut ParamStore,
+    input: &Tensor,
+    masks: &MaskSet,
+) -> Activations {
+    // Weights are only *read* and BN stats only *written*; doing the
+    // reads before the writes per node keeps this single-pass.
+    let mut outs: Vec<Tensor> = Vec::with_capacity(nodes.len());
+    let mut aux: Vec<Aux> = Vec::with_capacity(nodes.len());
+    for node in nodes {
+        let mut a = Aux::None;
+        let y = match &node.op {
+            Op::BatchNorm { gamma, beta, mean, var, eps, momentum, .. } => {
+                let x = &outs[node.inputs[0]];
+                let (bm, bv) = bn_batch_stats(x);
+                let mom = *momentum;
+                {
+                    let rm = params.get_mut(*mean);
+                    for (r, &v) in rm.as_mut_slice().iter_mut().zip(&bm) {
+                        *r = (1.0 - mom) * *r + mom * v;
+                    }
+                }
+                {
+                    let rv = params.get_mut(*var);
+                    for (r, &v) in rv.as_mut_slice().iter_mut().zip(&bv) {
+                        *r = (1.0 - mom) * *r + mom * v;
+                    }
+                }
+                let (y, xhat, inv_std) = bn_apply(
+                    x,
+                    &bm,
+                    &bv,
+                    params.get(*gamma).as_slice(),
+                    params.get(*beta).as_slice(),
+                    *eps,
+                );
+                a = Aux::Bn { xhat, inv_std };
+                y
+            }
+            _ => {
+                // Delegate the non-BN ops to the shared eval-path logic
+                // by running a single-node forward.
+                let single = std::slice::from_ref(node);
+                let mut sub_outs = run_single(single, params, &outs, input, masks, &mut a);
+                sub_outs.pop().expect("single node produces one output")
+            }
+        };
+        outs.push(y);
+        aux.push(a);
+    }
+    Activations { outs, aux }
+}
+
+/// Execute one non-BN node against already-computed predecessor outputs.
+fn run_single(
+    nodes: &[Node],
+    params: &ParamStore,
+    outs: &[Tensor],
+    input: &Tensor,
+    masks: &MaskSet,
+    aux_out: &mut Aux,
+) -> Vec<Tensor> {
+    let node = &nodes[0];
+    let y = match &node.op {
+        Op::Input => input.clone(),
+        Op::Conv { w, b, k, stride, pad, out_c, .. } => {
+            let x = &outs[node.inputs[0]];
+            let si = x.shape();
+            let so = Shape4::new(
+                si.n,
+                *out_c,
+                bnn_tensor::conv_out_dim(si.h, *k, *stride, *pad),
+                bnn_tensor::conv_out_dim(si.w, *k, *stride, *pad),
+            );
+            conv_forward(x, params.get(*w), params.get(*b), so, *k, *stride, *pad)
+        }
+        Op::Linear { w, b, out_f, .. } => {
+            linear_forward(&outs[node.inputs[0]], params.get(*w), params.get(*b), *out_f)
+        }
+        Op::BatchNorm { .. } => unreachable!("BN handled by the training driver"),
+        Op::Relu => {
+            let mut y = outs[node.inputs[0]].clone();
+            relu_inplace(y.as_mut_slice());
+            y
+        }
+        Op::MaxPool { k, stride } => {
+            let (y, arg) = max_pool(&outs[node.inputs[0]], *k, *stride);
+            *aux_out = Aux::MaxPool(arg);
+            y
+        }
+        Op::AvgPool { k, stride } => avg_pool(&outs[node.inputs[0]], *k, *stride),
+        Op::GlobalAvgPool => global_avg_pool(&outs[node.inputs[0]]),
+        Op::Flatten => {
+            let x = &outs[node.inputs[0]];
+            let s = x.shape();
+            x.clone().reshape(Shape4::vec(s.n, s.item_len()))
+        }
+        Op::Add => {
+            let mut y = outs[node.inputs[0]].clone();
+            add_inplace(y.as_mut_slice(), outs[node.inputs[1]].as_slice());
+            y
+        }
+        Op::McdSite { site, .. } => {
+            let mut y = outs[node.inputs[0]].clone();
+            if let Some(mask) = masks.get(site.0) {
+                apply_mask(&mut y, mask, &node.name);
+            }
+            y
+        }
+    };
+    vec![y]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn small_net() -> Graph {
+        let mut b = GraphBuilder::new("t", 42);
+        let x = b.input();
+        let c = b.conv(x, 1, 2, 3, 1, 1);
+        let bn = b.batch_norm(c, 2);
+        let r = b.relu(bn);
+        let p = b.max_pool(r, 2, 2);
+        let f = b.flatten(p);
+        let m = b.mcd(f, 0.25);
+        let fc = b.linear(m, 2 * 2 * 2, 3);
+        b.finish(fc)
+    }
+
+    #[test]
+    fn forward_produces_logits() {
+        let net = small_net();
+        let x = Tensor::full(Shape4::new(2, 1, 4, 4), 0.5);
+        let y = net.forward(&x, &MaskSet::none());
+        assert_eq!(y.shape(), Shape4::vec(2, 3));
+        assert!(y.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn forward_deterministic_without_masks() {
+        let net = small_net();
+        let x = Tensor::full(Shape4::new(1, 1, 4, 4), 0.3);
+        let a = net.forward(&x, &MaskSet::none());
+        let b = net.forward(&x, &MaskSet::none());
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn mask_zeroes_channels_and_scales_rest() {
+        let mut t = Tensor::full(Shape4::new(1, 2, 2, 2), 1.0);
+        apply_mask(
+            &mut t,
+            &Mask { keep: vec![true, false], scale: 4.0 / 3.0 },
+            "test",
+        );
+        assert!(t.item(0)[0..4].iter().all(|&v| (v - 4.0 / 3.0).abs() < 1e-6));
+        assert!(t.item(0)[4..8].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn active_mask_changes_output() {
+        let net = small_net();
+        let x = Tensor::full(Shape4::new(1, 1, 4, 4), 0.5);
+        let clean = net.forward(&x, &MaskSet::none());
+        let masked = net.forward(
+            &x,
+            &MaskSet::from_masks(vec![Some(Mask {
+                keep: vec![false; 8],
+                scale: 4.0 / 3.0,
+            })]),
+        );
+        // All-dropped features => logits equal the bias alone.
+        assert!(clean.max_abs_diff(&masked) > 0.0);
+    }
+
+    #[test]
+    fn train_updates_running_stats() {
+        let mut net = small_net();
+        let x = Tensor::from_vec(
+            Shape4::new(4, 1, 4, 4),
+            (0..64).map(|i| (i as f32 / 16.0) - 2.0).collect(),
+        );
+        let before: Vec<f32> = net
+            .params()
+            .get(crate::param::ParamId(4)) // running mean of the BN (w,b,gamma,beta,mean,...)
+            .as_slice()
+            .to_vec();
+        let _ = net.forward_train(&x, &MaskSet::none());
+        let after: Vec<f32> =
+            net.params().get(crate::param::ParamId(4)).as_slice().to_vec();
+        assert_ne!(before, after, "running mean should move in training mode");
+    }
+
+    #[test]
+    fn backward_populates_grads() {
+        let mut net = small_net();
+        let x = Tensor::full(Shape4::new(2, 1, 4, 4), 0.5);
+        let acts = net.forward_train(&x, &MaskSet::none());
+        let logits = acts.logits(&net).clone();
+        let dl = Tensor::full(logits.shape(), 1.0);
+        net.backward(&acts, &MaskSet::none(), dl);
+        let any_nonzero = net
+            .params()
+            .ids()
+            .any(|id| net.params().grad(id).iter().any(|&g| g != 0.0));
+        assert!(any_nonzero, "gradients must flow");
+    }
+
+    #[test]
+    fn software_mask_sampling_respects_activity() {
+        let mut rng = SoftRng::new(1);
+        let ms = MaskSet::sample_software(&[false, true], &[4, 8], 0.25, &mut rng);
+        assert!(ms.get(0).is_none());
+        let m = ms.get(1).expect("site 1 active");
+        assert_eq!(m.keep.len(), 8);
+        assert!((m.scale - 4.0 / 3.0).abs() < 1e-6);
+    }
+}

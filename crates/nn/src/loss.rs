@@ -1,0 +1,110 @@
+//! Cross-entropy loss for classification.
+
+use bnn_tensor::{log_softmax_rows, softmax_rows, Tensor};
+
+/// Result of a cross-entropy evaluation: the mean loss and the gradient
+/// w.r.t. the logits, ready for [`crate::Graph::backward`].
+#[derive(Debug, Clone)]
+pub struct CrossEntropyOutput {
+    /// Mean negative log-likelihood over the batch.
+    pub loss: f32,
+    /// `∂loss/∂logits`, shape `(n, k, 1, 1)`.
+    pub dlogits: Tensor,
+    /// Number of correct argmax predictions in the batch.
+    pub correct: usize,
+}
+
+/// Mean cross-entropy of `logits (n×k)` against integer labels.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size or a label is
+/// out of range.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> CrossEntropyOutput {
+    let s = logits.shape();
+    let (n, k) = (s.n, s.item_len());
+    assert_eq!(labels.len(), n, "one label per batch item required");
+    let mut logp = logits.as_slice().to_vec();
+    log_softmax_rows(&mut logp, n, k);
+    let mut loss = 0.0f64;
+    let mut correct = 0usize;
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < k, "label {label} out of range for {k} classes");
+        loss -= f64::from(logp[i * k + label]);
+        if logits.argmax_item(i) == label {
+            correct += 1;
+        }
+    }
+    // dlogits = (softmax - onehot) / n
+    let mut probs = logits.as_slice().to_vec();
+    softmax_rows(&mut probs, n, k);
+    let inv_n = 1.0 / n as f32;
+    for (i, &label) in labels.iter().enumerate() {
+        probs[i * k + label] -= 1.0;
+    }
+    for v in &mut probs {
+        *v *= inv_n;
+    }
+    CrossEntropyOutput {
+        loss: (loss / n as f64) as f32,
+        dlogits: Tensor::from_vec(s, probs),
+        correct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnn_tensor::Shape4;
+
+    #[test]
+    fn uniform_logits_loss_is_log_k() {
+        let logits = Tensor::zeros(Shape4::vec(2, 4));
+        let out = cross_entropy(&logits, &[0, 3]);
+        assert!((out.loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let logits = Tensor::from_vec(Shape4::vec(1, 3), vec![10.0, 0.0, 0.0]);
+        let out = cross_entropy(&logits, &[0]);
+        assert!(out.loss < 1e-3);
+        assert_eq!(out.correct, 1);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec(Shape4::vec(2, 3), vec![1.0, 2.0, 3.0, -1.0, 0.5, 0.2]);
+        let out = cross_entropy(&logits, &[2, 1]);
+        for i in 0..2 {
+            let s: f32 = out.dlogits.item(i).iter().sum();
+            assert!(s.abs() < 1e-6, "softmax-onehot rows sum to zero");
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let base = vec![0.3f32, -0.7, 1.2];
+        let labels = [1usize];
+        let eps = 1e-3f32;
+        let out = cross_entropy(&Tensor::from_vec(Shape4::vec(1, 3), base.clone()), &labels);
+        for j in 0..3 {
+            let mut plus = base.clone();
+            plus[j] += eps;
+            let lp = cross_entropy(&Tensor::from_vec(Shape4::vec(1, 3), plus), &labels).loss;
+            let mut minus = base.clone();
+            minus[j] -= eps;
+            let lm = cross_entropy(&Tensor::from_vec(Shape4::vec(1, 3), minus), &labels).loss;
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = out.dlogits.as_slice()[j];
+            assert!((fd - an).abs() < 1e-3, "dim {j}: fd {fd} vs analytic {an}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label")]
+    fn out_of_range_label_panics() {
+        let logits = Tensor::zeros(Shape4::vec(1, 2));
+        let _ = cross_entropy(&logits, &[5]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Parameter storage shared by every executor of a graph.
+
+use bnn_rng::SoftRng;
+use bnn_tensor::{Shape4, Tensor};
+
+/// Handle to a parameter tensor inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// The raw index (stable for the lifetime of the store).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Owns every parameter tensor of a graph together with its gradient
+/// accumulator, so optimizers can iterate `(param, grad)` pairs without
+/// knowing the graph structure.
+#[derive(Debug, Clone)]
+pub struct ParamStore {
+    tensors: Vec<Tensor>,
+    grads: Vec<Tensor>,
+    trainable: Vec<bool>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> ParamStore {
+        ParamStore { tensors: Vec::new(), grads: Vec::new(), trainable: Vec::new() }
+    }
+
+    /// Register a tensor (trainable by default).
+    pub fn add(&mut self, t: Tensor) -> ParamId {
+        self.add_with_trainable(t, true)
+    }
+
+    /// Register a tensor, marking whether the optimizer may update it
+    /// (running BN statistics are stored but not trainable).
+    pub fn add_with_trainable(&mut self, t: Tensor, trainable: bool) -> ParamId {
+        let id = ParamId(self.tensors.len());
+        self.grads.push(Tensor::zeros(t.shape()));
+        self.tensors.push(t);
+        self.trainable.push(trainable);
+        id
+    }
+
+    /// Kaiming-normal initialised tensor (fan-in mode), for conv and
+    /// linear weights feeding ReLU.
+    pub fn add_kaiming(&mut self, shape: Shape4, fan_in: usize, rng: &mut SoftRng) -> ParamId {
+        let std = (2.0 / fan_in as f32).sqrt();
+        let data = (0..shape.len()).map(|_| rng.normal_f32(0.0, std)).collect();
+        self.add(Tensor::from_vec(shape, data))
+    }
+
+    /// Number of parameters tensors registered.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Total scalar parameter count (for model summaries).
+    pub fn scalar_count(&self) -> usize {
+        self.tensors.iter().map(Tensor::len).sum()
+    }
+
+    /// Immutable access to a parameter.
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.tensors[id.0]
+    }
+
+    /// Mutable access to a parameter (used by BN running stats and the
+    /// optimizer).
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.tensors[id.0]
+    }
+
+    /// Immutable access to a gradient accumulator.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.grads[id.0]
+    }
+
+    /// Mutable access to a gradient accumulator.
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.grads[id.0]
+    }
+
+    /// Whether the optimizer may update this parameter.
+    pub fn is_trainable(&self, id: ParamId) -> bool {
+        self.trainable[id.0]
+    }
+
+    /// Zero every gradient accumulator.
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            g.as_mut_slice().fill(0.0);
+        }
+    }
+
+    /// Iterate over all ids.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.tensors.len()).map(ParamId)
+    }
+}
+
+impl Default for ParamStore {
+    fn default() -> Self {
+        ParamStore::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_access() {
+        let mut ps = ParamStore::new();
+        let id = ps.add(Tensor::full(Shape4::vec(1, 3), 2.0));
+        assert_eq!(ps.get(id).as_slice(), &[2.0, 2.0, 2.0]);
+        assert_eq!(ps.grad(id).as_slice(), &[0.0, 0.0, 0.0]);
+        assert!(ps.is_trainable(id));
+        assert_eq!(ps.scalar_count(), 3);
+    }
+
+    #[test]
+    fn non_trainable_flag() {
+        let mut ps = ParamStore::new();
+        let id = ps.add_with_trainable(Tensor::zeros(Shape4::vec(1, 2)), false);
+        assert!(!ps.is_trainable(id));
+    }
+
+    #[test]
+    fn zero_grads_clears() {
+        let mut ps = ParamStore::new();
+        let id = ps.add(Tensor::zeros(Shape4::vec(1, 2)));
+        ps.grad_mut(id).as_mut_slice()[0] = 5.0;
+        ps.zero_grads();
+        assert_eq!(ps.grad(id).as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn kaiming_init_statistics() {
+        let mut ps = ParamStore::new();
+        let mut rng = SoftRng::new(1);
+        let id = ps.add_kaiming(Shape4::new(64, 32, 3, 3), 32 * 9, &mut rng);
+        let t = ps.get(id);
+        let std_expected = (2.0f32 / (32.0 * 9.0)).sqrt();
+        assert!(t.mean().abs() < 0.01);
+        assert!((t.variance().sqrt() - std_expected).abs() < 0.01);
+    }
+}

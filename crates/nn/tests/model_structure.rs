@@ -1,0 +1,137 @@
+//! Structural invariants of the paper's model builders, across sizes.
+
+use bnn_nn::arch::{extract_layers, first_bayesian_layer, LayerKind};
+use bnn_nn::{models, MaskSet, Op};
+use bnn_tensor::{Shape4, Tensor};
+
+#[test]
+fn every_weight_layer_is_guarded_by_a_site() {
+    for (net, shape) in [
+        (models::lenet5(10, 1, 28, 1), Shape4::new(1, 1, 28, 28)),
+        (models::vgg11(10, 3, 32, 4, 1), Shape4::new(1, 3, 32, 32)),
+        (models::resnet18(10, 3, 16, 1), Shape4::new(1, 3, 32, 32)),
+    ] {
+        let layers = extract_layers(&net, shape);
+        for l in &layers {
+            assert!(
+                l.input_site.is_some(),
+                "{}: layer {} has no MCD site",
+                net.name(),
+                l.name
+            );
+        }
+    }
+}
+
+#[test]
+fn site_first_occurrences_are_increasing() {
+    // A projection conv legitimately *re-uses* its block's input site
+    // (it reads the same masked tensor), so the raw site sequence may
+    // step back to an already-seen site. The invariant that makes
+    // "last L sites == last L layers" work is that each *new* site
+    // appears in increasing order.
+    for (net, shape) in [
+        (models::lenet5(10, 1, 28, 1), Shape4::new(1, 1, 28, 28)),
+        (models::vgg11(10, 3, 32, 8, 1), Shape4::new(1, 3, 32, 32)),
+        (models::resnet18(10, 3, 8, 1), Shape4::new(1, 3, 32, 32)),
+    ] {
+        let layers = extract_layers(&net, shape);
+        let mut seen_max: Option<usize> = None;
+        for l in &layers {
+            let s = l.input_site.expect("all layers guarded");
+            match seen_max {
+                None => seen_max = Some(s),
+                Some(m) if s > m => seen_max = Some(s),
+                Some(m) => assert!(
+                    s <= m,
+                    "{}: new site {} skipped backwards past {}",
+                    net.name(),
+                    s,
+                    m
+                ),
+            }
+        }
+        assert_eq!(seen_max, Some(net.n_sites() - 1), "{}: all sites reached", net.name());
+    }
+}
+
+#[test]
+fn first_bayesian_layer_splits_consistently() {
+    let net = models::resnet18(10, 3, 8, 1);
+    let layers = extract_layers(&net, Shape4::new(1, 3, 32, 32));
+    let n = net.n_sites();
+    // L = 0: no Bayesian layer. L = N: everything Bayesian.
+    assert_eq!(first_bayesian_layer(&layers, 0), layers.len());
+    assert_eq!(first_bayesian_layer(&layers, n), 0);
+    // L = 1 must isolate exactly the final classifier.
+    let split = first_bayesian_layer(&layers, 1);
+    assert_eq!(split, layers.len() - 1);
+    assert_eq!(layers[split].kind, LayerKind::Linear);
+    // Monotone: larger L moves the split earlier (or keeps it).
+    let mut prev = layers.len();
+    for l in 1..=n {
+        let s = first_bayesian_layer(&layers, l);
+        assert!(s <= prev, "split must move toward the input as L grows");
+        prev = s;
+    }
+}
+
+#[test]
+fn models_scale_with_width_parameters() {
+    let small = models::vgg11(10, 3, 32, 16, 1);
+    let large = models::vgg11(10, 3, 32, 4, 1);
+    let shape = Shape4::new(1, 3, 32, 32);
+    assert!(large.macs(shape) > 4 * small.macs(shape), "width divisor must scale MACs");
+
+    let r_small = models::resnet18(10, 3, 4, 1);
+    let r_large = models::resnet18(10, 3, 16, 1);
+    assert!(r_large.macs(shape) > 8 * r_small.macs(shape));
+}
+
+#[test]
+fn deeper_nets_have_more_fused_layers() {
+    let lenet = extract_layers(&models::lenet5(10, 1, 28, 1), Shape4::new(1, 1, 28, 28));
+    let vgg = extract_layers(&models::vgg11(10, 3, 32, 8, 1), Shape4::new(1, 3, 32, 32));
+    let resnet = extract_layers(&models::resnet18(10, 3, 8, 1), Shape4::new(1, 3, 32, 32));
+    assert!(lenet.len() < vgg.len() && vgg.len() < resnet.len());
+}
+
+#[test]
+fn classifier_head_is_linear_everywhere() {
+    for (net, shape) in [
+        (models::lenet5(10, 1, 28, 1), Shape4::new(1, 1, 28, 28)),
+        (models::vgg11(10, 3, 32, 8, 1), Shape4::new(1, 3, 32, 32)),
+        (models::resnet18(10, 3, 8, 1), Shape4::new(1, 3, 32, 32)),
+    ] {
+        let layers = extract_layers(&net, shape);
+        let last = layers.last().expect("non-empty");
+        assert_eq!(last.kind, LayerKind::Linear, "{}", net.name());
+        assert_eq!(last.out_c, 10);
+        assert!(!last.has_relu, "logits must not be rectified");
+    }
+}
+
+#[test]
+fn bn_follows_every_conv_in_builders() {
+    // The quantizer requires conv->bn adjacency to fold.
+    for net in [
+        models::lenet5(10, 1, 28, 1),
+        models::vgg11(10, 3, 32, 8, 1),
+        models::resnet18(10, 3, 8, 1),
+    ] {
+        let folded = net.fold_batch_norm();
+        assert!(
+            !folded.nodes().iter().any(|n| matches!(n.op, Op::BatchNorm { .. })),
+            "{}: BN nodes must all fold",
+            net.name()
+        );
+        // Folded graph still runs.
+        let shape = if net.name().starts_with("lenet") {
+            Shape4::new(1, 1, 28, 28)
+        } else {
+            Shape4::new(1, 3, 32, 32)
+        };
+        let y = folded.forward(&Tensor::zeros(shape), &MaskSet::none());
+        assert!(y.iter().all(|v| v.is_finite()));
+    }
+}

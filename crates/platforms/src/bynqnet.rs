@@ -1,0 +1,323 @@
+//! Reproduction of BYNQNet (Awano & Hashimoto, DATE'20): sampling-free
+//! Bayesian inference by *moment propagation* through quadratic
+//! activations.
+//!
+//! BYNQNet restricts the network to linear layers and the quadratic
+//! nonlinearity `y = x² + x`, so the mean and variance of every
+//! activation propagate analytically (no Monte Carlo loop):
+//!
+//! * linear `y = Wx + b` with independent inputs:
+//!   `μ_y = Wμ + b`, `σ²_y = (W∘W)σ²`,
+//! * quadratic `y = x² + x` with `x ~ N(μ, σ²)`:
+//!   `E[y] = μ² + σ² + μ`, `Var[y] = σ²·((2μ+1)² + 2σ²)`.
+//!
+//! The functional model reproduces that pipeline (with Gaussian-weight
+//! first-layer variance injection); the performance model is
+//! parameterised with the published platform (Zynq XC7Z020, 200 MHz,
+//! 220 DSPs, 2.76 W) and reproduces the published 24.22 GOP/s.
+
+use crate::AcceleratorSummary;
+use bnn_rng::SoftRng;
+
+/// One linear layer with Gaussian weight posterior for the
+/// moment-propagation pipeline.
+#[derive(Debug, Clone)]
+pub struct MomentLinear {
+    /// Input features.
+    pub in_f: usize,
+    /// Output features.
+    pub out_f: usize,
+    /// Weight means `[out, in]`.
+    pub mu: Vec<f32>,
+    /// Weight variances `[out, in]` (non-negative).
+    pub var: Vec<f32>,
+    /// Bias `[out]`.
+    pub bias: Vec<f32>,
+}
+
+/// A BYNQNet-style network: linear layers + quadratic activations.
+#[derive(Debug, Clone)]
+pub struct BynqnetNetwork {
+    layers: Vec<MomentLinear>,
+}
+
+impl BynqnetNetwork {
+    /// Build with random posteriors (the published weights are not
+    /// public); widths as in the original MNIST pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless at least two widths are given.
+    pub fn new(widths: &[usize], seed: u64) -> BynqnetNetwork {
+        assert!(widths.len() >= 2, "need at least input and output widths");
+        let mut rng = SoftRng::new(seed);
+        let layers = widths
+            .windows(2)
+            .map(|w| {
+                let (i, o) = (w[0], w[1]);
+                let std = (1.0 / i as f32).sqrt();
+                MomentLinear {
+                    in_f: i,
+                    out_f: o,
+                    mu: (0..i * o).map(|_| rng.normal_f32(0.0, std)).collect(),
+                    var: (0..i * o).map(|_| 0.002 + 0.002 * rng.next_f32()).collect(),
+                    bias: vec![0.0; o],
+                }
+            })
+            .collect();
+        BynqnetNetwork { layers }
+    }
+
+    /// MACs of one (moment) forward pass — mean and variance paths.
+    pub fn macs(&self) -> u64 {
+        // Two GEMVs per layer: one for means, one for variances.
+        2 * self.layers.iter().map(|l| (l.in_f * l.out_f) as u64).sum::<u64>()
+    }
+
+    /// Propagate `(mean, variance)` through the network; returns the
+    /// output moments (logit space).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width mismatches.
+    pub fn forward_moments(&self, mean: &[f32], var: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        assert_eq!(mean.len(), self.layers[0].in_f, "input width mismatch");
+        assert_eq!(var.len(), mean.len(), "moment vectors must align");
+        let mut m = mean.to_vec();
+        let mut v = var.to_vec();
+        let last = self.layers.len() - 1;
+        for (li, l) in self.layers.iter().enumerate() {
+            let mut mo = vec![0.0f32; l.out_f];
+            let mut vo = vec![0.0f32; l.out_f];
+            for o in 0..l.out_f {
+                let mut acc_m = l.bias[o];
+                let mut acc_v = 0.0f32;
+                for i in 0..l.in_f {
+                    let idx = o * l.in_f + i;
+                    let (wm, wv) = (l.mu[idx], l.var[idx]);
+                    acc_m += wm * m[i];
+                    // Var(w·x) for independent w, x:
+                    // wv·xv + wv·xm² + wm²·xv.
+                    acc_v += wv * v[i] + wv * m[i] * m[i] + wm * wm * v[i];
+                }
+                mo[o] = acc_m;
+                vo[o] = acc_v.max(0.0);
+            }
+            if li != last {
+                // Quadratic activation y = x² + x, moment-matched.
+                for o in 0..l.out_f {
+                    let (mu, s2) = (mo[o], vo[o]);
+                    let ey = mu * mu + s2 + mu;
+                    let vy = s2 * ((2.0 * mu + 1.0).powi(2) + 2.0 * s2);
+                    mo[o] = ey;
+                    vo[o] = vy.max(0.0);
+                }
+            }
+            m = mo;
+            v = vo;
+        }
+        (m, v)
+    }
+
+    /// Monte Carlo estimate of the same output moments, for validating
+    /// the analytic propagation (weights and inputs sampled).
+    pub fn forward_mc(
+        &self,
+        mean: &[f32],
+        var: &[f32],
+        samples: usize,
+        seed: u64,
+    ) -> (Vec<f32>, Vec<f32>) {
+        let mut rng = SoftRng::new(seed);
+        let k = self.layers.last().expect("non-empty").out_f;
+        let mut sum = vec![0.0f64; k];
+        let mut sq = vec![0.0f64; k];
+        for _ in 0..samples {
+            let mut act: Vec<f32> = mean
+                .iter()
+                .zip(var)
+                .map(|(&m, &v)| m + v.sqrt() * rng.normal_f32(0.0, 1.0))
+                .collect();
+            let last = self.layers.len() - 1;
+            for (li, l) in self.layers.iter().enumerate() {
+                let mut out = vec![0.0f32; l.out_f];
+                for (o, out_v) in out.iter_mut().enumerate() {
+                    let mut acc = l.bias[o];
+                    for (i, &a) in act.iter().enumerate() {
+                        let idx = o * l.in_f + i;
+                        let w = l.mu[idx] + l.var[idx].sqrt() * rng.normal_f32(0.0, 1.0);
+                        acc += w * a;
+                    }
+                    *out_v = acc;
+                }
+                if li != last {
+                    for v in &mut out {
+                        *v = *v * *v + *v;
+                    }
+                }
+                act = out;
+            }
+            for (j, &a) in act.iter().enumerate() {
+                sum[j] += f64::from(a);
+                sq[j] += f64::from(a) * f64::from(a);
+            }
+        }
+        let n = samples as f64;
+        let mean_out: Vec<f32> = sum.iter().map(|&s| (s / n) as f32).collect();
+        let var_out: Vec<f32> = sum
+            .iter()
+            .zip(&sq)
+            .map(|(&s, &q)| ((q / n) - (s / n) * (s / n)).max(0.0) as f32)
+            .collect();
+        (mean_out, var_out)
+    }
+}
+
+/// BYNQNet's published platform numbers with a calibrated pipeline
+/// model reproducing the published 24.22 GOP/s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BynqnetPerfModel {
+    /// Clock in MHz (published).
+    pub clock_mhz: f64,
+    /// DSP blocks (published).
+    pub dsps: u64,
+    /// Power in watts (published).
+    pub power_w: f64,
+    /// Modelled parallel MAC lanes of the moment pipeline.
+    pub mac_units: u64,
+    /// Modelled sustained efficiency.
+    pub efficiency: f64,
+}
+
+impl Default for BynqnetPerfModel {
+    fn default() -> Self {
+        // 64 MAC lanes at ~94.6% sustained ≈ 24.22 GOP/s at 200 MHz.
+        BynqnetPerfModel {
+            clock_mhz: 200.0,
+            dsps: 220,
+            power_w: 2.76,
+            mac_units: 64,
+            efficiency: 0.946,
+        }
+    }
+}
+
+impl BynqnetPerfModel {
+    /// Sustained throughput in GOP/s.
+    pub fn throughput_gops(&self) -> f64 {
+        2.0 * self.mac_units as f64 * self.efficiency * self.clock_mhz / 1e3
+    }
+
+    /// Table IV row.
+    pub fn summary(&self) -> AcceleratorSummary {
+        AcceleratorSummary {
+            name: "BYNQNet [10]".into(),
+            fpga: "Zynq XC7Z020".into(),
+            clock_mhz: self.clock_mhz,
+            dsps: self.dsps,
+            power_w: self.power_w,
+            throughput_gops: self.throughput_gops(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_matches_published_value() {
+        let m = BynqnetPerfModel::default();
+        assert!(
+            (m.throughput_gops() - 24.22).abs() < 0.3,
+            "calibrated throughput {}",
+            m.throughput_gops()
+        );
+    }
+
+    #[test]
+    fn published_efficiency_metrics() {
+        let s = BynqnetPerfModel::default().summary();
+        // Paper Table IV: 8.77 GOP/s/W, 0.121 GOP/s/DSP. Note the
+        // paper's own figures are inconsistent: 24.22/220 = 0.110, so
+        // their 0.121 divides by ~200 *used* DSPs. We divide by the
+        // listed 220 and accept either convention here.
+        assert!((s.energy_efficiency() - 8.77).abs() < 0.3, "{}", s.energy_efficiency());
+        assert!((s.compute_efficiency() - 0.121).abs() < 0.015, "{}", s.compute_efficiency());
+    }
+
+    #[test]
+    fn moment_propagation_matches_monte_carlo() {
+        // With a deterministic input, the hidden pre-activations are
+        // exactly Gaussian (weights are) and hidden units are
+        // independent (disjoint weight rows), so the analytic moments
+        // are exact up to Monte Carlo error.
+        let net = BynqnetNetwork::new(&[6, 8, 4], 7);
+        let mean = vec![0.3f32, -0.2, 0.1, 0.4, -0.1, 0.2];
+        let var = vec![0.0f32; 6];
+        let (am, av) = net.forward_moments(&mean, &var);
+        let (mm, mv) = net.forward_mc(&mean, &var, 60_000, 11);
+        for j in 0..4 {
+            let scale = mm[j].abs().max(0.1);
+            assert!(
+                (am[j] - mm[j]).abs() / scale < 0.1,
+                "mean[{j}]: analytic {} vs MC {}",
+                am[j],
+                mm[j]
+            );
+            let vscale = mv[j].max(0.001);
+            assert!(
+                (av[j] - mv[j]).abs() / vscale < 0.15,
+                "var[{j}]: analytic {} vs MC {}",
+                av[j],
+                mv[j]
+            );
+        }
+    }
+
+    #[test]
+    fn correlated_inputs_expose_diagonal_approximation() {
+        // With shared input randomness the diagonal-covariance
+        // assumption (which BYNQNet also makes) becomes visible: the
+        // analytic variance diverges from MC. This documents the
+        // approximation rather than hiding it.
+        let net = BynqnetNetwork::new(&[6, 8, 4], 7);
+        let mean = vec![0.3f32, -0.2, 0.1, 0.4, -0.1, 0.2];
+        let var = vec![0.05f32; 6];
+        let (_, av) = net.forward_moments(&mean, &var);
+        let (_, mv) = net.forward_mc(&mean, &var, 40_000, 11);
+        let rel: f32 = (0..4)
+            .map(|j| (av[j] - mv[j]).abs() / mv[j].max(1e-3))
+            .fold(0.0, f32::max);
+        assert!(rel > 0.05, "expected a visible diagonal-approximation gap, got {rel}");
+    }
+
+    #[test]
+    fn zero_input_variance_with_zero_weight_variance_is_deterministic() {
+        let mut net = BynqnetNetwork::new(&[4, 6, 3], 9);
+        for l in &mut net.layers {
+            for v in &mut l.var {
+                *v = 0.0;
+            }
+        }
+        let (_, v) = net.forward_moments(&[0.1, 0.2, 0.3, 0.4], &[0.0; 4]);
+        assert!(v.iter().all(|&x| x.abs() < 1e-9), "no variance anywhere");
+    }
+
+    #[test]
+    fn variance_grows_with_input_uncertainty() {
+        let net = BynqnetNetwork::new(&[4, 6, 3], 13);
+        let mean = vec![0.2f32; 4];
+        let (_, v_small) = net.forward_moments(&mean, &[0.01; 4]);
+        let (_, v_big) = net.forward_moments(&mean, &[0.5; 4]);
+        let s: f32 = v_small.iter().sum();
+        let b: f32 = v_big.iter().sum();
+        assert!(b > s, "more input variance must yield more output variance");
+    }
+
+    #[test]
+    fn macs_count_both_moment_paths() {
+        let net = BynqnetNetwork::new(&[10, 5, 2], 1);
+        assert_eq!(net.macs(), 2 * (50 + 10));
+    }
+}

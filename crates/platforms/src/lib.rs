@@ -1,0 +1,71 @@
+//! Baseline platform models for the paper's comparisons.
+//!
+//! * [`PlatformModel`] — roofline-style batch-1 latency models of the
+//!   paper's CPU (Intel i9-9900K) and GPU (RTX 2080 SUPER) baselines,
+//!   used by Tables I and III. Neither platform applies
+//!   intermediate-layer caching: PyTorch reruns the full network for
+//!   every Monte Carlo sample, exactly as the paper measured.
+//! * [`vibnn`] — a reproduction of the VIBNN weight-sampling MLP
+//!   accelerator (Gaussian RNG + FC engine) with a calibrated
+//!   performance model for Table IV.
+//! * [`bynqnet`] — a reproduction of BYNQNet's sampling-free moment
+//!   propagation through quadratic activations, with its performance
+//!   model for Table IV.
+//! * [`AcceleratorSummary`] — one Table IV row.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bynqnet;
+mod cpu_gpu;
+pub mod vibnn;
+
+pub use cpu_gpu::PlatformModel;
+
+/// One row of the paper's Table IV cross-accelerator comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorSummary {
+    /// Accelerator name.
+    pub name: String,
+    /// FPGA device.
+    pub fpga: String,
+    /// Clock frequency in MHz.
+    pub clock_mhz: f64,
+    /// DSP blocks used.
+    pub dsps: u64,
+    /// Board power in watts.
+    pub power_w: f64,
+    /// Sustained throughput in GOP/s.
+    pub throughput_gops: f64,
+}
+
+impl AcceleratorSummary {
+    /// Energy efficiency in GOP/s/W.
+    pub fn energy_efficiency(&self) -> f64 {
+        self.throughput_gops / self.power_w
+    }
+
+    /// Compute efficiency in GOP/s/DSP.
+    pub fn compute_efficiency(&self) -> f64 {
+        self.throughput_gops / self.dsps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_derived_metrics() {
+        let s = AcceleratorSummary {
+            name: "x".into(),
+            fpga: "y".into(),
+            clock_mhz: 200.0,
+            dsps: 100,
+            power_w: 10.0,
+            throughput_gops: 50.0,
+        };
+        assert!((s.energy_efficiency() - 5.0).abs() < 1e-12);
+        assert!((s.compute_efficiency() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,263 @@
+//! Reproduction of VIBNN (Cai et al., ASPLOS'18): an FPGA accelerator
+//! for Bayesian neural networks with *Gaussian weight sampling*.
+//!
+//! VIBNN accelerates 3-layer fully-connected BNNs whose weights carry
+//! a Gaussian variational posterior `w ~ N(μ, σ²)`; every inference
+//! samples all weights on chip with Gaussian RNGs (their RLF-GRNG is a
+//! CLT-of-LFSR construction — modelled bit-faithfully by
+//! [`bnn_rng::CltGaussianSampler`]). The functional model reproduces
+//! that datapath; the performance model is parameterised with the
+//! published platform (Cyclone V, 212.95 MHz, 342 DSPs, 6.11 W) and
+//! reproduces the published 59.6 GOP/s for Table IV.
+
+use bnn_rng::{CltGaussianSampler, GaussianSampler, SoftRng};
+use bnn_tensor::softmax_rows;
+
+use crate::AcceleratorSummary;
+
+/// One fully-connected layer with a Gaussian weight posterior.
+#[derive(Debug, Clone)]
+pub struct GaussLayer {
+    /// Input features.
+    pub in_f: usize,
+    /// Output features.
+    pub out_f: usize,
+    /// Posterior means `[out, in]`.
+    pub mu: Vec<f32>,
+    /// Posterior standard deviations `[out, in]` (positive).
+    pub sigma: Vec<f32>,
+    /// Bias means `[out]`.
+    pub bias: Vec<f32>,
+}
+
+/// A VIBNN-style Bayesian MLP (sigmoid hidden activations, as in the
+/// original's MNIST configuration 784-400-400-10).
+#[derive(Debug, Clone)]
+pub struct VibnnNetwork {
+    layers: Vec<GaussLayer>,
+}
+
+impl VibnnNetwork {
+    /// Build a network with the given layer widths and random
+    /// posterior (for datapath exercises; VIBNN's trained posteriors
+    /// are not public).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless at least two widths (input, output) are given.
+    pub fn new(widths: &[usize], seed: u64) -> VibnnNetwork {
+        assert!(widths.len() >= 2, "need at least input and output widths");
+        let mut rng = SoftRng::new(seed);
+        let layers = widths
+            .windows(2)
+            .map(|w| {
+                let (i, o) = (w[0], w[1]);
+                let std = (1.0 / i as f32).sqrt();
+                GaussLayer {
+                    in_f: i,
+                    out_f: o,
+                    mu: (0..i * o).map(|_| rng.normal_f32(0.0, std)).collect(),
+                    sigma: (0..i * o).map(|_| 0.05 + 0.05 * rng.next_f32()).collect(),
+                    bias: vec![0.0; o],
+                }
+            })
+            .collect();
+        VibnnNetwork { layers }
+    }
+
+    /// The original paper's MNIST topology 784-400-400-10.
+    pub fn mnist_784_400_400_10(seed: u64) -> VibnnNetwork {
+        VibnnNetwork::new(&[784, 400, 400, 10], seed)
+    }
+
+    /// Layers.
+    pub fn layers(&self) -> &[GaussLayer] {
+        &self.layers
+    }
+
+    /// MACs of one forward pass (one weight sample).
+    pub fn macs(&self) -> u64 {
+        self.layers.iter().map(|l| (l.in_f * l.out_f) as u64).sum()
+    }
+
+    /// One forward pass with freshly-sampled weights from the hardware
+    /// Gaussian RNG model.
+    pub fn sample_forward(&self, x: &[f32], g: &mut dyn GaussianSampler) -> Vec<f32> {
+        assert_eq!(x.len(), self.layers[0].in_f, "input width mismatch");
+        let mut act = x.to_vec();
+        for (li, l) in self.layers.iter().enumerate() {
+            let mut out = vec![0.0f32; l.out_f];
+            for (o, out_v) in out.iter_mut().enumerate() {
+                let mut acc = l.bias[o];
+                for (i, &a) in act.iter().enumerate() {
+                    let idx = o * l.in_f + i;
+                    let w = l.mu[idx] + l.sigma[idx] * g.sample();
+                    acc += w * a;
+                }
+                *out_v = acc;
+            }
+            if li + 1 < self.layers.len() {
+                for v in &mut out {
+                    *v = 1.0 / (1.0 + (-*v).exp()); // sigmoid
+                }
+            }
+            act = out;
+        }
+        act
+    }
+
+    /// Predictive distribution over `s` weight samples.
+    pub fn predictive(&self, x: &[f32], s: usize, g: &mut dyn GaussianSampler) -> Vec<f32> {
+        assert!(s > 0, "at least one sample");
+        let k = self.layers.last().expect("non-empty").out_f;
+        let mut acc = vec![0.0f32; k];
+        for _ in 0..s {
+            let mut logits = self.sample_forward(x, g);
+            softmax_rows(&mut logits, 1, k);
+            for (a, l) in acc.iter_mut().zip(&logits) {
+                *a += l;
+            }
+        }
+        for a in &mut acc {
+            *a /= s as f32;
+        }
+        acc
+    }
+
+    /// A CLT Gaussian sampler matching VIBNN's RLF-GRNG structure.
+    pub fn hardware_sampler(seed: u64) -> CltGaussianSampler {
+        CltGaussianSampler::new(12, 16, seed)
+    }
+}
+
+/// VIBNN's published platform numbers, with throughput derived from a
+/// PE-array model (`mac_units` MACs at `efficiency`) calibrated to the
+/// published 59.6 GOP/s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VibnnPerfModel {
+    /// Clock in MHz (published).
+    pub clock_mhz: f64,
+    /// DSP blocks (published).
+    pub dsps: u64,
+    /// Power in watts (published).
+    pub power_w: f64,
+    /// Modelled MAC units in the FC engine.
+    pub mac_units: u64,
+    /// Modelled sustained efficiency of the MAC array.
+    pub efficiency: f64,
+}
+
+impl Default for VibnnPerfModel {
+    fn default() -> Self {
+        // 160 MACs at 87.5% sustained ≈ 59.6 GOP/s at 212.95 MHz.
+        VibnnPerfModel {
+            clock_mhz: 212.95,
+            dsps: 342,
+            power_w: 6.11,
+            mac_units: 160,
+            efficiency: 0.875,
+        }
+    }
+}
+
+impl VibnnPerfModel {
+    /// Sustained throughput in GOP/s.
+    pub fn throughput_gops(&self) -> f64 {
+        2.0 * self.mac_units as f64 * self.efficiency * self.clock_mhz / 1e3
+    }
+
+    /// Latency of one Monte Carlo sample of a network, in ms.
+    pub fn sample_latency_ms(&self, net: &VibnnNetwork) -> f64 {
+        2.0 * net.macs() as f64 / (self.throughput_gops() * 1e9) * 1e3
+    }
+
+    /// Table IV row.
+    pub fn summary(&self) -> AcceleratorSummary {
+        AcceleratorSummary {
+            name: "VIBNN [8]".into(),
+            fpga: "Cyclone V 5CGTFD9E5F35C7".into(),
+            clock_mhz: self.clock_mhz,
+            dsps: self.dsps,
+            power_w: self.power_w,
+            throughput_gops: self.throughput_gops(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_matches_published_value() {
+        let m = VibnnPerfModel::default();
+        assert!(
+            (m.throughput_gops() - 59.6).abs() < 1.0,
+            "calibrated throughput {} != 59.6",
+            m.throughput_gops()
+        );
+    }
+
+    #[test]
+    fn published_efficiency_metrics() {
+        let s = VibnnPerfModel::default().summary();
+        // Paper Table IV: 9.75 GOP/s/W, 0.174 GOP/s/DSP.
+        assert!((s.energy_efficiency() - 9.75).abs() < 0.3, "{}", s.energy_efficiency());
+        assert!((s.compute_efficiency() - 0.174).abs() < 0.01, "{}", s.compute_efficiency());
+    }
+
+    #[test]
+    fn predictive_is_distribution_and_stochastic() {
+        let net = VibnnNetwork::new(&[16, 8, 4], 3);
+        let x = vec![0.3f32; 16];
+        let mut g = VibnnNetwork::hardware_sampler(1);
+        let p = net.predictive(&x, 5, &mut g);
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+        // Two single samples differ (weights resampled).
+        let a = net.sample_forward(&x, &mut g);
+        let b = net.sample_forward(&x, &mut g);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn weight_uncertainty_widens_predictive() {
+        // A confidently-biased network with a narrow posterior must
+        // have lower predictive entropy than the same network with a
+        // wide posterior.
+        let mut narrow = VibnnNetwork::new(&[8, 8, 3], 5);
+        for l in &mut narrow.layers {
+            for s in &mut l.sigma {
+                *s = 0.001;
+            }
+        }
+        // Bias the output layer hard toward class 0.
+        if let Some(last) = narrow.layers.last_mut() {
+            last.bias = vec![4.0, 0.0, 0.0];
+        }
+        let mut wide = narrow.clone();
+        for l in &mut wide.layers {
+            for s in &mut l.sigma {
+                *s = 0.8;
+            }
+        }
+        let x = vec![0.5f32; 8];
+        let entropy = |p: &[f32]| -> f64 {
+            p.iter()
+                .filter(|&&v| v > 0.0)
+                .map(|&v| -f64::from(v) * f64::from(v).ln())
+                .sum()
+        };
+        let mut g1 = VibnnNetwork::hardware_sampler(2);
+        let mut g2 = VibnnNetwork::hardware_sampler(2);
+        let hn = entropy(&narrow.predictive(&x, 30, &mut g1));
+        let hw = entropy(&wide.predictive(&x, 30, &mut g2));
+        assert!(hw > hn, "wide posterior must be more uncertain: {hw} vs {hn}");
+    }
+
+    #[test]
+    fn mnist_topology_macs() {
+        let net = VibnnNetwork::mnist_784_400_400_10(1);
+        assert_eq!(net.macs(), (784 * 400 + 400 * 400 + 400 * 10) as u64);
+    }
+}

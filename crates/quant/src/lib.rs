@@ -1,0 +1,44 @@
+//! 8-bit linear quantization (Jacob et al., CVPR'18) and an int8
+//! reference executor.
+//!
+//! The paper's accelerator computes in 8-bit precision ("the 8-bit
+//! linear quantization (ref. 21) is applied on the trained models", two
+//! multipliers per DSP). This crate provides the deployment pipeline:
+//!
+//! 1. [`Quantizer::calibrate`] — record per-node activation ranges of a
+//!    BN-folded f32 graph over calibration data (with MCD masks, so the
+//!    `1/(1-p)` rescale is inside the calibrated range),
+//! 2. [`Quantizer::quantize`] — lower to a [`QGraph`]: u8 asymmetric
+//!    activations, i8 symmetric per-output-channel weights, i32 bias
+//!    and accumulators, fixed-point requantization multipliers,
+//! 3. [`QGraph::forward`] — bit-exact integer execution, including the
+//!    dropout unit's fixed-point `1/(1-p)` multiplier.
+//!
+//! The accelerator simulator (`bnn-accel`) executes the *same*
+//! [`QGraph`], so "simulator output == reference output" is a
+//! bit-exactness test, not an approximation check.
+//!
+//! # Example
+//!
+//! ```
+//! use bnn_nn::{models, MaskSet};
+//! use bnn_quant::Quantizer;
+//! use bnn_tensor::{Shape4, Tensor};
+//!
+//! let net = models::lenet5(10, 1, 16, 1).fold_batch_norm();
+//! let calib = Tensor::zeros(Shape4::new(4, 1, 16, 16));
+//! let qgraph = Quantizer::new(&net).calibrate(&calib).quantize();
+//! let logits = qgraph.forward(&calib, &MaskSet::none());
+//! assert_eq!(logits.shape().c, 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fixed;
+mod qgraph;
+mod quantizer;
+
+pub use fixed::{quantize_multiplier, FixedMul};
+pub use qgraph::{apply_qmask, exec_qnode, QGraph, QNode, QNodeOp, QParams, QTensor};
+pub use quantizer::Quantizer;

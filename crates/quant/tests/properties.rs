@@ -1,0 +1,48 @@
+//! Property-based tests of the quantization arithmetic.
+
+use bnn_quant::{quantize_multiplier, QParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Fixed-point apply matches floating multiplication within one ULP
+    /// of the output integer, for any representable multiplier.
+    #[test]
+    fn fixed_mul_matches_float(
+        m in 1e-6f64..16.0,
+        acc in -2_000_000i32..2_000_000
+    ) {
+        let fm = quantize_multiplier(m);
+        let expected = (f64::from(acc) * m).round();
+        let got = f64::from(fm.apply(acc));
+        prop_assert!((got - expected).abs() <= 1.0,
+            "m={} acc={}: got {} expected {}", m, acc, got, expected);
+    }
+
+    /// apply is odd: f(-x) == -f(x) (round-half-away symmetry).
+    #[test]
+    fn fixed_mul_is_odd(m in 1e-5f64..4.0, acc in 0i32..1_000_000) {
+        let fm = quantize_multiplier(m);
+        prop_assert_eq!(fm.apply(-acc), -fm.apply(acc));
+    }
+
+    /// Quantize→dequantize error is bounded by half a step, and the
+    /// zero point represents exactly 0.
+    #[test]
+    fn qparams_roundtrip(lo in -100.0f32..0.0, hi in 0.01f32..100.0, x in -100.0f32..100.0) {
+        let q = QParams::from_range(lo, hi);
+        prop_assert!((q.dequantize(q.quantize(0.0))).abs() < 1e-5, "zero exact");
+        let x_clamped = x.clamp(lo.min(0.0), hi.max(0.0));
+        let err = (q.dequantize(q.quantize(x_clamped)) - x_clamped).abs();
+        prop_assert!(err <= q.scale * 0.51 + 1e-6, "err {} scale {}", err, q.scale);
+    }
+
+    /// Quantization is monotone: x <= y implies q(x) <= q(y).
+    #[test]
+    fn quantize_monotone(a in -50.0f32..50.0, b in -50.0f32..50.0) {
+        let q = QParams::from_range(-50.0, 50.0);
+        let (x, y) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(q.quantize(x) <= q.quantize(y));
+    }
+}

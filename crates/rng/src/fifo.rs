@@ -1,0 +1,192 @@
+//! A bounded FIFO modelling the hardware buffer at the end of the
+//! Bernoulli sampler (paper Figure 3).
+//!
+//! The hardware FIFO decouples mask generation from mask consumption:
+//! the sampler pushes one `P_F`-bit word per `P_F` cycles while the
+//! neural network engine pops words at layer-dependent rates. The model
+//! tracks occupancy statistics so the accelerator simulator can size
+//! the FIFO depth `D` used by the resource model
+//! (`MEM_FIFO = D * P_F * DW`).
+
+use std::fmt;
+
+/// Error returned when pushing into a full [`Fifo`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoFullError {
+    capacity: usize,
+}
+
+impl FifoFullError {
+    /// Capacity of the FIFO that rejected the push.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl fmt::Display for FifoFullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fifo full (capacity {})", self.capacity)
+    }
+}
+
+impl std::error::Error for FifoFullError {}
+
+/// A bounded ring-buffer FIFO with occupancy statistics.
+///
+/// # Example
+///
+/// ```
+/// use bnn_rng::Fifo;
+///
+/// let mut f: Fifo<u64> = Fifo::new(4);
+/// f.push(7)?;
+/// assert_eq!(f.pop(), Some(7));
+/// assert_eq!(f.pop(), None);
+/// # Ok::<(), bnn_rng::FifoFullError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    buf: Vec<Option<T>>,
+    head: usize,
+    len: usize,
+    high_water: usize,
+    pushes: u64,
+    pops: u64,
+}
+
+impl<T> Fifo<T> {
+    /// Create a FIFO with the given capacity (depth `D` in the paper's
+    /// resource model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Fifo<T> {
+        assert!(capacity > 0, "fifo capacity must be non-zero");
+        let mut buf = Vec::with_capacity(capacity);
+        buf.resize_with(capacity, || None);
+        Fifo { buf, head: 0, len: 0, high_water: 0, pushes: 0, pops: 0 }
+    }
+
+    /// Push a value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoFullError`] when the FIFO is at capacity, which in
+    /// hardware corresponds to back-pressure stalling the sampler.
+    pub fn push(&mut self, value: T) -> Result<(), FifoFullError> {
+        if self.len == self.buf.len() {
+            return Err(FifoFullError { capacity: self.buf.len() });
+        }
+        let tail = (self.head + self.len) % self.buf.len();
+        self.buf[tail] = Some(value);
+        self.len += 1;
+        self.pushes += 1;
+        self.high_water = self.high_water.max(self.len);
+        Ok(())
+    }
+
+    /// Pop the oldest value, or `None` when empty.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let v = self.buf[self.head].take();
+        self.head = (self.head + 1) % self.buf.len();
+        self.len -= 1;
+        self.pops += 1;
+        v
+    }
+
+    /// Current number of buffered elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the FIFO holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the FIFO is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.len == self.buf.len()
+    }
+
+    /// Capacity the FIFO was created with.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Maximum occupancy ever observed (for FIFO depth sizing).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total successful pushes.
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Total successful pops.
+    pub fn pops(&self) -> u64 {
+        self.pops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_preserves_order() {
+        let mut f = Fifo::new(3);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        f.push(3).unwrap();
+        assert_eq!(f.pop(), Some(1));
+        assert_eq!(f.pop(), Some(2));
+        assert_eq!(f.pop(), Some(3));
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn push_full_errors() {
+        let mut f = Fifo::new(2);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        let err = f.push(3).expect_err("fifo should be full");
+        assert_eq!(err.capacity(), 2);
+        assert!(err.to_string().contains("capacity 2"));
+    }
+
+    #[test]
+    fn wraparound_works() {
+        let mut f = Fifo::new(2);
+        for i in 0..10 {
+            f.push(i).unwrap();
+            assert_eq!(f.pop(), Some(i));
+        }
+        assert!(f.is_empty());
+        assert_eq!(f.pushes(), 10);
+        assert_eq!(f.pops(), 10);
+    }
+
+    #[test]
+    fn high_water_tracks_max_occupancy() {
+        let mut f = Fifo::new(4);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        f.push(3).unwrap();
+        f.pop();
+        f.pop();
+        f.push(4).unwrap();
+        assert_eq!(f.high_water(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_panics() {
+        let _ = Fifo::<u8>::new(0);
+    }
+}

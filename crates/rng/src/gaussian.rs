@@ -1,0 +1,260 @@
+//! Hardware-style Gaussian samplers.
+//!
+//! Weight-sampling BNN accelerators (VIBNN [8] in the paper's related
+//! work) need Gaussian random numbers on chip. Two classic FPGA
+//! constructions are modelled here and used by the `bnn-platforms`
+//! VIBNN baseline:
+//!
+//! * [`CltGaussianSampler`] — central-limit-theorem sampler: the sum of
+//!   `K` uniform words from an LFSR bank, normalised to zero mean and
+//!   unit variance. Cheap (adders only), mildly platykurtic tails.
+//! * [`BoxMullerFixedSampler`] — fixed-point Box–Muller with Q16.16
+//!   lookup tables for `sqrt(-2 ln u)` and `cos/sin(2πu)`, the
+//!   DSP-based alternative with accurate tails.
+
+use crate::lfsr::LfsrBank;
+
+/// Common interface of the hardware Gaussian samplers.
+pub trait GaussianSampler {
+    /// Draw one standard-normal sample.
+    fn sample(&mut self) -> f32;
+
+    /// Draw `n` samples into a vector.
+    fn sample_n(&mut self, n: usize) -> Vec<f32> {
+        (0..n).map(|_| self.sample()).collect()
+    }
+}
+
+/// Central-limit-theorem Gaussian sampler.
+///
+/// Each cycle, `k` LFSRs each contribute a `bits`-wide uniform word;
+/// the words are summed and affinely mapped to zero mean, unit
+/// variance. With `k = 12, bits = 16` the output matches a standard
+/// normal to ~3 decimal places in the bulk; tails are truncated at
+/// `±k/2 · sqrt(12/k)` (≈ ±6σ for k = 12), which is the same
+/// truncation real CLT hardware exhibits.
+///
+/// # Example
+///
+/// ```
+/// use bnn_rng::{CltGaussianSampler, GaussianSampler};
+///
+/// let mut g = CltGaussianSampler::new(12, 16, 42);
+/// let xs = g.sample_n(1000);
+/// let mean = xs.iter().sum::<f32>() / 1000.0;
+/// assert!(mean.abs() < 0.2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CltGaussianSampler {
+    bank: LfsrBank,
+    k: u32,
+    bits: u32,
+    scale: f64,
+    offset: f64,
+}
+
+impl CltGaussianSampler {
+    /// Create a CLT sampler summing `k` uniforms of `bits` bits each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `bits == 0` or `bits > 32`.
+    pub fn new(k: u32, bits: u32, seed: u64) -> CltGaussianSampler {
+        assert!(k > 0, "k must be positive");
+        assert!(bits > 0 && bits <= 32, "bits must be in 1..=32");
+        // Each uniform word u in [0, 2^bits - 1]:
+        //   mean = (2^bits - 1)/2, var = (2^(2 bits) - 1)/12.
+        let m = f64::from(k) * (2f64.powi(bits as i32) - 1.0) / 2.0;
+        let var1 = ((2f64.powi(2 * bits as i32)) - 1.0) / 12.0;
+        let std = (f64::from(k) * var1).sqrt();
+        CltGaussianSampler {
+            bank: LfsrBank::new(k as usize, 128, seed),
+            k,
+            bits,
+            scale: 1.0 / std,
+            offset: m,
+        }
+    }
+
+    /// Number of uniform terms summed per sample.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Raw integer sum for one sample (exposed for bit-level tests).
+    pub fn raw_sum(&mut self) -> u64 {
+        let mut sum = 0u64;
+        for i in 0..self.k as usize {
+            let mut w = 0u64;
+            for _ in 0..self.bits {
+                w = (w << 1) | u64::from(self.bank.reg_mut(i).step());
+            }
+            sum += w;
+        }
+        sum
+    }
+}
+
+impl GaussianSampler for CltGaussianSampler {
+    fn sample(&mut self) -> f32 {
+        let s = self.raw_sum() as f64;
+        ((s - self.offset) * self.scale) as f32
+    }
+}
+
+const Q: i64 = 1 << 16; // Q16.16 fixed point
+
+/// Fixed-point Box–Muller Gaussian sampler with Q16.16 LUTs.
+///
+/// Models an FPGA implementation: two uniform words drive a
+/// `sqrt(-2 ln u1)` lookup (256 entries, linear interpolation, with an
+/// exact-exponent prescaling so small `u1` keeps precision) and a
+/// quarter-wave `cos` lookup. Both outputs of the transform are used
+/// (cos and sin phases) as real hardware does.
+#[derive(Debug, Clone)]
+pub struct BoxMullerFixedSampler {
+    bank: LfsrBank,
+    cos_lut: Vec<i64>,  // cos over [0, 2pi), Q16.16
+    cached: Option<f32>,
+}
+
+impl BoxMullerFixedSampler {
+    /// Create a sampler with LFSRs seeded from `seed`.
+    pub fn new(seed: u64) -> BoxMullerFixedSampler {
+        let cos_lut = (0..1024)
+            .map(|i| {
+                let th = 2.0 * std::f64::consts::PI * (i as f64 + 0.5) / 1024.0;
+                (th.cos() * Q as f64).round() as i64
+            })
+            .collect();
+        BoxMullerFixedSampler { bank: LfsrBank::new(2, 128, seed), cos_lut, cached: None }
+    }
+
+    fn uniform_q32(&mut self, reg: usize) -> u64 {
+        let mut w = 0u64;
+        for _ in 0..32 {
+            w = (w << 1) | u64::from(self.bank.reg_mut(reg).step());
+        }
+        w
+    }
+
+    /// Fixed-point `sqrt(-2 ln(u))` for `u` given as a 32-bit uniform
+    /// (interpreted as u/2^32 in (0,1]). Returns Q16.16.
+    ///
+    /// Uses the hardware trick of splitting `u = m * 2^-e` with
+    /// `m in [0.5, 1)`: `-ln u = -ln m + e ln 2`, so only `ln m` needs a
+    /// LUT while the exponent contribution is exact.
+    fn radius_q16(&mut self, u32bits: u64) -> i64 {
+        let u = (u32bits | 1) as u64; // avoid u = 0
+        let lz = (u as u32).leading_zeros(); // u/2^32 = (norm/2^32) * 2^-lz, norm in [0.5,1)*2^32
+        let e = i64::from(lz);
+        // mantissa m in [0.5, 1): take top bits after normalisation.
+        let norm = (u as u32) << lz; // MSB set
+        let m = f64::from(norm) / ((u32::MAX as f64) + 1.0);
+        // 64-entry LUT over m in [0.5, 1) for -ln m, Q16.16, linear interp.
+        let idx_f = (m - 0.5) * 128.0; // [0, 64)
+        let idx = (idx_f as usize).min(63);
+        let frac = idx_f - idx as f64;
+        let lut = |i: usize| -> f64 {
+            let mm = 0.5 + (i as f64 + 0.5) / 128.0;
+            -mm.ln()
+        };
+        let neg_ln_m = lut(idx) * (1.0 - frac) + lut((idx + 1).min(63)) * frac;
+        let neg_ln_u = neg_ln_m + e as f64 * std::f64::consts::LN_2;
+        let r = (2.0 * neg_ln_u).sqrt();
+        (r * Q as f64).round() as i64
+    }
+}
+
+impl GaussianSampler for BoxMullerFixedSampler {
+    fn sample(&mut self) -> f32 {
+        if let Some(v) = self.cached.take() {
+            return v;
+        }
+        let u1 = self.uniform_q32(0);
+        let u2 = self.uniform_q32(1);
+        let r_q = self.radius_q16(u1);
+        let phase = (u2 >> (32 - 10)) as usize; // top 10 bits index the LUT
+        let cos_q = self.cos_lut[phase & 1023];
+        let sin_q = self.cos_lut[(phase.wrapping_add(768)) & 1023]; // sin = cos shifted
+        let z0 = ((r_q * cos_q) >> 16) as f64 / Q as f64;
+        let z1 = ((r_q * sin_q) >> 16) as f64 / Q as f64;
+        self.cached = Some(z1 as f32);
+        z0 as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn moments(xs: &[f32]) -> (f64, f64, f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().map(|&x| f64::from(x)).sum::<f64>() / n;
+        let var = xs.iter().map(|&x| (f64::from(x) - mean).powi(2)).sum::<f64>() / n;
+        let skew =
+            xs.iter().map(|&x| (f64::from(x) - mean).powi(3)).sum::<f64>() / n / var.powf(1.5);
+        let kurt = xs.iter().map(|&x| (f64::from(x) - mean).powi(4)).sum::<f64>() / n / var / var;
+        (mean, var, skew, kurt)
+    }
+
+    #[test]
+    fn clt_moments_match_standard_normal() {
+        let mut g = CltGaussianSampler::new(12, 16, 101);
+        let xs = g.sample_n(50_000);
+        let (mean, var, skew, kurt) = moments(&xs);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+        assert!(skew.abs() < 0.05, "skew {skew}");
+        // CLT with k=12 is slightly platykurtic: kurtosis ~ 3 - 1.2/12 = 2.9.
+        assert!((kurt - 2.9).abs() < 0.15, "kurtosis {kurt}");
+    }
+
+    #[test]
+    fn clt_raw_sum_range() {
+        let mut g = CltGaussianSampler::new(4, 8, 7);
+        for _ in 0..1000 {
+            let s = g.raw_sum();
+            assert!(s <= 4 * 255, "sum of four u8 words bounded");
+        }
+    }
+
+    #[test]
+    fn box_muller_moments() {
+        let mut g = BoxMullerFixedSampler::new(303);
+        let xs = g.sample_n(50_000);
+        let (mean, var, skew, kurt) = moments(&xs);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+        assert!(skew.abs() < 0.06, "skew {skew}");
+        assert!((kurt - 3.0).abs() < 0.25, "kurtosis {kurt}");
+    }
+
+    #[test]
+    fn box_muller_tail_mass() {
+        // P(|Z| > 2) ~ 0.0455 for a true normal; the LUT version should
+        // be within a percent absolute.
+        let mut g = BoxMullerFixedSampler::new(99);
+        let xs = g.sample_n(100_000);
+        let tail = xs.iter().filter(|x| x.abs() > 2.0).count() as f64 / xs.len() as f64;
+        assert!((tail - 0.0455).abs() < 0.01, "two-sigma tail mass {tail}");
+    }
+
+    #[test]
+    fn clt_tails_truncated_as_documented() {
+        // k = 12, 16-bit words: |z| can never exceed 6 sigma.
+        let mut g = CltGaussianSampler::new(12, 16, 5);
+        let xs = g.sample_n(20_000);
+        assert!(xs.iter().all(|x| x.abs() <= 6.01));
+    }
+
+    #[test]
+    fn samplers_reproducible() {
+        let mut a = BoxMullerFixedSampler::new(4);
+        let mut b = BoxMullerFixedSampler::new(4);
+        assert_eq!(a.sample_n(32), b.sample_n(32));
+        let mut c = CltGaussianSampler::new(8, 16, 4);
+        let mut d = CltGaussianSampler::new(8, 16, 4);
+        assert_eq!(c.sample_n(32), d.sample_n(32));
+    }
+}

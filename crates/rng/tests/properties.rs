@@ -1,0 +1,93 @@
+//! Property-based tests of the RNG hardware models.
+
+use bnn_rng::{BernoulliSampler, DropProbability, Fifo, Lfsr, SoftRng, TapSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any non-zero seed keeps the LFSR out of the lock-up state forever
+    /// (well, for a few thousand cycles).
+    #[test]
+    fn lfsr_never_reaches_zero(seed in 1u64..u64::MAX, width in prop_oneof![
+        Just(8u32), Just(16), Just(24), Just(32), Just(64), Just(128)
+    ]) {
+        let mut l = Lfsr::maximal(width, seed).expect("tap table entry");
+        for _ in 0..2000 {
+            l.step();
+            prop_assert_ne!(l.state(), 0);
+        }
+    }
+
+    /// The masked state always fits the register width.
+    #[test]
+    fn lfsr_state_fits_width(seed in 1u128..u128::MAX, width in prop_oneof![
+        Just(8u32), Just(16), Just(31), Just(64)
+    ]) {
+        let spec = TapSpec::maximal(width).expect("entry");
+        let mut l = Lfsr::new(spec, seed);
+        for _ in 0..100 {
+            l.step();
+            prop_assert!(l.state() < (1u128 << width));
+        }
+    }
+
+    /// Masks have exactly the requested length for any filter count.
+    #[test]
+    fn mask_length_always_exact(filters in 1usize..300, pf in 1usize..128, seed in 0u64..1000) {
+        let mut s = BernoulliSampler::new(DropProbability::quarter(), pf.max(1), 16, seed);
+        let m = s.generate_mask(filters);
+        prop_assert_eq!(m.len(), filters);
+    }
+
+    /// The sampler never produces a drop rate wildly off its target,
+    /// whatever the gate configuration.
+    #[test]
+    fn gate_network_rate_tracks_probability(num in 1u32..15, log2 in 1u32..4, seed in 0u64..50) {
+        prop_assume!(num < (1 << log2));
+        let p = DropProbability::new(num, log2).expect("validated");
+        let mut s = BernoulliSampler::new(p, 32, 16, seed);
+        let mut dropped = 0usize;
+        let total = 8000usize;
+        for _ in 0..total / 32 {
+            dropped += s.generate_mask(32).iter().filter(|&&k| !k).count();
+        }
+        let rate = dropped as f64 / total as f64;
+        prop_assert!((rate - p.value()).abs() < 0.08,
+            "rate {} vs target {}", rate, p.value());
+    }
+
+    /// FIFO drains exactly what was pushed, in order.
+    #[test]
+    fn fifo_fifo_order(cap in 1usize..32, ops in proptest::collection::vec(0u8..2, 1..100)) {
+        let mut f: Fifo<u32> = Fifo::new(cap);
+        let mut model: std::collections::VecDeque<u32> = Default::default();
+        let mut next = 0u32;
+        for op in ops {
+            if op == 0 {
+                if f.push(next).is_ok() {
+                    model.push_back(next);
+                }
+                next += 1;
+            } else {
+                prop_assert_eq!(f.pop(), model.pop_front());
+            }
+            prop_assert_eq!(f.len(), model.len());
+        }
+    }
+
+    /// SplitMix64 uniform outputs stay in [0,1) and shuffles permute.
+    #[test]
+    fn softrng_invariants(seed in 0u64..u64::MAX) {
+        let mut r = SoftRng::new(seed);
+        for _ in 0..100 {
+            let u = r.next_f64();
+            prop_assert!((0.0..1.0).contains(&u));
+        }
+        let mut v: Vec<u32> = (0..20).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+}

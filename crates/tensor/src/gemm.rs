@@ -1,0 +1,167 @@
+//! Row-major single-precision GEMM kernels.
+//!
+//! The training path lowers convolutions to GEMM via im2col, so these
+//! three variants (plain, A-transposed, B-transposed) are the entire
+//! BLAS surface the stack requires. The loops use the `i-k-j` order so
+//! the innermost loop streams both `b` and `c` rows sequentially.
+
+/// `c[m×n] += a[m×k] · b[k×n]` (all row-major).
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the given dimensions.
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "a must be m*k");
+    assert_eq!(b.len(), k * n, "b must be k*n");
+    assert_eq!(c.len(), m * n, "c must be m*n");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// `c[m×n] += aᵀ · b` where `a` is stored `k×m` row-major.
+///
+/// Used for weight gradients: `dW = dYᵀ · X` style products.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the given dimensions.
+pub fn gemm_at(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "a must be k*m (transposed)");
+    assert_eq!(b.len(), k * n, "b must be k*n");
+    assert_eq!(c.len(), m * n, "c must be m*n");
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// `c[m×n] += a · bᵀ` where `b` is stored `n×k` row-major.
+///
+/// Used for input gradients: `dX = dY · W` with `W` stored `[out, in]`.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the given dimensions.
+pub fn gemm_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "a must be m*k");
+    assert_eq!(b.len(), n * k, "b must be n*k (transposed)");
+    assert_eq!(c.len(), m * n, "c must be m*n");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            *cv += acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn transpose(rows: usize, cols: usize, x: &[f32]) -> Vec<f32> {
+        let mut t = vec![0.0; x.len()];
+        for r in 0..rows {
+            for c in 0..cols {
+                t[c * rows + r] = x[r * cols + c];
+            }
+        }
+        t
+    }
+
+    fn fill(n: usize, seed: u64) -> Vec<f32> {
+        // Small deterministic pseudo-random values.
+        (0..n)
+            .map(|i| {
+                let v = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+                ((v >> 33) as i32 % 17 - 8) as f32 / 4.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gemm_matches_naive() {
+        let (m, k, n) = (5, 7, 4);
+        let a = fill(m * k, 1);
+        let b = fill(k * n, 2);
+        let mut c = vec![0.0; m * n];
+        gemm(m, k, n, &a, &b, &mut c);
+        assert_eq!(c, naive(m, k, n, &a, &b));
+    }
+
+    #[test]
+    fn gemm_accumulates() {
+        let (m, k, n) = (2, 2, 2);
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        let mut c = vec![10.0; 4];
+        gemm(m, k, n, &a, &b, &mut c);
+        assert_eq!(c, vec![11.0, 12.0, 13.0, 14.0]);
+    }
+
+    #[test]
+    fn gemm_at_matches_naive() {
+        let (m, k, n) = (4, 6, 3);
+        let a = fill(m * k, 3); // logical m×k
+        let b = fill(k * n, 4);
+        let at = transpose(m, k, &a); // stored k×m
+        let mut c = vec![0.0; m * n];
+        gemm_at(m, k, n, &at, &b, &mut c);
+        assert_eq!(c, naive(m, k, n, &a, &b));
+    }
+
+    #[test]
+    fn gemm_bt_matches_naive() {
+        let (m, k, n) = (3, 5, 6);
+        let a = fill(m * k, 5);
+        let b = fill(k * n, 6); // logical k×n
+        let bt = transpose(k, n, &b); // stored n×k
+        let mut c = vec![0.0; m * n];
+        gemm_bt(m, k, n, &a, &bt, &mut c);
+        assert_eq!(c, naive(m, k, n, &a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "a must be m*k")]
+    fn gemm_checks_dims() {
+        let mut c = vec![0.0; 4];
+        gemm(2, 2, 2, &[0.0; 3], &[0.0; 4], &mut c);
+    }
+}

@@ -1,0 +1,193 @@
+//! im2col / col2im convolution lowering.
+//!
+//! A convolution with `F` filters over a `C×H×W` input becomes the
+//! GEMM `W[F × C·K·K] · cols[C·K·K × Ho·Wo]`. This mirrors the
+//! accelerator's processing-engine dataflow: the `C·K·K` dimension is
+//! what the PE's channel parallelism `P_C` tiles, and `Ho·Wo` is what
+//! the vector parallelism `P_V` tiles.
+
+/// Output spatial dimension of a convolution/pooling:
+/// `floor((in + 2*pad - kernel)/stride) + 1`.
+///
+/// # Panics
+///
+/// Panics if `stride == 0` or the kernel does not fit the padded input.
+pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    assert!(stride > 0, "stride must be non-zero");
+    assert!(input + 2 * pad >= kernel, "kernel larger than padded input");
+    (input + 2 * pad - kernel) / stride + 1
+}
+
+/// Expand one `C×H×W` image into a `[C·K·K, Ho·Wo]` column matrix
+/// (row-major). Out-of-bounds (padding) taps contribute zeros.
+///
+/// # Panics
+///
+/// Panics if `image.len() != c*h*w` or the geometry is invalid.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col(
+    image: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> Vec<f32> {
+    assert_eq!(image.len(), c * h * w, "image buffer must be c*h*w");
+    let ho = conv_out_dim(h, k, stride, pad);
+    let wo = conv_out_dim(w, k, stride, pad);
+    let mut cols = vec![0.0f32; c * k * k * ho * wo];
+    let row_len = ho * wo;
+    for ch in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ch * k + ky) * k + kx;
+                let out_row = &mut cols[row * row_len..(row + 1) * row_len];
+                for oy in 0..ho {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..wo {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        out_row[oy * wo + ox] =
+                            image[(ch * h + iy as usize) * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    cols
+}
+
+/// Adjoint of [`im2col`]: scatter-add a `[C·K·K, Ho·Wo]` column matrix
+/// back into a `C×H×W` image buffer. Used by the convolution backward
+/// pass to accumulate input gradients.
+///
+/// # Panics
+///
+/// Panics if buffer sizes do not match the geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn col2im(
+    cols: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    image: &mut [f32],
+) {
+    assert_eq!(image.len(), c * h * w, "image buffer must be c*h*w");
+    let ho = conv_out_dim(h, k, stride, pad);
+    let wo = conv_out_dim(w, k, stride, pad);
+    assert_eq!(cols.len(), c * k * k * ho * wo, "cols buffer must match geometry");
+    let row_len = ho * wo;
+    for ch in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ch * k + ky) * k + kx;
+                let in_row = &cols[row * row_len..(row + 1) * row_len];
+                for oy in 0..ho {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..wo {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        image[(ch * h + iy as usize) * w + ix as usize] +=
+                            in_row[oy * wo + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_dim_formula() {
+        assert_eq!(conv_out_dim(32, 3, 1, 1), 32);
+        assert_eq!(conv_out_dim(32, 3, 2, 1), 16);
+        assert_eq!(conv_out_dim(28, 5, 1, 0), 24);
+        assert_eq!(conv_out_dim(4, 2, 2, 0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be non-zero")]
+    fn out_dim_zero_stride_panics() {
+        let _ = conv_out_dim(8, 3, 0, 1);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no pad: cols == image.
+        let img: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let cols = im2col(&img, 3, 2, 2, 1, 1, 0);
+        assert_eq!(cols, img);
+    }
+
+    #[test]
+    fn im2col_known_3x3() {
+        // 1 channel, 3x3 image, 2x2 kernel, stride 1, no pad -> 2x2 out.
+        let img = vec![1., 2., 3., 4., 5., 6., 7., 8., 9.];
+        let cols = im2col(&img, 1, 3, 3, 2, 1, 0);
+        // rows: (ky,kx) = (0,0),(0,1),(1,0),(1,1); cols: out positions.
+        assert_eq!(
+            cols,
+            vec![
+                1., 2., 4., 5., // tap (0,0)
+                2., 3., 5., 6., // tap (0,1)
+                4., 5., 7., 8., // tap (1,0)
+                5., 6., 8., 9., // tap (1,1)
+            ]
+        );
+    }
+
+    #[test]
+    fn im2col_padding_zeroes_border() {
+        let img = vec![1.0; 4]; // 1x2x2
+        let cols = im2col(&img, 1, 2, 2, 3, 1, 1);
+        // 3x3 kernel with pad 1 on 2x2 -> 2x2 out; corner taps hit padding.
+        // tap (0,0) sees the image shifted: out (0,0) reads (-1,-1) -> 0.
+        assert_eq!(cols[0], 0.0);
+        // centre tap (1,1) reads the true pixels.
+        let row = (1 * 3 + 1) * 4; // row index (ky=1,kx=1) * row_len 4
+        assert_eq!(&cols[row..row + 4], &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y.
+        let (c, h, w, k, s, p) = (2, 5, 4, 3, 2, 1);
+        let ho = conv_out_dim(h, k, s, p);
+        let wo = conv_out_dim(w, k, s, p);
+        let x: Vec<f32> = (0..c * h * w).map(|i| ((i * 37 + 11) % 13) as f32 - 6.0).collect();
+        let y: Vec<f32> =
+            (0..c * k * k * ho * wo).map(|i| ((i * 53 + 7) % 11) as f32 - 5.0).collect();
+        let cols = im2col(&x, c, h, w, k, s, p);
+        let lhs: f64 = cols.iter().zip(&y).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum();
+        let mut back = vec![0.0f32; c * h * w];
+        col2im(&y, c, h, w, k, s, p, &mut back);
+        let rhs: f64 = x.iter().zip(&back).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum();
+        assert!((lhs - rhs).abs() < 1e-6, "adjoint mismatch: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn stride_two_downsamples() {
+        let img: Vec<f32> = (0..16).map(|i| i as f32).collect(); // 1x4x4
+        let cols = im2col(&img, 1, 4, 4, 2, 2, 0);
+        // 2x2 out, tap (0,0) picks rows 0,2 cols 0,2: values 0,2,8,10.
+        assert_eq!(&cols[0..4], &[0., 2., 8., 10.]);
+    }
+}

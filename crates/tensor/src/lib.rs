@@ -1,0 +1,32 @@
+//! Minimal NCHW tensor library underpinning the BNN reproduction.
+//!
+//! Provides exactly the kernels the rest of the stack needs — nothing
+//! more: a dense f32 [`Tensor`] in NCHW layout, row-major [`gemm`],
+//! [`im2col`]/[`col2im`] for convolution lowering, pooling kernels and
+//! numerically-stable softmax.
+//!
+//! # Example
+//!
+//! ```
+//! use bnn_tensor::{Tensor, Shape4};
+//!
+//! let x = Tensor::zeros(Shape4::new(1, 3, 8, 8));
+//! assert_eq!(x.len(), 3 * 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gemm;
+mod im2col;
+mod ops;
+mod pool;
+mod shape;
+mod tensor;
+
+pub use gemm::{gemm, gemm_at, gemm_bt};
+pub use im2col::{col2im, conv_out_dim, im2col};
+pub use ops::{add_inplace, log_softmax_rows, relu_inplace, scale_inplace, softmax_rows};
+pub use pool::{avg_pool, avg_pool_backward, global_avg_pool, max_pool, max_pool_backward};
+pub use shape::Shape4;
+pub use tensor::Tensor;

@@ -1,0 +1,200 @@
+//! Pooling kernels (max, average, global average) with backward passes.
+
+use crate::im2col::conv_out_dim;
+use crate::shape::Shape4;
+use crate::tensor::Tensor;
+
+/// Max-pool over `k×k` windows with the given stride.
+///
+/// Returns the pooled tensor and the flat argmax index (into the input
+/// tensor's buffer) per output element, which the backward pass routes
+/// gradients through.
+///
+/// # Panics
+///
+/// Panics if the geometry is invalid.
+pub fn max_pool(x: &Tensor, k: usize, stride: usize) -> (Tensor, Vec<u32>) {
+    let s = x.shape();
+    let ho = conv_out_dim(s.h, k, stride, 0);
+    let wo = conv_out_dim(s.w, k, stride, 0);
+    let out_shape = Shape4::new(s.n, s.c, ho, wo);
+    let mut out = Tensor::zeros(out_shape);
+    let mut arg = vec![0u32; out_shape.len()];
+    for n in 0..s.n {
+        for c in 0..s.c {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_i = 0usize;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let iy = oy * stride + ky;
+                            let ix = ox * stride + kx;
+                            if iy < s.h && ix < s.w {
+                                let i = s.index(n, c, iy, ix);
+                                let v = x.as_slice()[i];
+                                if v > best {
+                                    best = v;
+                                    best_i = i;
+                                }
+                            }
+                        }
+                    }
+                    let o = out_shape.index(n, c, oy, ox);
+                    out.as_mut_slice()[o] = best;
+                    arg[o] = best_i as u32;
+                }
+            }
+        }
+    }
+    (out, arg)
+}
+
+/// Backward of [`max_pool`]: routes `dy` to the argmax positions.
+///
+/// # Panics
+///
+/// Panics if `dy.len() != arg.len()`.
+pub fn max_pool_backward(dy: &Tensor, arg: &[u32], input_shape: Shape4) -> Tensor {
+    assert_eq!(dy.len(), arg.len(), "gradient/argmax length mismatch");
+    let mut dx = Tensor::zeros(input_shape);
+    for (g, &i) in dy.iter().zip(arg) {
+        dx.as_mut_slice()[i as usize] += *g;
+    }
+    dx
+}
+
+/// Average-pool over `k×k` windows with the given stride.
+///
+/// # Panics
+///
+/// Panics if the geometry is invalid.
+pub fn avg_pool(x: &Tensor, k: usize, stride: usize) -> Tensor {
+    let s = x.shape();
+    let ho = conv_out_dim(s.h, k, stride, 0);
+    let wo = conv_out_dim(s.w, k, stride, 0);
+    let out_shape = Shape4::new(s.n, s.c, ho, wo);
+    let mut out = Tensor::zeros(out_shape);
+    let inv = 1.0 / (k * k) as f32;
+    for n in 0..s.n {
+        for c in 0..s.c {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let mut acc = 0.0f32;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            acc += x.at(n, c, oy * stride + ky, ox * stride + kx);
+                        }
+                    }
+                    *out.at_mut(n, c, oy, ox) = acc * inv;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Backward of [`avg_pool`]: spreads each output gradient uniformly
+/// over its `k×k` window.
+pub fn avg_pool_backward(dy: &Tensor, k: usize, stride: usize, input_shape: Shape4) -> Tensor {
+    let mut dx = Tensor::zeros(input_shape);
+    let s = dy.shape();
+    let inv = 1.0 / (k * k) as f32;
+    for n in 0..s.n {
+        for c in 0..s.c {
+            for oy in 0..s.h {
+                for ox in 0..s.w {
+                    let g = dy.at(n, c, oy, ox) * inv;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            *dx.at_mut(n, c, oy * stride + ky, ox * stride + kx) += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    dx
+}
+
+/// Global average pool: `(n, c, h, w) → (n, c, 1, 1)`.
+pub fn global_avg_pool(x: &Tensor) -> Tensor {
+    let s = x.shape();
+    let mut out = Tensor::zeros(Shape4::new(s.n, s.c, 1, 1));
+    let inv = 1.0 / (s.h * s.w) as f32;
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let mut acc = 0.0f32;
+            for y in 0..s.h {
+                for xq in 0..s.w {
+                    acc += x.at(n, c, y, xq);
+                }
+            }
+            *out.at_mut(n, c, 0, 0) = acc * inv;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: usize, c: usize, h: usize, w: usize, v: Vec<f32>) -> Tensor {
+        Tensor::from_vec(Shape4::new(n, c, h, w), v)
+    }
+
+    #[test]
+    fn max_pool_2x2() {
+        let x = t(1, 1, 2, 2, vec![1., 5., 3., 2.]);
+        let (y, arg) = max_pool(&x, 2, 2);
+        assert_eq!(y.as_slice(), &[5.0]);
+        assert_eq!(arg, vec![1]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let x = t(1, 1, 2, 2, vec![1., 5., 3., 2.]);
+        let (_, arg) = max_pool(&x, 2, 2);
+        let dy = t(1, 1, 1, 1, vec![10.0]);
+        let dx = max_pool_backward(&dy, &arg, x.shape());
+        assert_eq!(dx.as_slice(), &[0., 10., 0., 0.]);
+    }
+
+    #[test]
+    fn avg_pool_2x2() {
+        let x = t(1, 1, 2, 2, vec![1., 5., 3., 3.]);
+        let y = avg_pool(&x, 2, 2);
+        assert_eq!(y.as_slice(), &[3.0]);
+    }
+
+    #[test]
+    fn avg_pool_backward_spreads() {
+        let dy = t(1, 1, 1, 1, vec![8.0]);
+        let dx = avg_pool_backward(&dy, 2, 2, Shape4::new(1, 1, 2, 2));
+        assert_eq!(dx.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_reduces_spatial() {
+        let x = t(1, 2, 2, 2, vec![1., 2., 3., 4., 10., 10., 10., 10.]);
+        let y = global_avg_pool(&x);
+        assert_eq!(y.shape(), Shape4::new(1, 2, 1, 1));
+        assert_eq!(y.as_slice(), &[2.5, 10.0]);
+    }
+
+    #[test]
+    fn max_pool_multichannel_independent() {
+        let x = t(1, 2, 2, 2, vec![1., 2., 3., 4., 8., 7., 6., 5.]);
+        let (y, _) = max_pool(&x, 2, 2);
+        assert_eq!(y.as_slice(), &[4.0, 8.0]);
+    }
+
+    #[test]
+    fn pool_stride_smaller_than_kernel() {
+        // 3x3 input, 2x2 kernel, stride 1 -> 2x2 out (overlapping windows).
+        let x = t(1, 1, 3, 3, vec![1., 2., 3., 4., 5., 6., 7., 8., 9.]);
+        let (y, _) = max_pool(&x, 2, 1);
+        assert_eq!(y.as_slice(), &[5., 6., 8., 9.]);
+    }
+}

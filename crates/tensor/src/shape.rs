@@ -1,0 +1,107 @@
+//! NCHW shape descriptor.
+
+use std::fmt;
+
+/// Shape of a 4-D tensor in NCHW order (batch, channels, height, width).
+///
+/// Fully-connected activations use `h = w = 1`; weights of a linear
+/// layer use `n = out_features, c = in_features, h = w = 1`, which is
+/// exactly how the accelerator treats FC layers (a 1×1 convolution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape4 {
+    /// Batch size.
+    pub n: usize,
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+}
+
+impl Shape4 {
+    /// Create a shape. Zero-sized dimensions are allowed only for the
+    /// empty tensor (all dims zero).
+    pub fn new(n: usize, c: usize, h: usize, w: usize) -> Shape4 {
+        Shape4 { n, c, h, w }
+    }
+
+    /// Shape of a flat feature vector `(n, features, 1, 1)`.
+    pub fn vec(n: usize, features: usize) -> Shape4 {
+        Shape4 { n, c: features, h: 1, w: 1 }
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// Whether the shape holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Elements per batch item.
+    pub fn item_len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Linear index of `(n, c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any coordinate is out of range.
+    #[inline]
+    pub fn index(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w,
+            "index ({n},{c},{h},{w}) out of bounds for {self}");
+        ((n * self.c + c) * self.h + h) * self.w + w
+    }
+
+    /// Same shape with a different batch size.
+    pub fn with_n(&self, n: usize) -> Shape4 {
+        Shape4 { n, ..*self }
+    }
+}
+
+impl fmt::Display for Shape4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}, {}, {}]", self.n, self.c, self.h, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_item_len() {
+        let s = Shape4::new(2, 3, 4, 5);
+        assert_eq!(s.len(), 120);
+        assert_eq!(s.item_len(), 60);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn index_is_row_major_nchw() {
+        let s = Shape4::new(2, 3, 4, 5);
+        assert_eq!(s.index(0, 0, 0, 0), 0);
+        assert_eq!(s.index(0, 0, 0, 1), 1);
+        assert_eq!(s.index(0, 0, 1, 0), 5);
+        assert_eq!(s.index(0, 1, 0, 0), 20);
+        assert_eq!(s.index(1, 0, 0, 0), 60);
+        assert_eq!(s.index(1, 2, 3, 4), 119);
+    }
+
+    #[test]
+    fn vec_shape() {
+        let s = Shape4::vec(4, 10);
+        assert_eq!(s.len(), 40);
+        assert_eq!((s.h, s.w), (1, 1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Shape4::new(1, 2, 3, 4).to_string(), "[1, 2, 3, 4]");
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests of the tensor kernels.
+
+use bnn_tensor::{
+    col2im, conv_out_dim, gemm, gemm_at, gemm_bt, im2col, max_pool, max_pool_backward,
+    softmax_rows, Shape4, Tensor,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gemm_is_linear_in_a(
+        m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0u64..1000
+    ) {
+        let mut rng = bnn_rng_stub(seed);
+        let a1: Vec<f32> = (0..m * k).map(|_| rng.next()).collect();
+        let a2: Vec<f32> = (0..m * k).map(|_| rng.next()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.next()).collect();
+        // gemm(a1 + a2, b) == gemm(a1, b) + gemm(a2, b)
+        let sum_a: Vec<f32> = a1.iter().zip(&a2).map(|(x, y)| x + y).collect();
+        let mut c_sum = vec![0.0; m * n];
+        gemm(m, k, n, &sum_a, &b, &mut c_sum);
+        let mut c_split = vec![0.0; m * n];
+        gemm(m, k, n, &a1, &b, &mut c_split);
+        gemm(m, k, n, &a2, &b, &mut c_split);
+        for (x, y) in c_sum.iter().zip(&c_split) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gemm_transpose_variants_agree(
+        m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0u64..1000
+    ) {
+        let mut rng = bnn_rng_stub(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.next()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.next()).collect();
+        let mut c = vec![0.0; m * n];
+        gemm(m, k, n, &a, &b, &mut c);
+
+        // a stored transposed (k×m)
+        let mut at = vec![0.0; m * k];
+        for i in 0..m { for p in 0..k { at[p * m + i] = a[i * k + p]; } }
+        let mut c_at = vec![0.0; m * n];
+        gemm_at(m, k, n, &at, &b, &mut c_at);
+
+        // b stored transposed (n×k)
+        let mut bt = vec![0.0; k * n];
+        for p in 0..k { for j in 0..n { bt[j * k + p] = b[p * n + j]; } }
+        let mut c_bt = vec![0.0; m * n];
+        gemm_bt(m, k, n, &a, &bt, &mut c_bt);
+
+        for i in 0..m * n {
+            prop_assert!((c[i] - c_at[i]).abs() < 1e-4);
+            prop_assert!((c[i] - c_bt[i]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        c in 1usize..3, h in 3usize..7, w in 3usize..7,
+        k in 1usize..4, stride in 1usize..3, pad in 0usize..2,
+        seed in 0u64..1000
+    ) {
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        let ho = conv_out_dim(h, k, stride, pad);
+        let wo = conv_out_dim(w, k, stride, pad);
+        let mut rng = bnn_rng_stub(seed);
+        let x: Vec<f32> = (0..c * h * w).map(|_| rng.next()).collect();
+        let y: Vec<f32> = (0..c * k * k * ho * wo).map(|_| rng.next()).collect();
+        let cols = im2col(&x, c, h, w, k, stride, pad);
+        let lhs: f64 = cols.iter().zip(&y).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum();
+        let mut back = vec![0.0f32; c * h * w];
+        col2im(&y, c, h, w, k, stride, pad, &mut back);
+        let rhs: f64 = x.iter().zip(&back).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-4, "adjoint identity violated: {} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(rows in 1usize..4, cols in 1usize..8, seed in 0u64..1000) {
+        let mut rng = bnn_rng_stub(seed);
+        let mut m: Vec<f32> = (0..rows * cols).map(|_| rng.next() * 3.0).collect();
+        softmax_rows(&mut m, rows, cols);
+        for r in 0..rows {
+            let row = &m[r * cols..(r + 1) * cols];
+            let s: f32 = row.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-5);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn max_pool_gradient_conserves_mass(
+        c in 1usize..3, hw in 2usize..6, seed in 0u64..1000
+    ) {
+        // sum(dx) == sum(dy) because each output routes to exactly one input.
+        let mut rng = bnn_rng_stub(seed);
+        let shape = Shape4::new(1, c, hw * 2, hw * 2);
+        let x = Tensor::from_vec(shape, (0..shape.len()).map(|_| rng.next()).collect());
+        let (y, arg) = max_pool(&x, 2, 2);
+        let dy = Tensor::from_vec(y.shape(), (0..y.len()).map(|_| rng.next()).collect());
+        let dx = max_pool_backward(&dy, &arg, shape);
+        let sy: f64 = dy.iter().map(|&v| f64::from(v)).sum();
+        let sx: f64 = dx.iter().map(|&v| f64::from(v)).sum();
+        prop_assert!((sx - sy).abs() < 1e-4);
+    }
+}
+
+/// Tiny deterministic value source for proptest bodies (keeps the
+/// strategies simple while the values stay reproducible per seed).
+struct StubRng(u64);
+
+fn bnn_rng_stub(seed: u64) -> StubRng {
+    StubRng(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1))
+}
+
+impl StubRng {
+    fn next(&mut self) -> f32 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((self.0 >> 35) as i32 % 33 - 16) as f32 / 8.0
+    }
+}

@@ -1,0 +1,68 @@
+//! Per-layer accelerator trace: where the cycles go, and what
+//! intermediate-layer caching buys.
+//!
+//! Prints the cycle/bandwidth breakdown of VGG-11 on the paper's
+//! 64/64/1 configuration, per layer, then the IC speedup across the
+//! `{L, S}` grid of Table III.
+//!
+//! ```bash
+//! cargo run --release --example accelerator_trace
+//! ```
+
+use bnn_fpga::accel::{AccelConfig, PerfModel};
+use bnn_fpga::mcd::BayesConfig;
+use bnn_fpga::nn::{arch::extract_layers, models};
+use bnn_fpga::tensor::Shape4;
+
+fn main() {
+    let net = models::vgg11(10, 3, 32, 8, 1);
+    let layers = extract_layers(&net, Shape4::new(1, 3, 32, 32));
+    let cfg = AccelConfig::paper_default();
+    let perf = PerfModel::new(cfg);
+
+    println!("VGG-11 (reduced) on P_C=64 P_F=64 P_V=1 @ 225 MHz\n");
+    println!(
+        "{:<22} {:>9} {:>9} {:>9} {:>8} {:>7}",
+        "layer", "compute", "memory", "total", "bound", "util%"
+    );
+    let mut sum = 0u64;
+    for l in &layers {
+        let t = perf.layer_timing(l, true, true);
+        sum += t.total_cycles;
+        println!(
+            "{:<22} {:>9} {:>9} {:>9} {:>8} {:>7.1}",
+            l.name,
+            t.compute_cycles,
+            t.mem_cycles,
+            t.total_cycles,
+            format!("{:?}", t.bound),
+            t.utilization * 100.0
+        );
+    }
+    println!(
+        "{:<22} {:>9} {:>9} {:>9}   ({:.3} ms/pass)\n",
+        "TOTAL",
+        "",
+        "",
+        sum,
+        cfg.cycles_to_ms(sum)
+    );
+
+    println!("Intermediate-layer caching speedup (Table III sweep):");
+    println!("{:>4} {:>5} {:>12} {:>12} {:>9}", "L", "S", "w/ IC [ms]", "w/o IC [ms]", "speedup");
+    for &l in &[1usize, 4, 6, 8, 11] {
+        for &s in &[10usize, 50, 100] {
+            let b = BayesConfig::new(l, s);
+            let with = perf.network_timing(&layers, b, true);
+            let without = perf.network_timing(&layers, b, false);
+            println!(
+                "{:>4} {:>5} {:>12.3} {:>12.3} {:>8.1}x",
+                l,
+                s,
+                with.latency_ms(&cfg),
+                without.latency_ms(&cfg),
+                without.total_cycles as f64 / with.total_cycles as f64
+            );
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! The automatic optimization framework (paper Section IV, Figure 6).
+//!
+//! Runs both stages on ResNet-18: hardware optimization against the
+//! Arria 10 SX660 budget, then the algorithmic `L × S` sweep under all
+//! four optimization modes, and finally a constrained Opt-Confidence
+//! search like the paper's Figure 6.
+//!
+//! ```bash
+//! cargo run --release --example design_space_exploration
+//! ```
+
+use bnn_fpga::accel::FpgaDevice;
+use bnn_fpga::framework::{
+    optimize_hardware, Explorer, OptMode, Requirements, SyntheticMetricProvider,
+};
+use bnn_fpga::nn::{arch::extract_layers, models};
+use bnn_fpga::tensor::Shape4;
+
+fn main() {
+    let net = models::resnet18(10, 3, 16, 1);
+    let input = Shape4::new(1, 3, 32, 32);
+    let layers = extract_layers(&net, input);
+
+    // Stage 1: hardware optimization.
+    let device = FpgaDevice::arria10_sx660();
+    let cfg = optimize_hardware(&device, &[&layers]);
+    println!(
+        "hardware optimization on {}: P_C={} P_F={} P_V={} ({} multipliers, {:.0} GOP/s peak)\n",
+        device.name,
+        cfg.pc,
+        cfg.pf,
+        cfg.pv,
+        cfg.multipliers(),
+        cfg.peak_gops()
+    );
+
+    // Stage 2: algorithmic exploration (trend-model metrics for speed;
+    // the bench harness uses trained networks).
+    let explorer = Explorer::new(cfg, layers, net.n_sites());
+    let mut provider = SyntheticMetricProvider::resnet18();
+
+    println!("== Unconstrained optima (Table I style) ==");
+    println!("{:<16} {:>5} {:>5} {:>10} {:>8} {:>8} {:>9}", "mode", "L", "S", "FPGA[ms]", "aPE", "ECE[%]", "acc[%]");
+    for mode in OptMode::all() {
+        let r = explorer.explore(&mut provider, mode, &Requirements::none());
+        let c = r.selected.expect("unconstrained always feasible");
+        println!(
+            "{:<16} {:>5} {:>5} {:>10.2} {:>8.2} {:>8.2} {:>9.2}",
+            mode.label(),
+            c.l,
+            c.s,
+            c.fpga_ms,
+            c.ape,
+            c.ece * 100.0,
+            c.accuracy * 100.0
+        );
+    }
+
+    // Constrained exploration (Figure 6): latency, accuracy and
+    // uncertainty bounds, optimise confidence inside the box.
+    let req = Requirements {
+        max_latency_ms: Some(10.0),
+        min_accuracy: Some(0.92),
+        min_ape: Some(0.5),
+        max_ece: None,
+    };
+    let r = explorer.explore(&mut provider, OptMode::Confidence, &req);
+    println!(
+        "\n== Constrained Opt-Confidence (Figure 6 box: lat<=10ms, acc>=92%, aPE>=0.5) =="
+    );
+    match r.selected {
+        Some(c) => println!(
+            "selected {{L={}, S={}}}: {:.2} ms, aPE {:.2}, ECE {:.2}%, acc {:.2}%",
+            c.l,
+            c.s,
+            c.fpga_ms,
+            c.ape,
+            c.ece * 100.0,
+            c.accuracy * 100.0
+        ),
+        None => println!("no feasible point — relax the constraints"),
+    }
+    let feasible = r.candidates.iter().filter(|c| c.feasible(&req)).count();
+    println!("candidates: {} total, {} feasible", r.candidates.len(), feasible);
+}

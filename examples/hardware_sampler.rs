@@ -1,0 +1,55 @@
+//! The random-number hardware: LFSRs, the Bernoulli mask pipeline and
+//! the Gaussian samplers used by weight-sampling baselines.
+//!
+//! ```bash
+//! cargo run --release --example hardware_sampler
+//! ```
+
+use bnn_fpga::rng::{
+    BernoulliSampler, BoxMullerFixedSampler, CltGaussianSampler, DropProbability,
+    GaussianSampler, Lfsr,
+};
+
+fn main() {
+    // 1. The paper's 128-bit 4-tap LFSR (taps 128, 126, 101, 99).
+    let mut lfsr = Lfsr::paper_128(0xACE1_F00D_1234_5678);
+    let word = lfsr.step_word(64);
+    println!("128-bit LFSR first 64 output bits: {word:016x}");
+    let ones: u32 = (0..10_000).map(|_| u32::from(lfsr.step())).sum();
+    println!("bit balance over 10k cycles: {:.4} (ideal 0.5)\n", f64::from(ones) / 10_000.0);
+
+    // 2. Bernoulli sampler: p = 0.25 = two LFSRs + AND gate, SIPO to
+    //    P_F = 64-bit words, FIFO decoupling (paper Figure 3).
+    let mut sampler = BernoulliSampler::new(DropProbability::quarter(), 64, 64, 42);
+    let mask = sampler.generate_mask(64);
+    let dropped = mask.iter().filter(|&&k| !k).count();
+    println!("one 64-filter MCD mask ({dropped} dropped):");
+    let line: String = mask.iter().map(|&k| if k { '1' } else { '.' }).collect();
+    println!("  {line}");
+    let mut total = 0u64;
+    for _ in 0..1000 {
+        total += sampler.generate_mask(64).iter().filter(|&&k| !k).count() as u64;
+    }
+    println!("empirical drop rate over 64k bits: {:.4} (target 0.25)", total as f64 / 64_000.0);
+    let st = sampler.stats();
+    println!(
+        "sampler stats: {} cycles, FIFO high-water {} words, {} stalls\n",
+        st.cycles, st.fifo_high_water, st.stall_cycles
+    );
+
+    // 3. Gaussian samplers (VIBNN-style weight sampling).
+    let mut clt = CltGaussianSampler::new(12, 16, 7);
+    let mut bm = BoxMullerFixedSampler::new(7);
+    for (name, xs) in [
+        ("CLT (sum of 12 uniforms)", clt.sample_n(50_000)),
+        ("fixed-point Box-Muller", bm.sample_n(50_000)),
+    ] {
+        let mean = xs.iter().map(|&v| f64::from(v)).sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>()
+            / xs.len() as f64;
+        let tail = xs.iter().filter(|v| v.abs() > 2.0).count() as f64 / xs.len() as f64;
+        println!(
+            "{name}: mean {mean:+.4}, var {var:.4}, P(|z|>2) = {tail:.4} (normal: 0.0455)"
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Quickstart: the full pipeline on one page.
+//!
+//! Train a small Bayesian LeNet-5 on the synthetic MNIST stand-in,
+//! fold batch norm, quantize to int8, run it on the simulated FPGA
+//! accelerator and compare against the paper's CPU/GPU baselines.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use bnn_fpga::accel::{AccelConfig, Accelerator};
+use bnn_fpga::data::synth_mnist;
+use bnn_fpga::mcd::BayesConfig;
+use bnn_fpga::nn::{arch::extract_layers, models, SgdConfig, Trainer};
+use bnn_fpga::platforms::PlatformModel;
+use bnn_fpga::quant::Quantizer;
+
+fn main() {
+    // 1. Data + model. LeNet-5 has N = 5 weight layers, each guarded
+    //    by an MCD site; we make the last L = 2 Bayesian.
+    let ds = synth_mnist(1200, 128, 42);
+    let mut net = models::lenet5(10, 1, 28, 7);
+    let bayes = BayesConfig::new(2, 10); // L = 2, S = 10, p = 0.25
+
+    // 2. Train with MCD active at the Bayesian sites (a few quick epochs).
+    let mut trainer = Trainer::new(&net, SgdConfig::default(), bayes.l, bayes.p, 1);
+    for epoch in 0..5 {
+        let (loss, acc) = trainer.train_epoch(&mut net, &ds.train_x, &ds.train_y, 32);
+        println!("epoch {epoch}: loss {loss:.3}, train acc {acc:.3}");
+    }
+
+    // 3. Deployment: fold BN, calibrate, quantize to int8.
+    let folded = net.fold_batch_norm();
+    let qgraph = Quantizer::new(&folded).calibrate(&ds.train_x).quantize();
+
+    // 4. Run one test image on the simulated accelerator (the paper's
+    //    64/64/1 configuration at 225 MHz, LFSR Bernoulli sampler).
+    let accel = Accelerator::new(AccelConfig::paper_default(), &folded, &qgraph, ds.image_shape());
+    let image = ds.test_x.select_item(0);
+    let run = accel.run(&image, bayes, 2024);
+
+    let pred = run.predictive.argmax_item(0);
+    let conf = run.predictive.item(0)[pred];
+    println!("\nprediction: class {pred} (confidence {conf:.3}, truth {})", ds.test_y[0]);
+    println!(
+        "latency: {:.3} ms over S = {} samples (IC: prefix runs once)",
+        run.timing.latency_ms(accel.config()),
+        bayes.s
+    );
+    println!(
+        "off-chip traffic: {:.1} KiB weights, {:.1} KiB activations",
+        run.traffic.weight_bytes as f64 / 1024.0,
+        (run.traffic.input_bytes + run.traffic.output_bytes) as f64 / 1024.0
+    );
+    println!(
+        "sampler: {} mask bits, {:.1}% dropped",
+        run.sampler.bits_produced,
+        100.0 * run.sampler.bits_dropped as f64 / run.sampler.bits_produced.max(1) as f64
+    );
+
+    // 5. Compare against the paper's software baselines.
+    let layers = extract_layers(&folded, ds.image_shape());
+    let cpu = PlatformModel::i9_9900k().bayes_latency_ms(&layers, bayes);
+    let gpu = PlatformModel::rtx_2080_super().bayes_latency_ms(&layers, bayes);
+    println!("\nbaselines ({} MC samples, no IC): CPU {cpu:.3} ms, GPU {gpu:.3} ms", bayes.s);
+}

@@ -1,0 +1,33 @@
+//! **bnn-fpga** — a Rust reproduction of *"High-Performance FPGA-based
+//! Accelerator for Bayesian Neural Networks"* (DAC 2021).
+//!
+//! The crate is a facade over the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`accel`] | `bnn-accel` | the accelerator simulator: NNE, cycle model, resource model, IC |
+//! | [`rng`] | `bnn-rng` | LFSRs, Bernoulli sampler, fixed-point Gaussian samplers |
+//! | [`tensor`] | `bnn-tensor` | NCHW tensors, GEMM, im2col, pooling |
+//! | [`nn`] | `bnn-nn` | layer-graph IR, f32 executor, backprop, SGD, model builders |
+//! | [`data`] | `bnn-data` | synthetic MNIST/SVHN/CIFAR-like datasets, OOD noise |
+//! | [`mcd`] | `bnn-mcd` | Monte Carlo Dropout inference + uncertainty metrics |
+//! | [`quant`] | `bnn-quant` | 8-bit linear quantization + int8 reference executor |
+//! | [`platforms`] | `bnn-platforms` | CPU/GPU latency models, VIBNN and BYNQNet baselines |
+//! | [`framework`] | `bnn-framework` | the automatic hardware/algorithm optimization framework |
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour: train → fold BN
+//! → quantize → run on the simulated accelerator → explore the design
+//! space.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bnn_accel as accel;
+pub use bnn_data as data;
+pub use bnn_framework as framework;
+pub use bnn_mcd as mcd;
+pub use bnn_nn as nn;
+pub use bnn_platforms as platforms;
+pub use bnn_quant as quant;
+pub use bnn_rng as rng;
+pub use bnn_tensor as tensor;

@@ -1,0 +1,89 @@
+//! Integration of the optimization framework with real (trained)
+//! metrics and the hardware models — the paper's Figure 5 workflow.
+
+use bnn_fpga::accel::{AccelConfig, FpgaDevice, ResourceModel};
+use bnn_fpga::data::synth_mnist;
+use bnn_fpga::framework::{
+    optimize_hardware, Explorer, MetricProvider, NetKind, OptMode, Requirements,
+    SyntheticMetricProvider, TrainedMetricProvider, TrainingBudget,
+};
+use bnn_fpga::nn::{arch::extract_layers, models};
+use bnn_fpga::tensor::Shape4;
+
+#[test]
+fn full_pipeline_hw_then_algorithmic() {
+    // Stage 1: hardware optimization fits the device.
+    let net = models::lenet5(10, 1, 28, 1);
+    let layers = extract_layers(&net, Shape4::new(1, 1, 28, 28));
+    let device = FpgaDevice::arria10_sx660();
+    let cfg = optimize_hardware(&device, &[&layers]);
+    let rm = ResourceModel::new(device);
+    let (_, fits) = rm.check(&cfg, &[&layers]);
+    assert!(fits);
+
+    // Stage 2: trained metrics at a tiny budget, all four modes.
+    let ds = synth_mnist(160, 48, 3);
+    let mut provider = TrainedMetricProvider::new(
+        NetKind::LeNet5,
+        ds,
+        TrainingBudget { epochs: 1, batch: 16, test_n: 24, noise_n: 16, s_max: 10 },
+        5,
+    );
+    let explorer = Explorer::new(cfg, layers, net.n_sites())
+        .with_s_domain(vec![3, 5, 10]);
+    for mode in OptMode::all() {
+        let r = explorer.explore(&mut provider, mode, &Requirements::none());
+        let sel = r.selected.expect("unconstrained exploration always selects");
+        assert!(sel.fpga_ms > 0.0 && sel.fpga_ms.is_finite());
+        assert!((0.0..=1.0).contains(&sel.accuracy));
+    }
+}
+
+#[test]
+fn requirements_are_respected_with_trained_metrics() {
+    let net = models::lenet5(10, 1, 28, 1);
+    let layers = extract_layers(&net, Shape4::new(1, 1, 28, 28));
+    let ds = synth_mnist(160, 48, 4);
+    let mut provider = TrainedMetricProvider::new(
+        NetKind::LeNet5,
+        ds,
+        TrainingBudget { epochs: 1, batch: 16, test_n: 24, noise_n: 16, s_max: 10 },
+        6,
+    );
+    let explorer = Explorer::new(AccelConfig::paper_default(), layers, net.n_sites())
+        .with_s_domain(vec![3, 5, 10]);
+    let candidates = explorer.candidates(&mut provider);
+    // Pick a latency bound that splits the candidate set.
+    let mut lats: Vec<f64> = candidates.iter().map(|c| c.fpga_ms).collect();
+    lats.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let bound = lats[lats.len() / 2];
+    let req = Requirements { max_latency_ms: Some(bound), ..Requirements::none() };
+    let sel = bnn_fpga::framework::select(&candidates, OptMode::Uncertainty, &req)
+        .expect("half the grid is feasible");
+    assert!(sel.fpga_ms <= bound);
+    // And it is the aPE-max among the feasible ones.
+    for c in candidates.iter().filter(|c| c.feasible(&req)) {
+        assert!(sel.ape >= c.ape - 1e-12);
+    }
+}
+
+#[test]
+fn latency_shapes_hold_across_providers() {
+    // Whatever provider supplies the quality metrics, the latency
+    // model must give the paper's monotone shapes.
+    let net = models::resnet18(10, 3, 8, 1);
+    let layers = extract_layers(&net, Shape4::new(1, 3, 32, 32));
+    let explorer = Explorer::new(AccelConfig::paper_default(), layers, net.n_sites());
+    let mut provider = SyntheticMetricProvider::resnet18();
+    let candidates = explorer.candidates(&mut provider);
+    for a in &candidates {
+        for b in &candidates {
+            if a.l == b.l && a.s < b.s {
+                assert!(a.fpga_ms <= b.fpga_ms + 1e-12, "latency monotone in S");
+            }
+            if a.s == b.s && a.l < b.l {
+                assert!(a.fpga_ms <= b.fpga_ms + 1e-9, "latency monotone in L");
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Integration tests of the hardware models against the paper's
+//! quantitative claims (shape-level).
+
+use bnn_fpga::accel::{AccelConfig, FpgaDevice, PerfModel, ResourceModel};
+use bnn_fpga::mcd::BayesConfig;
+use bnn_fpga::nn::arch::{extract_layers, resnet101_desc};
+use bnn_fpga::nn::models;
+use bnn_fpga::platforms::{bynqnet::BynqnetPerfModel, vibnn::VibnnPerfModel};
+use bnn_fpga::tensor::Shape4;
+
+#[test]
+fn headline_claim_energy_and_compute_efficiency() {
+    // Abstract: "up to 4x higher energy efficiency and 9x better
+    // compute efficiency" than VIBNN/BYNQNet.
+    let cfg = AccelConfig::paper_default();
+    let perf = PerfModel::new(cfg);
+    let layers = resnet101_desc();
+    let n = layers.iter().filter_map(|l| l.input_site).count();
+    let ours_gops = perf.throughput_gops(&layers, BayesConfig::new(n, 1), true);
+    let ours_ee = ours_gops / cfg.board_power_w;
+    let rm = ResourceModel::new(FpgaDevice::arria10_sx660());
+    let refs: Vec<&[_]> = vec![&layers];
+    let dsps = rm.estimate(&cfg, &refs).dsps;
+    let ours_ce = ours_gops / dsps as f64;
+
+    let vibnn = VibnnPerfModel::default().summary();
+    let bynq = BynqnetPerfModel::default().summary();
+
+    let ee_ratio_v = ours_ee / vibnn.energy_efficiency();
+    let ee_ratio_b = ours_ee / bynq.energy_efficiency();
+    assert!(
+        (2.5..6.0).contains(&ee_ratio_v) && (2.5..6.0).contains(&ee_ratio_b),
+        "energy-efficiency ratios {ee_ratio_v:.1}/{ee_ratio_b:.1} outside the paper's ~3-4x"
+    );
+
+    let ce_ratio_v = ours_ce / vibnn.compute_efficiency();
+    let ce_ratio_b = ours_ce / bynq.compute_efficiency();
+    assert!(
+        (4.0..14.0).contains(&ce_ratio_v) && (4.0..14.0).contains(&ce_ratio_b),
+        "compute-efficiency ratios {ce_ratio_v:.1}/{ce_ratio_b:.1} outside the paper's ~6-9x"
+    );
+}
+
+#[test]
+fn table3_shape_ic_wins_shrink_with_l() {
+    let cfg = AccelConfig::paper_default();
+    let perf = PerfModel::new(cfg);
+    for (net, shape) in [
+        (models::vgg11(10, 3, 32, 8, 1), Shape4::new(1, 3, 32, 32)),
+        (models::resnet18(10, 3, 16, 1), Shape4::new(1, 3, 32, 32)),
+    ] {
+        let layers = extract_layers(&net, shape);
+        let n = net.n_sites();
+        let speedup = |l: usize, s: usize| {
+            let b = BayesConfig::new(l, s);
+            let w = perf.network_timing(&layers, b, true).total_cycles;
+            let wo = perf.network_timing(&layers, b, false).total_cycles;
+            wo as f64 / w as f64
+        };
+        let s_l1 = speedup(1, 100);
+        let s_l23 = speedup((2 * n).div_ceil(3), 50);
+        assert!(s_l1 > 5.0, "{}: L=1,S=100 IC speedup {s_l1:.1} too small", net.name());
+        assert!(
+            s_l23 < s_l1,
+            "{}: IC speedup must shrink as L grows ({s_l23:.1} vs {s_l1:.1})",
+            net.name()
+        );
+    }
+}
+
+#[test]
+fn table3_shape_fpga_beats_cpu_gpu_on_conv_nets() {
+    use bnn_fpga::platforms::PlatformModel;
+    let cfg = AccelConfig::paper_default();
+    let perf = PerfModel::new(cfg);
+    let cpu = PlatformModel::i9_9900k();
+    let gpu = PlatformModel::rtx_2080_super();
+    for (net, shape) in [
+        (models::vgg11(10, 3, 32, 8, 1), Shape4::new(1, 3, 32, 32)),
+        (models::resnet18(10, 3, 16, 1), Shape4::new(1, 3, 32, 32)),
+    ] {
+        let layers = extract_layers(&net, shape);
+        let n = net.n_sites();
+        let b = BayesConfig::new((2 * n).div_ceil(3), 50);
+        let f = perf.network_timing(&layers, b, true).latency_ms(&cfg);
+        let c = cpu.bayes_latency_ms(&layers, b);
+        let g = gpu.bayes_latency_ms(&layers, b);
+        assert!(c / f > 2.0, "{}: CPU/FPGA ratio {:.1} too small", net.name(), c / f);
+        assert!(g / f > 1.5, "{}: GPU/FPGA ratio {:.1} too small", net.name(), g / f);
+    }
+}
+
+#[test]
+fn resource_model_matches_table2_regime() {
+    let rm = ResourceModel::new(FpgaDevice::arria10_sx660());
+    let nets: Vec<Vec<_>> = vec![
+        extract_layers(&models::lenet5(10, 1, 28, 1), Shape4::new(1, 1, 28, 28)),
+        extract_layers(&models::vgg11(10, 3, 32, 8, 1), Shape4::new(1, 3, 32, 32)),
+        extract_layers(&models::resnet18(10, 3, 16, 1), Shape4::new(1, 3, 32, 32)),
+        resnet101_desc(),
+    ];
+    let refs: Vec<&[_]> = nets.iter().map(|v| v.as_slice()).collect();
+    let u = rm.estimate(&AccelConfig::paper_default(), &refs);
+    // Table II: 71% ALMs, 52% registers, 97% DSPs.
+    assert!((u.alms as f64 / 427_200.0 - 0.71).abs() < 0.1);
+    assert!((u.registers as f64 / 1_708_800.0 - 0.52).abs() < 0.1);
+    assert!((u.dsps as f64 / 1_518.0 - 0.97).abs() < 0.03);
+    assert!(rm.fits(&u), "the paper's configuration fits its device");
+}
+
+#[test]
+fn throughput_in_table4_regime() {
+    let perf = PerfModel::new(AccelConfig::paper_default());
+    let layers = resnet101_desc();
+    let n = layers.iter().filter_map(|l| l.input_site).count();
+    let gops = perf.throughput_gops(&layers, BayesConfig::new(n, 1), true);
+    // Paper: 1590 GOP/s; peak is 1843.2.
+    assert!((1400.0..1843.2).contains(&gops), "ResNet-101 throughput {gops:.0}");
+}
