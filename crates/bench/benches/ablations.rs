@@ -26,7 +26,10 @@ fn ablation_parallelism() {
     let layers = extract_layers(&net, w.input_shape());
     let n = net.n_sites();
     let mut rows = Vec::new();
-    println!("{:>5} {:>5} {:>4} {:>12} {:>10}", "P_C", "P_F", "P_V", "latency[ms]", "util[%]");
+    println!(
+        "{:>5} {:>5} {:>4} {:>12} {:>10}",
+        "P_C", "P_F", "P_V", "latency[ms]", "util[%]"
+    );
     for (pc, pf, pv) in [
         (64usize, 64usize, 1usize),
         (128, 32, 1),
@@ -39,8 +42,7 @@ fn ablation_parallelism() {
         let cfg = AccelConfig::with_parallelism(pc, pf, pv);
         let perf = PerfModel::new(cfg);
         let t = perf.network_timing(&layers, BayesConfig::new(n, 10), true);
-        let util: f64 = t.layers.iter().map(|l| l.utilization).sum::<f64>()
-            / t.layers.len() as f64;
+        let util: f64 = t.layers.iter().map(|l| l.utilization).sum::<f64>() / t.layers.len() as f64;
         println!(
             "{:>5} {:>5} {:>4} {:>12.3} {:>10.1}",
             pc,
@@ -49,9 +51,17 @@ fn ablation_parallelism() {
             t.latency_ms(&cfg),
             util * 100.0
         );
-        rows.push(format!("{pc},{pf},{pv},{:.4},{:.4}", t.latency_ms(&cfg), util));
+        rows.push(format!(
+            "{pc},{pf},{pv},{:.4},{:.4}",
+            t.latency_ms(&cfg),
+            util
+        ));
     }
-    write_csv("ablation_parallelism.csv", "pc,pf,pv,latency_ms,mean_util", &rows);
+    write_csv(
+        "ablation_parallelism.csv",
+        "pc,pf,pv,latency_ms,mean_util",
+        &rows,
+    );
 }
 
 fn ablation_ic_surface() {
@@ -129,10 +139,17 @@ fn ablation_sampler_and_quant() {
     println!("\ndeterministic accuracy f32: {acc_f32:.4}, int8: {acc_int8:.4}");
 
     // And the accelerator agrees with the int8 reference bit-exactly.
-    let accel =
-        Accelerator::new(AccelConfig::paper_default(), &folded, &qg, ds.image_shape());
+    let accel = Accelerator::new(AccelConfig::paper_default(), &folded, &qg, ds.image_shape());
     let img = test.select_item(0);
-    let run = accel.run_with_masks(&img, BayesConfig { l: 0, s: 1, p: 0.25 }, &[MaskSet::none()]);
+    let run = accel.run_with_masks(
+        &img,
+        BayesConfig {
+            l: 0,
+            s: 1,
+            p: 0.25,
+        },
+        &[MaskSet::none()],
+    );
     let reference = qg.forward(&img, &MaskSet::none());
     assert_eq!(run.logits_per_sample[0].as_slice(), reference.as_slice());
     println!("accelerator == int8 reference: bit-exact");

@@ -61,11 +61,20 @@ fn main() {
     let mut rows = Vec::new();
     for b in 0..10 {
         let lo = b as f64 / 10.0;
-        println!("{:>4.1}-{:>4.1} {:>12.3} {:>12.3}", lo, lo + 0.1, hb[b], hs[b]);
+        println!(
+            "{:>4.1}-{:>4.1} {:>12.3} {:>12.3}",
+            lo,
+            lo + 0.1,
+            hb[b],
+            hs[b]
+        );
         rows.push(format!("{:.1},{:.4},{:.4}", lo, hb[b], hs[b]));
     }
     let mean_conf = |h: &[f64]| -> f64 {
-        h.iter().enumerate().map(|(b, &v)| v * (b as f64 / 10.0 + 0.05)).sum()
+        h.iter()
+            .enumerate()
+            .map(|(b, &v)| v * (b as f64 / 10.0 + 0.05))
+            .sum()
     };
     println!(
         "\nmean confidence: BNN {:.3} vs standard {:.3} (paper: BNN far less confident)",
@@ -77,5 +86,9 @@ fn main() {
         avg_predictive_entropy(&bnn_probs),
         avg_predictive_entropy(&std_probs)
     );
-    write_csv("fig1_confidence_hist.csv", "bin_lo,bnn_freq,std_freq", &rows);
+    write_csv(
+        "fig1_confidence_hist.csv",
+        "bin_lo,bnn_freq,std_freq",
+        &rows,
+    );
 }

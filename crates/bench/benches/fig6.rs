@@ -22,7 +22,10 @@ fn main() {
     };
 
     // Global optima per mode.
-    println!("Figure 6 — DSE candidates for ResNet-18 ({} points)\n", candidates.len());
+    println!(
+        "Figure 6 — DSE candidates for ResNet-18 ({} points)\n",
+        candidates.len()
+    );
     for mode in OptMode::all() {
         let best = bnn_framework::select(&candidates, mode, &Requirements::none())
             .expect("non-empty grid");
@@ -51,9 +54,7 @@ fn main() {
         max_ece: None,
     };
     let sel = bnn_framework::select(&candidates, OptMode::Confidence, &req);
-    println!(
-        "\nconstraint box: latency <= 20 ms, accuracy >= {med_acc:.3} (median), aPE >= 0.3"
-    );
+    println!("\nconstraint box: latency <= 20 ms, accuracy >= {med_acc:.3} (median), aPE >= 0.3");
     match sel {
         Some(c) => println!(
             "constrained Opt-Confidence -> {{L={}, S={}}}: {:.2} ms, acc {:.3}, aPE {:.3}, ECE {:.4}",

@@ -1,0 +1,99 @@
+//! Microbenchmarks of the performance engine this repo's throughput
+//! story rests on: the blocked GEMM kernels (64–512 square) and MCD
+//! predictive throughput at `S ∈ {10, 100}`, serial vs parallel.
+//!
+//! Run with `cargo bench --bench mc_parallel`. The MCD pair is the
+//! acceptance probe for the sampling engine: the parallel path must
+//! agree with the serial one bit-for-bit (asserted here) while being
+//! several times faster on a multi-core host.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use bnn_mcd::{BayesConfig, McdPredictor, ParallelConfig, SoftwareMaskSource};
+use bnn_nn::models;
+use bnn_tensor::{gemm, gemm_bt, Shape4, Tensor};
+
+fn fill(n: usize, seed: u64) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let v = (i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(seed);
+            ((v >> 33) as i32 % 255) as f32 / 128.0
+        })
+        .collect()
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    for &dim in &[64usize, 128, 256, 512] {
+        let a = fill(dim * dim, 1);
+        let b = fill(dim * dim, 2);
+        let mut out = vec![0.0f32; dim * dim];
+        c.bench_function(&format!("gemm_{dim}x{dim}x{dim}"), |bch| {
+            bch.iter(|| {
+                out.fill(0.0);
+                gemm(dim, dim, dim, &a, &b, &mut out);
+                black_box(out[0])
+            })
+        });
+    }
+    // The FC-layer shape (B·k dot products) at a LeNet-ish size.
+    let (m, k, n) = (32usize, 400usize, 120usize);
+    let a = fill(m * k, 3);
+    let b = fill(n * k, 4);
+    let mut out = vec![0.0f32; m * n];
+    c.bench_function("gemm_bt_32x400x120", |bch| {
+        bch.iter(|| {
+            out.fill(0.0);
+            gemm_bt(m, k, n, &a, &b, &mut out);
+            black_box(out[0])
+        })
+    });
+}
+
+fn bench_mcd(c: &mut Criterion) {
+    let net = models::lenet5(10, 1, 28, 5);
+    let x = Tensor::full(Shape4::new(1, 1, 28, 28), 0.25);
+    for &s in &[10usize, 100] {
+        let cfg = BayesConfig::new(3, s);
+
+        // Cross-check once: parallel must match serial exactly on the
+        // same mask stream.
+        let serial = McdPredictor::new(&net)
+            .with_parallelism(ParallelConfig::serial())
+            .predictive(&x, cfg, &mut SoftwareMaskSource::new(7));
+        let parallel = McdPredictor::new(&net)
+            .with_parallelism(ParallelConfig::max_parallel())
+            .predictive(&x, cfg, &mut SoftwareMaskSource::new(7));
+        assert_eq!(
+            serial.as_slice(),
+            parallel.as_slice(),
+            "parallel sampling diverged from the serial mask stream"
+        );
+
+        c.bench_function(&format!("mcd_predictive_s{s}_serial"), |bch| {
+            let pred = McdPredictor::new(&net).with_parallelism(ParallelConfig::serial());
+            let mut src = SoftwareMaskSource::new(7);
+            bch.iter(|| black_box(pred.predictive(&x, cfg, &mut src)))
+        });
+        c.bench_function(&format!("mcd_predictive_s{s}_parallel"), |bch| {
+            let pred = McdPredictor::new(&net).with_parallelism(ParallelConfig::max_parallel());
+            let mut src = SoftwareMaskSource::new(7);
+            bch.iter(|| black_box(pred.predictive(&x, cfg, &mut src)))
+        });
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_gemm, bench_mcd
+}
+criterion_main!(benches);

@@ -9,9 +9,7 @@ use bnn_accel::{AccelConfig, Accelerator};
 use bnn_mcd::BayesConfig;
 use bnn_nn::models;
 use bnn_quant::Quantizer;
-use bnn_rng::{
-    BernoulliSampler, BoxMullerFixedSampler, DropProbability, GaussianSampler, Lfsr,
-};
+use bnn_rng::{BernoulliSampler, BoxMullerFixedSampler, DropProbability, GaussianSampler, Lfsr};
 use bnn_tensor::{gemm, Shape4, Tensor};
 
 fn bench_rng(c: &mut Criterion) {

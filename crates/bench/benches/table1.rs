@@ -10,19 +10,152 @@ use bnn_nn::arch::extract_layers;
 
 /// Paper Table I rows for side-by-side printing:
 /// (net, mode, L_desc, S, fpga_ms, cpu_ms, gpu_ms, ape, ece%, acc%).
+#[allow(clippy::type_complexity)]
 const PAPER: &[(&str, &str, &str, usize, f64, f64, f64, f64, f64, f64)] = &[
-    ("LeNet-5", "Opt-Latency", "1", 3, 0.42, 0.67, 0.24, 0.63, 0.25, 99.27),
-    ("LeNet-5", "Opt-Accuracy", "2N/3", 100, 14.32, 24.69, 12.87, 0.75, 0.13, 99.39),
-    ("LeNet-5", "Opt-Uncertainty", "N", 100, 14.83, 42.0, 19.91, 1.06, 0.17, 99.32),
-    ("LeNet-5", "Opt-Confidence", "N", 9, 1.29, 3.68, 1.68, 0.98, 0.10, 99.31),
-    ("VGG-11", "Opt-Latency", "1", 3, 0.57, 0.95, 0.68, 1.38, 2.8, 95.38),
-    ("VGG-11", "Opt-Accuracy", "N", 100, 57.32, 186.24, 88.93, 1.97, 2.42, 96.49),
-    ("VGG-11", "Opt-Uncertainty", "2N/3", 100, 42.89, 110.32, 59.78, 2.02, 0.41, 96.13),
-    ("VGG-11", "Opt-Confidence", "2N/3", 100, 42.89, 110.32, 59.78, 2.02, 0.41, 96.13),
-    ("ResNet-18", "Opt-Latency", "1", 3, 0.47, 1.31, 0.87, 0.36, 4.85, 92.84),
-    ("ResNet-18", "Opt-Accuracy", "1", 8, 0.50, 2.03, 1.17, 0.38, 4.74, 92.91),
-    ("ResNet-18", "Opt-Uncertainty", "N/2", 100, 32.04, 173.53, 93.23, 1.27, 2.74, 91.12),
-    ("ResNet-18", "Opt-Confidence", "2N/3", 3, 1.20, 7.66, 3.93, 1.05, 1.08, 89.99),
+    (
+        "LeNet-5",
+        "Opt-Latency",
+        "1",
+        3,
+        0.42,
+        0.67,
+        0.24,
+        0.63,
+        0.25,
+        99.27,
+    ),
+    (
+        "LeNet-5",
+        "Opt-Accuracy",
+        "2N/3",
+        100,
+        14.32,
+        24.69,
+        12.87,
+        0.75,
+        0.13,
+        99.39,
+    ),
+    (
+        "LeNet-5",
+        "Opt-Uncertainty",
+        "N",
+        100,
+        14.83,
+        42.0,
+        19.91,
+        1.06,
+        0.17,
+        99.32,
+    ),
+    (
+        "LeNet-5",
+        "Opt-Confidence",
+        "N",
+        9,
+        1.29,
+        3.68,
+        1.68,
+        0.98,
+        0.10,
+        99.31,
+    ),
+    (
+        "VGG-11",
+        "Opt-Latency",
+        "1",
+        3,
+        0.57,
+        0.95,
+        0.68,
+        1.38,
+        2.8,
+        95.38,
+    ),
+    (
+        "VGG-11",
+        "Opt-Accuracy",
+        "N",
+        100,
+        57.32,
+        186.24,
+        88.93,
+        1.97,
+        2.42,
+        96.49,
+    ),
+    (
+        "VGG-11",
+        "Opt-Uncertainty",
+        "2N/3",
+        100,
+        42.89,
+        110.32,
+        59.78,
+        2.02,
+        0.41,
+        96.13,
+    ),
+    (
+        "VGG-11",
+        "Opt-Confidence",
+        "2N/3",
+        100,
+        42.89,
+        110.32,
+        59.78,
+        2.02,
+        0.41,
+        96.13,
+    ),
+    (
+        "ResNet-18",
+        "Opt-Latency",
+        "1",
+        3,
+        0.47,
+        1.31,
+        0.87,
+        0.36,
+        4.85,
+        92.84,
+    ),
+    (
+        "ResNet-18",
+        "Opt-Accuracy",
+        "1",
+        8,
+        0.50,
+        2.03,
+        1.17,
+        0.38,
+        4.74,
+        92.91,
+    ),
+    (
+        "ResNet-18",
+        "Opt-Uncertainty",
+        "N/2",
+        100,
+        32.04,
+        173.53,
+        93.23,
+        1.27,
+        2.74,
+        91.12,
+    ),
+    (
+        "ResNet-18",
+        "Opt-Confidence",
+        "2N/3",
+        3,
+        1.20,
+        7.66,
+        3.93,
+        1.05,
+        1.08,
+        89.99,
+    ),
 ];
 
 fn main() {
@@ -50,8 +183,15 @@ fn main() {
                 .expect("paper row exists");
             println!(
                 "{:<16} {:>4} {:>4} {:>9.2} {:>9.2} {:>9.2} {:>7.2} {:>8.2} {:>8.2}",
-                mode.label(), c.l, c.s, c.fpga_ms, c.cpu_ms, c.gpu_ms, c.ape,
-                c.ece * 100.0, c.accuracy * 100.0
+                mode.label(),
+                c.l,
+                c.s,
+                c.fpga_ms,
+                c.cpu_ms,
+                c.gpu_ms,
+                c.ape,
+                c.ece * 100.0,
+                c.accuracy * 100.0
             );
             println!(
                 "{:<16} {:>4} {:>4} {:>9.2} {:>9.2} {:>9.2} {:>7.2} {:>8.2} {:>8.2}  (paper)",
@@ -59,8 +199,16 @@ fn main() {
             );
             rows.push(format!(
                 "{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
-                w.name(), mode.label(), c.l, c.s, c.fpga_ms, c.cpu_ms, c.gpu_ms,
-                c.ape, c.ece, c.accuracy
+                w.name(),
+                mode.label(),
+                c.l,
+                c.s,
+                c.fpga_ms,
+                c.cpu_ms,
+                c.gpu_ms,
+                c.ape,
+                c.ece,
+                c.accuracy
             ));
         }
         println!();

@@ -20,11 +20,18 @@ fn main() {
     let u = model.estimate(&cfg, &refs);
 
     // Paper Table II.
-    let paper = [("ALMs", 303_913u64, 427_200u64), ("Registers", 889_869, 1_708_800),
-        ("DSPs", 1_473, 1_518), ("M20K", 2_334, 2_713)];
+    let paper = [
+        ("ALMs", 303_913u64, 427_200u64),
+        ("Registers", 889_869, 1_708_800),
+        ("DSPs", 1_473, 1_518),
+        ("M20K", 2_334, 2_713),
+    ];
     let ours = [u.alms, u.registers, u.dsps, u.m20k];
 
-    println!("Table II — resource utilization ({} @ P_C=64 P_F=64 P_V=1)\n", device.name);
+    println!(
+        "Table II — resource utilization ({} @ P_C=64 P_F=64 P_V=1)\n",
+        device.name
+    );
     println!(
         "{:<10} {:>12} {:>8} {:>12} {:>8} {:>10}",
         "resource", "paper", "paper%", "model", "model%", "total"

@@ -49,7 +49,17 @@ fn main() {
             );
             rows.push(format!(
                 "{},{},{},{:.4},{:.4},{:.4},{:.4},{},{},{},{}",
-                w.name(), l, s, ic, no_ic, c, g, p.3, p.4, p.5, p.6
+                w.name(),
+                l,
+                s,
+                ic,
+                no_ic,
+                c,
+                g,
+                p.3,
+                p.4,
+                p.5,
+                p.6
             ));
         }
     }

@@ -30,8 +30,11 @@ fn main() {
         power_w: cfg.board_power_w,
         throughput_gops: perf.throughput_gops(&layers, BayesConfig::new(n, 1), true),
     };
-    let rows_data =
-        [VibnnPerfModel::default().summary(), BynqnetPerfModel::default().summary(), ours];
+    let rows_data = [
+        VibnnPerfModel::default().summary(),
+        BynqnetPerfModel::default().summary(),
+        ours,
+    ];
 
     // Paper Table IV for reference.
     let paper = [

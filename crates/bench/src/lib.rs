@@ -18,7 +18,10 @@ use std::path::PathBuf;
 
 /// Global experiment seed (`BNN_SEED`, default 2021 — the paper year).
 pub fn seed() -> u64 {
-    std::env::var("BNN_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(2021)
+    std::env::var("BNN_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2021)
 }
 
 /// Whether the reduced-budget mode is active.
@@ -96,14 +99,26 @@ impl Workload {
     /// epochs cheap; ResNet needs them for the fully-Bayesian configs).
     pub fn budget(&self) -> TrainingBudget {
         if fast_mode() {
-            return TrainingBudget { epochs: 1, batch: 32, test_n: 48, noise_n: 32, s_max: 20 };
+            return TrainingBudget {
+                epochs: 1,
+                batch: 32,
+                test_n: 48,
+                noise_n: 32,
+                s_max: 20,
+            };
         }
         let epochs = match self {
             Workload::LeNet5 => 3,
             Workload::Vgg11 => 6,
             Workload::ResNet18 => 5,
         };
-        TrainingBudget { epochs, batch: 32, test_n: 96, noise_n: 64, s_max: 100 }
+        TrainingBudget {
+            epochs,
+            batch: 32,
+            test_n: 96,
+            noise_n: 64,
+            s_max: 100,
+        }
     }
 
     /// A trained metric provider at the bench budget.

@@ -20,7 +20,10 @@ pub struct DdrConfig {
 
 impl Default for DdrConfig {
     fn default() -> Self {
-        DdrConfig { bytes_per_cycle: 64.0, setup_cycles: 300 }
+        DdrConfig {
+            bytes_per_cycle: 64.0,
+            setup_cycles: 300,
+        }
     }
 }
 
@@ -77,7 +80,12 @@ impl AccelConfig {
 
     /// Same architecture with different parallelism (for the DSE).
     pub fn with_parallelism(pc: usize, pf: usize, pv: usize) -> AccelConfig {
-        AccelConfig { pc, pf, pv, ..AccelConfig::paper_default() }
+        AccelConfig {
+            pc,
+            pf,
+            pv,
+            ..AccelConfig::paper_default()
+        }
     }
 
     /// The framework's hardware design space (paper Section IV-A):
@@ -158,7 +166,10 @@ mod tests {
 
     #[test]
     fn ddr_transfer_includes_setup() {
-        let d = DdrConfig { bytes_per_cycle: 32.0, setup_cycles: 300 };
+        let d = DdrConfig {
+            bytes_per_cycle: 32.0,
+            setup_cycles: 300,
+        };
         assert_eq!(d.transfer_cycles(0), 0);
         assert_eq!(d.transfer_cycles(32), 301);
         assert_eq!(d.transfer_cycles(3200), 400);

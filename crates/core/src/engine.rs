@@ -71,7 +71,8 @@ impl Accelerator {
         qgraph: &QGraph,
         input_shape: Shape4,
     ) -> Accelerator {
-        cfg.validate().unwrap_or_else(|e| panic!("invalid accelerator config: {e}"));
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid accelerator config: {e}"));
         assert_eq!(
             folded.nodes().len(),
             qgraph.nodes().len(),
@@ -88,7 +89,13 @@ impl Accelerator {
         }
         assert_eq!(next, layers.len(), "fused layer extraction out of sync");
         let site_channels = folded.site_channels(input_shape.with_n(1));
-        Accelerator { cfg, qgraph: qgraph.clone(), layers, site_channels, desc_of_node }
+        Accelerator {
+            cfg,
+            qgraph: qgraph.clone(),
+            layers,
+            site_channels,
+            desc_of_node,
+        }
     }
 
     /// The configuration.
@@ -109,7 +116,11 @@ impl Accelerator {
     /// Panics unless `image` has batch size 1 (the paper evaluates at
     /// batch 1).
     pub fn run(&self, image: &Tensor, bayes: BayesConfig, seed: u64) -> AccelRun {
-        assert_eq!(image.shape().n, 1, "the accelerator processes one image at a time");
+        assert_eq!(
+            image.shape().n,
+            1,
+            "the accelerator processes one image at a time"
+        );
         let p = DropProbability::quarter();
         assert!(
             (f64::from(bayes.p) - p.value()).abs() < 1e-9,
@@ -151,7 +162,11 @@ impl Accelerator {
         bayes: BayesConfig,
         mask_sets: &[MaskSet],
     ) -> AccelRun {
-        assert_eq!(mask_sets.len(), bayes.s, "one mask set per Monte Carlo sample");
+        assert_eq!(
+            mask_sets.len(),
+            bayes.s,
+            "one mask set per Monte Carlo sample"
+        );
         let input = self.qgraph.quantize_input(image);
         let nodes = self.qgraph.nodes();
         let active = active_sites(self.qgraph.n_sites(), bayes.l);
@@ -179,7 +194,9 @@ impl Accelerator {
                 let y = self.exec_station(node, &outs, &input, masks);
                 outs.push(y);
             }
-            let logits = self.qgraph.dequantize_output(&outs[self.qgraph.output_id()]);
+            let logits = self
+                .qgraph
+                .dequantize_output(&outs[self.qgraph.output_id()]);
             logits_per_sample.push(logits);
         }
 
@@ -225,23 +242,40 @@ impl Accelerator {
         masks: &MaskSet,
     ) -> QTensor {
         match &node.op {
-            QNodeOp::Conv { in_c, out_c, k, stride, pad, w, bias, requant, zx, zy } => {
-                tiled_conv(
-                    &self.cfg,
-                    &outs[node.inputs[0]],
-                    *in_c,
-                    *out_c,
-                    *k,
-                    *stride,
-                    *pad,
-                    w,
-                    bias,
-                    requant,
-                    *zx,
-                    *zy,
-                )
-            }
-            QNodeOp::Linear { in_f, out_f, w, bias, requant, zx, zy } => tiled_linear(
+            QNodeOp::Conv {
+                in_c,
+                out_c,
+                k,
+                stride,
+                pad,
+                w,
+                bias,
+                requant,
+                zx,
+                zy,
+            } => tiled_conv(
+                &self.cfg,
+                &outs[node.inputs[0]],
+                *in_c,
+                *out_c,
+                *k,
+                *stride,
+                *pad,
+                w,
+                bias,
+                requant,
+                *zx,
+                *zy,
+            ),
+            QNodeOp::Linear {
+                in_f,
+                out_f,
+                w,
+                bias,
+                requant,
+                zx,
+                zy,
+            } => tiled_linear(
                 &self.cfg,
                 &outs[node.inputs[0]],
                 *in_f,
@@ -339,9 +373,9 @@ fn tiled_conv(
                         // Reduction streamed through PC-wide tiles.
                         for r0 in (0..red).step_by(pc) {
                             let mut tree = 0i32; // adder-tree partial
-                            for r in r0..(r0 + pc).min(red) {
-                                tree += (tap(xi, r, oy, ox) - zx)
-                                    * i32::from(wrow[r]);
+                            let re = (r0 + pc).min(red);
+                            for (r, &wv) in wrow.iter().enumerate().take(re).skip(r0) {
+                                tree += (tap(xi, r, oy, ox) - zx) * i32::from(wv);
                             }
                             acc += tree;
                         }
@@ -404,8 +438,10 @@ mod tests {
         let net = models::lenet5(10, 1, 16, seed).fold_batch_norm();
         let mut rng = SoftRng::new(seed);
         let shape = Shape4::new(4, 1, 16, 16);
-        let calib =
-            Tensor::from_vec(shape, (0..shape.len()).map(|_| rng.normal_f32(0.0, 1.0)).collect());
+        let calib = Tensor::from_vec(
+            shape,
+            (0..shape.len()).map(|_| rng.normal_f32(0.0, 1.0)).collect(),
+        );
         let qg = Quantizer::new(&net).calibrate(&calib).quantize();
         (net, qg, calib)
     }
@@ -415,7 +451,15 @@ mod tests {
         let (net, qg, calib) = setup(1);
         let accel = Accelerator::new(AccelConfig::paper_default(), &net, &qg, calib.shape());
         let img = calib.select_item(0);
-        let run = accel.run_with_masks(&img, BayesConfig { l: 0, s: 1, p: 0.25 }, &[MaskSet::none()]);
+        let run = accel.run_with_masks(
+            &img,
+            BayesConfig {
+                l: 0,
+                s: 1,
+                p: 0.25,
+            },
+            &[MaskSet::none()],
+        );
         let reference = qg.forward(&img, &MaskSet::none());
         assert_eq!(
             run.logits_per_sample[0].as_slice(),
@@ -442,7 +486,11 @@ mod tests {
             );
             let run = accel.run_with_masks(
                 &img,
-                BayesConfig { l: net.n_sites(), s: 1, p: 0.25 },
+                BayesConfig {
+                    l: net.n_sites(),
+                    s: 1,
+                    p: 0.25,
+                },
                 std::slice::from_ref(&masks),
             );
             assert_eq!(
@@ -520,7 +568,10 @@ mod tests {
         let (net, qg, calib) = setup(7);
         let accel = Accelerator::new(AccelConfig::paper_default(), &net, &qg, calib.shape());
         let run = accel.run(&calib.select_item(0), BayesConfig::new(5, 3), 42);
-        assert!(run.sampler.bits_produced > 0, "sampler must have produced mask bits");
+        assert!(
+            run.sampler.bits_produced > 0,
+            "sampler must have produced mask bits"
+        );
         let rate = run.sampler.bits_dropped as f64 / run.sampler.bits_produced as f64;
         assert!((0.0..=0.6).contains(&rate));
     }

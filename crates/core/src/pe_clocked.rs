@@ -26,9 +26,17 @@ impl MacModule {
     ///
     /// Panics if `pc` is not a power of two.
     pub fn new(pc: usize) -> MacModule {
-        assert!(pc.is_power_of_two(), "adder tree needs a power-of-two width");
+        assert!(
+            pc.is_power_of_two(),
+            "adder tree needs a power-of-two width"
+        );
         let depth = pc.ilog2() as usize;
-        MacModule { pc, stages: vec![Vec::new(); depth + 1], acc: 0, cycles: 0 }
+        MacModule {
+            pc,
+            stages: vec![Vec::new(); depth + 1],
+            acc: 0,
+            cycles: 0,
+        }
     }
 
     /// Clock one cycle: feed up to `pc` operand pairs (shorter slices
@@ -38,10 +46,16 @@ impl MacModule {
     ///
     /// Panics if more than `pc` pairs are supplied.
     pub fn clock(&mut self, xs: &[i32], ws: &[i32]) {
-        assert!(xs.len() <= self.pc && ws.len() == xs.len(), "tile wider than the module");
+        assert!(
+            xs.len() <= self.pc && ws.len() == xs.len(),
+            "tile wider than the module"
+        );
         // Stage 0: multiplier outputs.
-        let mut level: Vec<i64> =
-            xs.iter().zip(ws).map(|(&x, &w)| i64::from(x) * i64::from(w)).collect();
+        let mut level: Vec<i64> = xs
+            .iter()
+            .zip(ws)
+            .map(|(&x, &w)| i64::from(x) * i64::from(w))
+            .collect();
         level.resize(self.pc, 0);
         // Shift the pipeline from the root back so each stage's data
         // advances exactly one level per cycle.
@@ -110,12 +124,19 @@ mod tests {
     use super::*;
 
     fn dot(xs: &[i32], ws: &[i32]) -> i64 {
-        xs.iter().zip(ws).map(|(&a, &b)| i64::from(a) * i64::from(b)).sum()
+        xs.iter()
+            .zip(ws)
+            .map(|(&a, &b)| i64::from(a) * i64::from(b))
+            .sum()
     }
 
     fn operands(n: usize, seed: i32) -> (Vec<i32>, Vec<i32>) {
-        let xs: Vec<i32> = (0..n).map(|i| ((i as i32 * 31 + seed) % 255) - 127).collect();
-        let ws: Vec<i32> = (0..n).map(|i| ((i as i32 * 17 + seed * 3) % 255) - 127).collect();
+        let xs: Vec<i32> = (0..n)
+            .map(|i| ((i as i32 * 31 + seed) % 255) - 127)
+            .collect();
+        let ws: Vec<i32> = (0..n)
+            .map(|i| ((i as i32 * 17 + seed * 3) % 255) - 127)
+            .collect();
         (xs, ws)
     }
 
@@ -135,7 +156,14 @@ mod tests {
 
     #[test]
     fn cycle_count_matches_analytic_formula() {
-        for (pc, r) in [(8usize, 8usize), (8, 64), (16, 37), (64, 576), (64, 64), (4, 1)] {
+        for (pc, r) in [
+            (8usize, 8usize),
+            (8, 64),
+            (16, 37),
+            (64, 576),
+            (64, 64),
+            (4, 1),
+        ] {
             let (xs, ws) = operands(r, 3);
             let (_, cycles) = MacModule::run_reduction(pc, &xs, &ws);
             assert_eq!(

@@ -119,13 +119,17 @@ impl PerfModel {
         let mem = c.ddr.transfer_cycles(bytes);
 
         let total = compute.max(mem) + c.layer_overhead_cycles;
-        let utilization = l.macs() as f64
-            / (compute.saturating_sub(fill).max(1) * c.multipliers() as u64) as f64;
+        let utilization =
+            l.macs() as f64 / (compute.saturating_sub(fill).max(1) * c.multipliers() as u64) as f64;
         LayerTiming {
             compute_cycles: compute,
             mem_cycles: mem,
             total_cycles: total,
-            bound: if compute >= mem { Bound::Compute } else { Bound::Memory },
+            bound: if compute >= mem {
+                Bound::Compute
+            } else {
+                Bound::Memory
+            },
             utilization: utilization.min(1.0),
         }
     }
@@ -267,7 +271,10 @@ mod tests {
         let with = pm().network_timing(&layers, cfg, true).total_cycles;
         let without = pm().network_timing(&layers, cfg, false).total_cycles;
         let speedup = without as f64 / with as f64;
-        assert!(speedup > 10.0, "IC speedup {speedup} too small for L=1,S=100");
+        assert!(
+            speedup > 10.0,
+            "IC speedup {speedup} too small for L=1,S=100"
+        );
     }
 
     #[test]
@@ -296,8 +303,12 @@ mod tests {
     fn latency_monotone_in_s() {
         let net = models::lenet5(10, 1, 28, 1);
         let layers = extract_layers(&net, Shape4::new(1, 1, 28, 28));
-        let t3 = pm().network_timing(&layers, BayesConfig::new(2, 3), true).total_cycles;
-        let t100 = pm().network_timing(&layers, BayesConfig::new(2, 100), true).total_cycles;
+        let t3 = pm()
+            .network_timing(&layers, BayesConfig::new(2, 3), true)
+            .total_cycles;
+        let t100 = pm()
+            .network_timing(&layers, BayesConfig::new(2, 100), true)
+            .total_cycles;
         assert!(t100 > t3);
         // With IC the growth is sub-linear in S (prefix amortised).
         assert!((t100 as f64) < (t3 as f64) * 100.0 / 3.0);
@@ -307,7 +318,10 @@ mod tests {
     fn fc_layers_are_memory_bound() {
         let net = models::lenet5(10, 1, 28, 1);
         let layers = extract_layers(&net, Shape4::new(1, 1, 28, 28));
-        let fc1 = layers.iter().find(|l| l.name.starts_with("fc")).expect("fc exists");
+        let fc1 = layers
+            .iter()
+            .find(|l| l.name.starts_with("fc"))
+            .expect("fc exists");
         let t = pm().layer_timing(fc1, true, true);
         assert_eq!(t.bound, Bound::Memory, "batch-1 FC must be DDR-bound");
     }
@@ -317,12 +331,14 @@ mod tests {
         let layers = resnet101_desc();
         // A mid-network 3x3 with C=256 saturates PC; the stem (C=3) cannot.
         let stem = pm().layer_timing(&layers[0], true, true);
-        let mid = pm()
-            .layer_timing(
-                layers.iter().find(|l| l.in_c == 256 && l.k == 3).expect("3x3x256 exists"),
-                true,
-                true,
-            );
+        let mid = pm().layer_timing(
+            layers
+                .iter()
+                .find(|l| l.in_c == 256 && l.k == 3)
+                .expect("3x3x256 exists"),
+            true,
+            true,
+        );
         assert!(mid.utilization > stem.utilization);
         assert!(mid.utilization > 0.9, "wide 3x3 should be >90% utilised");
     }

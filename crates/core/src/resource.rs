@@ -174,7 +174,14 @@ impl ResourceModel {
             + ALM_PER_OVERFLOW_MULT * overflow_mults;
         let registers = REG_BASE + REG_PER_MAC * mults;
 
-        ResourceUsage { dsps, dsp_overflow: overflow_mults, alms, registers, m20k, buffer_bytes }
+        ResourceUsage {
+            dsps,
+            dsp_overflow: overflow_mults,
+            alms,
+            registers,
+            m20k,
+            buffer_bytes,
+        }
     }
 
     /// Whether the estimated usage fits the device.
@@ -230,7 +237,10 @@ mod tests {
         let alm_frac = u.alms as f64 / 427_200.0;
         let reg_frac = u.registers as f64 / 1_708_800.0;
         assert!((0.5..=0.9).contains(&alm_frac), "ALM fraction {alm_frac}");
-        assert!((0.35..=0.7).contains(&reg_frac), "register fraction {reg_frac}");
+        assert!(
+            (0.35..=0.7).contains(&reg_frac),
+            "register fraction {reg_frac}"
+        );
     }
 
     #[test]
@@ -247,7 +257,7 @@ mod tests {
     #[test]
     fn small_config_fits_small_device() {
         let model = ResourceModel::new(FpgaDevice::zynq_7020());
-        let wl = vec![extract_layers(
+        let wl = [extract_layers(
             &models::lenet5(10, 1, 28, 1),
             Shape4::new(1, 1, 28, 28),
         )];

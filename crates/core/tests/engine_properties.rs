@@ -35,8 +35,7 @@ fn random_net(
         let r = b.relu(bn);
         cur = if residual && c_in == c_out && kernel % 2 == 1 {
             // Identity-shaped residual: add the masked block input.
-            let a = b.add(r, m);
-            a
+            b.add(r, m)
         } else {
             r
         };

@@ -3,85 +3,55 @@
 /// Row-major 7×5 bitmaps; `1` marks an inked cell.
 pub const DIGITS: [[u8; 35]; 10] = [
     // 0
-    [0,1,1,1,0,
-     1,0,0,0,1,
-     1,0,0,1,1,
-     1,0,1,0,1,
-     1,1,0,0,1,
-     1,0,0,0,1,
-     0,1,1,1,0],
+    [
+        0, 1, 1, 1, 0, 1, 0, 0, 0, 1, 1, 0, 0, 1, 1, 1, 0, 1, 0, 1, 1, 1, 0, 0, 1, 1, 0, 0, 0, 1,
+        0, 1, 1, 1, 0,
+    ],
     // 1
-    [0,0,1,0,0,
-     0,1,1,0,0,
-     0,0,1,0,0,
-     0,0,1,0,0,
-     0,0,1,0,0,
-     0,0,1,0,0,
-     0,1,1,1,0],
+    [
+        0, 0, 1, 0, 0, 0, 1, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0,
+        0, 1, 1, 1, 0,
+    ],
     // 2
-    [0,1,1,1,0,
-     1,0,0,0,1,
-     0,0,0,0,1,
-     0,0,0,1,0,
-     0,0,1,0,0,
-     0,1,0,0,0,
-     1,1,1,1,1],
+    [
+        0, 1, 1, 1, 0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0,
+        1, 1, 1, 1, 1,
+    ],
     // 3
-    [0,1,1,1,0,
-     1,0,0,0,1,
-     0,0,0,0,1,
-     0,0,1,1,0,
-     0,0,0,0,1,
-     1,0,0,0,1,
-     0,1,1,1,0],
+    [
+        0, 1, 1, 1, 0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 1, 1, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 1,
+        0, 1, 1, 1, 0,
+    ],
     // 4
-    [0,0,0,1,0,
-     0,0,1,1,0,
-     0,1,0,1,0,
-     1,0,0,1,0,
-     1,1,1,1,1,
-     0,0,0,1,0,
-     0,0,0,1,0],
+    [
+        0, 0, 0, 1, 0, 0, 0, 1, 1, 0, 0, 1, 0, 1, 0, 1, 0, 0, 1, 0, 1, 1, 1, 1, 1, 0, 0, 0, 1, 0,
+        0, 0, 0, 1, 0,
+    ],
     // 5
-    [1,1,1,1,1,
-     1,0,0,0,0,
-     1,1,1,1,0,
-     0,0,0,0,1,
-     0,0,0,0,1,
-     1,0,0,0,1,
-     0,1,1,1,0],
+    [
+        1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 1, 0, 0, 0, 1,
+        0, 1, 1, 1, 0,
+    ],
     // 6
-    [0,0,1,1,0,
-     0,1,0,0,0,
-     1,0,0,0,0,
-     1,1,1,1,0,
-     1,0,0,0,1,
-     1,0,0,0,1,
-     0,1,1,1,0],
+    [
+        0, 0, 1, 1, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 1, 1, 1, 1, 0, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1,
+        0, 1, 1, 1, 0,
+    ],
     // 7
-    [1,1,1,1,1,
-     0,0,0,0,1,
-     0,0,0,1,0,
-     0,0,1,0,0,
-     0,1,0,0,0,
-     0,1,0,0,0,
-     0,1,0,0,0],
+    [
+        1, 1, 1, 1, 1, 0, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0,
+        0, 1, 0, 0, 0,
+    ],
     // 8
-    [0,1,1,1,0,
-     1,0,0,0,1,
-     1,0,0,0,1,
-     0,1,1,1,0,
-     1,0,0,0,1,
-     1,0,0,0,1,
-     0,1,1,1,0],
+    [
+        0, 1, 1, 1, 0, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1, 0, 1, 1, 1, 0, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1,
+        0, 1, 1, 1, 0,
+    ],
     // 9
-    [0,1,1,1,0,
-     1,0,0,0,1,
-     1,0,0,0,1,
-     0,1,1,1,1,
-     0,0,0,0,1,
-     0,0,0,1,0,
-     0,1,1,0,0],
+    [
+        0, 1, 1, 1, 0, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1, 0, 1, 1, 1, 1, 0, 0, 0, 0, 1, 0, 0, 0, 1, 0,
+        0, 1, 1, 0, 0,
+    ],
 ];
 
 /// Bilinear sample of a glyph at continuous coordinates
@@ -112,6 +82,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // a/b index two glyphs at once
     fn glyphs_are_distinct() {
         for a in 0..10 {
             for b in (a + 1)..10 {

@@ -86,7 +86,10 @@ fn build(
     seed: u64,
     mut gen: impl FnMut(usize, &mut SoftRng, &mut [f32]),
 ) -> Dataset {
-    assert!(train_n > 0 && test_n > 0, "dataset split sizes must be non-zero");
+    assert!(
+        train_n > 0 && test_n > 0,
+        "dataset split sizes must be non-zero"
+    );
     let mut rng = SoftRng::new(seed);
     let mut make = |n: usize, rng: &mut SoftRng| {
         let shape = shape1.with_n(n);
@@ -206,7 +209,7 @@ mod tests {
     #[test]
     fn labels_cover_classes() {
         let ds = synth_cifar(200, 50, 6);
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for &y in &ds.train_y {
             seen[y] = true;
         }
@@ -220,7 +223,11 @@ mod tests {
         let j = ds.train_y.iter().rposition(|&y| y == 3);
         if let (Some(i), Some(j)) = (i, j) {
             if i != j {
-                assert_ne!(ds.train_x.item(i), ds.train_x.item(j), "jitter must vary instances");
+                assert_ne!(
+                    ds.train_x.item(i),
+                    ds.train_x.item(j),
+                    "jitter must vary instances"
+                );
             }
         }
     }
@@ -236,8 +243,14 @@ mod tests {
 
     #[test]
     fn shapes_match_families() {
-        assert_eq!(synth_mnist(4, 2, 1).image_shape(), Shape4::new(1, 1, 28, 28));
+        assert_eq!(
+            synth_mnist(4, 2, 1).image_shape(),
+            Shape4::new(1, 1, 28, 28)
+        );
         assert_eq!(synth_svhn(4, 2, 1).image_shape(), Shape4::new(1, 3, 32, 32));
-        assert_eq!(synth_cifar(4, 2, 1).image_shape(), Shape4::new(1, 3, 32, 32));
+        assert_eq!(
+            synth_cifar(4, 2, 1).image_shape(),
+            Shape4::new(1, 3, 32, 32)
+        );
     }
 }

@@ -19,7 +19,12 @@ pub struct DigitStyle {
 impl DigitStyle {
     /// The easy (MNIST-like) style.
     pub fn grey_easy() -> DigitStyle {
-        DigitStyle { rot: 0.15, scale_jitter: 0.12, shift: 2.5, noise: 0.08 }
+        DigitStyle {
+            rot: 0.15,
+            scale_jitter: 0.12,
+            shift: 2.5,
+            noise: 0.08,
+        }
     }
 }
 
@@ -29,7 +34,10 @@ pub fn draw_digit(class: usize, rng: &mut SoftRng, out: &mut [f32], img: usize, 
     debug_assert_eq!(out.len(), img * img);
     let rot = rng.range_f32(-st.rot, st.rot);
     let scale = 0.62 * (1.0 + rng.range_f32(-st.scale_jitter, st.scale_jitter));
-    let (sx, sy) = (rng.range_f32(-st.shift, st.shift), rng.range_f32(-st.shift, st.shift));
+    let (sx, sy) = (
+        rng.range_f32(-st.shift, st.shift),
+        rng.range_f32(-st.shift, st.shift),
+    );
     let (cos, sin) = (rot.cos(), rot.sin());
     let c = img as f32 / 2.0;
     let half = scale * img as f32 / 2.0;
@@ -53,7 +61,11 @@ pub fn draw_digit_color(class: usize, rng: &mut SoftRng, out: &mut [f32], img: u
     debug_assert_eq!(out.len(), 3 * img * img);
     let plane = img * img;
     // Background and foreground colors with guaranteed contrast.
-    let bg = [rng.next_f32() * 0.6, rng.next_f32() * 0.6, rng.next_f32() * 0.6];
+    let bg = [
+        rng.next_f32() * 0.6,
+        rng.next_f32() * 0.6,
+        rng.next_f32() * 0.6,
+    ];
     let mut fg = [
         0.4 + rng.next_f32() * 0.6,
         0.4 + rng.next_f32() * 0.6,
@@ -63,7 +75,12 @@ pub fn draw_digit_color(class: usize, rng: &mut SoftRng, out: &mut [f32], img: u
     let k = rng.next_below(3);
     fg[k] = (bg[k] + 0.55).min(1.0);
 
-    let st = DigitStyle { rot: 0.22, scale_jitter: 0.18, shift: 3.5, noise: 0.0 };
+    let st = DigitStyle {
+        rot: 0.22,
+        scale_jitter: 0.18,
+        shift: 3.5,
+        noise: 0.0,
+    };
     let mut ink = vec![0.0f32; plane];
     draw_digit(class, rng, &mut ink, img, st);
 
@@ -75,8 +92,7 @@ pub fn draw_digit_color(class: usize, rng: &mut SoftRng, out: &mut [f32], img: u
             let a = ink[i];
             let light = 1.0 + grad * (x as f32 / img as f32 - 0.5);
             for ch in 0..3 {
-                let v = (bg[ch] * (1.0 - a) + fg[ch] * a) * light
-                    + rng.normal_f32(0.0, 0.12);
+                let v = (bg[ch] * (1.0 - a) + fg[ch] * a) * light + rng.normal_f32(0.0, 0.12);
                 out[ch * plane + i] = v.clamp(0.0, 1.0);
             }
         }

@@ -11,16 +11,16 @@ use bnn_rng::SoftRng;
 fn inside(class: usize, x: f32, y: f32) -> bool {
     let r2 = x * x + y * y;
     match class {
-        0 => r2 < 0.55,                                   // disc
-        1 => r2 < 0.6 && r2 > 0.22,                       // ring
-        2 => x.abs() < 0.62 && y.abs() < 0.62,            // square
+        0 => r2 < 0.55,                                          // disc
+        1 => r2 < 0.6 && r2 > 0.22,                              // ring
+        2 => x.abs() < 0.62 && y.abs() < 0.62,                   // square
         3 => y > -0.6 && y < 0.55 && x.abs() < (y + 0.62) * 0.6, // triangle
-        4 => x.abs() < 0.22 || y.abs() < 0.22,            // cross
-        5 => (y * 4.7).sin() > 0.0,                       // horizontal stripes
-        6 => (x * 4.7).sin() > 0.0,                       // vertical stripes
-        7 => ((x * 4.0).sin() * (y * 4.0).sin()) > 0.0,   // checker
-        8 => (x + y).abs() < 0.3,                         // diagonal bar
-        9 => ((x * 2.5).sin() + (y * 2.5).cos()) > 0.35,  // blob field
+        4 => x.abs() < 0.22 || y.abs() < 0.22,                   // cross
+        5 => (y * 4.7).sin() > 0.0,                              // horizontal stripes
+        6 => (x * 4.7).sin() > 0.0,                              // vertical stripes
+        7 => ((x * 4.0).sin() * (y * 4.0).sin()) > 0.0,          // checker
+        8 => (x + y).abs() < 0.3,                                // diagonal bar
+        9 => ((x * 2.5).sin() + (y * 2.5).cos()) > 0.35,         // blob field
         _ => unreachable!("ten shape classes"),
     }
 }
@@ -30,7 +30,11 @@ fn inside(class: usize, x: f32, y: f32) -> bool {
 pub fn draw_shape(class: usize, rng: &mut SoftRng, out: &mut [f32], img: usize) {
     debug_assert_eq!(out.len(), 3 * img * img);
     let plane = img * img;
-    let bg = [rng.next_f32() * 0.7, rng.next_f32() * 0.7, rng.next_f32() * 0.7];
+    let bg = [
+        rng.next_f32() * 0.7,
+        rng.next_f32() * 0.7,
+        rng.next_f32() * 0.7,
+    ];
     let mut fg = [rng.next_f32(), rng.next_f32(), rng.next_f32()];
     let k = rng.next_below(3);
     fg[k] = (bg[k] + 0.5).min(1.0);
@@ -71,7 +75,10 @@ mod tests {
         for class in 0..10 {
             let mut buf = vec![0.0f32; 3 * 32 * 32];
             draw_shape(class, &mut rng, &mut buf, 32);
-            assert!(buf.iter().all(|&v| (0.0..=1.0).contains(&v)), "class {class}");
+            assert!(
+                buf.iter().all(|&v| (0.0..=1.0).contains(&v)),
+                "class {class}"
+            );
         }
     }
 
@@ -90,7 +97,10 @@ mod tests {
                         }
                     }
                 }
-                assert!(diff > 10, "classes {a} and {b} are nearly identical ({diff})");
+                assert!(
+                    diff > 10,
+                    "classes {a} and {b} are nearly identical ({diff})"
+                );
             }
         }
     }

@@ -106,11 +106,22 @@ impl Explorer {
     }
 
     /// Evaluate one `{L, S}` point.
-    pub fn evaluate(&self, provider: &mut dyn MetricProvider, l: usize, s: usize) -> CandidatePoint {
+    pub fn evaluate(
+        &self,
+        provider: &mut dyn MetricProvider,
+        l: usize,
+        s: usize,
+    ) -> CandidatePoint {
         let bayes = BayesConfig::new(l, s);
         let cfg = self.perf.config();
-        let fpga = self.perf.network_timing(&self.layers, bayes, true).latency_ms(cfg);
-        let fpga_no_ic = self.perf.network_timing(&self.layers, bayes, false).latency_ms(cfg);
+        let fpga = self
+            .perf
+            .network_timing(&self.layers, bayes, true)
+            .latency_ms(cfg);
+        let fpga_no_ic = self
+            .perf
+            .network_timing(&self.layers, bayes, false)
+            .latency_ms(cfg);
         let cpu = self.cpu.bayes_latency_ms(&self.layers, bayes);
         let gpu = self.gpu.bayes_latency_ms(&self.layers, bayes);
         let q = provider.metrics(l, s);
@@ -147,7 +158,11 @@ impl Explorer {
     ) -> ExplorationResult {
         let candidates = self.candidates(provider);
         let selected = select(&candidates, mode, requirements);
-        ExplorationResult { config: *self.perf.config(), candidates, selected }
+        ExplorationResult {
+            config: *self.perf.config(),
+            candidates,
+            selected,
+        }
     }
 }
 
@@ -223,7 +238,11 @@ mod tests {
         let mut p = SyntheticMetricProvider::resnet18();
         let r = e.explore(&mut p, OptMode::Latency, &Requirements::none());
         let sel = r.selected.expect("unconstrained selection exists");
-        assert_eq!((sel.l, sel.s), (1, 3), "paper Table I: Opt-Latency picks {{1, 3}}");
+        assert_eq!(
+            (sel.l, sel.s),
+            (1, 3),
+            "paper Table I: Opt-Latency picks {{1, 3}}"
+        );
     }
 
     #[test]
@@ -233,7 +252,11 @@ mod tests {
         let r = e.explore(&mut p, OptMode::Uncertainty, &Requirements::none());
         let sel = r.selected.expect("selection exists");
         assert_eq!(sel.s, 100, "uncertainty wants the most samples");
-        assert!(sel.l >= 12, "uncertainty wants many Bayesian layers, got {}", sel.l);
+        assert!(
+            sel.l >= 12,
+            "uncertainty wants many Bayesian layers, got {}",
+            sel.l
+        );
     }
 
     #[test]
@@ -246,9 +269,14 @@ mod tests {
             .explore(&mut p, OptMode::Uncertainty, &Requirements::none())
             .selected
             .expect("exists");
-        let tight = Requirements { max_latency_ms: Some(2.0), ..Requirements::none() };
-        let constrained =
-            e.explore(&mut p, OptMode::Uncertainty, &tight).selected.expect("exists");
+        let tight = Requirements {
+            max_latency_ms: Some(2.0),
+            ..Requirements::none()
+        };
+        let constrained = e
+            .explore(&mut p, OptMode::Uncertainty, &tight)
+            .selected
+            .expect("exists");
         assert!(constrained.fpga_ms <= 2.0);
         assert!(constrained.ape <= unconstrained.ape);
     }

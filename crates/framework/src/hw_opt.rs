@@ -25,7 +25,8 @@ pub fn optimize_hardware(device: &FpgaDevice, workloads: &[&[LayerDesc]]) -> Acc
             .iter()
             .map(|ls| {
                 let n = ls.iter().filter_map(|l| l.input_site).count().max(1);
-                perf.network_timing(ls, BayesConfig::new(n, 1), true).total_cycles
+                perf.network_timing(ls, BayesConfig::new(n, 1), true)
+                    .total_cycles
             })
             .sum();
         let better = match &best {
@@ -36,7 +37,8 @@ pub fn optimize_hardware(device: &FpgaDevice, workloads: &[&[LayerDesc]]) -> Acc
             best = Some((cfg, mults, lat));
         }
     }
-    best.map(|(c, _, _)| c).expect("the smallest design-space point always fits")
+    best.map(|(c, _, _)| c)
+        .expect("the smallest design-space point always fits")
 }
 
 #[cfg(test)]

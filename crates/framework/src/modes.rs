@@ -19,7 +19,12 @@ pub enum OptMode {
 impl OptMode {
     /// All four modes, in the paper's order.
     pub fn all() -> [OptMode; 4] {
-        [OptMode::Latency, OptMode::Accuracy, OptMode::Uncertainty, OptMode::Confidence]
+        [
+            OptMode::Latency,
+            OptMode::Accuracy,
+            OptMode::Uncertainty,
+            OptMode::Confidence,
+        ]
     }
 
     /// Display name matching the paper's tables.

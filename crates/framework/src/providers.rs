@@ -1,8 +1,10 @@
 //! Quality-metric providers for the algorithmic exploration stage.
 
 use bnn_data::{gaussian_noise_like, Dataset};
-use bnn_mcd::{accuracy, avg_predictive_entropy, ece, mean_probs, BayesConfig, McdPredictor,
-    SoftwareMaskSource};
+use bnn_mcd::{
+    accuracy, avg_predictive_entropy, ece, mean_probs, BayesConfig, McdPredictor,
+    SoftwareMaskSource,
+};
 use bnn_nn::{models, Graph, SgdConfig, Trainer};
 use bnn_tensor::{Shape4, Tensor};
 use std::collections::HashMap;
@@ -46,17 +48,35 @@ pub struct SyntheticMetricProvider {
 impl SyntheticMetricProvider {
     /// Trend model for LeNet-5 on MNIST-like data.
     pub fn lenet5() -> SyntheticMetricProvider {
-        SyntheticMetricProvider { n: 5, base_acc: 0.9920, acc_gain: 0.0015, ape_max: 1.1, ece_base: 0.01 }
+        SyntheticMetricProvider {
+            n: 5,
+            base_acc: 0.9920,
+            acc_gain: 0.0015,
+            ape_max: 1.1,
+            ece_base: 0.01,
+        }
     }
 
     /// Trend model for VGG-11 on SVHN-like data.
     pub fn vgg11() -> SyntheticMetricProvider {
-        SyntheticMetricProvider { n: 11, base_acc: 0.952, acc_gain: 0.012, ape_max: 2.0, ece_base: 0.03 }
+        SyntheticMetricProvider {
+            n: 11,
+            base_acc: 0.952,
+            acc_gain: 0.012,
+            ape_max: 2.0,
+            ece_base: 0.03,
+        }
     }
 
     /// Trend model for ResNet-18 on CIFAR-like data.
     pub fn resnet18() -> SyntheticMetricProvider {
-        SyntheticMetricProvider { n: 18, base_acc: 0.925, acc_gain: 0.004, ape_max: 1.3, ece_base: 0.05 }
+        SyntheticMetricProvider {
+            n: 18,
+            base_acc: 0.925,
+            acc_gain: 0.004,
+            ape_max: 1.3,
+            ece_base: 0.05,
+        }
     }
 }
 
@@ -72,7 +92,11 @@ impl MetricProvider for SyntheticMetricProvider {
         let ape = self.ape_max * lf.powf(0.7) * (0.35 + 0.65 * sf);
         // ECE: improves with S; best near 2/3 N.
         let ece = (self.ece_base * (1.6 - sf) * (1.0 + 1.8 * (lf - 0.66).powi(2))).max(0.001);
-        QualityMetrics { accuracy: acc, ape, ece }
+        QualityMetrics {
+            accuracy: acc,
+            ape,
+            ece,
+        }
     }
 }
 
@@ -102,10 +126,16 @@ impl NetKind {
     /// reaches 82 % test accuracy at 0.02 and 11 % at 0.05).
     pub fn sgd_config(&self) -> SgdConfig {
         match self {
-            NetKind::LeNet5 => SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 5e-4 },
-            NetKind::Vgg11 | NetKind::ResNet18 => {
-                SgdConfig { lr: 0.02, momentum: 0.9, weight_decay: 5e-4 }
-            }
+            NetKind::LeNet5 => SgdConfig {
+                lr: 0.05,
+                momentum: 0.9,
+                weight_decay: 5e-4,
+            },
+            NetKind::Vgg11 | NetKind::ResNet18 => SgdConfig {
+                lr: 0.02,
+                momentum: 0.9,
+                weight_decay: 5e-4,
+            },
         }
     }
 }
@@ -129,7 +159,13 @@ pub struct TrainingBudget {
 
 impl Default for TrainingBudget {
     fn default() -> Self {
-        TrainingBudget { epochs: 3, batch: 32, test_n: 128, noise_n: 64, s_max: 100 }
+        TrainingBudget {
+            epochs: 3,
+            batch: 32,
+            test_n: 128,
+            noise_n: 64,
+            s_max: 100,
+        }
     }
 }
 
@@ -170,7 +206,13 @@ impl TrainedMetricProvider {
         budget: TrainingBudget,
         seed: u64,
     ) -> TrainedMetricProvider {
-        TrainedMetricProvider { kind, dataset, budget, seed, cache: HashMap::new() }
+        TrainedMetricProvider {
+            kind,
+            dataset,
+            budget,
+            seed,
+            cache: HashMap::new(),
+        }
     }
 
     fn ensure_l(&mut self, l: usize) {
@@ -208,7 +250,14 @@ impl TrainedMetricProvider {
         let test_passes = pred.sample_probs(&test_x, cfg, &mut src);
         let noise_passes = pred.sample_probs(&noise, cfg, &mut src);
 
-        self.cache.insert(l, CachedEval { test_passes, noise_passes, test_labels });
+        self.cache.insert(
+            l,
+            CachedEval {
+                test_passes,
+                noise_passes,
+                test_labels,
+            },
+        );
     }
 }
 
@@ -264,7 +313,13 @@ mod tests {
         let mut p = TrainedMetricProvider::new(
             NetKind::LeNet5,
             ds,
-            TrainingBudget { epochs: 1, batch: 16, test_n: 16, noise_n: 8, s_max: 4 },
+            TrainingBudget {
+                epochs: 1,
+                batch: 16,
+                test_n: 16,
+                noise_n: 8,
+                s_max: 4,
+            },
             7,
         );
         let m = p.metrics(2, 3);

@@ -36,5 +36,7 @@ mod predict;
 mod source;
 
 pub use metrics::{accuracy, avg_predictive_entropy, ece, mutual_information, nll, Calibration};
-pub use predict::{active_sites, mean_probs, predictive_batched, BayesConfig, McdPredictor};
+pub use predict::{
+    active_sites, mean_probs, predictive_batched, BayesConfig, McdPredictor, ParallelConfig,
+};
 pub use source::{HardwareMaskSource, MaskSource, SoftwareMaskSource};

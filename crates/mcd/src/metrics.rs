@@ -26,13 +26,13 @@ pub fn accuracy(probs: &Tensor, labels: &[usize]) -> f64 {
 /// better there (the network *should* be uncertain).
 pub fn avg_predictive_entropy(probs: &Tensor) -> f64 {
     let s = probs.shape();
-    let (n, k) = (s.n, s.item_len());
+    let n = s.n;
     let mut total = 0.0f64;
     for i in 0..n {
         let row = probs.item(i);
         let mut h = 0.0f64;
-        for j in 0..k {
-            let p = f64::from(row[j]);
+        for &pv in row {
+            let p = f64::from(pv);
             if p > 0.0 {
                 h -= p * p.ln();
             }
@@ -148,7 +148,12 @@ pub fn ece(probs: &Tensor, labels: &[usize], bins: usize) -> Calibration {
         accuracy_v[b] = acc_sum[b] / counts[b] as f64;
         ece_val += (counts[b] as f64 / n as f64) * (accuracy_v[b] - confidence[b]).abs();
     }
-    Calibration { counts, confidence, accuracy: accuracy_v, ece: ece_val }
+    Calibration {
+        counts,
+        confidence,
+        accuracy: accuracy_v,
+        ece: ece_val,
+    }
 }
 
 #[cfg(test)]

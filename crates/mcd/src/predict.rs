@@ -1,9 +1,20 @@
 //! Monte Carlo predictive inference with software intermediate-layer
-//! caching.
+//! caching and a parallel sampling engine.
+//!
+//! The `S` Monte Carlo forward passes are embarrassingly parallel —
+//! the insight both the DAC'21 accelerator and VIBNN bank sampler
+//! units around. The software analogue here: all `S` mask sets are
+//! drawn *serially* from the [`MaskSource`] (so the deterministic
+//! stream is identical whatever the thread count), then the
+//! Bayesian-suffix re-runs execute on a scoped thread team, each
+//! worker owning one reusable [`bnn_nn::ExecScratch`]. The predictive
+//! mean is reduced in sample order, making the parallel path
+//! bit-identical to the serial one.
 
 use crate::source::MaskSource;
-use bnn_nn::{Graph, MaskSet, Op};
+use bnn_nn::{ExecScratch, Graph, MaskSet, Op};
 use bnn_tensor::{softmax_rows, Shape4, Tensor};
+use std::num::NonZeroUsize;
 
 /// A partial Bayesian configuration: the last `l` of the network's `N`
 /// weight layers are Bayesian and the predictive distribution averages
@@ -45,6 +56,50 @@ impl BayesConfig {
     }
 }
 
+/// How the predictor spreads Monte Carlo samples over threads.
+///
+/// The mask stream is always drawn serially, so the prediction is
+/// bit-identical for every `threads` value; this only selects how the
+/// suffix re-runs are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads for the per-sample suffix re-runs. `1` is the
+    /// fully serial engine.
+    pub threads: usize,
+}
+
+impl ParallelConfig {
+    /// One worker per available CPU (the default).
+    pub fn max_parallel() -> ParallelConfig {
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        ParallelConfig { threads }
+    }
+
+    /// Serial sampling: no sample-level workers, and the per-sample
+    /// suffix re-runs spawn no threads (convolution batch splitting
+    /// is disabled there too). The one-time deterministic prefix pass
+    /// may still split convolutions across two scoped workers for
+    /// batches of at least four items.
+    pub fn serial() -> ParallelConfig {
+        ParallelConfig { threads: 1 }
+    }
+
+    /// Exactly `threads` workers (clamped to at least one).
+    pub fn with_threads(threads: usize) -> ParallelConfig {
+        ParallelConfig {
+            threads: threads.max(1),
+        }
+    }
+}
+
+impl Default for ParallelConfig {
+    fn default() -> ParallelConfig {
+        ParallelConfig::max_parallel()
+    }
+}
+
 /// Active-site flags for "last `l` of `n` sites".
 pub fn active_sites(n: usize, l: usize) -> Vec<bool> {
     let l = l.min(n);
@@ -64,20 +119,39 @@ pub fn active_sites(n: usize, l: usize) -> Vec<bool> {
 #[derive(Debug)]
 pub struct McdPredictor<'g> {
     graph: &'g Graph,
+    parallel: ParallelConfig,
 }
 
 impl<'g> McdPredictor<'g> {
-    /// Create a predictor for a graph.
+    /// Create a predictor for a graph, parallel over all CPUs by
+    /// default (see [`ParallelConfig`]; results do not depend on the
+    /// thread count).
     pub fn new(graph: &'g Graph) -> McdPredictor<'g> {
-        McdPredictor { graph }
+        McdPredictor {
+            graph,
+            parallel: ParallelConfig::default(),
+        }
+    }
+
+    /// Override the sampling-engine parallelism
+    /// ([`ParallelConfig::serial`] restores the old engine).
+    pub fn with_parallelism(mut self, parallel: ParallelConfig) -> McdPredictor<'g> {
+        self.parallel = parallel;
+        self
     }
 
     /// Node id of the first active MCD site, if any.
     fn first_active_site_node(&self, active: &[bool]) -> Option<usize> {
-        self.graph.nodes().iter().enumerate().find_map(|(id, node)| match node.op {
-            Op::McdSite { site, .. } if active.get(site.0).copied().unwrap_or(false) => Some(id),
-            _ => None,
-        })
+        self.graph
+            .nodes()
+            .iter()
+            .enumerate()
+            .find_map(|(id, node)| match node.op {
+                Op::McdSite { site, .. } if active.get(site.0).copied().unwrap_or(false) => {
+                    Some(id)
+                }
+                _ => None,
+            })
     }
 
     /// Per-sample softmax probabilities: `s` tensors of shape `(n, k)`.
@@ -113,13 +187,54 @@ impl<'g> McdPredictor<'g> {
             Some(site_node) => {
                 // IC: run the prefix once, re-run the suffix per sample.
                 let prefix = self.graph.forward_full(x, &MaskSet::none());
-                (0..cfg.s)
-                    .map(|_| {
-                        let masks = src.next_masks(&active, &channels, cfg.p);
-                        let logits = self.graph.forward_from(&prefix, site_node - 1, &masks);
-                        softmaxed(logits)
+                // All mask sets are drawn serially up front so the
+                // deterministic stream never depends on thread timing.
+                let mask_sets: Vec<MaskSet> = (0..cfg.s)
+                    .map(|_| src.next_masks(&active, &channels, cfg.p))
+                    .collect();
+                let run = |masks: &MaskSet, scratch: &mut ExecScratch| {
+                    softmaxed(
+                        self.graph
+                            .forward_from_with(&prefix, site_node - 1, masks, scratch),
+                    )
+                };
+                let threads = self.parallel.threads.clamp(1, cfg.s);
+                if threads == 1 {
+                    // Strictly serial: suffix-sized scratch, no conv
+                    // batch splitting, no threads anywhere.
+                    let mut scratch = self
+                        .graph
+                        .scratch_after(x.shape(), site_node - 1)
+                        .serial_conv();
+                    mask_sets.iter().map(|m| run(m, &mut scratch)).collect()
+                } else {
+                    // Contiguous sample chunks per worker; joining in
+                    // spawn order keeps the samples in stream order.
+                    let chunk = cfg.s.div_ceil(threads);
+                    let run = &run;
+                    std::thread::scope(|scope| {
+                        let workers: Vec<_> = mask_sets
+                            .chunks(chunk)
+                            .map(|ms| {
+                                scope.spawn(move || {
+                                    // Sample-level parallelism owns the
+                                    // host; per-conv batch splitting on
+                                    // top would only oversubscribe it.
+                                    // Scratch covers the suffix only.
+                                    let mut scratch = self
+                                        .graph
+                                        .scratch_after(x.shape(), site_node - 1)
+                                        .serial_conv();
+                                    ms.iter().map(|m| run(m, &mut scratch)).collect::<Vec<_>>()
+                                })
+                            })
+                            .collect();
+                        workers
+                            .into_iter()
+                            .flat_map(|w| w.join().expect("sampler thread panicked"))
+                            .collect()
                     })
-                    .collect()
+                }
             }
         }
     }
@@ -232,7 +347,10 @@ mod tests {
             let mut logits = net.forward(&x, &masks);
             let s = logits.shape();
             softmax_rows(logits.as_mut_slice(), s.n, s.item_len());
-            assert!(f.max_abs_diff(&logits) < 1e-6, "IC path diverged from full forward");
+            assert!(
+                f.max_abs_diff(&logits) < 1e-6,
+                "IC path diverged from full forward"
+            );
         }
     }
 
@@ -241,8 +359,15 @@ mod tests {
         let net = models::lenet5(10, 1, 16, 5);
         let x = Tensor::full(Shape4::new(1, 1, 16, 16), 0.3);
         let mut src = SoftwareMaskSource::new(2);
-        let passes =
-            McdPredictor::new(&net).sample_probs(&x, BayesConfig { l: 0, s: 4, p: 0.25 }, &mut src);
+        let passes = McdPredictor::new(&net).sample_probs(
+            &x,
+            BayesConfig {
+                l: 0,
+                s: 4,
+                p: 0.25,
+            },
+            &mut src,
+        );
         for p in &passes[1..] {
             assert_eq!(p.as_slice(), passes[0].as_slice());
         }

@@ -20,7 +20,9 @@ pub struct SoftwareMaskSource {
 impl SoftwareMaskSource {
     /// Create from a seed.
     pub fn new(seed: u64) -> SoftwareMaskSource {
-        SoftwareMaskSource { rng: SoftRng::new(seed) }
+        SoftwareMaskSource {
+            rng: SoftRng::new(seed),
+        }
     }
 }
 
@@ -54,7 +56,10 @@ impl HardwareMaskSource {
         seed: u64,
     ) -> Option<HardwareMaskSource> {
         let p = DropProbability::new(p_num, p_log2den)?;
-        Some(HardwareMaskSource { sampler: BernoulliSampler::new(p, pf, fifo_depth, seed), p })
+        Some(HardwareMaskSource {
+            sampler: BernoulliSampler::new(p, pf, fifo_depth, seed),
+            p,
+        })
     }
 
     /// The paper's configuration: `p = 0.25`, `P_F = 64`, FIFO depth 64.
@@ -83,7 +88,10 @@ impl MaskSource for HardwareMaskSource {
             .iter()
             .zip(channels)
             .map(|(&on, &c)| {
-                on.then(|| Mask { keep: self.sampler.generate_mask(c), scale })
+                on.then(|| Mask {
+                    keep: self.sampler.generate_mask(c),
+                    scale,
+                })
             })
             .collect();
         MaskSet::from_masks(masks)
@@ -101,7 +109,10 @@ mod tests {
         let (act, ch) = (vec![true, false], vec![8usize, 4]);
         let ma = a.next_masks(&act, &ch, 0.25);
         let mb = b.next_masks(&act, &ch, 0.25);
-        assert_eq!(ma.get(0).map(|m| m.keep.clone()), mb.get(0).map(|m| m.keep.clone()));
+        assert_eq!(
+            ma.get(0).map(|m| m.keep.clone()),
+            mb.get(0).map(|m| m.keep.clone())
+        );
         assert!(ma.get(1).is_none());
     }
 

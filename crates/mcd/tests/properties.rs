@@ -7,7 +7,9 @@ use proptest::prelude::*;
 fn prob_rows(rows: usize, cols: usize, seed: u64) -> Tensor {
     let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) as f32 / (1u64 << 31) as f32) * 4.0 - 2.0
     };
     let mut logits: Vec<f32> = (0..rows * cols).map(|_| next()).collect();

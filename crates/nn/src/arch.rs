@@ -109,7 +109,11 @@ pub fn first_bayesian_layer(layers: &[LayerDesc], l: usize) -> usize {
     // Sites can be shared (a projection conv reads the same masked
     // tensor as its block's first conv), so N is the number of
     // *distinct* sites, not the number of site-carrying layers.
-    let n_sites = layers.iter().filter_map(|d| d.input_site).max().map_or(0, |m| m + 1);
+    let n_sites = layers
+        .iter()
+        .filter_map(|d| d.input_site)
+        .max()
+        .map_or(0, |m| m + 1);
     let l = l.min(n_sites);
     if l == 0 {
         return layers.len();
@@ -140,9 +144,14 @@ pub fn extract_layers(graph: &Graph, input: Shape4) -> Vec<LayerDesc> {
     let mut layers = Vec::new();
     for (id, node) in nodes.iter().enumerate() {
         let (kind, in_c, out_c, k, stride, pad) = match node.op {
-            Op::Conv { in_c, out_c, k, stride, pad, .. } => {
-                (LayerKind::Conv, in_c, out_c, k, stride, pad)
-            }
+            Op::Conv {
+                in_c,
+                out_c,
+                k,
+                stride,
+                pad,
+                ..
+            } => (LayerKind::Conv, in_c, out_c, k, stride, pad),
             Op::Linear { in_f, out_f, .. } => (LayerKind::Linear, in_f, out_f, 1, 1, 0),
             _ => continue,
         };
@@ -170,6 +179,9 @@ pub fn extract_layers(graph: &Graph, input: Shape4) -> Vec<LayerDesc> {
         let mut shortcut_add = false;
         let mut stored = (out_shape.h, out_shape.w);
         let mut cur = id;
+        // (A plain loop, not `while let`: the chain also breaks from
+        // several arms of the op match below.)
+        #[allow(clippy::while_let_loop)]
         loop {
             let next = match consumers[cur].as_slice() {
                 [single] => *single,
@@ -179,15 +191,27 @@ pub fn extract_layers(graph: &Graph, input: Shape4) -> Vec<LayerDesc> {
                 Op::BatchNorm { .. } if !has_relu => has_bn = true,
                 Op::Relu => has_relu = true,
                 Op::MaxPool { k, stride } => {
-                    pool = Some(PoolDesc { k: *k, stride: *stride, global: false });
+                    pool = Some(PoolDesc {
+                        k: *k,
+                        stride: *stride,
+                        global: false,
+                    });
                     stored = (shapes[next].h, shapes[next].w);
                 }
                 Op::AvgPool { k, stride } => {
-                    pool = Some(PoolDesc { k: *k, stride: *stride, global: false });
+                    pool = Some(PoolDesc {
+                        k: *k,
+                        stride: *stride,
+                        global: false,
+                    });
                     stored = (shapes[next].h, shapes[next].w);
                 }
                 Op::GlobalAvgPool => {
-                    pool = Some(PoolDesc { k: 0, stride: 0, global: true });
+                    pool = Some(PoolDesc {
+                        k: 0,
+                        stride: 0,
+                        global: true,
+                    });
                     stored = (1, 1);
                 }
                 Op::Add => {
@@ -259,7 +283,11 @@ pub fn resnet101_desc() -> Vec<LayerDesc> {
             has_relu: true,
             pool: None,
             shortcut_add: false,
-            input_site: Some({ let s = site; site += 1; s }),
+            input_site: Some({
+                let s = site;
+                site += 1;
+                s
+            }),
         });
         hw_out
     };
@@ -268,7 +296,11 @@ pub fn resnet101_desc() -> Vec<LayerDesc> {
     let hw = push("conv1".into(), 3, 64, 7, 2, 3, 224, &mut layers);
     {
         let stem = layers.last_mut().expect("stem exists");
-        stem.pool = Some(PoolDesc { k: 3, stride: 2, global: false });
+        stem.pool = Some(PoolDesc {
+            k: 3,
+            stride: 2,
+            global: false,
+        });
         stem.stored_h = (hw - 1) / 2; // 112 -> 56 with pad-1 3x3/2 pooling
         stem.stored_w = stem.stored_h;
     }
@@ -284,13 +316,49 @@ pub fn resnet101_desc() -> Vec<LayerDesc> {
                 hw /= 2;
             }
             let hw_in = if stride == 2 { hw * 2 } else { hw };
-            push(format!("s{si}b{bi}_1x1a"), in_c, mid, 1, stride, 0, hw_in, &mut layers);
-            push(format!("s{si}b{bi}_3x3"), mid, mid, 3, 1, 1, hw, &mut layers);
-            let _ = push(format!("s{si}b{bi}_1x1b"), mid, out, 1, 1, 0, hw, &mut layers);
+            push(
+                format!("s{si}b{bi}_1x1a"),
+                in_c,
+                mid,
+                1,
+                stride,
+                0,
+                hw_in,
+                &mut layers,
+            );
+            push(
+                format!("s{si}b{bi}_3x3"),
+                mid,
+                mid,
+                3,
+                1,
+                1,
+                hw,
+                &mut layers,
+            );
+            let _ = push(
+                format!("s{si}b{bi}_1x1b"),
+                mid,
+                out,
+                1,
+                1,
+                0,
+                hw,
+                &mut layers,
+            );
             layers.last_mut().expect("block exists").shortcut_add = true;
             if bi == 0 {
                 // Projection shortcut.
-                push(format!("s{si}b{bi}_proj"), in_c, out, 1, stride, 0, hw_in, &mut layers);
+                push(
+                    format!("s{si}b{bi}_proj"),
+                    in_c,
+                    out,
+                    1,
+                    stride,
+                    0,
+                    hw_in,
+                    &mut layers,
+                );
                 let proj = layers.last_mut().expect("projection exists");
                 proj.has_relu = false;
             }
@@ -375,7 +443,10 @@ mod tests {
         // Published ResNet-101 is ~7.8 GMACs at 224².
         assert!((6.5..9.0).contains(&gmacs), "ResNet-101 GMACs = {gmacs}");
         assert!(layers.len() > 100);
-        assert!(layers.iter().all(|l| l.input_site.is_some()), "L = N: every layer Bayesian");
+        assert!(
+            layers.iter().all(|l| l.input_site.is_some()),
+            "L = N: every layer Bayesian"
+        );
     }
 
     #[test]
@@ -396,7 +467,11 @@ mod tests {
             stored_w: 4,
             has_bn: true,
             has_relu: true,
-            pool: Some(PoolDesc { k: 2, stride: 2, global: false }),
+            pool: Some(PoolDesc {
+                k: 2,
+                stride: 2,
+                global: false,
+            }),
             shortcut_add: false,
             input_site: None,
         };

@@ -1,11 +1,12 @@
 //! Forward and backward execution of a [`Graph`] in f32.
 
-use crate::graph::{Graph, Node, NodeId, Op};
+use crate::graph::{node_out_shape, Graph, Node, NodeId, Op};
 use crate::param::ParamStore;
 use bnn_rng::SoftRng;
 use bnn_tensor::{
-    add_inplace, avg_pool, avg_pool_backward, col2im, gemm, gemm_at, gemm_bt, global_avg_pool,
-    im2col, max_pool, max_pool_backward, relu_inplace, Shape4, Tensor,
+    add_inplace, avg_pool, avg_pool_backward, avg_pool_into, col2im, gemm, gemm_at, gemm_bt,
+    global_avg_pool, global_avg_pool_into, im2col, im2col_into, max_pool, max_pool_backward,
+    max_pool_into, relu_inplace, Shape4, Tensor,
 };
 
 /// A channel-wise dropout mask: `keep[c]` keeps channel `c` (scaled by
@@ -48,7 +49,11 @@ impl MaskSet {
         p: f32,
         rng: &mut SoftRng,
     ) -> MaskSet {
-        assert_eq!(active.len(), channels.len(), "active/channels length mismatch");
+        assert_eq!(
+            active.len(),
+            channels.len(),
+            "active/channels length mismatch"
+        );
         let scale = 1.0 / (1.0 - p);
         let masks = active
             .iter()
@@ -128,6 +133,80 @@ fn apply_mask(x: &mut Tensor, mask: &Mask, name: &str) {
     }
 }
 
+/// Convolution forward into a preallocated output, reusing `cols` as
+/// the im2col workspace (grown on demand, never shrunk).
+///
+/// With `split_batch` set and a batch of at least four items, the
+/// items are divided across two scoped workers (each on its own half
+/// of `cols`); callers that already run inside a worker team — the
+/// MCD sampler — pass `false` to avoid oversubscribing the host.
+#[allow(clippy::too_many_arguments)]
+fn conv_forward_into(
+    x: &Tensor,
+    w: &Tensor,
+    b: &Tensor,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    y: &mut Tensor,
+    cols: &mut Vec<f32>,
+    split_batch: bool,
+) {
+    let si = x.shape();
+    let so = y.shape();
+    let (f, ckk, howo) = (so.c, si.c * k * k, so.h * so.w);
+    let item_len = so.item_len();
+    let cols_len = ckk * howo;
+    let one_item = |n: usize, yi: &mut [f32], cols: &mut [f32]| {
+        im2col_into(x.item(n), si.c, si.h, si.w, k, stride, pad, cols);
+        yi.fill(0.0);
+        gemm(f, ckk, howo, w.as_slice(), cols, yi);
+        for (c, &bias) in b.as_slice().iter().enumerate() {
+            for v in &mut yi[c * howo..(c + 1) * howo] {
+                *v += bias;
+            }
+        }
+    };
+    if split_batch && si.n >= 4 {
+        // Batch items are independent; split across two workers, each
+        // owning one half of the (persistent) im2col buffer. The item
+        // computations are untouched, so the outputs are identical to
+        // the serial walk.
+        let mid = si.n / 2;
+        let (lo, hi) = y.as_mut_slice().split_at_mut(mid * item_len);
+        if cols.len() < 2 * cols_len {
+            cols.resize(2 * cols_len, 0.0);
+        }
+        let (cols_a, cols_b) = cols.split_at_mut(cols_len);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for n in 0..mid {
+                    one_item(n, &mut lo[n * item_len..(n + 1) * item_len], cols_a);
+                }
+            });
+            for n in mid..si.n {
+                one_item(
+                    n,
+                    &mut hi[(n - mid) * item_len..(n - mid + 1) * item_len],
+                    &mut cols_b[..cols_len],
+                );
+            }
+        });
+    } else {
+        if cols.len() < cols_len {
+            cols.resize(cols_len, 0.0);
+        }
+        let data = y.as_mut_slice();
+        for n in 0..si.n {
+            one_item(
+                n,
+                &mut data[n * item_len..(n + 1) * item_len],
+                &mut cols[..cols_len],
+            );
+        }
+    }
+}
+
 fn conv_forward(
     x: &Tensor,
     w: &Tensor,
@@ -137,51 +216,34 @@ fn conv_forward(
     stride: usize,
     pad: usize,
 ) -> Tensor {
-    let si = x.shape();
-    let so = out_shape;
-    let mut y = Tensor::zeros(so);
-    let (f, ckk, howo) = (so.c, si.c * k * k, so.h * so.w);
-    let item_len = so.item_len();
-    let one_item = |n: usize, yi: &mut [f32]| {
-        let cols = im2col(x.item(n), si.c, si.h, si.w, k, stride, pad);
-        gemm(f, ckk, howo, w.as_slice(), &cols, yi);
-        for (c, &bias) in b.as_slice().iter().enumerate() {
-            for v in &mut yi[c * howo..(c + 1) * howo] {
-                *v += bias;
-            }
-        }
-    };
-    if si.n >= 4 {
-        // Batch items are independent; split across two workers.
-        let mid = si.n / 2;
-        let (lo, hi) = y.as_mut_slice().split_at_mut(mid * item_len);
-        crossbeam::thread::scope(|scope| {
-            scope.spawn(|_| {
-                for n in 0..mid {
-                    one_item(n, &mut lo[n * item_len..(n + 1) * item_len]);
-                }
-            });
-            for n in mid..si.n {
-                one_item(n, &mut hi[(n - mid) * item_len..(n - mid + 1) * item_len]);
-            }
-        })
-        .expect("conv worker panicked");
-    } else {
-        for n in 0..si.n {
-            one_item(n, y.item_mut(n));
-        }
-    }
+    let mut y = Tensor::zeros(out_shape);
+    let mut cols = Vec::new();
+    conv_forward_into(x, w, b, k, stride, pad, &mut y, &mut cols, true);
     y
 }
 
-fn linear_forward(x: &Tensor, w: &Tensor, b: &Tensor, out_f: usize) -> Tensor {
+/// Fully-connected forward into a preallocated output.
+fn linear_forward_into(x: &Tensor, w: &Tensor, b: &Tensor, y: &mut Tensor) {
     let si = x.shape();
     let in_f = si.item_len();
-    let mut y = Tensor::zeros(Shape4::vec(si.n, out_f));
-    gemm_bt(si.n, in_f, out_f, x.as_slice(), w.as_slice(), y.as_mut_slice());
+    let out_f = y.shape().item_len();
+    y.as_mut_slice().fill(0.0);
+    gemm_bt(
+        si.n,
+        in_f,
+        out_f,
+        x.as_slice(),
+        w.as_slice(),
+        y.as_mut_slice(),
+    );
     for n in 0..si.n {
         add_inplace(y.item_mut(n), b.as_slice());
     }
+}
+
+fn linear_forward(x: &Tensor, w: &Tensor, b: &Tensor, out_f: usize) -> Tensor {
+    let mut y = Tensor::zeros(Shape4::vec(x.shape().n, out_f));
+    linear_forward_into(x, w, b, &mut y);
     y
 }
 
@@ -215,7 +277,10 @@ fn bn_batch_stats(x: &Tensor) -> (Vec<f32>, Vec<f32>) {
     for vc in &mut var {
         *vc /= m;
     }
-    (mean.into_iter().map(|v| v as f32).collect(), var.into_iter().map(|v| v as f32).collect())
+    (
+        mean.into_iter().map(|v| v as f32).collect(),
+        var.into_iter().map(|v| v as f32).collect(),
+    )
 }
 
 fn bn_apply(
@@ -248,7 +313,160 @@ fn bn_apply(
     (y, xhat, inv_std)
 }
 
-/// Evaluation-mode driver: BN reads running statistics, nothing mutates.
+/// Evaluation-mode batch norm (running statistics) into a
+/// preallocated output; no `xhat` cache is produced.
+fn bn_apply_eval_into(
+    x: &Tensor,
+    mean: &[f32],
+    var: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    y: &mut Tensor,
+) {
+    let s = x.shape();
+    assert_eq!(y.shape(), s, "bn eval: output shape mismatch");
+    let plane = s.h * s.w;
+    let item_len = s.item_len();
+    let (xs, ys) = (x.as_slice(), y.as_mut_slice());
+    for n in 0..s.n {
+        let xi = &xs[n * item_len..(n + 1) * item_len];
+        let yo = &mut ys[n * item_len..(n + 1) * item_len];
+        for c in 0..s.c {
+            let inv_std = 1.0 / (var[c] + eps).sqrt();
+            let (g, b, mu) = (gamma[c], beta[c], mean[c]);
+            let range = c * plane..(c + 1) * plane;
+            for (yv, &xv) in yo[range.clone()].iter_mut().zip(&xi[range]) {
+                *yv = g * (xv - mu) * inv_std + b;
+            }
+        }
+    }
+}
+
+/// Reusable per-thread execution workspace: one pre-sized output
+/// tensor per graph node plus a shared im2col column buffer.
+///
+/// Built once per (graph, input shape) via [`Graph::scratch`] and
+/// reused across forward passes, the scratch removes every per-node
+/// `Tensor::zeros` allocation from the evaluation hot path — the MCD
+/// predictor's per-sample Bayesian-suffix re-runs in particular.
+///
+/// A scratch is tied to the input shape it was built for; running a
+/// differently-shaped input through it panics.
+#[derive(Debug, Clone)]
+pub struct ExecScratch {
+    outs: Vec<Tensor>,
+    cols: Vec<f32>,
+    split_conv: bool,
+}
+
+impl ExecScratch {
+    /// Disable the convolution batch split for passes run through
+    /// this scratch. The split spreads a batch of ≥ 4 items over two
+    /// scoped workers; callers that already parallelize at a higher
+    /// level (one scratch per sampler worker, as the MCD engine does)
+    /// should opt out so convs do not oversubscribe the host. Results
+    /// are identical either way.
+    pub fn serial_conv(mut self) -> ExecScratch {
+        self.split_conv = false;
+        self
+    }
+}
+
+/// Execute one node in evaluation mode into a preallocated output.
+///
+/// `get` resolves predecessor outputs (from a prefix cache or the
+/// scratch itself); `input` backs the `Op::Input` node; `cols` is the
+/// shared im2col workspace; `split_conv` forwards to
+/// [`conv_forward_into`]'s batch split.
+#[allow(clippy::too_many_arguments)]
+fn eval_node_into<'a>(
+    node: &Node,
+    params: &ParamStore,
+    get: impl Fn(NodeId) -> &'a Tensor,
+    input: &Tensor,
+    masks: &MaskSet,
+    out: &mut Tensor,
+    cols: &mut Vec<f32>,
+    split_conv: bool,
+) {
+    match &node.op {
+        Op::Input => {
+            assert_eq!(out.shape(), input.shape(), "input shape mismatch");
+            out.as_mut_slice().copy_from_slice(input.as_slice());
+        }
+        Op::Conv {
+            w,
+            b,
+            k,
+            stride,
+            pad,
+            ..
+        } => {
+            conv_forward_into(
+                get(node.inputs[0]),
+                params.get(*w),
+                params.get(*b),
+                *k,
+                *stride,
+                *pad,
+                out,
+                cols,
+                split_conv,
+            );
+        }
+        Op::Linear { w, b, .. } => {
+            linear_forward_into(get(node.inputs[0]), params.get(*w), params.get(*b), out);
+        }
+        Op::BatchNorm {
+            gamma,
+            beta,
+            mean,
+            var,
+            eps,
+            ..
+        } => {
+            bn_apply_eval_into(
+                get(node.inputs[0]),
+                params.get(*mean).as_slice(),
+                params.get(*var).as_slice(),
+                params.get(*gamma).as_slice(),
+                params.get(*beta).as_slice(),
+                *eps,
+                out,
+            );
+        }
+        Op::Relu => {
+            out.as_mut_slice()
+                .copy_from_slice(get(node.inputs[0]).as_slice());
+            relu_inplace(out.as_mut_slice());
+        }
+        Op::MaxPool { k, stride } => max_pool_into(get(node.inputs[0]), *k, *stride, out),
+        Op::AvgPool { k, stride } => avg_pool_into(get(node.inputs[0]), *k, *stride, out),
+        Op::GlobalAvgPool => global_avg_pool_into(get(node.inputs[0]), out),
+        Op::Flatten => {
+            // NCHW flatten is a relabeling; the buffer layout is identical.
+            out.as_mut_slice()
+                .copy_from_slice(get(node.inputs[0]).as_slice());
+        }
+        Op::Add => {
+            out.as_mut_slice()
+                .copy_from_slice(get(node.inputs[0]).as_slice());
+            add_inplace(out.as_mut_slice(), get(node.inputs[1]).as_slice());
+        }
+        Op::McdSite { site, .. } => {
+            out.as_mut_slice()
+                .copy_from_slice(get(node.inputs[0]).as_slice());
+            if let Some(mask) = masks.get(site.0) {
+                apply_mask(out, mask, &node.name);
+            }
+        }
+    }
+}
+
+/// Evaluation-mode driver: BN reads running statistics, nothing
+/// mutates. Allocates each node output once (the caller keeps them),
+/// but shares one im2col workspace across the pass.
 fn run_forward_eval(
     nodes: &[Node],
     params: &ParamStore,
@@ -257,29 +475,31 @@ fn run_forward_eval(
 ) -> Activations {
     let mut outs: Vec<Tensor> = Vec::with_capacity(nodes.len());
     let mut aux: Vec<Aux> = Vec::with_capacity(nodes.len());
+    let mut cols: Vec<f32> = Vec::new();
     for node in nodes {
-        let mut a = Aux::None;
-        let y = match &node.op {
-            Op::BatchNorm { gamma, beta, mean, var, eps, .. } => {
-                let x = &outs[node.inputs[0]];
-                let (y, _xhat, _inv_std) = bn_apply(
-                    x,
-                    params.get(*mean).as_slice(),
-                    params.get(*var).as_slice(),
-                    params.get(*gamma).as_slice(),
-                    params.get(*beta).as_slice(),
-                    *eps,
-                );
-                y
-            }
-            _ => {
-                let single = std::slice::from_ref(node);
-                let mut sub = run_single(single, params, &outs, input, masks, &mut a);
-                sub.pop().expect("single node produces one output")
-            }
-        };
+        // Max-pool keeps its argmax cache so eval-mode activations of
+        // a BN-free graph remain usable by `Graph::backward`, exactly
+        // as before the scratch executor.
+        if let Op::MaxPool { k, stride } = &node.op {
+            let (y, arg) = max_pool(&outs[node.inputs[0]], *k, *stride);
+            outs.push(y);
+            aux.push(Aux::MaxPool(arg));
+            continue;
+        }
+        let shape = node_out_shape(node, input.shape(), |id| outs[id].shape());
+        let mut y = Tensor::zeros(shape);
+        eval_node_into(
+            node,
+            params,
+            |id| &outs[id],
+            input,
+            masks,
+            &mut y,
+            &mut cols,
+            true,
+        );
         outs.push(y);
-        aux.push(a);
+        aux.push(Aux::None);
     }
     Activations { outs, aux }
 }
@@ -292,7 +512,10 @@ impl Graph {
     /// is the deterministic standard NN.
     pub fn forward(&self, input: &Tensor, masks: &MaskSet) -> Tensor {
         let acts = run_forward_eval(&self.nodes, &self.params, input, masks);
-        acts.outs.into_iter().nth(self.output).expect("output node exists")
+        acts.outs
+            .into_iter()
+            .nth(self.output)
+            .expect("output node exists")
     }
 
     /// Evaluation-mode forward pass that keeps every node's output.
@@ -303,45 +526,162 @@ impl Graph {
         run_forward_eval(&self.nodes, &self.params, input, masks)
     }
 
+    /// Build an execution scratch for this graph at a given input
+    /// shape: one pre-sized output tensor per node plus an im2col
+    /// workspace sized for the largest convolution.
+    pub fn scratch(&self, input: Shape4) -> ExecScratch {
+        self.scratch_impl(input, 0)
+    }
+
+    /// Scratch for suffix re-runs resuming after node `from` (the
+    /// [`Graph::forward_from_with`] hot path): only nodes `> from` get
+    /// real output buffers — the prefix slots are empty placeholders,
+    /// since those nodes are read from the prefix cache, never
+    /// executed. A suffix scratch must not be passed to
+    /// [`Graph::forward_with`] (its input slot is a placeholder).
+    pub fn scratch_after(&self, input: Shape4, from: NodeId) -> ExecScratch {
+        self.scratch_impl(input, from + 1)
+    }
+
+    fn scratch_impl(&self, input: Shape4, first_live: usize) -> ExecScratch {
+        let shapes = self.infer_shapes(input);
+        let mut cols_len = 0usize;
+        for (id, node) in self.nodes.iter().enumerate().skip(first_live) {
+            if let Op::Conv { in_c, k, .. } = node.op {
+                let so = shapes[id];
+                cols_len = cols_len.max(in_c * k * k * so.h * so.w);
+            }
+        }
+        let outs = shapes
+            .into_iter()
+            .enumerate()
+            .map(|(id, s)| {
+                if id < first_live {
+                    Tensor::zeros(Shape4::vec(0, 0))
+                } else {
+                    Tensor::zeros(s)
+                }
+            })
+            .collect();
+        ExecScratch {
+            outs,
+            cols: vec![0.0; cols_len],
+            split_conv: true,
+        }
+    }
+
+    /// Evaluation-mode forward pass writing every node output into a
+    /// reusable [`ExecScratch`] (no per-node allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` was built for a different graph or input
+    /// shape.
+    pub fn forward_with(
+        &self,
+        input: &Tensor,
+        masks: &MaskSet,
+        scratch: &mut ExecScratch,
+    ) -> Tensor {
+        let ExecScratch {
+            outs,
+            cols,
+            split_conv,
+        } = scratch;
+        assert_eq!(
+            outs.len(),
+            self.nodes.len(),
+            "scratch built for a different graph"
+        );
+        assert_eq!(
+            outs[self.input].shape(),
+            input.shape(),
+            "scratch built for a different input shape"
+        );
+        for (id, node) in self.nodes.iter().enumerate() {
+            let (done, rest) = outs.split_at_mut(id);
+            eval_node_into(
+                node,
+                &self.params,
+                |j| &done[j],
+                input,
+                masks,
+                &mut rest[0],
+                cols,
+                *split_conv,
+            );
+        }
+        outs[self.output].clone()
+    }
+
     /// Resume an evaluation-mode pass from node `from` (exclusive),
     /// reusing `prefix` outputs for all nodes `<= from`.
     ///
     /// This is the software analogue of the paper's intermediate-layer
     /// caching: the deterministic prefix is computed once and the
-    /// Bayesian suffix re-runs per Monte Carlo sample.
+    /// Bayesian suffix re-runs per Monte Carlo sample. Hot loops
+    /// (the MCD sampler) should prefer [`Graph::forward_from_with`],
+    /// which reuses an [`ExecScratch`] instead of allocating per call.
     ///
     /// # Panics
     ///
     /// Panics if `prefix` does not cover node `from`.
     pub fn forward_from(&self, prefix: &Activations, from: NodeId, masks: &MaskSet) -> Tensor {
-        assert!(prefix.outs.len() > from, "prefix does not cover node {from}");
-        let mut outs: Vec<Tensor> = prefix.outs[..=from].to_vec();
-        let input = prefix.outs[self.input].clone();
-        for node in &self.nodes[from + 1..] {
-            let mut a = Aux::None;
-            let y = match &node.op {
-                Op::BatchNorm { gamma, beta, mean, var, eps, .. } => {
-                    let x = &outs[node.inputs[0]];
-                    let (y, _, _) = bn_apply(
-                        x,
-                        self.params.get(*mean).as_slice(),
-                        self.params.get(*var).as_slice(),
-                        self.params.get(*gamma).as_slice(),
-                        self.params.get(*beta).as_slice(),
-                        *eps,
-                    );
-                    y
-                }
-                _ => {
-                    let single = std::slice::from_ref(node);
-                    let mut sub =
-                        run_single(single, &self.params, &outs, &input, masks, &mut a);
-                    sub.pop().expect("single node produces one output")
-                }
-            };
-            outs.push(y);
+        let mut scratch = self.scratch(prefix.outs[self.input].shape());
+        self.forward_from_with(prefix, from, masks, &mut scratch)
+    }
+
+    /// [`Graph::forward_from`] with caller-provided scratch: the
+    /// per-sample suffix re-run allocates nothing.
+    ///
+    /// Only nodes `> from` are executed; their outputs land in
+    /// `scratch`. Nodes `<= from` read from `prefix`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix` does not cover node `from`, or if `scratch`
+    /// was built for a different graph or input shape.
+    pub fn forward_from_with(
+        &self,
+        prefix: &Activations,
+        from: NodeId,
+        masks: &MaskSet,
+        scratch: &mut ExecScratch,
+    ) -> Tensor {
+        assert!(
+            prefix.outs.len() > from,
+            "prefix does not cover node {from}"
+        );
+        let ExecScratch {
+            outs,
+            cols,
+            split_conv,
+        } = scratch;
+        assert_eq!(
+            outs.len(),
+            self.nodes.len(),
+            "scratch built for a different graph"
+        );
+        if self.output <= from {
+            return prefix.outs[self.output].clone();
         }
-        outs.into_iter().nth(self.output).expect("output node exists")
+        let input = &prefix.outs[self.input];
+        for (off, node) in self.nodes[from + 1..].iter().enumerate() {
+            let id = from + 1 + off;
+            let (done, rest) = outs.split_at_mut(id);
+            let get = |j: usize| if j <= from { &prefix.outs[j] } else { &done[j] };
+            eval_node_into(
+                node,
+                &self.params,
+                get,
+                input,
+                masks,
+                &mut rest[0],
+                cols,
+                *split_conv,
+            );
+        }
+        outs[self.output].clone()
     }
 
     /// Training-mode forward pass: BN uses batch statistics and updates
@@ -383,7 +723,15 @@ impl Graph {
             let node = &self.nodes[id];
             match &node.op {
                 Op::Input => {}
-                Op::Conv { w, b, k, stride, pad, in_c, .. } => {
+                Op::Conv {
+                    w,
+                    b,
+                    k,
+                    stride,
+                    pad,
+                    in_c,
+                    ..
+                } => {
                     let (w, b, k, stride, pad, in_c) = (*w, *b, *k, *stride, *pad, *in_c);
                     let xid = node.inputs[0];
                     let x = &acts.outs[xid];
@@ -409,9 +757,8 @@ impl Graph {
                         for n in 0..so.n {
                             let gi = g.item(n);
                             for c in 0..f {
-                                db.as_mut_slice()[c] += gi[c * howo..(c + 1) * howo]
-                                    .iter()
-                                    .sum::<f32>();
+                                db.as_mut_slice()[c] +=
+                                    gi[c * howo..(c + 1) * howo].iter().sum::<f32>();
                             }
                         }
                     }
@@ -425,7 +772,14 @@ impl Graph {
                     {
                         // dW[out,in] += dYᵀ · X
                         let dw = self.params.grad_mut(w);
-                        gemm_at(out_f, n, in_f, g.as_slice(), x.as_slice(), dw.as_mut_slice());
+                        gemm_at(
+                            out_f,
+                            n,
+                            in_f,
+                            g.as_slice(),
+                            x.as_slice(),
+                            dw.as_mut_slice(),
+                        );
                     }
                     {
                         let db = self.params.grad_mut(b);
@@ -445,7 +799,12 @@ impl Graph {
                     );
                     accumulate(&mut grads, xid, dx);
                 }
-                Op::BatchNorm { gamma, beta, channels, .. } => {
+                Op::BatchNorm {
+                    gamma,
+                    beta,
+                    channels,
+                    ..
+                } => {
                     let (gamma, beta, channels) = (*gamma, *beta, *channels);
                     let xid = node.inputs[0];
                     let Aux::Bn { xhat, inv_std } = &acts.aux[id] else {
@@ -578,7 +937,15 @@ fn run_forward_trainmode(
     for node in nodes {
         let mut a = Aux::None;
         let y = match &node.op {
-            Op::BatchNorm { gamma, beta, mean, var, eps, momentum, .. } => {
+            Op::BatchNorm {
+                gamma,
+                beta,
+                mean,
+                var,
+                eps,
+                momentum,
+                ..
+            } => {
                 let x = &outs[node.inputs[0]];
                 let (bm, bv) = bn_batch_stats(x);
                 let mom = *momentum;
@@ -631,7 +998,15 @@ fn run_single(
     let node = &nodes[0];
     let y = match &node.op {
         Op::Input => input.clone(),
-        Op::Conv { w, b, k, stride, pad, out_c, .. } => {
+        Op::Conv {
+            w,
+            b,
+            k,
+            stride,
+            pad,
+            out_c,
+            ..
+        } => {
             let x = &outs[node.inputs[0]];
             let si = x.shape();
             let so = Shape4::new(
@@ -642,9 +1017,12 @@ fn run_single(
             );
             conv_forward(x, params.get(*w), params.get(*b), so, *k, *stride, *pad)
         }
-        Op::Linear { w, b, out_f, .. } => {
-            linear_forward(&outs[node.inputs[0]], params.get(*w), params.get(*b), *out_f)
-        }
+        Op::Linear { w, b, out_f, .. } => linear_forward(
+            &outs[node.inputs[0]],
+            params.get(*w),
+            params.get(*b),
+            *out_f,
+        ),
         Op::BatchNorm { .. } => unreachable!("BN handled by the training driver"),
         Op::Relu => {
             let mut y = outs[node.inputs[0]].clone();
@@ -720,10 +1098,15 @@ mod tests {
         let mut t = Tensor::full(Shape4::new(1, 2, 2, 2), 1.0);
         apply_mask(
             &mut t,
-            &Mask { keep: vec![true, false], scale: 4.0 / 3.0 },
+            &Mask {
+                keep: vec![true, false],
+                scale: 4.0 / 3.0,
+            },
             "test",
         );
-        assert!(t.item(0)[0..4].iter().all(|&v| (v - 4.0 / 3.0).abs() < 1e-6));
+        assert!(t.item(0)[0..4]
+            .iter()
+            .all(|&v| (v - 4.0 / 3.0).abs() < 1e-6));
         assert!(t.item(0)[4..8].iter().all(|&v| v == 0.0));
     }
 
@@ -756,8 +1139,11 @@ mod tests {
             .as_slice()
             .to_vec();
         let _ = net.forward_train(&x, &MaskSet::none());
-        let after: Vec<f32> =
-            net.params().get(crate::param::ParamId(4)).as_slice().to_vec();
+        let after: Vec<f32> = net
+            .params()
+            .get(crate::param::ParamId(4))
+            .as_slice()
+            .to_vec();
         assert_ne!(before, after, "running mean should move in training mode");
     }
 
@@ -774,6 +1160,55 @@ mod tests {
             .ids()
             .any(|id| net.params().grad(id).iter().any(|&g| g != 0.0));
         assert!(any_nonzero, "gradients must flow");
+    }
+
+    #[test]
+    fn forward_with_scratch_matches_allocating_forward() {
+        let net = small_net();
+        let x = Tensor::full(Shape4::new(2, 1, 4, 4), 0.5);
+        let mut scratch = net.scratch(x.shape());
+        let want = net.forward(&x, &MaskSet::none());
+        // Run twice through the same scratch: reuse must not leak
+        // state between passes.
+        for _ in 0..2 {
+            let got = net.forward_with(&x, &MaskSet::none(), &mut scratch);
+            assert_eq!(got.as_slice(), want.as_slice());
+        }
+    }
+
+    #[test]
+    fn forward_from_with_scratch_matches_forward_from() {
+        let net = small_net();
+        let x = Tensor::full(Shape4::new(1, 1, 4, 4), 0.4);
+        let prefix = net.forward_full(&x, &MaskSet::none());
+        let masks = MaskSet::from_masks(vec![Some(Mask {
+            keep: vec![true, false, true, true, false, true, true, true],
+            scale: 4.0 / 3.0,
+        })]);
+        // Resume right before the MCD site (node 6 in small_net).
+        let from = 5;
+        let want = net.forward_from(&prefix, from, &masks);
+        let mut scratch = net.scratch(x.shape());
+        for _ in 0..2 {
+            let got = net.forward_from_with(&prefix, from, &masks, &mut scratch);
+            assert_eq!(got.as_slice(), want.as_slice());
+        }
+        // The suffix-sized scratch (prefix slots are placeholders)
+        // must agree too.
+        let mut suffix = net.scratch_after(x.shape(), from).serial_conv();
+        for _ in 0..2 {
+            let got = net.forward_from_with(&prefix, from, &masks, &mut suffix);
+            assert_eq!(got.as_slice(), want.as_slice());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different input shape")]
+    fn scratch_rejects_mismatched_input_shape() {
+        let net = small_net();
+        let mut scratch = net.scratch(Shape4::new(1, 1, 4, 4));
+        let x = Tensor::full(Shape4::new(2, 1, 4, 4), 0.5);
+        let _ = net.forward_with(&x, &MaskSet::none(), &mut scratch);
     }
 
     #[test]

@@ -166,53 +166,7 @@ impl Graph {
     pub fn infer_shapes(&self, input: Shape4) -> Vec<Shape4> {
         let mut shapes: Vec<Shape4> = Vec::with_capacity(self.nodes.len());
         for node in &self.nodes {
-            let s = match &node.op {
-                Op::Input => input,
-                Op::Conv { in_c, out_c, k, stride, pad, .. } => {
-                    let si = shapes[node.inputs[0]];
-                    assert_eq!(si.c, *in_c, "{}: channel mismatch", node.name);
-                    Shape4::new(
-                        si.n,
-                        *out_c,
-                        conv_out_dim(si.h, *k, *stride, *pad),
-                        conv_out_dim(si.w, *k, *stride, *pad),
-                    )
-                }
-                Op::Linear { in_f, out_f, .. } => {
-                    let si = shapes[node.inputs[0]];
-                    assert_eq!(si.item_len(), *in_f, "{}: feature mismatch", node.name);
-                    Shape4::vec(si.n, *out_f)
-                }
-                Op::BatchNorm { channels, .. } => {
-                    let si = shapes[node.inputs[0]];
-                    assert_eq!(si.c, *channels, "{}: BN channel mismatch", node.name);
-                    si
-                }
-                Op::Relu | Op::McdSite { .. } => shapes[node.inputs[0]],
-                Op::MaxPool { k, stride } | Op::AvgPool { k, stride } => {
-                    let si = shapes[node.inputs[0]];
-                    Shape4::new(
-                        si.n,
-                        si.c,
-                        conv_out_dim(si.h, *k, *stride, 0),
-                        conv_out_dim(si.w, *k, *stride, 0),
-                    )
-                }
-                Op::GlobalAvgPool => {
-                    let si = shapes[node.inputs[0]];
-                    Shape4::new(si.n, si.c, 1, 1)
-                }
-                Op::Flatten => {
-                    let si = shapes[node.inputs[0]];
-                    Shape4::vec(si.n, si.item_len())
-                }
-                Op::Add => {
-                    let a = shapes[node.inputs[0]];
-                    let b = shapes[node.inputs[1]];
-                    assert_eq!(a, b, "{}: add shape mismatch", node.name);
-                    a
-                }
-            };
+            let s = node_out_shape(node, input, |id| shapes[id]);
             shapes.push(s);
         }
         shapes
@@ -247,12 +201,24 @@ impl Graph {
         let mut remap: Vec<NodeId> = Vec::with_capacity(g.nodes.len());
         let mut new_nodes: Vec<Node> = Vec::new();
         for (id, node) in self.nodes.iter().enumerate() {
-            if let Op::BatchNorm { gamma, beta, mean, var, channels, eps, .. } = node.op {
+            if let Op::BatchNorm {
+                gamma,
+                beta,
+                mean,
+                var,
+                channels,
+                eps,
+                ..
+            } = node.op
+            {
                 let src = node.inputs[0];
                 let (w_id, b_id, per_out) = match self.nodes[src].op {
                     Op::Conv { w, b, out_c, .. } => (w, b, out_c),
                     Op::Linear { w, b, out_f, .. } => (w, b, out_f),
-                    _ => panic!("{}: BatchNorm must follow a weight layer to fold", node.name),
+                    _ => panic!(
+                        "{}: BatchNorm must follow a weight layer to fold",
+                        node.name
+                    ),
                 };
                 assert_eq!(per_out, channels, "{}: BN channel mismatch", node.name);
                 let gm = g.params.get(gamma).as_slice().to_vec();
@@ -321,6 +287,71 @@ impl Graph {
     }
 }
 
+/// Output shape of a single node given its predecessors' shapes
+/// (`get(id)`), used by [`Graph::infer_shapes`] and by the executor's
+/// scratch-buffer planner.
+///
+/// # Panics
+///
+/// Panics on a malformed graph (shape mismatch), which is a
+/// construction bug rather than a runtime condition.
+pub(crate) fn node_out_shape(node: &Node, input: Shape4, get: impl Fn(NodeId) -> Shape4) -> Shape4 {
+    match &node.op {
+        Op::Input => input,
+        Op::Conv {
+            in_c,
+            out_c,
+            k,
+            stride,
+            pad,
+            ..
+        } => {
+            let si = get(node.inputs[0]);
+            assert_eq!(si.c, *in_c, "{}: channel mismatch", node.name);
+            Shape4::new(
+                si.n,
+                *out_c,
+                conv_out_dim(si.h, *k, *stride, *pad),
+                conv_out_dim(si.w, *k, *stride, *pad),
+            )
+        }
+        Op::Linear { in_f, out_f, .. } => {
+            let si = get(node.inputs[0]);
+            assert_eq!(si.item_len(), *in_f, "{}: feature mismatch", node.name);
+            Shape4::vec(si.n, *out_f)
+        }
+        Op::BatchNorm { channels, .. } => {
+            let si = get(node.inputs[0]);
+            assert_eq!(si.c, *channels, "{}: BN channel mismatch", node.name);
+            si
+        }
+        Op::Relu | Op::McdSite { .. } => get(node.inputs[0]),
+        Op::MaxPool { k, stride } | Op::AvgPool { k, stride } => {
+            let si = get(node.inputs[0]);
+            Shape4::new(
+                si.n,
+                si.c,
+                conv_out_dim(si.h, *k, *stride, 0),
+                conv_out_dim(si.w, *k, *stride, 0),
+            )
+        }
+        Op::GlobalAvgPool => {
+            let si = get(node.inputs[0]);
+            Shape4::new(si.n, si.c, 1, 1)
+        }
+        Op::Flatten => {
+            let si = get(node.inputs[0]);
+            Shape4::vec(si.n, si.item_len())
+        }
+        Op::Add => {
+            let a = get(node.inputs[0]);
+            let b = get(node.inputs[1]);
+            assert_eq!(a, b, "{}: add shape mismatch", node.name);
+            a
+        }
+    }
+}
+
 /// Incremental graph constructor used by the model builders.
 ///
 /// All `add_*` methods return the new node's id so residual branches
@@ -338,7 +369,11 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Start a graph; `seed` drives weight initialisation.
     pub fn new(name: &str, seed: u64) -> GraphBuilder {
-        let nodes = vec![Node { op: Op::Input, inputs: vec![], name: "input".into() }];
+        let nodes = vec![Node {
+            op: Op::Input,
+            inputs: vec![],
+            name: "input".into(),
+        }];
         GraphBuilder {
             nodes,
             params: ParamStore::new(),
@@ -380,15 +415,21 @@ impl GraphBuilder {
         stride: usize,
         pad: usize,
     ) -> NodeId {
-        let w = self.params.add_kaiming(
-            Shape4::new(out_c, in_c, k, k),
-            in_c * k * k,
-            &mut self.rng,
-        );
+        let w =
+            self.params
+                .add_kaiming(Shape4::new(out_c, in_c, k, k), in_c * k * k, &mut self.rng);
         let b = self.params.add(Tensor::zeros(Shape4::vec(1, out_c)));
         let n = self.nodes.len();
         self.push(
-            Op::Conv { w, b, in_c, out_c, k, stride, pad },
+            Op::Conv {
+                w,
+                b,
+                in_c,
+                out_c,
+                k,
+                stride,
+                pad,
+            },
             vec![x],
             format!("conv{n}_{in_c}x{out_c}k{k}s{stride}"),
         )
@@ -396,22 +437,39 @@ impl GraphBuilder {
 
     /// Add a linear layer (Kaiming-initialised).
     pub fn linear(&mut self, x: NodeId, in_f: usize, out_f: usize) -> NodeId {
-        let w = self.params.add_kaiming(Shape4::new(out_f, in_f, 1, 1), in_f, &mut self.rng);
+        let w = self
+            .params
+            .add_kaiming(Shape4::new(out_f, in_f, 1, 1), in_f, &mut self.rng);
         let b = self.params.add(Tensor::zeros(Shape4::vec(1, out_f)));
         let n = self.nodes.len();
-        self.push(Op::Linear { w, b, in_f, out_f }, vec![x], format!("fc{n}_{in_f}x{out_f}"))
+        self.push(
+            Op::Linear { w, b, in_f, out_f },
+            vec![x],
+            format!("fc{n}_{in_f}x{out_f}"),
+        )
     }
 
     /// Add a batch-normalization layer (γ=1, β=0, running stats 0/1).
     pub fn batch_norm(&mut self, x: NodeId, channels: usize) -> NodeId {
         let gamma = self.params.add(Tensor::full(Shape4::vec(1, channels), 1.0));
         let beta = self.params.add(Tensor::zeros(Shape4::vec(1, channels)));
-        let mean = self.params.add_with_trainable(Tensor::zeros(Shape4::vec(1, channels)), false);
-        let var =
-            self.params.add_with_trainable(Tensor::full(Shape4::vec(1, channels), 1.0), false);
+        let mean = self
+            .params
+            .add_with_trainable(Tensor::zeros(Shape4::vec(1, channels)), false);
+        let var = self
+            .params
+            .add_with_trainable(Tensor::full(Shape4::vec(1, channels), 1.0), false);
         let n = self.nodes.len();
         self.push(
-            Op::BatchNorm { gamma, beta, mean, var, channels, eps: 1e-5, momentum: 0.1 },
+            Op::BatchNorm {
+                gamma,
+                beta,
+                mean,
+                var,
+                channels,
+                eps: 1e-5,
+                momentum: 0.1,
+            },
             vec![x],
             format!("bn{n}"),
         )
@@ -566,7 +624,10 @@ mod tests {
         );
         let ya = g.forward(&x, &MaskSet::none());
         let yb = folded.forward(&x, &MaskSet::none());
-        assert!(ya.max_abs_diff(&yb) < 1e-4, "folding must preserve the function");
+        assert!(
+            ya.max_abs_diff(&yb) < 1e-4,
+            "folding must preserve the function"
+        );
     }
 
     #[test]

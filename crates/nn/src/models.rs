@@ -23,7 +23,10 @@ pub const MCD_P: f32 = 0.25;
 ///
 /// Panics if the image geometry does not fit the LeNet-5 pipeline.
 pub fn lenet5(classes: usize, in_c: usize, img: usize, seed: u64) -> Graph {
-    assert!(img >= 12 && img % 2 == 0, "lenet5 needs an even image size >= 12");
+    assert!(
+        img >= 12 && img % 2 == 0,
+        "lenet5 needs an even image size >= 12"
+    );
     let mut b = GraphBuilder::new("lenet5", seed);
     let x = b.input();
 

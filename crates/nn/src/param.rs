@@ -27,7 +27,11 @@ pub struct ParamStore {
 impl ParamStore {
     /// An empty store.
     pub fn new() -> ParamStore {
-        ParamStore { tensors: Vec::new(), grads: Vec::new(), trainable: Vec::new() }
+        ParamStore {
+            tensors: Vec::new(),
+            grads: Vec::new(),
+            trainable: Vec::new(),
+        }
     }
 
     /// Register a tensor (trainable by default).

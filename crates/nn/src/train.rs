@@ -19,7 +19,11 @@ pub struct SgdConfig {
 
 impl Default for SgdConfig {
     fn default() -> Self {
-        SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 5e-4 }
+        SgdConfig {
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 5e-4,
+        }
     }
 }
 
@@ -53,7 +57,13 @@ impl Trainer {
             .ids()
             .map(|id| vec![0.0f32; graph.params().get(id).len()])
             .collect();
-        Trainer { cfg, velocity, active_sites: active, p, rng: SoftRng::new(seed) }
+        Trainer {
+            cfg,
+            velocity,
+            active_sites: active,
+            p,
+            rng: SoftRng::new(seed),
+        }
     }
 
     /// Active-site flags (last `L` of the sites are `true`).
@@ -64,8 +74,7 @@ impl Trainer {
     /// One SGD step on a single minibatch; returns `(loss, correct)`.
     pub fn train_batch(&mut self, graph: &mut Graph, x: &Tensor, labels: &[usize]) -> (f32, usize) {
         let channels = graph.site_channels(x.shape());
-        let masks =
-            MaskSet::sample_software(&self.active_sites, &channels, self.p, &mut self.rng);
+        let masks = MaskSet::sample_software(&self.active_sites, &channels, self.p, &mut self.rng);
         graph.params_mut().zero_grads();
         let acts = graph.forward_train(x, &masks);
         let out = cross_entropy(acts.logits(graph), labels);
@@ -122,7 +131,10 @@ impl Trainer {
             total_correct += correct;
             batches += 1;
         }
-        ((total_loss / batches as f64) as f32, total_correct as f32 / n as f32)
+        (
+            (total_loss / batches as f64) as f32,
+            total_correct as f32 / n as f32,
+        )
     }
 }
 
@@ -145,7 +157,13 @@ impl<'a> Batcher<'a> {
         batch_size: usize,
     ) -> Batcher<'a> {
         assert!(batch_size > 0, "batch size must be non-zero");
-        Batcher { xs, labels, order, batch_size, pos: 0 }
+        Batcher {
+            xs,
+            labels,
+            order,
+            batch_size,
+            pos: 0,
+        }
     }
 
     /// Next `(inputs, labels)` minibatch, or `None` when exhausted.
@@ -200,7 +218,11 @@ mod tests {
             let item = xs.item_mut(i);
             for (j, v) in item.iter_mut().enumerate() {
                 let base = if class == 0 {
-                    if j < 8 { 1.0 } else { -1.0 }
+                    if j < 8 {
+                        1.0
+                    } else {
+                        -1.0
+                    }
                 } else if j < 8 {
                     -1.0
                 } else {
@@ -232,7 +254,11 @@ mod tests {
         let (xs, labels) = toy_data(64, 3);
         let mut tr = Trainer::new(
             &net,
-            SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 1e-4 },
+            SgdConfig {
+                lr: 0.05,
+                momentum: 0.9,
+                weight_decay: 1e-4,
+            },
             1,
             0.25,
             11,
@@ -242,7 +268,11 @@ mod tests {
         for _ in 0..14 {
             last = tr.train_epoch(&mut net, &xs, &labels, 16);
         }
-        assert!(last.0 < first_loss, "loss should fall: {first_loss} -> {}", last.0);
+        assert!(
+            last.0 < first_loss,
+            "loss should fall: {first_loss} -> {}",
+            last.0
+        );
         let acc = evaluate_accuracy(&net, &xs, &labels, 16);
         assert!(acc > 0.9, "toy problem should be learned, acc = {acc}");
     }

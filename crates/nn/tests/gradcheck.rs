@@ -60,7 +60,10 @@ fn check_gradients(graph: &mut Graph, x: &Tensor, labels: &[usize], masks: &Mask
 
 fn rand_input(shape: Shape4, seed: u64) -> Tensor {
     let mut rng = SoftRng::new(seed);
-    Tensor::from_vec(shape, (0..shape.len()).map(|_| rng.normal_f32(0.0, 1.0)).collect())
+    Tensor::from_vec(
+        shape,
+        (0..shape.len()).map(|_| rng.normal_f32(0.0, 1.0)).collect(),
+    )
 }
 
 #[test]
@@ -123,8 +126,14 @@ fn gradcheck_with_active_mcd_masks() {
     let fc = b.linear(m1, 4 * 16, 3);
     let mut net = b.finish(fc);
     let masks = MaskSet::from_masks(vec![
-        Some(Mask { keep: vec![true, false], scale: 4.0 / 3.0 }),
-        Some(Mask { keep: vec![true; 64], scale: 4.0 / 3.0 }),
+        Some(Mask {
+            keep: vec![true, false],
+            scale: 4.0 / 3.0,
+        }),
+        Some(Mask {
+            keep: vec![true; 64],
+            scale: 4.0 / 3.0,
+        }),
     ]);
     let x = rand_input(Shape4::new(2, 2, 4, 4), 13);
     check_gradients(&mut net, &x, &[2, 0], &masks, 2e-2);
@@ -152,7 +161,9 @@ fn dropped_input_channel_gets_no_gradient() {
 
     // Conv weight is [out=2, in=2, 1, 1]: the column reading the
     // dropped channel (in=1) must have exactly zero gradient.
-    let wgrad = net.params().grad(net.params().ids().next().expect("conv w"));
+    let wgrad = net
+        .params()
+        .grad(net.params().ids().next().expect("conv w"));
     assert_eq!(wgrad.at(0, 1, 0, 0), 0.0);
     assert_eq!(wgrad.at(1, 1, 0, 0), 0.0);
     assert!(wgrad.at(0, 0, 0, 0) != 0.0 || wgrad.at(1, 0, 0, 0) != 0.0);

@@ -51,7 +51,12 @@ fn site_first_occurrences_are_increasing() {
                 ),
             }
         }
-        assert_eq!(seen_max, Some(net.n_sites() - 1), "{}: all sites reached", net.name());
+        assert_eq!(
+            seen_max,
+            Some(net.n_sites() - 1),
+            "{}: all sites reached",
+            net.name()
+        );
     }
 }
 
@@ -81,7 +86,10 @@ fn models_scale_with_width_parameters() {
     let small = models::vgg11(10, 3, 32, 16, 1);
     let large = models::vgg11(10, 3, 32, 4, 1);
     let shape = Shape4::new(1, 3, 32, 32);
-    assert!(large.macs(shape) > 4 * small.macs(shape), "width divisor must scale MACs");
+    assert!(
+        large.macs(shape) > 4 * small.macs(shape),
+        "width divisor must scale MACs"
+    );
 
     let r_small = models::resnet18(10, 3, 4, 1);
     let r_large = models::resnet18(10, 3, 16, 1);
@@ -121,7 +129,10 @@ fn bn_follows_every_conv_in_builders() {
     ] {
         let folded = net.fold_batch_norm();
         assert!(
-            !folded.nodes().iter().any(|n| matches!(n.op, Op::BatchNorm { .. })),
+            !folded
+                .nodes()
+                .iter()
+                .any(|n| matches!(n.op, Op::BatchNorm { .. })),
             "{}: BN nodes must all fold",
             net.name()
         );

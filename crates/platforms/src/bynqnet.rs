@@ -71,7 +71,11 @@ impl BynqnetNetwork {
     /// MACs of one (moment) forward pass — mean and variance paths.
     pub fn macs(&self) -> u64 {
         // Two GEMVs per layer: one for means, one for variances.
-        2 * self.layers.iter().map(|l| (l.in_f * l.out_f) as u64).sum::<u64>()
+        2 * self
+            .layers
+            .iter()
+            .map(|l| (l.in_f * l.out_f) as u64)
+            .sum::<u64>()
     }
 
     /// Propagate `(mean, variance)` through the network; returns the
@@ -242,8 +246,16 @@ mod tests {
         // paper's own figures are inconsistent: 24.22/220 = 0.110, so
         // their 0.121 divides by ~200 *used* DSPs. We divide by the
         // listed 220 and accept either convention here.
-        assert!((s.energy_efficiency() - 8.77).abs() < 0.3, "{}", s.energy_efficiency());
-        assert!((s.compute_efficiency() - 0.121).abs() < 0.015, "{}", s.compute_efficiency());
+        assert!(
+            (s.energy_efficiency() - 8.77).abs() < 0.3,
+            "{}",
+            s.energy_efficiency()
+        );
+        assert!(
+            (s.compute_efficiency() - 0.121).abs() < 0.015,
+            "{}",
+            s.compute_efficiency()
+        );
     }
 
     #[test]
@@ -289,7 +301,10 @@ mod tests {
         let rel: f32 = (0..4)
             .map(|j| (av[j] - mv[j]).abs() / mv[j].max(1e-3))
             .fold(0.0, f32::max);
-        assert!(rel > 0.05, "expected a visible diagonal-approximation gap, got {rel}");
+        assert!(
+            rel > 0.05,
+            "expected a visible diagonal-approximation gap, got {rel}"
+        );
     }
 
     #[test]

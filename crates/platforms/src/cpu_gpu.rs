@@ -74,8 +74,8 @@ impl PlatformModel {
         for l in layers {
             let flops = 2.0 * l.macs() as f64;
             let compute_us = flops / (self.eff_gflops * self.compute_speedup) / 1e3;
-            let bytes = (l.weight_bytes(1) + l.input_bytes(1) + l.output_bytes(1)) as f64
-                * self.elem_bytes;
+            let bytes =
+                (l.weight_bytes(1) + l.input_bytes(1) + l.output_bytes(1)) as f64 * self.elem_bytes;
             let mem_us = bytes / self.mem_bw_gbs / 1e3;
             total_us += self.layer_overhead_us + compute_us.max(mem_us);
         }
@@ -151,7 +151,10 @@ mod tests {
         let layers = lenet_layers();
         let t1 = cpu.bayes_latency_no_ic_ms(&layers, BayesConfig::new(2, 1));
         let t10 = cpu.bayes_latency_no_ic_ms(&layers, BayesConfig::new(2, 10));
-        assert!((t10 / t1 - 10.0).abs() < 1e-9, "naive MCD scales linearly in S");
+        assert!(
+            (t10 / t1 - 10.0).abs() < 1e-9,
+            "naive MCD scales linearly in S"
+        );
     }
 
     #[test]
@@ -186,6 +189,9 @@ mod tests {
         let cpu = PlatformModel::i9_9900k();
         let ms = cpu.pass_latency_ms(&lenet_layers());
         let overhead_ms = 5.0 * 40.0 / 1e3;
-        assert!(ms < overhead_ms * 2.0, "LeNet must be overhead-dominated: {ms}");
+        assert!(
+            ms < overhead_ms * 2.0,
+            "LeNet must be overhead-dominated: {ms}"
+        );
     }
 }

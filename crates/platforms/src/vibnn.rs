@@ -202,8 +202,16 @@ mod tests {
     fn published_efficiency_metrics() {
         let s = VibnnPerfModel::default().summary();
         // Paper Table IV: 9.75 GOP/s/W, 0.174 GOP/s/DSP.
-        assert!((s.energy_efficiency() - 9.75).abs() < 0.3, "{}", s.energy_efficiency());
-        assert!((s.compute_efficiency() - 0.174).abs() < 0.01, "{}", s.compute_efficiency());
+        assert!(
+            (s.energy_efficiency() - 9.75).abs() < 0.3,
+            "{}",
+            s.energy_efficiency()
+        );
+        assert!(
+            (s.compute_efficiency() - 0.174).abs() < 0.01,
+            "{}",
+            s.compute_efficiency()
+        );
     }
 
     #[test]
@@ -252,7 +260,10 @@ mod tests {
         let mut g2 = VibnnNetwork::hardware_sampler(2);
         let hn = entropy(&narrow.predictive(&x, 30, &mut g1));
         let hw = entropy(&wide.predictive(&x, 30, &mut g2));
-        assert!(hw > hn, "wide posterior must be more uncertain: {hw} vs {hn}");
+        assert!(
+            hw > hn,
+            "wide posterior must be more uncertain: {hw} vs {hn}"
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ impl FixedMul {
     pub fn one() -> FixedMul {
         // 1.0 = 2^31/2^31 needs m0 = 2^31 which overflows; use
         // m0 = 2^30, shift = -1.
-        FixedMul { m0: 1 << 30, shift: -1 }
+        FixedMul {
+            m0: 1 << 30,
+            shift: -1,
+        }
     }
 
     /// Apply to an i32 accumulator with round-to-nearest (ties away
@@ -52,8 +55,14 @@ impl FixedMul {
 /// represent (`2^-24 < m < 2^6` is accepted, far wider than any
 /// requantization ratio arising from 8-bit scales).
 pub fn quantize_multiplier(m: f64) -> FixedMul {
-    assert!(m.is_finite() && m > 0.0, "multiplier must be positive, got {m}");
-    assert!(m > 2f64.powi(-24) && m < 64.0, "multiplier {m} out of supported range");
+    assert!(
+        m.is_finite() && m > 0.0,
+        "multiplier must be positive, got {m}"
+    );
+    assert!(
+        m > 2f64.powi(-24) && m < 64.0,
+        "multiplier {m} out of supported range"
+    );
     // Normalise to [0.5, 1) · 2^e.
     let mut shift = 0i32;
     let mut frac = m;
@@ -70,7 +79,10 @@ pub fn quantize_multiplier(m: f64) -> FixedMul {
         m0 >>= 1;
         shift -= 1;
     }
-    FixedMul { m0: m0 as i32, shift }
+    FixedMul {
+        m0: m0 as i32,
+        shift,
+    }
 }
 
 #[cfg(test)]
@@ -79,7 +91,16 @@ mod tests {
 
     #[test]
     fn multiplier_roundtrip_precision() {
-        for &m in &[0.3301f64, 0.0042, 0.99, 1.0, 1.3333333, 7.5, 0.5, 2.0_f64.powi(-20)] {
+        for &m in &[
+            0.3301f64,
+            0.0042,
+            0.99,
+            1.0,
+            1.3333333,
+            7.5,
+            0.5,
+            2.0_f64.powi(-20),
+        ] {
             if m <= 2f64.powi(-24) {
                 continue;
             }
@@ -92,7 +113,17 @@ mod tests {
     #[test]
     fn apply_matches_float_rounding() {
         let fm = quantize_multiplier(0.0123);
-        for &acc in &[0i32, 1, -1, 127, -128, 100_000, -100_000, 2_000_000, i32::MAX / 4] {
+        for &acc in &[
+            0i32,
+            1,
+            -1,
+            127,
+            -128,
+            100_000,
+            -100_000,
+            2_000_000,
+            i32::MAX / 4,
+        ] {
             let expected = (f64::from(acc) * 0.0123).round() as i32;
             let got = fm.apply(acc);
             assert!(

@@ -48,7 +48,10 @@ pub struct QTensor {
 impl QTensor {
     /// Zero-filled (code 0, *not* real zero) tensor.
     pub fn zeros(shape: Shape4) -> QTensor {
-        QTensor { data: vec![0; shape.len()], shape }
+        QTensor {
+            data: vec![0; shape.len()],
+            shape,
+        }
     }
 
     /// Slice of one batch item.
@@ -227,7 +230,11 @@ impl QGraph {
 
     /// Dequantize logits.
     pub fn dequantize_output(&self, q: &QTensor) -> Tensor {
-        let data = q.data.iter().map(|&v| self.output_q.dequantize(v)).collect();
+        let data = q
+            .data
+            .iter()
+            .map(|&v| self.output_q.dequantize(v))
+            .collect();
         Tensor::from_vec(q.shape, data)
     }
 
@@ -254,19 +261,35 @@ impl QGraph {
 /// Exposed so the accelerator simulator can reuse the functional-unit
 /// ops (ReLU/pool/add/dropout) while supplying its own tiled matrix
 /// kernels.
-pub fn exec_qnode(
-    node: &QNode,
-    outs: &[QTensor],
-    input: &QTensor,
-    masks: &MaskSet,
-) -> QTensor {
+pub fn exec_qnode(node: &QNode, outs: &[QTensor], input: &QTensor, masks: &MaskSet) -> QTensor {
     match &node.op {
         QNodeOp::Input => input.clone(),
-        QNodeOp::Conv { in_c, out_c, k, stride, pad, w, bias, requant, zx, zy } => {
+        QNodeOp::Conv {
+            in_c,
+            out_c,
+            k,
+            stride,
+            pad,
+            w,
+            bias,
+            requant,
+            zx,
+            zy,
+        } => {
             let x = &outs[node.inputs[0]];
-            qconv(x, *in_c, *out_c, *k, *stride, *pad, w, bias, requant, *zx, *zy)
+            qconv(
+                x, *in_c, *out_c, *k, *stride, *pad, w, bias, requant, *zx, *zy,
+            )
         }
-        QNodeOp::Linear { in_f, out_f, w, bias, requant, zx, zy } => {
+        QNodeOp::Linear {
+            in_f,
+            out_f,
+            w,
+            bias,
+            requant,
+            zx,
+            zy,
+        } => {
             let x = &outs[node.inputs[0]];
             qlinear(x, *in_f, *out_f, w, bias, requant, *zx, *zy)
         }
@@ -301,7 +324,10 @@ pub fn exec_qnode(
                     (va + vb + zy).clamp(0, 255) as u8
                 })
                 .collect();
-            QTensor { data, shape: a.shape }
+            QTensor {
+                data,
+                shape: a.shape,
+            }
         }
         QNodeOp::McdSite { site, mul, z } => {
             let x = &outs[node.inputs[0]];
@@ -376,9 +402,8 @@ fn qconv(
                                 if ix < 0 || ix >= s.w as isize {
                                     continue;
                                 }
-                                let xv = i32::from(
-                                    xi[(c * s.h + iy as usize) * s.w + ix as usize],
-                                ) - zx;
+                                let xv =
+                                    i32::from(xi[(c * s.h + iy as usize) * s.w + ix as usize]) - zx;
                                 let wv = i32::from(wrow[(c * k + ky) * k + kx]);
                                 acc += xv * wv;
                             }
@@ -539,14 +564,20 @@ mod tests {
 
     #[test]
     fn qmaxpool_takes_max() {
-        let t = QTensor { data: vec![1, 9, 3, 4], shape: Shape4::new(1, 1, 2, 2) };
+        let t = QTensor {
+            data: vec![1, 9, 3, 4],
+            shape: Shape4::new(1, 1, 2, 2),
+        };
         let y = qmaxpool(&t, 2, 2);
         assert_eq!(y.data, vec![9]);
     }
 
     #[test]
     fn qavgpool_rounds_to_nearest() {
-        let t = QTensor { data: vec![1, 2, 3, 5], shape: Shape4::new(1, 1, 2, 2) };
+        let t = QTensor {
+            data: vec![1, 2, 3, 5],
+            shape: Shape4::new(1, 1, 2, 2),
+        };
         let y = qavgpool(&t, 2, 2);
         assert_eq!(y.data, vec![3], "11/4 = 2.75 -> 3");
     }
@@ -555,7 +586,10 @@ mod tests {
     fn qconv_padding_is_zero_point_neutral() {
         // Single 1x1 input, 3x3 kernel of ones, pad 1: only the centre
         // tap sees data; padding must contribute nothing.
-        let x = QTensor { data: vec![130], shape: Shape4::new(1, 1, 1, 1) };
+        let x = QTensor {
+            data: vec![130],
+            shape: Shape4::new(1, 1, 1, 1),
+        };
         let w = vec![1i8; 9];
         let bias = vec![0i32];
         let requant = vec![FixedMul::one()];

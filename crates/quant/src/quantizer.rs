@@ -27,7 +27,10 @@ impl<'g> Quantizer<'g> {
     /// Panics if the graph still contains BatchNorm nodes.
     pub fn new(graph: &'g Graph) -> Quantizer<'g> {
         assert!(
-            !graph.nodes().iter().any(|n| matches!(n.op, Op::BatchNorm { .. })),
+            !graph
+                .nodes()
+                .iter()
+                .any(|n| matches!(n.op, Op::BatchNorm { .. })),
             "quantizer requires a BN-folded graph (call fold_batch_norm first)"
         );
         Quantizer {
@@ -87,8 +90,12 @@ impl<'g> Quantizer<'g> {
                 QParams::from_range(lo, hi)
             };
             let p = match node.op {
-                Op::Relu | Op::MaxPool { .. } | Op::AvgPool { .. } | Op::GlobalAvgPool
-                | Op::Flatten | Op::McdSite { .. } => qp[node.inputs[0]],
+                Op::Relu
+                | Op::MaxPool { .. }
+                | Op::AvgPool { .. }
+                | Op::GlobalAvgPool
+                | Op::Flatten
+                | Op::McdSite { .. } => qp[node.inputs[0]],
                 _ => own(),
             };
             qp.push(p);
@@ -98,7 +105,15 @@ impl<'g> Quantizer<'g> {
         for (id, node) in nodes.iter().enumerate() {
             let op = match &node.op {
                 Op::Input => QNodeOp::Input,
-                Op::Conv { w, b, in_c, out_c, k, stride, pad } => {
+                Op::Conv {
+                    w,
+                    b,
+                    in_c,
+                    out_c,
+                    k,
+                    stride,
+                    pad,
+                } => {
                     let (wq, bq, rq) = quantize_weights(
                         params.get(*w).as_slice(),
                         params.get(*b).as_slice(),
@@ -139,8 +154,14 @@ impl<'g> Quantizer<'g> {
                 }
                 Op::BatchNorm { .. } => unreachable!("graph is BN-folded"),
                 Op::Relu => QNodeOp::Relu { z: qp[id].zero },
-                Op::MaxPool { k, stride } => QNodeOp::MaxPool { k: *k, stride: *stride },
-                Op::AvgPool { k, stride } => QNodeOp::AvgPool { k: *k, stride: *stride },
+                Op::MaxPool { k, stride } => QNodeOp::MaxPool {
+                    k: *k,
+                    stride: *stride,
+                },
+                Op::AvgPool { k, stride } => QNodeOp::AvgPool {
+                    k: *k,
+                    stride: *stride,
+                },
                 Op::GlobalAvgPool => QNodeOp::GlobalAvgPool,
                 Op::Flatten => QNodeOp::Flatten,
                 Op::Add => {
@@ -161,7 +182,11 @@ impl<'g> Quantizer<'g> {
                     z: qp[id].zero,
                 },
             };
-            qnodes.push(QNode { op, inputs: node.inputs.clone(), name: node.name.clone() });
+            qnodes.push(QNode {
+                op,
+                inputs: node.inputs.clone(),
+                name: node.name.clone(),
+            });
         }
 
         QGraph {
@@ -210,7 +235,10 @@ mod tests {
 
     fn calib_input(shape: Shape4, seed: u64) -> Tensor {
         let mut rng = SoftRng::new(seed);
-        Tensor::from_vec(shape, (0..shape.len()).map(|_| rng.normal_f32(0.0, 1.0)).collect())
+        Tensor::from_vec(
+            shape,
+            (0..shape.len()).map(|_| rng.normal_f32(0.0, 1.0)).collect(),
+        )
     }
 
     #[test]
@@ -224,7 +252,10 @@ mod tests {
         // Logit-space agreement: max error well under the logit spread.
         let spread = yf.max() - yf.min();
         let err = yf.max_abs_diff(&yq);
-        assert!(err < 0.15 * spread.max(1.0), "int8 error {err} vs spread {spread}");
+        assert!(
+            err < 0.15 * spread.max(1.0),
+            "int8 error {err} vs spread {spread}"
+        );
     }
 
     #[test]
@@ -235,7 +266,9 @@ mod tests {
         let probe = calib_input(Shape4::new(6, 3, 16, 16), 4);
         let yf = net.forward(&probe, &MaskSet::none());
         let yq = q.forward(&probe, &MaskSet::none());
-        let agree = (0..6).filter(|&i| yf.argmax_item(i) == yq.argmax_item(i)).count();
+        let agree = (0..6)
+            .filter(|&i| yf.argmax_item(i) == yq.argmax_item(i))
+            .count();
         assert!(agree >= 4, "argmax agreement {agree}/6 too low");
     }
 
@@ -260,12 +293,7 @@ mod tests {
         let q = Quantizer::new(&net).calibrate(&xs).quantize();
         let channels = net.site_channels(xs.shape());
         let mut rng = SoftRng::new(9);
-        let masks = MaskSet::sample_software(
-            &vec![true; net.n_sites()],
-            &channels,
-            0.25,
-            &mut rng,
-        );
+        let masks = MaskSet::sample_software(&vec![true; net.n_sites()], &channels, 0.25, &mut rng);
         let y = q.forward(&xs, &masks);
         assert!(y.iter().all(|v| v.is_finite()));
     }
@@ -280,8 +308,14 @@ mod tests {
             &w,
             &b,
             2,
-            QParams { scale: 0.1, zero: 0 },
-            QParams { scale: 0.1, zero: 0 },
+            QParams {
+                scale: 0.1,
+                zero: 0,
+            },
+            QParams {
+                scale: 0.1,
+                zero: 0,
+            },
         );
         assert_eq!(&wq[0..2], &[127, -127]);
         assert_eq!(&wq[2..4], &[127, -127], "small channel uses its own scale");

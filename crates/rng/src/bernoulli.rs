@@ -35,17 +35,26 @@ impl DropProbability {
         if numerator == 0 || numerator >= (1 << log2_denominator) {
             return None;
         }
-        Some(DropProbability { numerator, log2_denominator })
+        Some(DropProbability {
+            numerator,
+            log2_denominator,
+        })
     }
 
     /// The paper's default `p = 0.25` (two LFSRs + AND gate).
     pub fn quarter() -> DropProbability {
-        DropProbability { numerator: 1, log2_denominator: 2 }
+        DropProbability {
+            numerator: 1,
+            log2_denominator: 2,
+        }
     }
 
     /// `p = 0.5` (single LFSR).
     pub fn half() -> DropProbability {
-        DropProbability { numerator: 1, log2_denominator: 1 }
+        DropProbability {
+            numerator: 1,
+            log2_denominator: 1,
+        }
     }
 
     /// The probability as a float.
@@ -83,7 +92,12 @@ impl GateNetwork {
     /// Build a gate network for probability `p`, seeding the LFSR bank
     /// from `seed`.
     pub fn new(p: DropProbability, seed: u64) -> GateNetwork {
-        GateNetwork { bank: LfsrBank::new(p.lfsr_count(), 128, seed), p, produced: 0, dropped: 0 }
+        GateNetwork {
+            bank: LfsrBank::new(p.lfsr_count(), 128, seed),
+            p,
+            produced: 0,
+            dropped: 0,
+        }
     }
 
     /// Advance one cycle: returns the mask bit (`true` = keep filter,
@@ -130,7 +144,10 @@ impl Sipo {
     /// Panics if `width` is zero.
     pub fn new(width: usize) -> Sipo {
         assert!(width > 0, "SIPO width must be non-zero");
-        Sipo { bits: Vec::with_capacity(width), width }
+        Sipo {
+            bits: Vec::with_capacity(width),
+            width,
+        }
     }
 
     /// Shift one bit in; returns the completed word when the register
@@ -230,7 +247,9 @@ impl BernoulliSampler {
         let bit = self.gate.next_keep_bit();
         if let Some(word) = self.sipo.shift_in(bit) {
             // Capacity was checked above; a push failure would be a bug.
-            self.fifo.push(word).expect("fifo capacity checked before shift");
+            self.fifo
+                .push(word)
+                .expect("fifo capacity checked before shift");
         }
     }
 
@@ -298,8 +317,14 @@ mod tests {
 
     #[test]
     fn drop_probability_validation() {
-        assert!(DropProbability::new(0, 2).is_none(), "p=0 not representable");
-        assert!(DropProbability::new(4, 2).is_none(), "p=1 not representable");
+        assert!(
+            DropProbability::new(0, 2).is_none(),
+            "p=0 not representable"
+        );
+        assert!(
+            DropProbability::new(4, 2).is_none(),
+            "p=1 not representable"
+        );
         assert!(DropProbability::new(1, 0).is_none());
         assert!(DropProbability::new(1, 17).is_none());
         let p = DropProbability::new(3, 3).expect("3/8 valid");
@@ -325,7 +350,10 @@ mod tests {
             }
         }
         let rate = drops as f64 / n as f64;
-        assert!((rate - 0.25).abs() < 0.005, "empirical drop rate {rate} != 0.25");
+        assert!(
+            (rate - 0.25).abs() < 0.005,
+            "empirical drop rate {rate} != 0.25"
+        );
     }
 
     #[test]
@@ -340,7 +368,10 @@ mod tests {
             }
         }
         let rate = drops as f64 / n as f64;
-        assert!((rate - 0.375).abs() < 0.005, "empirical drop rate {rate} != 0.375");
+        assert!(
+            (rate - 0.375).abs() < 0.005,
+            "empirical drop rate {rate} != 0.375"
+        );
     }
 
     #[test]
@@ -391,7 +422,11 @@ mod tests {
     fn run_ahead_fills_fifo() {
         let mut s = BernoulliSampler::new(DropProbability::quarter(), 4, 16, 5);
         s.run_ahead(64);
-        assert_eq!(s.stats().fifo_occupancy, 16, "64 cycles / 4-bit words = 16 words");
+        assert_eq!(
+            s.stats().fifo_occupancy,
+            16,
+            "64 cycles / 4-bit words = 16 words"
+        );
     }
 
     #[test]

@@ -65,7 +65,14 @@ impl<T> Fifo<T> {
         assert!(capacity > 0, "fifo capacity must be non-zero");
         let mut buf = Vec::with_capacity(capacity);
         buf.resize_with(capacity, || None);
-        Fifo { buf, head: 0, len: 0, high_water: 0, pushes: 0, pops: 0 }
+        Fifo {
+            buf,
+            head: 0,
+            len: 0,
+            high_water: 0,
+            pushes: 0,
+            pops: 0,
+        }
     }
 
     /// Push a value.
@@ -76,7 +83,9 @@ impl<T> Fifo<T> {
     /// hardware corresponds to back-pressure stalling the sampler.
     pub fn push(&mut self, value: T) -> Result<(), FifoFullError> {
         if self.len == self.buf.len() {
-            return Err(FifoFullError { capacity: self.buf.len() });
+            return Err(FifoFullError {
+                capacity: self.buf.len(),
+            });
         }
         let tail = (self.head + self.len) % self.buf.len();
         self.buf[tail] = Some(value);

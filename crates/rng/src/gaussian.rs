@@ -114,7 +114,7 @@ const Q: i64 = 1 << 16; // Q16.16 fixed point
 #[derive(Debug, Clone)]
 pub struct BoxMullerFixedSampler {
     bank: LfsrBank,
-    cos_lut: Vec<i64>,  // cos over [0, 2pi), Q16.16
+    cos_lut: Vec<i64>, // cos over [0, 2pi), Q16.16
     cached: Option<f32>,
 }
 
@@ -127,7 +127,11 @@ impl BoxMullerFixedSampler {
                 (th.cos() * Q as f64).round() as i64
             })
             .collect();
-        BoxMullerFixedSampler { bank: LfsrBank::new(2, 128, seed), cos_lut, cached: None }
+        BoxMullerFixedSampler {
+            bank: LfsrBank::new(2, 128, seed),
+            cos_lut,
+            cached: None,
+        }
     }
 
     fn uniform_q32(&mut self, reg: usize) -> u64 {
@@ -145,7 +149,7 @@ impl BoxMullerFixedSampler {
     /// `m in [0.5, 1)`: `-ln u = -ln m + e ln 2`, so only `ln m` needs a
     /// LUT while the exponent contribution is exact.
     fn radius_q16(&mut self, u32bits: u64) -> i64 {
-        let u = (u32bits | 1) as u64; // avoid u = 0
+        let u = u32bits | 1; // avoid u = 0
         let lz = (u as u32).leading_zeros(); // u/2^32 = (norm/2^32) * 2^-lz, norm in [0.5,1)*2^32
         let e = i64::from(lz);
         // mantissa m in [0.5, 1): take top bits after normalisation.
@@ -191,10 +195,24 @@ mod tests {
     fn moments(xs: &[f32]) -> (f64, f64, f64, f64) {
         let n = xs.len() as f64;
         let mean = xs.iter().map(|&x| f64::from(x)).sum::<f64>() / n;
-        let var = xs.iter().map(|&x| (f64::from(x) - mean).powi(2)).sum::<f64>() / n;
-        let skew =
-            xs.iter().map(|&x| (f64::from(x) - mean).powi(3)).sum::<f64>() / n / var.powf(1.5);
-        let kurt = xs.iter().map(|&x| (f64::from(x) - mean).powi(4)).sum::<f64>() / n / var / var;
+        let var = xs
+            .iter()
+            .map(|&x| (f64::from(x) - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        let skew = xs
+            .iter()
+            .map(|&x| (f64::from(x) - mean).powi(3))
+            .sum::<f64>()
+            / n
+            / var.powf(1.5);
+        let kurt = xs
+            .iter()
+            .map(|&x| (f64::from(x) - mean).powi(4))
+            .sum::<f64>()
+            / n
+            / var
+            / var;
         (mean, var, skew, kurt)
     }
 

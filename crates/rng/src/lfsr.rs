@@ -94,7 +94,10 @@ impl Lfsr {
     /// exceeds the width — these are programming errors in the tap
     /// table, not runtime conditions.
     pub fn new(spec: TapSpec, seed: u128) -> Lfsr {
-        assert!(spec.width >= 1 && spec.width <= 128, "LFSR width out of range");
+        assert!(
+            spec.width >= 1 && spec.width <= 128,
+            "LFSR width out of range"
+        );
         for &t in &spec.taps {
             assert!(t <= spec.width, "tap position exceeds register width");
         }
@@ -107,7 +110,12 @@ impl Lfsr {
         if state == 0 {
             state = 1;
         }
-        Lfsr { state, spec, mask, cycles: 0 }
+        Lfsr {
+            state,
+            spec,
+            mask,
+            cycles: 0,
+        }
     }
 
     /// The paper's 128-bit 4-tap LFSR (taps 128, 126, 101, 99).
@@ -202,7 +210,11 @@ impl GaloisLfsr {
     /// Panics on invalid width/taps (programming errors).
     pub fn new(spec: TapSpec, seed: u128) -> GaloisLfsr {
         assert!(spec.width >= 1 && spec.width <= 128, "width out of range");
-        let mask = if spec.width == 128 { u128::MAX } else { (1u128 << spec.width) - 1 };
+        let mask = if spec.width == 128 {
+            u128::MAX
+        } else {
+            (1u128 << spec.width) - 1
+        };
         // Feedback mask = the polynomial minus its leading term: the
         // coefficient of x^e lands on bit e, plus the constant term x^0.
         let mut taps_mask = 1u128;
@@ -215,7 +227,12 @@ impl GaloisLfsr {
         if state == 0 {
             state = 1;
         }
-        GaloisLfsr { state, taps_mask, width: spec.width, mask }
+        GaloisLfsr {
+            state,
+            taps_mask,
+            width: spec.width,
+            mask,
+        }
     }
 
     /// Maximal-length Galois LFSR of a given width.

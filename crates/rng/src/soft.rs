@@ -29,7 +29,10 @@ pub struct SoftRng {
 impl SoftRng {
     /// Create a generator from a seed. Any seed (including 0) is valid.
     pub fn new(seed: u64) -> SoftRng {
-        SoftRng { state: seed, cached_normal: None }
+        SoftRng {
+            state: seed,
+            cached_normal: None,
+        }
     }
 
     /// Derive an independent child generator (for parallel streams).

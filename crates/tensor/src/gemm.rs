@@ -2,8 +2,36 @@
 //!
 //! The training path lowers convolutions to GEMM via im2col, so these
 //! three variants (plain, A-transposed, B-transposed) are the entire
-//! BLAS surface the stack requires. The loops use the `i-k-j` order so
-//! the innermost loop streams both `b` and `c` rows sequentially.
+//! BLAS surface the stack requires.
+//!
+//! The kernels are cache-blocked and register-tiled:
+//!
+//! * [`gemm`] / [`gemm_at`] split the shared dimension into `KC`
+//!   panels and run a `MR×NR` (2×16) micro-kernel whose accumulators
+//!   live in registers for the whole panel, with the depth loop
+//!   innermost — each loaded `b` vector feeds `MR` multiply-add
+//!   streams and the 16-wide accumulator rows autovectorize.
+//! * [`gemm_bt`] computes dot products along `k`, so its micro-kernel
+//!   keeps 8 partial-sum lanes per output and shares every streamed
+//!   `b` chunk between two rows of `a`.
+//!
+//! Accumulation order therefore differs from the textbook triple
+//! loop; callers comparing against a reference should allow the usual
+//! f32 tolerance.
+//!
+//! The previous generation of these kernels skipped zero `a` elements.
+//! That branch is gone: on the dense matrices the NN stack produces it
+//! cost a compare-and-branch per inner iteration and blocked
+//! vectorization. Sparsity is exploited at the tensor level (MCD
+//! zeroes whole channels), never inside the GEMM.
+
+/// Rows of `c` per register tile.
+const MR: usize = 2;
+/// Columns of `c` per register tile (two 8-wide SIMD lanes).
+const NR: usize = 16;
+/// Depth of the shared dimension per cache panel: `KC` elements of a
+/// `b` column stay resident while a register tile accumulates.
+const KC: usize = 256;
 
 /// `c[m×n] += a[m×k] · b[k×n]` (all row-major).
 ///
@@ -14,19 +42,7 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     assert_eq!(a.len(), m * k, "a must be m*k");
     assert_eq!(b.len(), k * n, "b must be k*n");
     assert_eq!(c.len(), m * n, "c must be m*n");
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (p, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                *cv += av * bv;
-            }
-        }
-    }
+    gemm_tiled(m, k, n, b, c, |i, p| a[i * k + p]);
 }
 
 /// `c[m×n] += aᵀ · b` where `a` is stored `k×m` row-major.
@@ -40,24 +56,92 @@ pub fn gemm_at(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]
     assert_eq!(a.len(), k * m, "a must be k*m (transposed)");
     assert_eq!(b.len(), k * n, "b must be k*n");
     assert_eq!(c.len(), m * n, "c must be m*n");
-    for p in 0..k {
-        let a_row = &a[p * m..(p + 1) * m];
-        let b_row = &b[p * n..(p + 1) * n];
-        for (i, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+    gemm_tiled(m, k, n, b, c, |i, p| a[p * m + i]);
+}
+
+/// Shared driver for [`gemm`] and [`gemm_at`]: `a_at(i, p)` abstracts
+/// the storage order of `a`, monomorphized per caller so the
+/// micro-kernel sees a direct indexed load.
+fn gemm_tiled<F: Fn(usize, usize) -> f32>(
+    m: usize,
+    k: usize,
+    n: usize,
+    b: &[f32],
+    c: &mut [f32],
+    a_at: F,
+) {
+    for pb in (0..k).step_by(KC) {
+        let pe = (pb + KC).min(k);
+        let mut i = 0;
+        while i + MR <= m {
+            let mut j = 0;
+            while j + NR <= n {
+                // The register tile: MR×NR accumulators updated across
+                // the whole depth panel before touching c.
+                let mut acc = [[0.0f32; NR]; MR];
+                for p in pb..pe {
+                    let bq: &[f32; NR] = b[p * n + j..p * n + j + NR]
+                        .try_into()
+                        .expect("NR-sized chunk");
+                    for (r, row) in acc.iter_mut().enumerate() {
+                        let ar = a_at(i + r, p);
+                        for (av, &bv) in row.iter_mut().zip(bq) {
+                            *av += ar * bv;
+                        }
+                    }
+                }
+                for (r, row) in acc.iter().enumerate() {
+                    let crow = &mut c[(i + r) * n + j..(i + r) * n + j + NR];
+                    for (cv, &av) in crow.iter_mut().zip(row) {
+                        *cv += av;
+                    }
+                }
+                j += NR;
             }
-            let c_row = &mut c[i * n..(i + 1) * n];
-            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                *cv += av * bv;
+            // Column remainder: scalar columns, still register-resident
+            // along the depth panel.
+            while j < n {
+                let mut acc = [0.0f32; MR];
+                for p in pb..pe {
+                    let bv = b[p * n + j];
+                    for (r, av) in acc.iter_mut().enumerate() {
+                        *av += a_at(i + r, p) * bv;
+                    }
+                }
+                for (r, &av) in acc.iter().enumerate() {
+                    c[(i + r) * n + j] += av;
+                }
+                j += 1;
             }
+            i += MR;
+        }
+        // Row remainder: one row, streaming b.
+        while i < m {
+            let crow = &mut c[i * n..(i + 1) * n];
+            for p in pb..pe {
+                let av = a_at(i, p);
+                let brow = &b[p * n..(p + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
+            }
+            i += 1;
         }
     }
 }
 
+/// Partial-sum lanes per dot product in [`gemm_bt`].
+const LANES: usize = 8;
+/// `b` rows per [`gemm_bt`] register tile.
+const JR: usize = 4;
+
 /// `c[m×n] += a · bᵀ` where `b` is stored `n×k` row-major.
 ///
-/// Used for input gradients: `dX = dY · W` with `W` stored `[out, in]`.
+/// Used for input gradients (`dX = dY · W` with `W` stored `[out, in]`)
+/// and by the fully-connected forward pass. Both operands stream along
+/// `k`, so the micro-kernel keeps [`LANES`] partial sums per output
+/// (vectorized, no loop-carried f32 dependency) and shares each
+/// streamed `b` chunk between two rows of `a`.
 ///
 /// # Panics
 ///
@@ -66,18 +150,81 @@ pub fn gemm_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]
     assert_eq!(a.len(), m * k, "a must be m*k");
     assert_eq!(b.len(), n * k, "b must be n*k (transposed)");
     assert_eq!(c.len(), m * n, "c must be m*n");
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (j, cv) in c_row.iter_mut().enumerate() {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in a_row.iter().zip(b_row) {
-                acc += av * bv;
+    let chunks = k / LANES;
+    let mut i = 0;
+    while i + 2 <= m {
+        let a0 = &a[i * k..(i + 1) * k];
+        let a1 = &a[(i + 1) * k..(i + 2) * k];
+        let mut j = 0;
+        while j + JR <= n {
+            let mut l0 = [[0.0f32; LANES]; JR];
+            let mut l1 = [[0.0f32; LANES]; JR];
+            for ch in 0..chunks {
+                let span = ch * LANES..(ch + 1) * LANES;
+                let av0: &[f32; LANES] = a0[span.clone()].try_into().expect("lane chunk");
+                let av1: &[f32; LANES] = a1[span.clone()].try_into().expect("lane chunk");
+                for q in 0..JR {
+                    let base = (j + q) * k;
+                    let bq: &[f32; LANES] = b[base + span.start..base + span.end]
+                        .try_into()
+                        .expect("lane chunk");
+                    for l in 0..LANES {
+                        l0[q][l] += av0[l] * bq[l];
+                        l1[q][l] += av1[l] * bq[l];
+                    }
+                }
             }
-            *cv += acc;
+            for q in 0..JR {
+                let (mut s0, mut s1) = (0.0f32, 0.0f32);
+                for l in 0..LANES {
+                    s0 += l0[q][l];
+                    s1 += l1[q][l];
+                }
+                let brow = &b[(j + q) * k..(j + q + 1) * k];
+                for p in chunks * LANES..k {
+                    s0 += a0[p] * brow[p];
+                    s1 += a1[p] * brow[p];
+                }
+                c[i * n + j + q] += s0;
+                c[(i + 1) * n + j + q] += s1;
+            }
+            j += JR;
+        }
+        while j < n {
+            let brow = &b[j * k..(j + 1) * k];
+            let (s0, s1) = (dot_lanes(a0, brow), dot_lanes(a1, brow));
+            c[i * n + j] += s0;
+            c[(i + 1) * n + j] += s1;
+            j += 1;
+        }
+        i += 2;
+    }
+    if i < m {
+        let a0 = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            c[i * n + j] += dot_lanes(a0, &b[j * k..(j + 1) * k]);
         }
     }
+}
+
+/// Lane-parallel dot product (the single-row [`gemm_bt`] path).
+#[inline]
+fn dot_lanes(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len());
+    let mut lanes = [0.0f32; LANES];
+    let xc = x.chunks_exact(LANES);
+    let yc = y.chunks_exact(LANES);
+    let (xr, yr) = (xc.remainder(), yc.remainder());
+    for (xs, ys) in xc.zip(yc) {
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            *lane += xs[l] * ys[l];
+        }
+    }
+    let mut s: f32 = lanes.iter().sum();
+    for (&xv, &yv) in xr.iter().zip(yr) {
+        s += xv * yv;
+    }
+    s
 }
 
 #[cfg(test)]
@@ -110,7 +257,9 @@ mod tests {
         // Small deterministic pseudo-random values.
         (0..n)
             .map(|i| {
-                let v = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+                let v = (i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(seed);
                 ((v >> 33) as i32 % 17 - 8) as f32 / 4.0
             })
             .collect()
@@ -156,6 +305,53 @@ mod tests {
         let mut c = vec![0.0; m * n];
         gemm_bt(m, k, n, &a, &bt, &mut c);
         assert_eq!(c, naive(m, k, n, &a, &b));
+    }
+
+    #[test]
+    fn blocked_kernels_cross_tile_boundaries() {
+        // Shapes straddling the MR/NR/KC/LANES edges: odd sizes, exact
+        // multiples, and one-past-a-boundary.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (2, 8, 16),
+            (5, 3, 9),
+            (3, 257, 17),
+            (7, 13, 33),
+            (6, 300, 50),
+        ] {
+            let a = fill(m * k, (m * 31 + k) as u64);
+            let b = fill(k * n, (n * 17 + k) as u64);
+            let want = naive(m, k, n, &a, &b);
+
+            let mut c = vec![0.0; m * n];
+            gemm(m, k, n, &a, &b, &mut c);
+            for (got, want) in c.iter().zip(&want) {
+                assert!(
+                    (got - want).abs() < 1e-3,
+                    "gemm {m}x{k}x{n}: {got} vs {want}"
+                );
+            }
+
+            let at = transpose(m, k, &a);
+            let mut c = vec![0.0; m * n];
+            gemm_at(m, k, n, &at, &b, &mut c);
+            for (got, want) in c.iter().zip(&want) {
+                assert!(
+                    (got - want).abs() < 1e-3,
+                    "gemm_at {m}x{k}x{n}: {got} vs {want}"
+                );
+            }
+
+            let bt = transpose(k, n, &b);
+            let mut c = vec![0.0; m * n];
+            gemm_bt(m, k, n, &a, &bt, &mut c);
+            for (got, want) in c.iter().zip(&want) {
+                assert!(
+                    (got - want).abs() < 1e-3,
+                    "gemm_bt {m}x{k}x{n}: {got} vs {want}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -34,10 +34,42 @@ pub fn im2col(
     stride: usize,
     pad: usize,
 ) -> Vec<f32> {
-    assert_eq!(image.len(), c * h * w, "image buffer must be c*h*w");
     let ho = conv_out_dim(h, k, stride, pad);
     let wo = conv_out_dim(w, k, stride, pad);
     let mut cols = vec![0.0f32; c * k * k * ho * wo];
+    im2col_into(image, c, h, w, k, stride, pad, &mut cols);
+    cols
+}
+
+/// [`im2col`] into a caller-provided buffer (scratch-reuse hot path).
+///
+/// The buffer is fully overwritten, including the zero padding taps,
+/// so it can be reused across calls without clearing.
+///
+/// # Panics
+///
+/// Panics if `image.len() != c*h*w` or `cols` is not exactly
+/// `c*k*k*ho*wo` long.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_into(
+    image: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    cols: &mut [f32],
+) {
+    assert_eq!(image.len(), c * h * w, "image buffer must be c*h*w");
+    let ho = conv_out_dim(h, k, stride, pad);
+    let wo = conv_out_dim(w, k, stride, pad);
+    assert_eq!(
+        cols.len(),
+        c * k * k * ho * wo,
+        "cols buffer must match geometry"
+    );
+    cols.fill(0.0);
     let row_len = ho * wo;
     for ch in 0..c {
         for ky in 0..k {
@@ -54,14 +86,12 @@ pub fn im2col(
                         if ix < 0 || ix >= w as isize {
                             continue;
                         }
-                        out_row[oy * wo + ox] =
-                            image[(ch * h + iy as usize) * w + ix as usize];
+                        out_row[oy * wo + ox] = image[(ch * h + iy as usize) * w + ix as usize];
                     }
                 }
             }
         }
     }
-    cols
 }
 
 /// Adjoint of [`im2col`]: scatter-add a `[C·K·K, Ho·Wo]` column matrix
@@ -85,7 +115,11 @@ pub fn col2im(
     assert_eq!(image.len(), c * h * w, "image buffer must be c*h*w");
     let ho = conv_out_dim(h, k, stride, pad);
     let wo = conv_out_dim(w, k, stride, pad);
-    assert_eq!(cols.len(), c * k * k * ho * wo, "cols buffer must match geometry");
+    assert_eq!(
+        cols.len(),
+        c * k * k * ho * wo,
+        "cols buffer must match geometry"
+    );
     let row_len = ho * wo;
     for ch in 0..c {
         for ky in 0..k {
@@ -102,8 +136,7 @@ pub fn col2im(
                         if ix < 0 || ix >= w as isize {
                             continue;
                         }
-                        image[(ch * h + iy as usize) * w + ix as usize] +=
-                            in_row[oy * wo + ox];
+                        image[(ch * h + iy as usize) * w + ix as usize] += in_row[oy * wo + ox];
                     }
                 }
             }
@@ -162,7 +195,8 @@ mod tests {
         // tap (0,0) sees the image shifted: out (0,0) reads (-1,-1) -> 0.
         assert_eq!(cols[0], 0.0);
         // centre tap (1,1) reads the true pixels.
-        let row = (1 * 3 + 1) * 4; // row index (ky=1,kx=1) * row_len 4
+        let (ky, kx, row_len) = (1, 1, 4);
+        let row = (ky * 3 + kx) * row_len;
         assert_eq!(&cols[row..row + 4], &[1.0, 1.0, 1.0, 1.0]);
     }
 
@@ -172,14 +206,25 @@ mod tests {
         let (c, h, w, k, s, p) = (2, 5, 4, 3, 2, 1);
         let ho = conv_out_dim(h, k, s, p);
         let wo = conv_out_dim(w, k, s, p);
-        let x: Vec<f32> = (0..c * h * w).map(|i| ((i * 37 + 11) % 13) as f32 - 6.0).collect();
-        let y: Vec<f32> =
-            (0..c * k * k * ho * wo).map(|i| ((i * 53 + 7) % 11) as f32 - 5.0).collect();
+        let x: Vec<f32> = (0..c * h * w)
+            .map(|i| ((i * 37 + 11) % 13) as f32 - 6.0)
+            .collect();
+        let y: Vec<f32> = (0..c * k * k * ho * wo)
+            .map(|i| ((i * 53 + 7) % 11) as f32 - 5.0)
+            .collect();
         let cols = im2col(&x, c, h, w, k, s, p);
-        let lhs: f64 = cols.iter().zip(&y).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum();
+        let lhs: f64 = cols
+            .iter()
+            .zip(&y)
+            .map(|(&a, &b)| f64::from(a) * f64::from(b))
+            .sum();
         let mut back = vec![0.0f32; c * h * w];
         col2im(&y, c, h, w, k, s, p, &mut back);
-        let rhs: f64 = x.iter().zip(&back).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum();
+        let rhs: f64 = x
+            .iter()
+            .zip(&back)
+            .map(|(&a, &b)| f64::from(a) * f64::from(b))
+            .sum();
         assert!((lhs - rhs).abs() < 1e-6, "adjoint mismatch: {lhs} vs {rhs}");
     }
 

@@ -25,8 +25,11 @@ mod shape;
 mod tensor;
 
 pub use gemm::{gemm, gemm_at, gemm_bt};
-pub use im2col::{col2im, conv_out_dim, im2col};
+pub use im2col::{col2im, conv_out_dim, im2col, im2col_into};
 pub use ops::{add_inplace, log_softmax_rows, relu_inplace, scale_inplace, softmax_rows};
-pub use pool::{avg_pool, avg_pool_backward, global_avg_pool, max_pool, max_pool_backward};
+pub use pool::{
+    avg_pool, avg_pool_backward, avg_pool_into, global_avg_pool, global_avg_pool_into, max_pool,
+    max_pool_backward, max_pool_into,
+};
 pub use shape::Shape4;
 pub use tensor::Tensor;

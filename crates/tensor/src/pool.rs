@@ -50,6 +50,39 @@ pub fn max_pool(x: &Tensor, k: usize, stride: usize) -> (Tensor, Vec<u32>) {
     (out, arg)
 }
 
+/// Max-pool into a caller-provided output tensor, discarding the
+/// argmax indices (evaluation-mode scratch-reuse hot path).
+///
+/// # Panics
+///
+/// Panics if `out` does not have the pooled output shape.
+pub fn max_pool_into(x: &Tensor, k: usize, stride: usize, out: &mut Tensor) {
+    let s = x.shape();
+    let ho = conv_out_dim(s.h, k, stride, 0);
+    let wo = conv_out_dim(s.w, k, stride, 0);
+    let out_shape = Shape4::new(s.n, s.c, ho, wo);
+    assert_eq!(out.shape(), out_shape, "max_pool_into: bad output shape");
+    for n in 0..s.n {
+        for c in 0..s.c {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let mut best = f32::NEG_INFINITY;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let iy = oy * stride + ky;
+                            let ix = ox * stride + kx;
+                            if iy < s.h && ix < s.w {
+                                best = best.max(x.at(n, c, iy, ix));
+                            }
+                        }
+                    }
+                    *out.at_mut(n, c, oy, ox) = best;
+                }
+            }
+        }
+    }
+}
+
 /// Backward of [`max_pool`]: routes `dy` to the argmax positions.
 ///
 /// # Panics
@@ -73,8 +106,25 @@ pub fn avg_pool(x: &Tensor, k: usize, stride: usize) -> Tensor {
     let s = x.shape();
     let ho = conv_out_dim(s.h, k, stride, 0);
     let wo = conv_out_dim(s.w, k, stride, 0);
-    let out_shape = Shape4::new(s.n, s.c, ho, wo);
-    let mut out = Tensor::zeros(out_shape);
+    let mut out = Tensor::zeros(Shape4::new(s.n, s.c, ho, wo));
+    avg_pool_into(x, k, stride, &mut out);
+    out
+}
+
+/// Average-pool into a caller-provided output tensor.
+///
+/// # Panics
+///
+/// Panics if `out` does not have the pooled output shape.
+pub fn avg_pool_into(x: &Tensor, k: usize, stride: usize, out: &mut Tensor) {
+    let s = x.shape();
+    let ho = conv_out_dim(s.h, k, stride, 0);
+    let wo = conv_out_dim(s.w, k, stride, 0);
+    assert_eq!(
+        out.shape(),
+        Shape4::new(s.n, s.c, ho, wo),
+        "avg_pool_into: bad output shape"
+    );
     let inv = 1.0 / (k * k) as f32;
     for n in 0..s.n {
         for c in 0..s.c {
@@ -91,7 +141,6 @@ pub fn avg_pool(x: &Tensor, k: usize, stride: usize) -> Tensor {
             }
         }
     }
-    out
 }
 
 /// Backward of [`avg_pool`]: spreads each output gradient uniformly
@@ -121,19 +170,31 @@ pub fn avg_pool_backward(dy: &Tensor, k: usize, stride: usize, input_shape: Shap
 pub fn global_avg_pool(x: &Tensor) -> Tensor {
     let s = x.shape();
     let mut out = Tensor::zeros(Shape4::new(s.n, s.c, 1, 1));
+    global_avg_pool_into(x, &mut out);
+    out
+}
+
+/// Global average pool into a caller-provided `(n, c, 1, 1)` tensor.
+///
+/// # Panics
+///
+/// Panics if `out` does not have shape `(n, c, 1, 1)`.
+pub fn global_avg_pool_into(x: &Tensor, out: &mut Tensor) {
+    let s = x.shape();
+    assert_eq!(
+        out.shape(),
+        Shape4::new(s.n, s.c, 1, 1),
+        "global_avg_pool_into: bad shape"
+    );
     let inv = 1.0 / (s.h * s.w) as f32;
+    let plane = s.h * s.w;
     for n in 0..s.n {
+        let item = x.item(n);
         for c in 0..s.c {
-            let mut acc = 0.0f32;
-            for y in 0..s.h {
-                for xq in 0..s.w {
-                    acc += x.at(n, c, y, xq);
-                }
-            }
+            let acc: f32 = item[c * plane..(c + 1) * plane].iter().sum();
             *out.at_mut(n, c, 0, 0) = acc * inv;
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -142,6 +203,31 @@ mod tests {
 
     fn t(n: usize, c: usize, h: usize, w: usize, v: Vec<f32>) -> Tensor {
         Tensor::from_vec(Shape4::new(n, c, h, w), v)
+    }
+
+    #[test]
+    fn into_variants_match_allocating_kernels() {
+        let x = t(
+            2,
+            2,
+            4,
+            4,
+            (0..64).map(|i| ((i * 7) % 13) as f32 - 6.0).collect(),
+        );
+        let (want_max, _) = max_pool(&x, 2, 2);
+        let mut got = Tensor::zeros(want_max.shape());
+        max_pool_into(&x, 2, 2, &mut got);
+        assert_eq!(got.as_slice(), want_max.as_slice());
+
+        let want_avg = avg_pool(&x, 2, 2);
+        let mut got = Tensor::zeros(want_avg.shape());
+        avg_pool_into(&x, 2, 2, &mut got);
+        assert_eq!(got.as_slice(), want_avg.as_slice());
+
+        let want_gap = global_avg_pool(&x);
+        let mut got = Tensor::zeros(want_gap.shape());
+        global_avg_pool_into(&x, &mut got);
+        assert_eq!(got.as_slice(), want_gap.as_slice());
     }
 
     #[test]

@@ -28,7 +28,12 @@ impl Shape4 {
 
     /// Shape of a flat feature vector `(n, features, 1, 1)`.
     pub fn vec(n: usize, features: usize) -> Shape4 {
-        Shape4 { n, c: features, h: 1, w: 1 }
+        Shape4 {
+            n,
+            c: features,
+            h: 1,
+            w: 1,
+        }
     }
 
     /// Total number of elements.
@@ -53,8 +58,10 @@ impl Shape4 {
     /// Panics in debug builds if any coordinate is out of range.
     #[inline]
     pub fn index(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
-        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w,
-            "index ({n},{c},{h},{w}) out of bounds for {self}");
+        debug_assert!(
+            n < self.n && c < self.c && h < self.h && w < self.w,
+            "index ({n},{c},{h},{w}) out of bounds for {self}"
+        );
         ((n * self.c + c) * self.h + h) * self.w + w
     }
 

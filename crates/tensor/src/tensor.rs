@@ -28,12 +28,18 @@ pub struct Tensor {
 impl Tensor {
     /// A tensor of zeros.
     pub fn zeros(shape: Shape4) -> Tensor {
-        Tensor { data: vec![0.0; shape.len()], shape }
+        Tensor {
+            data: vec![0.0; shape.len()],
+            shape,
+        }
     }
 
     /// A tensor filled with `value`.
     pub fn full(shape: Shape4, value: f32) -> Tensor {
-        Tensor { data: vec![value; shape.len()], shape }
+        Tensor {
+            data: vec![value; shape.len()],
+            shape,
+        }
     }
 
     /// Wrap an existing buffer.
@@ -42,7 +48,11 @@ impl Tensor {
     ///
     /// Panics if `data.len() != shape.len()`.
     pub fn from_vec(shape: Shape4, data: Vec<f32>) -> Tensor {
-        assert_eq!(data.len(), shape.len(), "buffer length must match shape {shape}");
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "buffer length must match shape {shape}"
+        );
         Tensor { data, shape }
     }
 
@@ -127,7 +137,11 @@ impl Tensor {
     ///
     /// Panics if the element counts differ.
     pub fn reshape(mut self, shape: Shape4) -> Tensor {
-        assert_eq!(self.shape.len(), shape.len(), "reshape must preserve element count");
+        assert_eq!(
+            self.shape.len(),
+            shape.len(),
+            "reshape must preserve element count"
+        );
         self.shape = shape;
         self
     }

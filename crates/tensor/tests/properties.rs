@@ -107,6 +107,64 @@ proptest! {
     }
 }
 
+// The blocked/register-tiled GEMM kernels against the textbook triple
+// loop, on shapes that are deliberately *not* multiples of the 2×16
+// (MR×NR) register tile, the KC depth panel, or gemm_bt's 2×4×8-lane
+// tile. Fewer cases than above:
+// each one multiplies real matrices.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn blocked_gemm_matches_naive_on_odd_shapes(
+        m in 1usize..70, k in 1usize..80, n in 1usize..40, seed in 0u64..1000
+    ) {
+        let mut rng = bnn_rng_stub(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.next()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.next()).collect();
+        let mut want = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                want[i * n + j] = acc;
+            }
+        }
+
+        let mut c = vec![0.0f32; m * n];
+        gemm(m, k, n, &a, &b, &mut c);
+        for (got, want) in c.iter().zip(&want) {
+            prop_assert!((got - want).abs() < 1e-3, "gemm {}x{}x{}", m, k, n);
+        }
+
+        let mut at = vec![0.0f32; m * k];
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = a[i * k + p];
+            }
+        }
+        let mut c_at = vec![0.0f32; m * n];
+        gemm_at(m, k, n, &at, &b, &mut c_at);
+        for (got, want) in c_at.iter().zip(&want) {
+            prop_assert!((got - want).abs() < 1e-3, "gemm_at {}x{}x{}", m, k, n);
+        }
+
+        let mut bt = vec![0.0f32; k * n];
+        for p in 0..k {
+            for j in 0..n {
+                bt[j * k + p] = b[p * n + j];
+            }
+        }
+        let mut c_bt = vec![0.0f32; m * n];
+        gemm_bt(m, k, n, &a, &bt, &mut c_bt);
+        for (got, want) in c_bt.iter().zip(&want) {
+            prop_assert!((got - want).abs() < 1e-3, "gemm_bt {}x{}x{}", m, k, n);
+        }
+    }
+}
+
 /// Tiny deterministic value source for proptest bodies (keeps the
 /// strategies simple while the values stay reproducible per seed).
 struct StubRng(u64);
@@ -117,7 +175,10 @@ fn bnn_rng_stub(seed: u64) -> StubRng {
 
 impl StubRng {
     fn next(&mut self) -> f32 {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((self.0 >> 35) as i32 % 33 - 16) as f32 / 8.0
     }
 }

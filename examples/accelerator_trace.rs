@@ -49,7 +49,10 @@ fn main() {
     );
 
     println!("Intermediate-layer caching speedup (Table III sweep):");
-    println!("{:>4} {:>5} {:>12} {:>12} {:>9}", "L", "S", "w/ IC [ms]", "w/o IC [ms]", "speedup");
+    println!(
+        "{:>4} {:>5} {:>12} {:>12} {:>9}",
+        "L", "S", "w/ IC [ms]", "w/o IC [ms]", "speedup"
+    );
     for &l in &[1usize, 4, 6, 8, 11] {
         for &s in &[10usize, 50, 100] {
             let b = BayesConfig::new(l, s);

@@ -25,7 +25,10 @@ fn main() {
     let x: Vec<f32> = (0..784).map(|_| rng.next_f32()).collect();
     let pred = vibnn.predictive(&x, 20, &mut grng);
     println!("VIBNN (784-400-400-10, CLT Gaussian sampler):");
-    println!("  predictive entropy over 20 weight samples: {:.3} nats", entropy(&pred));
+    println!(
+        "  predictive entropy over 20 weight samples: {:.3} nats",
+        entropy(&pred)
+    );
     let perf = VibnnPerfModel::default();
     println!(
         "  perf model: {:.1} GOP/s -> {:.3} ms per weight sample\n",
@@ -51,7 +54,11 @@ fn main() {
         v[top.0].sqrt()
     );
     let perf = BynqnetPerfModel::default();
-    println!("  perf model: {:.2} GOP/s on {} DSPs", perf.throughput_gops(), perf.dsps);
+    println!(
+        "  perf model: {:.2} GOP/s on {} DSPs",
+        perf.throughput_gops(),
+        perf.dsps
+    );
 
     println!("\nTable IV context: the paper's accelerator reaches ~1590 GOP/s on");
     println!("ResNet-101 — see `cargo bench -p bnn-bench --bench table4`.");

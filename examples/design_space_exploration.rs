@@ -40,7 +40,10 @@ fn main() {
     let mut provider = SyntheticMetricProvider::resnet18();
 
     println!("== Unconstrained optima (Table I style) ==");
-    println!("{:<16} {:>5} {:>5} {:>10} {:>8} {:>8} {:>9}", "mode", "L", "S", "FPGA[ms]", "aPE", "ECE[%]", "acc[%]");
+    println!(
+        "{:<16} {:>5} {:>5} {:>10} {:>8} {:>8} {:>9}",
+        "mode", "L", "S", "FPGA[ms]", "aPE", "ECE[%]", "acc[%]"
+    );
     for mode in OptMode::all() {
         let r = explorer.explore(&mut provider, mode, &Requirements::none());
         let c = r.selected.expect("unconstrained always feasible");
@@ -65,9 +68,7 @@ fn main() {
         max_ece: None,
     };
     let r = explorer.explore(&mut provider, OptMode::Confidence, &req);
-    println!(
-        "\n== Constrained Opt-Confidence (Figure 6 box: lat<=10ms, acc>=92%, aPE>=0.5) =="
-    );
+    println!("\n== Constrained Opt-Confidence (Figure 6 box: lat<=10ms, acc>=92%, aPE>=0.5) ==");
     match r.selected {
         Some(c) => println!(
             "selected {{L={}, S={}}}: {:.2} ms, aPE {:.2}, ECE {:.2}%, acc {:.2}%",
@@ -81,5 +82,9 @@ fn main() {
         None => println!("no feasible point — relax the constraints"),
     }
     let feasible = r.candidates.iter().filter(|c| c.feasible(&req)).count();
-    println!("candidates: {} total, {} feasible", r.candidates.len(), feasible);
+    println!(
+        "candidates: {} total, {} feasible",
+        r.candidates.len(),
+        feasible
+    );
 }

@@ -6,8 +6,8 @@
 //! ```
 
 use bnn_fpga::rng::{
-    BernoulliSampler, BoxMullerFixedSampler, CltGaussianSampler, DropProbability,
-    GaussianSampler, Lfsr,
+    BernoulliSampler, BoxMullerFixedSampler, CltGaussianSampler, DropProbability, GaussianSampler,
+    Lfsr,
 };
 
 fn main() {
@@ -16,7 +16,10 @@ fn main() {
     let word = lfsr.step_word(64);
     println!("128-bit LFSR first 64 output bits: {word:016x}");
     let ones: u32 = (0..10_000).map(|_| u32::from(lfsr.step())).sum();
-    println!("bit balance over 10k cycles: {:.4} (ideal 0.5)\n", f64::from(ones) / 10_000.0);
+    println!(
+        "bit balance over 10k cycles: {:.4} (ideal 0.5)\n",
+        f64::from(ones) / 10_000.0
+    );
 
     // 2. Bernoulli sampler: p = 0.25 = two LFSRs + AND gate, SIPO to
     //    P_F = 64-bit words, FIFO decoupling (paper Figure 3).
@@ -30,7 +33,10 @@ fn main() {
     for _ in 0..1000 {
         total += sampler.generate_mask(64).iter().filter(|&&k| !k).count() as u64;
     }
-    println!("empirical drop rate over 64k bits: {:.4} (target 0.25)", total as f64 / 64_000.0);
+    println!(
+        "empirical drop rate over 64k bits: {:.4} (target 0.25)",
+        total as f64 / 64_000.0
+    );
     let st = sampler.stats();
     println!(
         "sampler stats: {} cycles, FIFO high-water {} words, {} stalls\n",
@@ -45,11 +51,12 @@ fn main() {
         ("fixed-point Box-Muller", bm.sample_n(50_000)),
     ] {
         let mean = xs.iter().map(|&v| f64::from(v)).sum::<f64>() / xs.len() as f64;
-        let var = xs.iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>()
+        let var = xs
+            .iter()
+            .map(|&v| (f64::from(v) - mean).powi(2))
+            .sum::<f64>()
             / xs.len() as f64;
         let tail = xs.iter().filter(|v| v.abs() > 2.0).count() as f64 / xs.len() as f64;
-        println!(
-            "{name}: mean {mean:+.4}, var {var:.4}, P(|z|>2) = {tail:.4} (normal: 0.0455)"
-        );
+        println!("{name}: mean {mean:+.4}, var {var:.4}, P(|z|>2) = {tail:.4} (normal: 0.0455)");
     }
 }

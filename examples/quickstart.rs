@@ -35,13 +35,21 @@ fn main() {
 
     // 4. Run one test image on the simulated accelerator (the paper's
     //    64/64/1 configuration at 225 MHz, LFSR Bernoulli sampler).
-    let accel = Accelerator::new(AccelConfig::paper_default(), &folded, &qgraph, ds.image_shape());
+    let accel = Accelerator::new(
+        AccelConfig::paper_default(),
+        &folded,
+        &qgraph,
+        ds.image_shape(),
+    );
     let image = ds.test_x.select_item(0);
     let run = accel.run(&image, bayes, 2024);
 
     let pred = run.predictive.argmax_item(0);
     let conf = run.predictive.item(0)[pred];
-    println!("\nprediction: class {pred} (confidence {conf:.3}, truth {})", ds.test_y[0]);
+    println!(
+        "\nprediction: class {pred} (confidence {conf:.3}, truth {})",
+        ds.test_y[0]
+    );
     println!(
         "latency: {:.3} ms over S = {} samples (IC: prefix runs once)",
         run.timing.latency_ms(accel.config()),
@@ -62,5 +70,8 @@ fn main() {
     let layers = extract_layers(&folded, ds.image_shape());
     let cpu = PlatformModel::i9_9900k().bayes_latency_ms(&layers, bayes);
     let gpu = PlatformModel::rtx_2080_super().bayes_latency_ms(&layers, bayes);
-    println!("\nbaselines ({} MC samples, no IC): CPU {cpu:.3} ms, GPU {gpu:.3} ms", bayes.s);
+    println!(
+        "\nbaselines ({} MC samples, no IC): CPU {cpu:.3} ms, GPU {gpu:.3} ms",
+        bayes.s
+    );
 }

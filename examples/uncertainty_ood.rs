@@ -11,9 +11,7 @@
 //! ```
 
 use bnn_fpga::data::{gaussian_noise_like, synth_mnist};
-use bnn_fpga::mcd::{
-    avg_predictive_entropy, BayesConfig, McdPredictor, SoftwareMaskSource,
-};
+use bnn_fpga::mcd::{avg_predictive_entropy, BayesConfig, McdPredictor, SoftwareMaskSource};
 use bnn_fpga::nn::{models, MaskSet, SgdConfig, Trainer};
 use bnn_fpga::tensor::{softmax_rows, Tensor};
 
@@ -55,9 +53,7 @@ fn main() {
     for epoch in 0..8 {
         let (bl, ba) = bnn_tr.train_epoch(&mut bnn_net, &ds.train_x, &ds.train_y, 32);
         let (sl, sa) = std_tr.train_epoch(&mut std_net, &ds.train_x, &ds.train_y, 32);
-        println!(
-            "epoch {epoch}: bnn loss {bl:.3} acc {ba:.3} | std loss {sl:.3} acc {sa:.3}"
-        );
+        println!("epoch {epoch}: bnn loss {bl:.3} acc {ba:.3} | std loss {sl:.3} acc {sa:.3}");
     }
 
     // OOD probe: Gaussian noise with the training data's statistics.
@@ -75,12 +71,21 @@ fn main() {
         McdPredictor::new(&bnn_net).predictive(&noise, BayesConfig::new(l, 50), &mut src);
 
     println!("\n== Confidence on random-noise inputs (Figure 1) ==\n");
-    print_hist("Standard neural network:", &confidence_histogram(&std_probs, 10));
+    print_hist(
+        "Standard neural network:",
+        &confidence_histogram(&std_probs, 10),
+    );
     println!();
-    print_hist("Bayesian neural network (MCD, S=50):", &confidence_histogram(&bnn_probs, 10));
+    print_hist(
+        "Bayesian neural network (MCD, S=50):",
+        &confidence_histogram(&bnn_probs, 10),
+    );
 
     let ape_std = avg_predictive_entropy(&std_probs);
     let ape_bnn = avg_predictive_entropy(&bnn_probs);
     println!("\naPE on noise: standard NN {ape_std:.3} nats, BNN {ape_bnn:.3} nats");
-    println!("(higher is better on OOD data; max = ln 10 = {:.3})", (10.0f64).ln());
+    println!(
+        "(higher is better on OOD data; max = ln 10 = {:.3})",
+        (10.0f64).ln()
+    );
 }

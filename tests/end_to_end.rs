@@ -61,8 +61,10 @@ fn accelerator_matches_reference_on_trained_resnet() {
     let mut net = models::resnet18(10, 3, 4, 11);
     let mut rng = SoftRng::new(2);
     let shape = Shape4::new(4, 3, 16, 16);
-    let calib =
-        Tensor::from_vec(shape, (0..shape.len()).map(|_| rng.normal_f32(0.0, 1.0)).collect());
+    let calib = Tensor::from_vec(
+        shape,
+        (0..shape.len()).map(|_| rng.normal_f32(0.0, 1.0)).collect(),
+    );
     // A couple of training steps so BN stats and weights are non-trivial.
     let mut tr = Trainer::new(&net, SgdConfig::default(), 18, 0.25, 3);
     let _ = tr.train_batch(&mut net, &calib, &[0, 1, 2, 3]);
@@ -79,7 +81,11 @@ fn accelerator_matches_reference_on_trained_resnet() {
 
     let run = accel.run_with_masks(
         &img,
-        BayesConfig { l: folded.n_sites(), s: 1, p: 0.25 },
+        BayesConfig {
+            l: folded.n_sites(),
+            s: 1,
+            p: 0.25,
+        },
         std::slice::from_ref(&masks),
     );
     let reference = qg.forward(&img, &masks);
@@ -135,5 +141,8 @@ fn accelerator_predictive_close_to_software_predictive() {
             agree += 1;
         }
     }
-    assert!(agree >= total - 2, "hardware/software argmax agreement {agree}/{total}");
+    assert!(
+        agree >= total - 2,
+        "hardware/software argmax agreement {agree}/{total}"
+    );
 }

@@ -4,8 +4,8 @@
 use bnn_fpga::accel::{AccelConfig, FpgaDevice, ResourceModel};
 use bnn_fpga::data::synth_mnist;
 use bnn_fpga::framework::{
-    optimize_hardware, Explorer, MetricProvider, NetKind, OptMode, Requirements,
-    SyntheticMetricProvider, TrainedMetricProvider, TrainingBudget,
+    optimize_hardware, Explorer, NetKind, OptMode, Requirements, SyntheticMetricProvider,
+    TrainedMetricProvider, TrainingBudget,
 };
 use bnn_fpga::nn::{arch::extract_layers, models};
 use bnn_fpga::tensor::Shape4;
@@ -26,14 +26,21 @@ fn full_pipeline_hw_then_algorithmic() {
     let mut provider = TrainedMetricProvider::new(
         NetKind::LeNet5,
         ds,
-        TrainingBudget { epochs: 1, batch: 16, test_n: 24, noise_n: 16, s_max: 10 },
+        TrainingBudget {
+            epochs: 1,
+            batch: 16,
+            test_n: 24,
+            noise_n: 16,
+            s_max: 10,
+        },
         5,
     );
-    let explorer = Explorer::new(cfg, layers, net.n_sites())
-        .with_s_domain(vec![3, 5, 10]);
+    let explorer = Explorer::new(cfg, layers, net.n_sites()).with_s_domain(vec![3, 5, 10]);
     for mode in OptMode::all() {
         let r = explorer.explore(&mut provider, mode, &Requirements::none());
-        let sel = r.selected.expect("unconstrained exploration always selects");
+        let sel = r
+            .selected
+            .expect("unconstrained exploration always selects");
         assert!(sel.fpga_ms > 0.0 && sel.fpga_ms.is_finite());
         assert!((0.0..=1.0).contains(&sel.accuracy));
     }
@@ -47,7 +54,13 @@ fn requirements_are_respected_with_trained_metrics() {
     let mut provider = TrainedMetricProvider::new(
         NetKind::LeNet5,
         ds,
-        TrainingBudget { epochs: 1, batch: 16, test_n: 24, noise_n: 16, s_max: 10 },
+        TrainingBudget {
+            epochs: 1,
+            batch: 16,
+            test_n: 24,
+            noise_n: 16,
+            s_max: 10,
+        },
         6,
     );
     let explorer = Explorer::new(AccelConfig::paper_default(), layers, net.n_sites())
@@ -57,7 +70,10 @@ fn requirements_are_respected_with_trained_metrics() {
     let mut lats: Vec<f64> = candidates.iter().map(|c| c.fpga_ms).collect();
     lats.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let bound = lats[lats.len() / 2];
-    let req = Requirements { max_latency_ms: Some(bound), ..Requirements::none() };
+    let req = Requirements {
+        max_latency_ms: Some(bound),
+        ..Requirements::none()
+    };
     let sel = bnn_fpga::framework::select(&candidates, OptMode::Uncertainty, &req)
         .expect("half the grid is feasible");
     assert!(sel.fpga_ms <= bound);

@@ -59,7 +59,11 @@ fn table3_shape_ic_wins_shrink_with_l() {
         };
         let s_l1 = speedup(1, 100);
         let s_l23 = speedup((2 * n).div_ceil(3), 50);
-        assert!(s_l1 > 5.0, "{}: L=1,S=100 IC speedup {s_l1:.1} too small", net.name());
+        assert!(
+            s_l1 > 5.0,
+            "{}: L=1,S=100 IC speedup {s_l1:.1} too small",
+            net.name()
+        );
         assert!(
             s_l23 < s_l1,
             "{}: IC speedup must shrink as L grows ({s_l23:.1} vs {s_l1:.1})",
@@ -85,8 +89,18 @@ fn table3_shape_fpga_beats_cpu_gpu_on_conv_nets() {
         let f = perf.network_timing(&layers, b, true).latency_ms(&cfg);
         let c = cpu.bayes_latency_ms(&layers, b);
         let g = gpu.bayes_latency_ms(&layers, b);
-        assert!(c / f > 2.0, "{}: CPU/FPGA ratio {:.1} too small", net.name(), c / f);
-        assert!(g / f > 1.5, "{}: GPU/FPGA ratio {:.1} too small", net.name(), g / f);
+        assert!(
+            c / f > 2.0,
+            "{}: CPU/FPGA ratio {:.1} too small",
+            net.name(),
+            c / f
+        );
+        assert!(
+            g / f > 1.5,
+            "{}: GPU/FPGA ratio {:.1} too small",
+            net.name(),
+            g / f
+        );
     }
 }
 
@@ -115,5 +129,8 @@ fn throughput_in_table4_regime() {
     let n = layers.iter().filter_map(|l| l.input_site).count();
     let gops = perf.throughput_gops(&layers, BayesConfig::new(n, 1), true);
     // Paper: 1590 GOP/s; peak is 1843.2.
-    assert!((1400.0..1843.2).contains(&gops), "ResNet-101 throughput {gops:.0}");
+    assert!(
+        (1400.0..1843.2).contains(&gops),
+        "ResNet-101 throughput {gops:.0}"
+    );
 }

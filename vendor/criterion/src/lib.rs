@@ -1,0 +1,193 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The container has no crates.io access, so the workspace vendors a
+//! minimal wall-clock harness with the same calling convention as
+//! criterion's: `criterion_group!`/`criterion_main!`,
+//! `Criterion::bench_function`, `Bencher::iter` and `black_box`.
+//! There is no statistical analysis — each benchmark reports the
+//! min/mean/max of `sample_size` timed samples, with per-sample
+//! iteration counts calibrated so a sample lasts roughly
+//! `measurement_time / sample_size`.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Bench-harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark: calibrate, warm up, time, report.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Calibrate the per-sample iteration count so one sample takes
+        // about measurement_time / sample_size.
+        let target = self.measurement_time.max(Duration::from_millis(1)) / self.sample_size as u32;
+        loop {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed >= target / 2 || b.iters >= 1 << 30 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                64
+            } else {
+                (target.as_nanos() / b.elapsed.as_nanos().max(1)).clamp(2, 64) as u64
+            };
+            b.iters = b.iters.saturating_mul(grow);
+        }
+
+        // Warm-up.
+        let warm_until = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_until {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+        }
+
+        // Timed samples.
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+        }
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(0.0f64, f64::max);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{name:<40} time: [{} {} {}]  ({} iters/sample, {} samples)",
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max),
+            b.iters,
+            samples.len()
+        );
+        self
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Times the routine passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run the routine `iters` times, accumulating wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Group benchmark functions, optionally with a custom config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_times_a_cheap_routine() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut acc = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                acc = acc.wrapping_add(1);
+                acc
+            })
+        });
+        assert!(acc > 0);
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(fmt_time(2e-9).contains("ns"));
+        assert!(fmt_time(2e-6).contains("µs"));
+        assert!(fmt_time(2e-3).contains("ms"));
+        assert!(fmt_time(2.0).contains("s"));
+    }
+}

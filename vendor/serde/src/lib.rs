@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This container has no crates.io access, so the workspace vendors a
+//! zero-dependency shim: `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! parse and expand to nothing. The derives exist purely so the
+//! annotated types keep compiling; no serialization code is generated.
+//! Swap this path dependency for the real `serde = { version = "1" }`
+//! when building with network access — no source change is required.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`'s derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`'s derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
