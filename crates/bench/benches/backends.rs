@@ -1,0 +1,71 @@
+//! Cross-backend predictive latency: the three `BayesBackend`
+//! substrates (float, int8, simulated accelerator) serving LeNet-5
+//! through the same `Session` protocol at `S ∈ {10, 100}`.
+//!
+//! Run with `cargo bench --bench backends`. This keeps the perf
+//! trajectory honest about the int8 and accelerator paths, not just
+//! the float engine: the float numbers track the PR-1 suffix-reuse
+//! engine, the int8/accel numbers track the integer executors, and
+//! the accelerator's *modelled* hardware latency is printed alongside
+//! its simulation wall time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use bnn_fpga::accel::{AccelConfig, Accelerator};
+use bnn_fpga::mcd::{BayesConfig, ParallelConfig};
+use bnn_fpga::nn::models;
+use bnn_fpga::quant::Quantizer;
+use bnn_fpga::tensor::{Shape4, Tensor};
+use bnn_fpga::{Backend, Session};
+
+fn bench_backends(c: &mut Criterion) {
+    let net = models::lenet5(10, 1, 28, 5).fold_batch_norm();
+    let shape = Shape4::new(4, 1, 28, 28);
+    let calib = Tensor::full(shape, 0.25);
+    let qgraph = Quantizer::new(&net).calibrate(&calib).quantize();
+    let accel = Accelerator::new(AccelConfig::default(), &net, &qgraph, shape);
+    let x = calib.select_item(0);
+
+    for &s in &[10usize, 100] {
+        let bayes = BayesConfig::new(3, s);
+        let backends: Vec<(&str, Backend)> = vec![
+            ("float", Backend::Float),
+            ("int8", Backend::Int8(qgraph.clone())),
+            ("accel", Backend::Accel(accel.clone())),
+        ];
+        for (label, backend) in backends {
+            let mut session = Session::for_graph(&net)
+                .backend(backend)
+                .bayes(bayes)
+                .parallel(ParallelConfig::max_parallel())
+                .seed(7)
+                .build();
+            c.bench_function(&format!("session_{label}_s{s}"), |bch| {
+                bch.iter(|| black_box(session.predictive(&x)))
+            });
+            if let Some(m) = session.last_cost().and_then(|cost| cost.model) {
+                println!(
+                    "  session_{label}_s{s}: modelled hardware latency {:.3} ms \
+                     ({} cycles, {:.1} KiB off-chip)",
+                    m.latency_ms,
+                    m.cycles,
+                    m.mem_bytes as f64 / 1024.0
+                );
+            }
+        }
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_backends
+}
+criterion_main!(benches);

@@ -61,6 +61,15 @@ pub struct AccelConfig {
     pub board_power_w: f64,
 }
 
+impl Default for AccelConfig {
+    /// [`AccelConfig::paper_default`] — the synthesised configuration,
+    /// so the config composes in builder APIs like the other public
+    /// config structs ([`Default`] on `ParallelConfig`, `DdrConfig`).
+    fn default() -> AccelConfig {
+        AccelConfig::paper_default()
+    }
+}
+
 impl AccelConfig {
     /// The paper's synthesised configuration:
     /// `P_C = 64, P_F = 64, P_V = 1` at 225 MHz, 8-bit data, 45 W.

@@ -7,7 +7,7 @@ use crate::config::AccelConfig;
 use crate::perf::{NetworkTiming, PerfModel};
 use bnn_mcd::{active_sites, BayesConfig};
 use bnn_nn::arch::{extract_layers, LayerDesc};
-use bnn_nn::{Graph, Mask, MaskSet};
+use bnn_nn::{Graph, MaskSet};
 use bnn_quant::{exec_qnode, QGraph, QNodeOp, QTensor};
 use bnn_rng::{BernoulliSampler, DropProbability, SamplerStats};
 use bnn_tensor::{conv_out_dim, softmax_rows, Shape4, Tensor};
@@ -49,10 +49,10 @@ pub struct AccelRun {
 #[derive(Debug, Clone)]
 pub struct Accelerator {
     cfg: AccelConfig,
-    qgraph: QGraph,
+    pub(crate) qgraph: QGraph,
     layers: Vec<LayerDesc>,
     /// Mask length per MCD site.
-    site_channels: Vec<usize>,
+    pub(crate) site_channels: Vec<usize>,
     /// desc index per qgraph node id (weight nodes only).
     desc_of_node: Vec<Option<usize>>,
 }
@@ -129,19 +129,13 @@ impl Accelerator {
         );
         let mut sampler = BernoulliSampler::new(p, self.cfg.pf, self.cfg.fifo_depth, seed);
         let active = active_sites(self.qgraph.n_sites(), bayes.l);
+        // Same helper as the software/hardware mask sources, so the
+        // on-chip sampler cannot disagree on which sites are Bayesian.
         let mask_sets: Vec<MaskSet> = (0..bayes.s)
             .map(|_| {
-                let masks = active
-                    .iter()
-                    .zip(&self.site_channels)
-                    .map(|(&on, &ch)| {
-                        on.then(|| Mask {
-                            keep: sampler.generate_mask(ch),
-                            scale: 1.0 / (1.0 - bayes.p),
-                        })
-                    })
-                    .collect();
-                MaskSet::from_masks(masks)
+                bnn_mcd::draw_site_masks(&active, &self.site_channels, bayes.p, |ch| {
+                    sampler.generate_mask(ch)
+                })
             })
             .collect();
         let mut run = self.run_with_masks(image, bayes, &mask_sets);
@@ -170,13 +164,7 @@ impl Accelerator {
         let input = self.qgraph.quantize_input(image);
         let nodes = self.qgraph.nodes();
         let active = active_sites(self.qgraph.n_sites(), bayes.l);
-        let split = nodes
-            .iter()
-            .position(|n| match n.op {
-                QNodeOp::McdSite { site, .. } => active.get(site).copied().unwrap_or(false),
-                _ => false,
-            })
-            .unwrap_or(nodes.len());
+        let split = self.suffix_split(&active);
 
         // Prefix: executed once, like hardware with IC enabled.
         let empty = MaskSet::none();
@@ -212,8 +200,7 @@ impl Accelerator {
         acc.map_inplace(|v| v * inv);
 
         // Timing and traffic from the analytic models (same split).
-        let perf = PerfModel::new(self.cfg);
-        let timing = perf.network_timing(&self.layers, bayes, true);
+        let timing = self.timing(bayes);
         let traffic = self.traffic(bayes, split);
 
         AccelRun {
@@ -232,9 +219,28 @@ impl Accelerator {
         }
     }
 
+    /// First node of the Bayesian suffix for a set of active sites
+    /// (`nodes.len()` when no site is active — fully deterministic).
+    /// Shared with the int8 backend via [`QGraph::suffix_split`].
+    pub(crate) fn suffix_split(&self, active: &[bool]) -> usize {
+        self.qgraph.suffix_split(active)
+    }
+
+    /// Cycle-level timing of a `{L, S}` prediction with IC enabled
+    /// (the same analytic model [`Accelerator::run`] reports).
+    pub fn timing(&self, bayes: BayesConfig) -> NetworkTiming {
+        PerfModel::new(self.cfg).network_timing(&self.layers, bayes, true)
+    }
+
+    /// Modelled off-chip traffic of a `{L, S}` prediction with IC.
+    pub fn traffic_model(&self, bayes: BayesConfig) -> MemTraffic {
+        let active = active_sites(self.qgraph.n_sites(), bayes.l);
+        self.traffic(bayes, self.suffix_split(&active))
+    }
+
     /// Execute one station: matrix ops go through the tiled PE path,
     /// everything else through the shared FU implementations.
-    fn exec_station(
+    pub(crate) fn exec_station(
         &self,
         node: &bnn_quant::QNode,
         outs: &[QTensor],

@@ -46,12 +46,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod config;
 mod engine;
 pub mod pe_clocked;
 mod perf;
 mod resource;
 
+pub use backend::AccelBackend;
 pub use config::{AccelConfig, DdrConfig};
 pub use engine::{AccelRun, Accelerator, MemTraffic};
 pub use perf::{LayerTiming, NetworkTiming, PerfModel};

@@ -2,8 +2,8 @@
 
 use bnn_data::{gaussian_noise_like, Dataset};
 use bnn_mcd::{
-    accuracy, avg_predictive_entropy, ece, mean_probs, BayesConfig, McdPredictor,
-    SoftwareMaskSource,
+    accuracy, avg_predictive_entropy, ece, mean_probs, sample_probs_on, BayesConfig, FloatBackend,
+    ParallelConfig, SoftwareMaskSource,
 };
 use bnn_nn::{models, Graph, SgdConfig, Trainer};
 use bnn_tensor::{Shape4, Tensor};
@@ -244,11 +244,15 @@ impl TrainedMetricProvider {
         let test_labels = self.dataset.test_y[..test_n].to_vec();
         let noise = gaussian_noise_like(&self.dataset, b.noise_n, self.seed ^ 0xDEAD);
 
+        // The generic engine over the float backend: the same sampling
+        // path `Session` serves, so framework metrics and served
+        // predictions cannot drift apart.
         let cfg = BayesConfig::new(l, b.s_max);
-        let pred = McdPredictor::new(&net);
+        let mut backend = FloatBackend::new(&net);
+        let parallel = ParallelConfig::max_parallel();
         let mut src = SoftwareMaskSource::new(self.seed ^ 0xBEEF ^ l as u64);
-        let test_passes = pred.sample_probs(&test_x, cfg, &mut src);
-        let noise_passes = pred.sample_probs(&noise, cfg, &mut src);
+        let test_passes = sample_probs_on(&mut backend, &test_x, cfg, &mut src, parallel);
+        let noise_passes = sample_probs_on(&mut backend, &noise, cfg, &mut src, parallel);
 
         self.cache.insert(
             l,

@@ -1,0 +1,487 @@
+//! The [`BayesBackend`] trait and the generic Monte Carlo sampling
+//! engine.
+//!
+//! The paper's central claim is that one Bayesian workload — `S`
+//! Monte Carlo forward passes over a partially-Bayesian network — can
+//! be retargeted across execution substrates: f32 software, int8
+//! integer arithmetic, and the FPGA accelerator. This module encodes
+//! that claim in the type system. A substrate implements
+//! [`BayesBackend`] (single-pass execution for a prepared input plus
+//! an optional analytic cost model) and the *one* generic engine here
+//! supplies everything else:
+//!
+//! * active-site computation (`last L of N`),
+//! * serial mask pre-draw from a [`MaskSource`] (so the deterministic
+//!   stream never depends on thread timing),
+//! * [`ParallelConfig`] thread fan-out with per-worker scratch,
+//! * sample averaging ([`mean_probs`]) and batched prediction,
+//! * wall-clock and model-cost accounting ([`CostReport`]).
+//!
+//! [`FloatBackend`] (below) wraps the f32 [`Graph`] executor with the
+//! intermediate-layer-caching suffix re-runs; `bnn-quant` provides
+//! `Int8Backend`, `bnn-accel` provides `AccelBackend`, and the
+//! `bnn-fpga` facade ties them together behind a `Session` builder.
+//! Any future substrate (batched-GEMM fusion, SIMD kernels, sharded
+//! serving) is a drop-in `impl BayesBackend`.
+
+use crate::predict::{active_sites, mean_probs, BayesConfig, ParallelConfig};
+use crate::source::MaskSource;
+use bnn_nn::{Activations, ExecScratch, Graph, MaskSet, Op};
+use bnn_tensor::{softmax_rows, Shape4, Tensor};
+use std::time::Instant;
+
+/// Analytic cost of one `{L, S}` predictive run, for backends that
+/// carry a hardware model (the accelerator reports cycles, latency at
+/// its configured clock, and off-chip traffic).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ModelCost {
+    /// Modelled execution cycles for the complete prediction.
+    pub cycles: u64,
+    /// Modelled latency in milliseconds at the backend's clock.
+    pub latency_ms: f64,
+    /// Modelled off-chip memory traffic in bytes.
+    pub mem_bytes: u64,
+}
+
+/// Cost report of one predictive run through the generic engine.
+///
+/// Wall-clock time is measured by the engine for every backend; the
+/// `model` field carries the backend's analytic hardware cost when it
+/// has one (CPU paths report `None`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostReport {
+    /// Monte Carlo samples requested (`S`, summed over batches). A
+    /// fully deterministic run (`L = 0`) executes one pass and
+    /// replicates it, so this is not a per-pass work count there.
+    pub samples: usize,
+    /// Input items predicted.
+    pub batch: usize,
+    /// Measured wall-clock time in milliseconds.
+    pub wall_ms: f64,
+    /// The backend's analytic cost model, if it has one (summed over
+    /// batches).
+    pub model: Option<ModelCost>,
+}
+
+impl CostReport {
+    /// Fold another run's cost into this one (batched prediction).
+    pub fn accumulate(&mut self, other: &CostReport) {
+        self.samples += other.samples;
+        self.batch += other.batch;
+        self.wall_ms += other.wall_ms;
+        self.model = match (self.model, other.model) {
+            (Some(a), Some(b)) => Some(ModelCost {
+                cycles: a.cycles + b.cycles,
+                latency_ms: a.latency_ms + b.latency_ms,
+                mem_bytes: a.mem_bytes + b.mem_bytes,
+            }),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+/// One Bayesian execution substrate (float, int8, accelerator, ...).
+///
+/// A backend executes single Monte Carlo passes for one *prepared*
+/// input; the generic engine ([`sample_probs_on`], [`predictive_on`],
+/// [`predictive_batched_on`]) owns mask pre-draw, thread fan-out,
+/// averaging and cost accounting. The contract:
+///
+/// 1. [`BayesBackend::prepare`] binds an input batch and precomputes
+///    whatever is shared across samples — typically the deterministic
+///    prefix under intermediate-layer caching.
+/// 2. [`BayesBackend::forward`] runs one pass over the prepared input
+///    and returns *softmax probabilities* `(n, k)`. It takes `&self`
+///    plus a per-worker [`BayesBackend::Scratch`], so the engine may
+///    fan passes out across threads.
+/// 3. Results must not depend on scratch contents or thread count —
+///    the engine's bit-identical-at-any-parallelism guarantee extends
+///    to every backend.
+pub trait BayesBackend: Sync {
+    /// Per-worker mutable state (scratch buffers) reused across the
+    /// samples one worker executes. Use `()` if none is needed.
+    type Scratch: Send;
+
+    /// Short backend name for logs, benches and cost reports.
+    fn name(&self) -> &'static str;
+
+    /// Number of MCD sites in the compiled network (the paper's `N`).
+    fn n_sites(&self) -> usize;
+
+    /// Mask length per site for an input shape (the channel count each
+    /// site's Bernoulli draw must cover).
+    fn site_channels(&self, input: Shape4) -> Vec<usize>;
+
+    /// Output classes `K` for an input shape.
+    fn output_classes(&self, input: Shape4) -> usize;
+
+    /// Bind an input batch and precompute per-input state shared by
+    /// all samples. Called exactly once before a group of
+    /// [`BayesBackend::forward`] calls.
+    fn prepare(&mut self, x: &Tensor, active: &[bool]);
+
+    /// Fresh per-worker scratch for the prepared input.
+    fn make_scratch(&self) -> Self::Scratch;
+
+    /// One Monte Carlo pass over the prepared input: softmax
+    /// probabilities of shape `(n, k)`.
+    fn forward(&self, masks: &MaskSet, scratch: &mut Self::Scratch) -> Tensor;
+
+    /// Analytic cost of a full `{L, S}` prediction, if the backend
+    /// models one (the accelerator's cycle/traffic models).
+    fn model_cost(&self, bayes: BayesConfig) -> Option<ModelCost> {
+        let _ = bayes;
+        None
+    }
+}
+
+/// Per-sample softmax probabilities: `s` tensors of shape `(n, k)`.
+///
+/// This is *the* sampling engine — every backend and the legacy
+/// [`crate::McdPredictor`] route through it. All `S` mask sets are
+/// drawn serially from `src` up front, then the passes fan out over
+/// `parallel.threads` scoped workers (contiguous chunks, joined in
+/// spawn order), which keeps the result bit-identical at any thread
+/// count. With no active Bayesian site the predictive is
+/// deterministic: one pass, replicated, and `src` is not consumed.
+///
+/// # Panics
+///
+/// Panics if `cfg.s == 0`.
+pub fn sample_probs_on<B: BayesBackend>(
+    backend: &mut B,
+    x: &Tensor,
+    cfg: BayesConfig,
+    src: &mut dyn MaskSource,
+    parallel: ParallelConfig,
+) -> Vec<Tensor> {
+    assert!(cfg.s > 0, "at least one Monte Carlo sample required");
+    let active = active_sites(backend.n_sites(), cfg.l);
+    if !active.iter().any(|&a| a) {
+        // No Bayesian layer: the predictive is deterministic and the
+        // mask stream is left untouched.
+        backend.prepare(x, &active);
+        let mut scratch = backend.make_scratch();
+        let probs = backend.forward(&MaskSet::none(), &mut scratch);
+        return vec![probs; cfg.s];
+    }
+    let channels = backend.site_channels(x.shape());
+    backend.prepare(x, &active);
+    let mask_sets: Vec<MaskSet> = (0..cfg.s)
+        .map(|_| src.next_masks(&active, &channels, cfg.p))
+        .collect();
+    run_samples(backend, &mask_sets, parallel)
+}
+
+/// Execute pre-drawn mask sets on a prepared backend with the
+/// configured fan-out. Samples are returned in mask-set order.
+fn run_samples<B: BayesBackend>(
+    backend: &B,
+    mask_sets: &[MaskSet],
+    parallel: ParallelConfig,
+) -> Vec<Tensor> {
+    let threads = parallel.threads.clamp(1, mask_sets.len());
+    if threads == 1 {
+        // Strictly serial: one scratch, no threads anywhere.
+        let mut scratch = backend.make_scratch();
+        return mask_sets
+            .iter()
+            .map(|m| backend.forward(m, &mut scratch))
+            .collect();
+    }
+    // Contiguous sample chunks per worker; joining in spawn order
+    // keeps the samples in stream order.
+    let chunk = mask_sets.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = mask_sets
+            .chunks(chunk)
+            .map(|ms| {
+                scope.spawn(move || {
+                    let mut scratch = backend.make_scratch();
+                    ms.iter()
+                        .map(|m| backend.forward(m, &mut scratch))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("sampler thread panicked"))
+            .collect()
+    })
+}
+
+/// Predictive distribution `(n, k)` — the mean of the per-sample
+/// softmax probabilities (the paper's `1/S Σ p(y|x, M_s)`) — plus the
+/// run's cost report.
+pub fn predictive_on<B: BayesBackend>(
+    backend: &mut B,
+    x: &Tensor,
+    cfg: BayesConfig,
+    src: &mut dyn MaskSource,
+    parallel: ParallelConfig,
+) -> (Tensor, CostReport) {
+    let t0 = Instant::now();
+    let passes = sample_probs_on(backend, x, cfg, src, parallel);
+    let probs = mean_probs(&passes, passes.len());
+    let report = CostReport {
+        samples: cfg.s,
+        batch: x.shape().n,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        model: backend.model_cost(cfg),
+    };
+    (probs, report)
+}
+
+/// Predictive over a dataset in batches of at most `batch` items,
+/// returning an `(n, k)` probability tensor and the accumulated cost.
+///
+/// # Panics
+///
+/// Panics if `batch == 0` or `xs` is empty.
+pub fn predictive_batched_on<B: BayesBackend>(
+    backend: &mut B,
+    xs: &Tensor,
+    cfg: BayesConfig,
+    src: &mut dyn MaskSource,
+    parallel: ParallelConfig,
+    batch: usize,
+) -> (Tensor, CostReport) {
+    assert!(batch > 0, "batch must be non-zero");
+    let s = xs.shape();
+    let mut out: Option<Tensor> = None;
+    let mut cost = CostReport::default();
+    let mut row = 0usize;
+    while row < s.n {
+        let take = batch.min(s.n - row);
+        let mut bx = Tensor::zeros(Shape4::new(take, s.c, s.h, s.w));
+        for i in 0..take {
+            bx.item_mut(i).copy_from_slice(xs.item(row + i));
+        }
+        let (probs, c) = predictive_on(backend, &bx, cfg, src, parallel);
+        cost.accumulate(&c);
+        let k = probs.shape().item_len();
+        let all = out.get_or_insert_with(|| Tensor::zeros(Shape4::vec(s.n, k)));
+        for i in 0..take {
+            all.item_mut(row + i).copy_from_slice(probs.item(i));
+        }
+        row += take;
+    }
+    (out.expect("dataset is non-empty"), cost)
+}
+
+/// The f32 software backend: wraps the [`Graph`] executor with the
+/// PR-1 performance engine — the deterministic prefix runs once per
+/// input ([`Graph::forward_full`]) and each Monte Carlo pass re-runs
+/// only the Bayesian suffix through a reusable [`ExecScratch`]
+/// ([`Graph::forward_from_with`]). Bit-identical to the legacy
+/// [`crate::McdPredictor`] at any thread count.
+#[derive(Debug)]
+pub struct FloatBackend<'g> {
+    graph: &'g Graph,
+    prepared: Option<FloatPrepared>,
+}
+
+#[derive(Debug)]
+struct FloatPrepared {
+    /// Shape of the bound input (sizes the suffix scratch).
+    shape: Shape4,
+    /// Either the cached prefix activations with the node id of the
+    /// first active MCD site (IC path), or the input itself for the
+    /// deterministic full-forward fallback — never both, so the IC
+    /// path does not clone the input batch.
+    state: FloatState,
+}
+
+#[derive(Debug)]
+enum FloatState {
+    Prefix(Activations, usize),
+    Full(Tensor),
+}
+
+impl<'g> FloatBackend<'g> {
+    /// Create a backend over a graph.
+    pub fn new(graph: &'g Graph) -> FloatBackend<'g> {
+        FloatBackend {
+            graph,
+            prepared: None,
+        }
+    }
+
+    /// Node id of the first active MCD site, if any.
+    fn first_active_site_node(&self, active: &[bool]) -> Option<usize> {
+        self.graph
+            .nodes()
+            .iter()
+            .enumerate()
+            .find_map(|(id, node)| match node.op {
+                Op::McdSite { site, .. } if active.get(site.0).copied().unwrap_or(false) => {
+                    Some(id)
+                }
+                _ => None,
+            })
+    }
+
+    fn prepared(&self) -> &FloatPrepared {
+        self.prepared
+            .as_ref()
+            .expect("FloatBackend::prepare not called")
+    }
+}
+
+/// Softmax the rows of a logits tensor in place and return it.
+fn softmaxed(mut logits: Tensor) -> Tensor {
+    let s = logits.shape();
+    let (rows, cols) = (s.n, s.item_len());
+    softmax_rows(logits.as_mut_slice(), rows, cols);
+    logits
+}
+
+impl BayesBackend for FloatBackend<'_> {
+    type Scratch = Option<ExecScratch>;
+
+    fn name(&self) -> &'static str {
+        "float"
+    }
+
+    fn n_sites(&self) -> usize {
+        self.graph.n_sites()
+    }
+
+    fn site_channels(&self, input: Shape4) -> Vec<usize> {
+        self.graph.site_channels(input)
+    }
+
+    fn output_classes(&self, input: Shape4) -> usize {
+        self.graph.infer_shapes(input)[self.graph.output_id()].item_len()
+    }
+
+    fn prepare(&mut self, x: &Tensor, active: &[bool]) {
+        let state = match self.first_active_site_node(active) {
+            // IC: run the deterministic prefix once; `forward_full`
+            // keeps every node output so suffix re-runs can resume.
+            Some(site_node) => {
+                FloatState::Prefix(self.graph.forward_full(x, &MaskSet::none()), site_node)
+            }
+            None => FloatState::Full(x.clone()),
+        };
+        self.prepared = Some(FloatPrepared {
+            shape: x.shape(),
+            state,
+        });
+    }
+
+    fn make_scratch(&self) -> Option<ExecScratch> {
+        let p = self.prepared();
+        // Suffix-sized scratch; conv batch splitting is disabled
+        // because the engine already owns the host's parallelism.
+        match p.state {
+            FloatState::Prefix(_, site_node) => Some(
+                self.graph
+                    .scratch_after(p.shape, site_node - 1)
+                    .serial_conv(),
+            ),
+            FloatState::Full(_) => None,
+        }
+    }
+
+    fn forward(&self, masks: &MaskSet, scratch: &mut Option<ExecScratch>) -> Tensor {
+        let logits = match (&self.prepared().state, scratch) {
+            (FloatState::Prefix(prefix, site_node), Some(scratch)) => {
+                self.graph
+                    .forward_from_with(prefix, site_node - 1, masks, scratch)
+            }
+            (FloatState::Full(x), _) => self.graph.forward(x, masks),
+            (FloatState::Prefix(..), None) => {
+                unreachable!("IC-path scratch comes from make_scratch")
+            }
+        };
+        softmaxed(logits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SoftwareMaskSource;
+    use bnn_nn::models;
+
+    #[test]
+    fn engine_on_float_backend_matches_predictor() {
+        let net = models::lenet5(10, 1, 16, 4);
+        let x = Tensor::full(Shape4::new(2, 1, 16, 16), 0.15);
+        let cfg = BayesConfig::new(2, 5);
+        let legacy = crate::McdPredictor::new(&net)
+            .with_parallelism(ParallelConfig::serial())
+            .predictive(&x, cfg, &mut SoftwareMaskSource::new(11));
+        let mut backend = FloatBackend::new(&net);
+        let (probs, cost) = predictive_on(
+            &mut backend,
+            &x,
+            cfg,
+            &mut SoftwareMaskSource::new(11),
+            ParallelConfig::serial(),
+        );
+        assert_eq!(probs.as_slice(), legacy.as_slice());
+        assert_eq!(cost.samples, 5);
+        assert_eq!(cost.batch, 2);
+        assert!(cost.wall_ms >= 0.0);
+        assert!(cost.model.is_none(), "CPU path has no hardware model");
+    }
+
+    #[test]
+    fn deterministic_run_does_not_consume_masks() {
+        let net = models::lenet5(10, 1, 16, 4);
+        let x = Tensor::full(Shape4::new(1, 1, 16, 16), 0.2);
+        let cfg = BayesConfig {
+            l: 0,
+            s: 3,
+            p: 0.25,
+        };
+        let mut backend = FloatBackend::new(&net);
+        let mut src = SoftwareMaskSource::new(3);
+        let passes = sample_probs_on(&mut backend, &x, cfg, &mut src, ParallelConfig::serial());
+        assert_eq!(passes.len(), 3);
+        for p in &passes[1..] {
+            assert_eq!(p.as_slice(), passes[0].as_slice());
+        }
+        // The untouched source still matches a fresh one.
+        let mut fresh = SoftwareMaskSource::new(3);
+        let a = src.next_masks(&[true], &[8], 0.25);
+        let b = fresh.next_masks(&[true], &[8], 0.25);
+        assert_eq!(
+            a.get(0).map(|m| m.keep.clone()),
+            b.get(0).map(|m| m.keep.clone())
+        );
+    }
+
+    #[test]
+    fn batched_engine_accumulates_cost() {
+        let net = models::lenet5(10, 1, 16, 6);
+        let xs = Tensor::full(Shape4::new(5, 1, 16, 16), 0.1);
+        let cfg = BayesConfig::new(1, 2);
+        let mut backend = FloatBackend::new(&net);
+        let mut src = SoftwareMaskSource::new(9);
+        let (probs, cost) = predictive_batched_on(
+            &mut backend,
+            &xs,
+            cfg,
+            &mut src,
+            ParallelConfig::serial(),
+            2,
+        );
+        assert_eq!(probs.shape(), Shape4::vec(5, 10));
+        assert_eq!(cost.batch, 5);
+        assert_eq!(cost.samples, 3 * 2, "S per batch, summed over 3 batches");
+    }
+
+    #[test]
+    fn float_backend_reports_graph_geometry() {
+        let net = models::lenet5(10, 1, 16, 1);
+        let backend = FloatBackend::new(&net);
+        let shape = Shape4::new(1, 1, 16, 16);
+        assert_eq!(backend.n_sites(), 5);
+        assert_eq!(backend.output_classes(shape), 10);
+        assert_eq!(backend.site_channels(shape).len(), 5);
+    }
+}

@@ -31,12 +31,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 mod metrics;
 mod predict;
 mod source;
 
+pub use backend::{
+    predictive_batched_on, predictive_on, sample_probs_on, BayesBackend, CostReport, FloatBackend,
+    ModelCost,
+};
 pub use metrics::{accuracy, avg_predictive_entropy, ece, mutual_information, nll, Calibration};
 pub use predict::{
     active_sites, mean_probs, predictive_batched, BayesConfig, McdPredictor, ParallelConfig,
 };
-pub use source::{HardwareMaskSource, MaskSource, SoftwareMaskSource};
+pub use source::{draw_site_masks, HardwareMaskSource, MaskSource, SoftwareMaskSource};

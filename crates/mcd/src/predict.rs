@@ -11,9 +11,10 @@
 //! mean is reduced in sample order, making the parallel path
 //! bit-identical to the serial one.
 
+use crate::backend::{predictive_batched_on, sample_probs_on, FloatBackend};
 use crate::source::MaskSource;
-use bnn_nn::{ExecScratch, Graph, MaskSet, Op};
-use bnn_tensor::{softmax_rows, Shape4, Tensor};
+use bnn_nn::Graph;
+use bnn_tensor::Tensor;
 use std::num::NonZeroUsize;
 
 /// A partial Bayesian configuration: the last `l` of the network's `N`
@@ -69,7 +70,7 @@ pub struct ParallelConfig {
 }
 
 impl ParallelConfig {
-    /// One worker per available CPU (the default).
+    /// One worker per available CPU (the [`McdPredictor`] default).
     pub fn max_parallel() -> ParallelConfig {
         let threads = std::thread::available_parallelism()
             .map(NonZeroUsize::get)
@@ -95,8 +96,13 @@ impl ParallelConfig {
 }
 
 impl Default for ParallelConfig {
+    /// [`ParallelConfig::serial`] — deterministic, spawns nothing.
+    /// Builder APIs (`Session`) compose from this predictable default;
+    /// opt into threads with [`ParallelConfig::max_parallel`] or
+    /// [`ParallelConfig::with_threads`]. (Results are bit-identical
+    /// either way; only wall-clock changes.)
     fn default() -> ParallelConfig {
-        ParallelConfig::max_parallel()
+        ParallelConfig::serial()
     }
 }
 
@@ -129,7 +135,7 @@ impl<'g> McdPredictor<'g> {
     pub fn new(graph: &'g Graph) -> McdPredictor<'g> {
         McdPredictor {
             graph,
-            parallel: ParallelConfig::default(),
+            parallel: ParallelConfig::max_parallel(),
         }
     }
 
@@ -140,103 +146,24 @@ impl<'g> McdPredictor<'g> {
         self
     }
 
-    /// Node id of the first active MCD site, if any.
-    fn first_active_site_node(&self, active: &[bool]) -> Option<usize> {
-        self.graph
-            .nodes()
-            .iter()
-            .enumerate()
-            .find_map(|(id, node)| match node.op {
-                Op::McdSite { site, .. } if active.get(site.0).copied().unwrap_or(false) => {
-                    Some(id)
-                }
-                _ => None,
-            })
-    }
-
     /// Per-sample softmax probabilities: `s` tensors of shape `(n, k)`.
     ///
     /// Exposing the individual passes lets callers evaluate *every*
     /// smaller `S` from one run (the paper's `S` sweep) by averaging
     /// prefixes of the returned list.
+    ///
+    /// Delegates to the generic engine
+    /// ([`crate::backend::sample_probs_on`]) over a [`FloatBackend`] —
+    /// the sampling logic exists exactly once, shared with the int8
+    /// and accelerator backends.
     pub fn sample_probs(
         &self,
         x: &Tensor,
         cfg: BayesConfig,
         src: &mut dyn MaskSource,
     ) -> Vec<Tensor> {
-        assert!(cfg.s > 0, "at least one Monte Carlo sample required");
-        let n_sites = self.graph.n_sites();
-        let active = active_sites(n_sites, cfg.l);
-        let channels = self.graph.site_channels(x.shape());
-        let first = self.first_active_site_node(&active);
-
-        let softmaxed = |mut logits: Tensor| -> Tensor {
-            let s = logits.shape();
-            let (rows, cols) = (s.n, s.item_len());
-            softmax_rows(logits.as_mut_slice(), rows, cols);
-            logits
-        };
-
-        match first {
-            None => {
-                // No Bayesian layer: the predictive is deterministic.
-                let probs = softmaxed(self.graph.forward(x, &MaskSet::none()));
-                vec![probs; cfg.s]
-            }
-            Some(site_node) => {
-                // IC: run the prefix once, re-run the suffix per sample.
-                let prefix = self.graph.forward_full(x, &MaskSet::none());
-                // All mask sets are drawn serially up front so the
-                // deterministic stream never depends on thread timing.
-                let mask_sets: Vec<MaskSet> = (0..cfg.s)
-                    .map(|_| src.next_masks(&active, &channels, cfg.p))
-                    .collect();
-                let run = |masks: &MaskSet, scratch: &mut ExecScratch| {
-                    softmaxed(
-                        self.graph
-                            .forward_from_with(&prefix, site_node - 1, masks, scratch),
-                    )
-                };
-                let threads = self.parallel.threads.clamp(1, cfg.s);
-                if threads == 1 {
-                    // Strictly serial: suffix-sized scratch, no conv
-                    // batch splitting, no threads anywhere.
-                    let mut scratch = self
-                        .graph
-                        .scratch_after(x.shape(), site_node - 1)
-                        .serial_conv();
-                    mask_sets.iter().map(|m| run(m, &mut scratch)).collect()
-                } else {
-                    // Contiguous sample chunks per worker; joining in
-                    // spawn order keeps the samples in stream order.
-                    let chunk = cfg.s.div_ceil(threads);
-                    let run = &run;
-                    std::thread::scope(|scope| {
-                        let workers: Vec<_> = mask_sets
-                            .chunks(chunk)
-                            .map(|ms| {
-                                scope.spawn(move || {
-                                    // Sample-level parallelism owns the
-                                    // host; per-conv batch splitting on
-                                    // top would only oversubscribe it.
-                                    // Scratch covers the suffix only.
-                                    let mut scratch = self
-                                        .graph
-                                        .scratch_after(x.shape(), site_node - 1)
-                                        .serial_conv();
-                                    ms.iter().map(|m| run(m, &mut scratch)).collect::<Vec<_>>()
-                                })
-                            })
-                            .collect();
-                        workers
-                            .into_iter()
-                            .flat_map(|w| w.join().expect("sampler thread panicked"))
-                            .collect()
-                    })
-                }
-            }
-        }
+        let mut backend = FloatBackend::new(self.graph);
+        sample_probs_on(&mut backend, x, cfg, src, self.parallel)
     }
 
     /// Predictive distribution `(n, k)`: the mean of the per-sample
@@ -274,33 +201,24 @@ pub fn predictive_batched(
     src: &mut dyn MaskSource,
     batch: usize,
 ) -> Tensor {
-    assert!(batch > 0, "batch must be non-zero");
-    let s = xs.shape();
-    let pred = McdPredictor::new(graph);
-    let mut out: Option<Tensor> = None;
-    let mut row = 0usize;
-    while row < s.n {
-        let take = batch.min(s.n - row);
-        let mut bx = Tensor::zeros(Shape4::new(take, s.c, s.h, s.w));
-        for i in 0..take {
-            bx.item_mut(i).copy_from_slice(xs.item(row + i));
-        }
-        let probs = pred.predictive(&bx, cfg, src);
-        let k = probs.shape().item_len();
-        let all = out.get_or_insert_with(|| Tensor::zeros(Shape4::vec(s.n, k)));
-        for i in 0..take {
-            all.item_mut(row + i).copy_from_slice(probs.item(i));
-        }
-        row += take;
-    }
-    out.expect("dataset is non-empty")
+    let mut backend = FloatBackend::new(graph);
+    predictive_batched_on(
+        &mut backend,
+        xs,
+        cfg,
+        src,
+        ParallelConfig::max_parallel(),
+        batch,
+    )
+    .0
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::source::SoftwareMaskSource;
+    use crate::source::{MaskSource, SoftwareMaskSource};
     use bnn_nn::models;
+    use bnn_tensor::{softmax_rows, Shape4};
 
     #[test]
     fn l_domain_matches_paper() {

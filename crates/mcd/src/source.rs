@@ -1,6 +1,6 @@
 //! Sources of MCD dropout masks.
 
-use bnn_nn::{Mask, MaskSet};
+use bnn_nn::MaskSet;
 use bnn_rng::{BernoulliSampler, DropProbability, SoftRng};
 
 /// A source of per-pass dropout masks for the active sites.
@@ -9,6 +9,24 @@ pub trait MaskSource {
     /// `channels[i]` is the mask length for site `i` and `p` the drop
     /// probability.
     fn next_masks(&mut self, active: &[bool], channels: &[usize], p: f32) -> MaskSet;
+}
+
+/// Build a [`MaskSet`] for the active sites, pulling each active
+/// site's keep bits from `keep_bits`.
+///
+/// Every mask producer — [`SoftwareMaskSource`], [`HardwareMaskSource`]
+/// and the accelerator simulator's on-chip sampler — draws through
+/// this one helper (which delegates to [`MaskSet::draw`]), so backends
+/// cannot disagree on which sites are Bayesian: `keep_bits` is invoked
+/// once per *active* site, in site order, and inactive sites consume
+/// nothing from the underlying bit stream.
+pub fn draw_site_masks(
+    active: &[bool],
+    channels: &[usize],
+    p: f32,
+    keep_bits: impl FnMut(usize) -> Vec<bool>,
+) -> MaskSet {
+    MaskSet::draw(active, channels, p, keep_bits)
 }
 
 /// Software mask source: SplitMix64-driven Bernoulli draws.
@@ -28,6 +46,8 @@ impl SoftwareMaskSource {
 
 impl MaskSource for SoftwareMaskSource {
     fn next_masks(&mut self, active: &[bool], channels: &[usize], p: f32) -> MaskSet {
+        // `sample_software` itself routes through `MaskSet::draw`, the
+        // same helper `draw_site_masks` wraps for the hardware paths.
         MaskSet::sample_software(active, channels, p, &mut self.rng)
     }
 }
@@ -83,18 +103,8 @@ impl MaskSource for HardwareMaskSource {
             "hardware sampler built for p = {}, asked for {p}",
             self.p.value()
         );
-        let scale = 1.0 / (1.0 - p);
-        let masks = active
-            .iter()
-            .zip(channels)
-            .map(|(&on, &c)| {
-                on.then(|| Mask {
-                    keep: self.sampler.generate_mask(c),
-                    scale,
-                })
-            })
-            .collect();
-        MaskSet::from_masks(masks)
+        let sampler = &mut self.sampler;
+        draw_site_masks(active, channels, p, |c| sampler.generate_mask(c))
     }
 }
 

@@ -39,15 +39,23 @@ impl MaskSet {
         MaskSet { masks }
     }
 
-    /// Sample software Bernoulli masks for the active sites.
+    /// Draw masks for the active sites from an arbitrary keep-bit
+    /// source: `keep_bits(len)` returns one site's keep vector.
     ///
-    /// `active[i]` enables site `i`; `channels[i]` is the mask length
-    /// (from [`Graph::site_channels`]); `p` is the drop probability.
-    pub fn sample_software(
+    /// This is the *only* place that maps `active`/`channels` to a
+    /// [`MaskSet`] — the software PRNG source, the hardware LFSR
+    /// source and the accelerator simulator all route through it, so
+    /// no two mask producers can disagree on which sites are Bayesian
+    /// or on the `1/(1-p)` rescale of the kept channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active` and `channels` have different lengths.
+    pub fn draw(
         active: &[bool],
         channels: &[usize],
         p: f32,
-        rng: &mut SoftRng,
+        mut keep_bits: impl FnMut(usize) -> Vec<bool>,
     ) -> MaskSet {
         assert_eq!(
             active.len(),
@@ -59,15 +67,28 @@ impl MaskSet {
             .iter()
             .zip(channels)
             .map(|(&on, &c)| {
-                if on {
-                    let keep = (0..c).map(|_| !rng.bernoulli(f64::from(p))).collect();
-                    Some(Mask { keep, scale })
-                } else {
-                    None
-                }
+                on.then(|| Mask {
+                    keep: keep_bits(c),
+                    scale,
+                })
             })
             .collect();
         MaskSet { masks }
+    }
+
+    /// Sample software Bernoulli masks for the active sites.
+    ///
+    /// `active[i]` enables site `i`; `channels[i]` is the mask length
+    /// (from [`Graph::site_channels`]); `p` is the drop probability.
+    pub fn sample_software(
+        active: &[bool],
+        channels: &[usize],
+        p: f32,
+        rng: &mut SoftRng,
+    ) -> MaskSet {
+        MaskSet::draw(active, channels, p, |c| {
+            (0..c).map(|_| !rng.bernoulli(f64::from(p))).collect()
+        })
     }
 
     /// Mask at `site`, if the site is active.

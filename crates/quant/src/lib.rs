@@ -35,10 +35,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod fixed;
 mod qgraph;
 mod quantizer;
 
+pub use backend::{IcRunner, Int8Backend};
 pub use fixed::{quantize_multiplier, FixedMul};
 pub use qgraph::{apply_qmask, exec_qnode, QGraph, QNode, QNodeOp, QParams, QTensor};
 pub use quantizer::Quantizer;

@@ -219,6 +219,56 @@ impl QGraph {
         &self.name
     }
 
+    /// Output shape of every node for an input shape (the integer
+    /// mirror of `bnn_nn::Graph::infer_shapes`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is malformed (construction bug).
+    pub fn infer_shapes(&self, input: Shape4) -> Vec<Shape4> {
+        let mut shapes: Vec<Shape4> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let s = qnode_out_shape(node, input, |id| shapes[id]);
+            shapes.push(s);
+        }
+        shapes
+    }
+
+    /// Channel count seen by each MCD site for a given input shape
+    /// (the mask length the Bernoulli sampler must produce).
+    pub fn site_channels(&self, input: Shape4) -> Vec<usize> {
+        let shapes = self.infer_shapes(input);
+        let mut out = vec![0usize; self.n_sites];
+        for (id, node) in self.nodes.iter().enumerate() {
+            if let QNodeOp::McdSite { site, .. } = &node.op {
+                out[*site] = shapes[id].c;
+            }
+        }
+        out
+    }
+
+    /// Number of output classes `K` for a given input shape.
+    pub fn output_classes(&self, input: Shape4) -> usize {
+        self.infer_shapes(input)[self.output].item_len()
+    }
+
+    /// First node of the Bayesian suffix for a set of active sites:
+    /// the earliest [`QNodeOp::McdSite`] whose site is active, or
+    /// `nodes.len()` when none is (fully deterministic execution).
+    ///
+    /// Both the int8 backend and the accelerator simulator split their
+    /// intermediate-layer caching here, so the two substrates cannot
+    /// disagree on the prefix/suffix boundary.
+    pub fn suffix_split(&self, active: &[bool]) -> usize {
+        self.nodes
+            .iter()
+            .position(|n| match n.op {
+                QNodeOp::McdSite { site, .. } => active.get(site).copied().unwrap_or(false),
+                _ => false,
+            })
+            .unwrap_or(self.nodes.len())
+    }
+
     /// Quantize a real-valued input batch.
     pub fn quantize_input(&self, x: &Tensor) -> QTensor {
         let mut q = QTensor::zeros(x.shape());
@@ -253,6 +303,48 @@ impl QGraph {
             outs.push(y);
         }
         outs
+    }
+}
+
+/// Output shape of one quantized node given its predecessors' shapes.
+fn qnode_out_shape(node: &QNode, input: Shape4, get: impl Fn(usize) -> Shape4) -> Shape4 {
+    let of = |i: usize| get(node.inputs[i]);
+    match &node.op {
+        QNodeOp::Input => input,
+        QNodeOp::Conv {
+            out_c,
+            k,
+            stride,
+            pad,
+            ..
+        } => {
+            let s = of(0);
+            Shape4::new(
+                s.n,
+                *out_c,
+                conv_out_dim(s.h, *k, *stride, *pad),
+                conv_out_dim(s.w, *k, *stride, *pad),
+            )
+        }
+        QNodeOp::Linear { out_f, .. } => Shape4::vec(of(0).n, *out_f),
+        QNodeOp::Relu { .. } | QNodeOp::McdSite { .. } | QNodeOp::Add { .. } => of(0),
+        QNodeOp::MaxPool { k, stride } | QNodeOp::AvgPool { k, stride } => {
+            let s = of(0);
+            Shape4::new(
+                s.n,
+                s.c,
+                conv_out_dim(s.h, *k, *stride, 0),
+                conv_out_dim(s.w, *k, *stride, 0),
+            )
+        }
+        QNodeOp::GlobalAvgPool => {
+            let s = of(0);
+            Shape4::new(s.n, s.c, 1, 1)
+        }
+        QNodeOp::Flatten => {
+            let s = of(0);
+            Shape4::vec(s.n, s.item_len())
+        }
     }
 }
 

@@ -139,7 +139,7 @@ const JR: usize = 4;
 ///
 /// Used for input gradients (`dX = dY · W` with `W` stored `[out, in]`)
 /// and by the fully-connected forward pass. Both operands stream along
-/// `k`, so the micro-kernel keeps [`LANES`] partial sums per output
+/// `k`, so the micro-kernel keeps `LANES` partial sums per output
 /// (vectorized, no loop-carried f32 dependency) and shares each
 /// streamed `b` chunk between two rows of `a`.
 ///

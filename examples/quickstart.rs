@@ -1,8 +1,11 @@
 //! Quickstart: the full pipeline on one page.
 //!
 //! Train a small Bayesian LeNet-5 on the synthetic MNIST stand-in,
-//! fold batch norm, quantize to int8, run it on the simulated FPGA
-//! accelerator and compare against the paper's CPU/GPU baselines.
+//! fold batch norm, quantize to int8, then serve the *same* seeded
+//! Monte Carlo prediction through one `Session` API on all three
+//! execution substrates — f32 software, int8 integer, and the
+//! simulated FPGA accelerator — and compare against the paper's
+//! CPU/GPU baselines.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
@@ -10,10 +13,11 @@
 
 use bnn_fpga::accel::{AccelConfig, Accelerator};
 use bnn_fpga::data::synth_mnist;
-use bnn_fpga::mcd::BayesConfig;
+use bnn_fpga::mcd::{BayesConfig, ParallelConfig};
 use bnn_fpga::nn::{arch::extract_layers, models, SgdConfig, Trainer};
 use bnn_fpga::platforms::PlatformModel;
 use bnn_fpga::quant::Quantizer;
+use bnn_fpga::{Backend, Session};
 
 fn main() {
     // 1. Data + model. LeNet-5 has N = 5 weight layers, each guarded
@@ -29,42 +33,53 @@ fn main() {
         println!("epoch {epoch}: loss {loss:.3}, train acc {acc:.3}");
     }
 
-    // 3. Deployment: fold BN, calibrate, quantize to int8.
+    // 3. Deployment: fold BN, calibrate, quantize to int8, compile the
+    //    accelerator (the paper's 64/64/1 configuration at 225 MHz).
     let folded = net.fold_batch_norm();
     let qgraph = Quantizer::new(&folded).calibrate(&ds.train_x).quantize();
+    let accel = Accelerator::new(AccelConfig::default(), &folded, &qgraph, ds.image_shape());
 
-    // 4. Run one test image on the simulated accelerator (the paper's
-    //    64/64/1 configuration at 225 MHz, LFSR Bernoulli sampler).
-    let accel = Accelerator::new(
-        AccelConfig::paper_default(),
-        &folded,
-        &qgraph,
-        ds.image_shape(),
-    );
+    // 4. Serve: one Session per substrate, same Bayesian protocol,
+    //    same seed -> same mask stream everywhere.
     let image = ds.test_x.select_item(0);
-    let run = accel.run(&image, bayes, 2024);
-
-    let pred = run.predictive.argmax_item(0);
-    let conf = run.predictive.item(0)[pred];
+    let build = |backend: Backend| {
+        Session::for_graph(&folded)
+            .backend(backend)
+            .bayes(bayes)
+            .parallel(ParallelConfig::serial())
+            .seed(2024)
+            .build()
+    };
     println!(
-        "\nprediction: class {pred} (confidence {conf:.3}, truth {})",
+        "\n== the same prediction on three substrates (truth {}) ==",
         ds.test_y[0]
     );
-    println!(
-        "latency: {:.3} ms over S = {} samples (IC: prefix runs once)",
-        run.timing.latency_ms(accel.config()),
-        bayes.s
-    );
-    println!(
-        "off-chip traffic: {:.1} KiB weights, {:.1} KiB activations",
-        run.traffic.weight_bytes as f64 / 1024.0,
-        (run.traffic.input_bytes + run.traffic.output_bytes) as f64 / 1024.0
-    );
-    println!(
-        "sampler: {} mask bits, {:.1}% dropped",
-        run.sampler.bits_produced,
-        100.0 * run.sampler.bits_dropped as f64 / run.sampler.bits_produced.max(1) as f64
-    );
+    for backend in [
+        Backend::Float,
+        Backend::Int8(qgraph.clone()),
+        Backend::Accel(accel),
+    ] {
+        let mut session = build(backend);
+        let probs = session.predictive(&image);
+        let pred = probs.argmax_item(0);
+        let conf = probs.item(0)[pred];
+        let cost = session.last_cost().expect("predictive records cost");
+        print!(
+            "{:>6}: class {pred} (confidence {conf:.3}), wall {:.3} ms",
+            session.backend_name(),
+            cost.wall_ms
+        );
+        match cost.model {
+            // Only the accelerator carries a hardware cost model.
+            Some(m) => println!(
+                ", modelled {:.3} ms ({} cycles, {:.1} KiB off-chip)",
+                m.latency_ms,
+                m.cycles,
+                m.mem_bytes as f64 / 1024.0
+            ),
+            None => println!(),
+        }
+    }
 
     // 5. Compare against the paper's software baselines.
     let layers = extract_layers(&folded, ds.image_shape());

@@ -11,9 +11,10 @@
 //! ```
 
 use bnn_fpga::data::{gaussian_noise_like, synth_mnist};
-use bnn_fpga::mcd::{avg_predictive_entropy, BayesConfig, McdPredictor, SoftwareMaskSource};
+use bnn_fpga::mcd::{avg_predictive_entropy, BayesConfig, ParallelConfig};
 use bnn_fpga::nn::{models, MaskSet, SgdConfig, Trainer};
 use bnn_fpga::tensor::{softmax_rows, Tensor};
+use bnn_fpga::Session;
 
 fn confidence_histogram(probs: &Tensor, bins: usize) -> Vec<f64> {
     let mut hist = vec![0.0f64; bins];
@@ -65,10 +66,19 @@ fn main() {
     softmax_rows(std_logits.as_mut_slice(), n, k);
     let std_probs = std_logits;
 
-    // BNN: MCD with S = 50 samples.
-    let mut src = SoftwareMaskSource::new(7);
-    let bnn_probs =
-        McdPredictor::new(&bnn_net).predictive(&noise, BayesConfig::new(l, 50), &mut src);
+    // BNN: MCD with S = 50 samples, served through a Session.
+    let mut session = Session::for_graph(&bnn_net)
+        .bayes(BayesConfig::new(l, 50))
+        .parallel(ParallelConfig::max_parallel())
+        .seed(7)
+        .build();
+    let bnn_probs = session.predictive(&noise);
+    if let Some(cost) = session.last_cost() {
+        println!(
+            "\nBNN predictive: S = {} samples in {:.1} ms wall",
+            cost.samples, cost.wall_ms
+        );
+    }
 
     println!("\n== Confidence on random-noise inputs (Figure 1) ==\n");
     print_hist(

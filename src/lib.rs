@@ -1,26 +1,75 @@
 //! **bnn-fpga** — a Rust reproduction of *"High-Performance FPGA-based
 //! Accelerator for Bayesian Neural Networks"* (DAC 2021).
 //!
-//! The crate is a facade over the workspace:
+//! # Serving: one engine, three substrates
+//!
+//! The paper's point is that a Monte Carlo Dropout workload — `S`
+//! forward passes over a partially-Bayesian network — retargets
+//! across execution substrates. This crate's [`Session`] API makes
+//! that the front door: train → quantize → serve is one fluent
+//! pipeline, and swapping the substrate is one builder call.
+//!
+//! ```no_run
+//! use bnn_fpga::accel::{AccelConfig, Accelerator};
+//! use bnn_fpga::mcd::{BayesConfig, ParallelConfig};
+//! use bnn_fpga::nn::models;
+//! use bnn_fpga::quant::Quantizer;
+//! use bnn_fpga::tensor::{Shape4, Tensor};
+//! use bnn_fpga::{Backend, Session};
+//!
+//! let net = models::lenet5(10, 1, 28, 7).fold_batch_norm();
+//! let calib = Tensor::zeros(Shape4::new(8, 1, 28, 28));
+//! let qgraph = Quantizer::new(&net).calibrate(&calib).quantize();
+//! let accel = Accelerator::new(AccelConfig::default(), &net, &qgraph, calib.shape());
+//!
+//! // Same protocol, same seeded mask stream — pick a substrate:
+//! let mut float = Session::for_graph(&net)
+//!     .bayes(BayesConfig::new(2, 10))
+//!     .parallel(ParallelConfig::max_parallel())
+//!     .seed(42)
+//!     .build();
+//! let mut fpga = Session::for_graph(&net)
+//!     .backend(Backend::Accel(accel))
+//!     .bayes(BayesConfig::new(2, 10))
+//!     .seed(42)
+//!     .build();
+//!
+//! let x = calib.select_item(0);
+//! let p_sw = float.predictive(&x);
+//! let p_hw = fpga.predictive(&x);
+//! let cost = fpga.last_cost().unwrap();
+//! println!("fpga: {} cycles, {:.3} ms modelled",
+//!     cost.model.unwrap().cycles, cost.model.unwrap().latency_ms);
+//! # let _ = (p_sw, p_hw);
+//! ```
+//!
+//! Every substrate implements [`mcd::BayesBackend`]; the sampling
+//! engine (mask pre-draw, thread fan-out, averaging, cost accounting)
+//! exists once in [`mcd::backend`] and new substrates are drop-in
+//! implementations.
+//!
+//! # Workspace map
 //!
 //! | module | crate | contents |
 //! |---|---|---|
-//! | [`accel`] | `bnn-accel` | the accelerator simulator: NNE, cycle model, resource model, IC |
+//! | [`accel`] | `bnn-accel` | the accelerator simulator: NNE, cycle model, resource model, IC, `AccelBackend` |
 //! | [`rng`] | `bnn-rng` | LFSRs, Bernoulli sampler, fixed-point Gaussian samplers |
 //! | [`tensor`] | `bnn-tensor` | NCHW tensors, GEMM, im2col, pooling |
 //! | [`nn`] | `bnn-nn` | layer-graph IR, f32 executor, backprop, SGD, model builders |
 //! | [`data`] | `bnn-data` | synthetic MNIST/SVHN/CIFAR-like datasets, OOD noise |
-//! | [`mcd`] | `bnn-mcd` | Monte Carlo Dropout inference + uncertainty metrics |
-//! | [`quant`] | `bnn-quant` | 8-bit linear quantization + int8 reference executor |
+//! | [`mcd`] | `bnn-mcd` | the `BayesBackend` trait, generic MC engine, `FloatBackend`, uncertainty metrics |
+//! | [`quant`] | `bnn-quant` | 8-bit linear quantization, int8 executor, `Int8Backend` |
 //! | [`platforms`] | `bnn-platforms` | CPU/GPU latency models, VIBNN and BYNQNet baselines |
 //! | [`framework`] | `bnn-framework` | the automatic hardware/algorithm optimization framework |
 //!
-//! See `examples/quickstart.rs` for an end-to-end tour: train → fold BN
-//! → quantize → run on the simulated accelerator → explore the design
-//! space.
+//! See `examples/quickstart.rs` for the end-to-end tour: train → fold
+//! BN → quantize → serve the same seeded prediction on all three
+//! backends → compare against the paper's CPU/GPU baselines.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod session;
 
 pub use bnn_accel as accel;
 pub use bnn_data as data;
@@ -31,3 +80,4 @@ pub use bnn_platforms as platforms;
 pub use bnn_quant as quant;
 pub use bnn_rng as rng;
 pub use bnn_tensor as tensor;
+pub use session::{Backend, Session, SessionBuilder};

@@ -1,0 +1,285 @@
+//! The `Session` serving API: one fluent pipeline from a trained
+//! graph to Bayesian predictions on any execution substrate.
+//!
+//! A [`Session`] binds a graph, a [`Backend`] (float, int8 or the
+//! simulated accelerator), a Bayesian configuration `{L, S, p}`, a
+//! thread fan-out and a seeded mask source, and then serves
+//! predictions through the *one* generic sampling engine in
+//! [`bnn_mcd::backend`]. The same seeded session produces the same
+//! mask stream on every backend, so cross-substrate comparisons (the
+//! paper's CPU/GPU/FPGA tables) are one-line diffs:
+//!
+//! ```
+//! use bnn_fpga::mcd::BayesConfig;
+//! use bnn_fpga::nn::models;
+//! use bnn_fpga::tensor::{Shape4, Tensor};
+//! use bnn_fpga::Session;
+//!
+//! let net = models::lenet5(10, 1, 16, 1);
+//! let x = Tensor::full(Shape4::new(1, 1, 16, 16), 0.1);
+//! let mut session = Session::for_graph(&net)
+//!     .bayes(BayesConfig::new(2, 5))
+//!     .seed(42)
+//!     .build();
+//! let probs = session.predictive(&x);
+//! let sum: f32 = probs.item(0).iter().sum();
+//! assert!((sum - 1.0).abs() < 1e-4);
+//! assert!(session.last_cost().is_some());
+//! ```
+
+use bnn_accel::{AccelBackend, Accelerator};
+use bnn_mcd::{
+    predictive_batched_on, predictive_on, sample_probs_on, BayesBackend, BayesConfig, CostReport,
+    FloatBackend, HardwareMaskSource, MaskSource, ParallelConfig, SoftwareMaskSource,
+};
+use bnn_nn::Graph;
+use bnn_quant::{Int8Backend, QGraph};
+use bnn_tensor::{Shape4, Tensor};
+
+/// Which execution substrate a [`Session`] serves from.
+///
+/// `Float` executes the session's f32 graph directly; `Int8` and
+/// `Accel` carry their own compiled artefacts (a quantized graph, an
+/// accelerator instance) produced by the deployment pipeline.
+pub enum Backend {
+    /// f32 software execution of the session graph (the PR-1
+    /// suffix-reuse engine).
+    Float,
+    /// int8 integer execution of a quantized graph.
+    Int8(QGraph),
+    /// The simulated FPGA accelerator (batch-1 inputs; predictions
+    /// come with a cycle/latency/traffic cost model).
+    Accel(Accelerator),
+}
+
+impl std::fmt::Debug for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Backend::Float => "Backend::Float",
+            Backend::Int8(_) => "Backend::Int8(..)",
+            Backend::Accel(_) => "Backend::Accel(..)",
+        })
+    }
+}
+
+enum BackendImpl<'g> {
+    Float(FloatBackend<'g>),
+    Int8(Int8Backend),
+    Accel(AccelBackend),
+}
+
+/// Dispatch a generic-engine call to the session's concrete backend.
+macro_rules! with_backend {
+    ($inner:expr, $b:ident => $body:expr) => {
+        match $inner {
+            BackendImpl::Float($b) => $body,
+            BackendImpl::Int8($b) => $body,
+            BackendImpl::Accel($b) => $body,
+        }
+    };
+}
+
+enum SourceChoice {
+    /// Software PRNG masks from a seed (the default).
+    Software(u64),
+    /// Bit-exact hardware LFSR Bernoulli masks from a seed
+    /// (`p` must be 0.25, the paper's configuration).
+    Hardware(u64),
+    /// Caller-supplied source.
+    Custom(Box<dyn MaskSource + Send>),
+}
+
+/// Builder for a [`Session`]; see [`Session::for_graph`].
+pub struct SessionBuilder<'g> {
+    graph: &'g Graph,
+    backend: Backend,
+    bayes: BayesConfig,
+    parallel: ParallelConfig,
+    source: SourceChoice,
+}
+
+impl<'g> SessionBuilder<'g> {
+    /// Select the execution substrate (default: [`Backend::Float`]).
+    pub fn backend(mut self, backend: Backend) -> SessionBuilder<'g> {
+        self.backend = backend;
+        self
+    }
+
+    /// Bayesian configuration `{L, S, p}` (default: `L = 1, S = 10,
+    /// p = 0.25`).
+    pub fn bayes(mut self, bayes: BayesConfig) -> SessionBuilder<'g> {
+        self.bayes = bayes;
+        self
+    }
+
+    /// Thread fan-out for the Monte Carlo passes (default:
+    /// [`ParallelConfig::serial`]; results are bit-identical at any
+    /// setting).
+    pub fn parallel(mut self, parallel: ParallelConfig) -> SessionBuilder<'g> {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Seed the software mask source (default seed 0).
+    pub fn seed(mut self, seed: u64) -> SessionBuilder<'g> {
+        self.source = SourceChoice::Software(seed);
+        self
+    }
+
+    /// Draw masks from the bit-exact hardware LFSR Bernoulli sampler
+    /// instead of the software PRNG (requires `p = 0.25`).
+    pub fn hardware_masks(mut self, seed: u64) -> SessionBuilder<'g> {
+        self.source = SourceChoice::Hardware(seed);
+        self
+    }
+
+    /// Supply a custom mask source.
+    pub fn mask_source(mut self, src: Box<dyn MaskSource + Send>) -> SessionBuilder<'g> {
+        self.source = SourceChoice::Custom(src);
+        self
+    }
+
+    /// Finish the builder.
+    pub fn build(self) -> Session<'g> {
+        let inner = match self.backend {
+            Backend::Float => BackendImpl::Float(FloatBackend::new(self.graph)),
+            Backend::Int8(qg) => BackendImpl::Int8(Int8Backend::new(qg)),
+            Backend::Accel(accel) => BackendImpl::Accel(AccelBackend::new(accel)),
+        };
+        let source: Box<dyn MaskSource + Send> = match self.source {
+            SourceChoice::Software(seed) => Box::new(SoftwareMaskSource::new(seed)),
+            SourceChoice::Hardware(seed) => Box::new(HardwareMaskSource::paper_default(seed)),
+            SourceChoice::Custom(src) => src,
+        };
+        Session {
+            inner,
+            bayes: self.bayes,
+            parallel: self.parallel,
+            source,
+            last_cost: None,
+        }
+    }
+}
+
+/// A serving session: train → quantize → serve as one fluent
+/// pipeline, generic over the execution substrate.
+///
+/// Construct with [`Session::for_graph`]. Every predictive call
+/// advances the session's mask stream (like a [`MaskSource`]), so a
+/// sequence of calls is one reproducible experiment, and
+/// [`Session::last_cost`] reports the most recent run's wall time
+/// plus — on the accelerator — its modelled cycles, latency and
+/// off-chip traffic.
+pub struct Session<'g> {
+    inner: BackendImpl<'g>,
+    bayes: BayesConfig,
+    parallel: ParallelConfig,
+    source: Box<dyn MaskSource + Send>,
+    last_cost: Option<CostReport>,
+}
+
+impl<'g> Session<'g> {
+    /// Start building a session for a graph.
+    ///
+    /// The graph is the f32 source of truth; backends carrying their
+    /// own compiled artefacts ([`Backend::Int8`], [`Backend::Accel`])
+    /// must have been lowered from it (same site layout).
+    pub fn for_graph(graph: &'g Graph) -> SessionBuilder<'g> {
+        SessionBuilder {
+            graph,
+            backend: Backend::Float,
+            bayes: BayesConfig::new(1, 10),
+            parallel: ParallelConfig::default(),
+            source: SourceChoice::Software(0),
+        }
+    }
+
+    /// Predictive distribution `(n, k)` for an input batch
+    /// (mean of `S` per-sample softmax probabilities). Updates
+    /// [`Session::last_cost`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Backend::Accel`] if `x` has more than one item —
+    /// the accelerator processes one image at a time; feed datasets
+    /// through [`Session::predictive_batched`] with `batch = 1`.
+    pub fn predictive(&mut self, x: &Tensor) -> Tensor {
+        let (probs, cost) = with_backend!(&mut self.inner, b => predictive_on(
+            b,
+            x,
+            self.bayes,
+            self.source.as_mut(),
+            self.parallel,
+        ));
+        self.last_cost = Some(cost);
+        probs
+    }
+
+    /// Per-sample softmax probabilities (the paper's `S` sweep reuses
+    /// prefixes of this list).
+    pub fn sample_probs(&mut self, x: &Tensor) -> Vec<Tensor> {
+        with_backend!(&mut self.inner, b => sample_probs_on(
+            b,
+            x,
+            self.bayes,
+            self.source.as_mut(),
+            self.parallel,
+        ))
+    }
+
+    /// Predictive over a dataset in batches of at most `batch` items.
+    /// Updates [`Session::last_cost`] with the accumulated cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`, or (on [`Backend::Accel`]) if
+    /// `batch != 1`.
+    pub fn predictive_batched(&mut self, xs: &Tensor, batch: usize) -> Tensor {
+        let (probs, cost) = with_backend!(&mut self.inner, b => predictive_batched_on(
+            b,
+            xs,
+            self.bayes,
+            self.source.as_mut(),
+            self.parallel,
+            batch,
+        ));
+        self.last_cost = Some(cost);
+        probs
+    }
+
+    /// Cost report of the most recent predictive call.
+    pub fn last_cost(&self) -> Option<&CostReport> {
+        self.last_cost.as_ref()
+    }
+
+    /// The active backend's name (`"float"`, `"int8"`, `"accel"`).
+    pub fn backend_name(&self) -> &'static str {
+        with_backend!(&self.inner, b => b.name())
+    }
+
+    /// The session's Bayesian configuration.
+    pub fn bayes(&self) -> BayesConfig {
+        self.bayes
+    }
+
+    /// Number of MCD sites in the served network.
+    pub fn n_sites(&self) -> usize {
+        with_backend!(&self.inner, b => b.n_sites())
+    }
+
+    /// Output classes for an input shape.
+    pub fn output_classes(&self, input: Shape4) -> usize {
+        with_backend!(&self.inner, b => b.output_classes(input))
+    }
+}
+
+impl std::fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("backend", &self.backend_name())
+            .field("bayes", &self.bayes)
+            .field("parallel", &self.parallel)
+            .field("last_cost", &self.last_cost)
+            .finish()
+    }
+}

@@ -1,0 +1,234 @@
+//! Cross-backend agreement: the `Session` API on its three execution
+//! substrates against each other and against the legacy entry points.
+//!
+//! The contracts, in decreasing strictness:
+//!
+//! * `Session` on `FloatBackend` is *bit-identical* to the legacy
+//!   `McdPredictor::predictive` for the same seed, at any thread
+//!   count — the redesign may not move a single ulp.
+//! * `Session` on `AccelBackend` is *bit-identical* to `Session` on
+//!   `Int8Backend` for the same seed: the tiled PE engine is an exact
+//!   re-scheduling of the integer reference executor.
+//! * `Int8Backend` predictive means stay within quantization tolerance
+//!   of float on a trained LeNet-5.
+
+use bnn_fpga::accel::{AccelConfig, Accelerator};
+use bnn_fpga::data::synth_mnist;
+use bnn_fpga::mcd::{
+    predictive_batched, BayesConfig, McdPredictor, ParallelConfig, SoftwareMaskSource,
+};
+use bnn_fpga::nn::{models, SgdConfig, Trainer};
+use bnn_fpga::quant::Quantizer;
+use bnn_fpga::tensor::{Shape4, Tensor};
+use bnn_fpga::{Backend, Session};
+
+/// A briefly-trained LeNet-5 with its dataset, trained once and
+/// shared by the whole suite.
+fn trained_lenet() -> (bnn_fpga::nn::Graph, bnn_fpga::data::Dataset) {
+    static SHARED: std::sync::OnceLock<(bnn_fpga::nn::Graph, bnn_fpga::data::Dataset)> =
+        std::sync::OnceLock::new();
+    SHARED
+        .get_or_init(|| {
+            let ds = synth_mnist(320, 64, 19);
+            let mut net = models::lenet5(10, 1, 28, 3);
+            let mut tr = Trainer::new(&net, SgdConfig::default(), 2, 0.25, 5);
+            for _ in 0..3 {
+                let _ = tr.train_epoch(&mut net, &ds.train_x, &ds.train_y, 32);
+            }
+            (net, ds)
+        })
+        .clone()
+}
+
+fn test_batch(ds: &bnn_fpga::data::Dataset, n: usize) -> Tensor {
+    let mut t = Tensor::zeros(Shape4::new(n, 1, 28, 28));
+    for i in 0..n {
+        t.item_mut(i).copy_from_slice(ds.test_x.item(i));
+    }
+    t
+}
+
+#[test]
+fn float_session_bit_identical_to_legacy_predictor() {
+    let (net, ds) = trained_lenet();
+    let x = test_batch(&ds, 4);
+    let cfg = BayesConfig::new(2, 9);
+
+    let legacy = McdPredictor::new(&net)
+        .with_parallelism(ParallelConfig::serial())
+        .predictive(&x, cfg, &mut SoftwareMaskSource::new(77));
+
+    for threads in [1usize, 4] {
+        let mut session = Session::for_graph(&net)
+            .bayes(cfg)
+            .parallel(ParallelConfig::with_threads(threads))
+            .seed(77)
+            .build();
+        let probs = session.predictive(&x);
+        assert_eq!(
+            probs.as_slice(),
+            legacy.as_slice(),
+            "Session(float, threads={threads}) diverged from legacy McdPredictor"
+        );
+        let cost = session.last_cost().expect("cost recorded");
+        assert_eq!(cost.samples, cfg.s);
+        assert!(cost.model.is_none(), "float path has no hardware model");
+    }
+}
+
+#[test]
+fn float_session_batched_matches_legacy_batched() {
+    let (net, ds) = trained_lenet();
+    let xs = test_batch(&ds, 6);
+    let cfg = BayesConfig::new(2, 4);
+
+    let legacy = predictive_batched(&net, &xs, cfg, &mut SoftwareMaskSource::new(5), 2);
+    let mut session = Session::for_graph(&net)
+        .bayes(cfg)
+        .parallel(ParallelConfig::max_parallel())
+        .seed(5)
+        .build();
+    let probs = session.predictive_batched(&xs, 2);
+    assert_eq!(probs.as_slice(), legacy.as_slice());
+    let cost = session.last_cost().expect("cost recorded");
+    assert_eq!(cost.batch, 6);
+    assert_eq!(cost.samples, 3 * cfg.s, "S per batch over 3 batches");
+}
+
+#[test]
+fn int8_session_within_quantization_tolerance_of_float() {
+    let (net, ds) = trained_lenet();
+    let folded = net.fold_batch_norm();
+    let qg = Quantizer::new(&folded).calibrate(&ds.train_x).quantize();
+    let x = test_batch(&ds, 8);
+    let cfg = BayesConfig::new(2, 16);
+
+    let mut float = Session::for_graph(&folded).bayes(cfg).seed(31).build();
+    let mut int8 = Session::for_graph(&folded)
+        .backend(Backend::Int8(qg))
+        .bayes(cfg)
+        .seed(31)
+        .build();
+
+    let pf = float.predictive(&x);
+    let pq = int8.predictive(&x);
+    assert_eq!(pf.shape(), pq.shape());
+
+    let mut agree = 0usize;
+    for i in 0..x.shape().n {
+        let l1: f32 = pf
+            .item(i)
+            .iter()
+            .zip(pq.item(i))
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(
+            l1 < 0.35,
+            "item {i}: int8 predictive drifted from float, L1 = {l1}"
+        );
+        if pf.argmax_item(i) == pq.argmax_item(i) {
+            agree += 1;
+        }
+    }
+    assert!(
+        agree >= x.shape().n - 1,
+        "int8/float argmax agreement {agree}/{}",
+        x.shape().n
+    );
+}
+
+#[test]
+fn accel_session_bit_identical_to_int8_session() {
+    // Same seed -> same mask stream; the tiled PE engine is bit-exact
+    // against the integer reference executor, so the two sessions must
+    // produce byte-equal predictive distributions.
+    let (net, ds) = trained_lenet();
+    let folded = net.fold_batch_norm();
+    let qg = Quantizer::new(&folded).calibrate(&ds.train_x).quantize();
+    let accel = Accelerator::new(AccelConfig::default(), &folded, &qg, ds.image_shape());
+    let img = ds.test_x.select_item(0);
+    let cfg = BayesConfig::new(3, 8);
+
+    let mut int8 = Session::for_graph(&folded)
+        .backend(Backend::Int8(qg))
+        .bayes(cfg)
+        .seed(123)
+        .build();
+    let mut fpga = Session::for_graph(&folded)
+        .backend(Backend::Accel(accel))
+        .bayes(cfg)
+        .seed(123)
+        .build();
+
+    let pq = int8.predictive(&img);
+    let ph = fpga.predictive(&img);
+    assert_eq!(
+        pq.as_slice(),
+        ph.as_slice(),
+        "accelerator and int8 backends diverged under an identical mask stream"
+    );
+}
+
+#[test]
+fn accel_session_reports_cycle_cost() {
+    let (net, ds) = trained_lenet();
+    let folded = net.fold_batch_norm();
+    let qg = Quantizer::new(&folded).calibrate(&ds.train_x).quantize();
+    let accel = Accelerator::new(AccelConfig::default(), &folded, &qg, ds.image_shape());
+    let cfg = BayesConfig::new(2, 10);
+
+    let mut session = Session::for_graph(&folded)
+        .backend(Backend::Accel(accel))
+        .bayes(cfg)
+        .seed(7)
+        .build();
+    let _ = session.predictive(&ds.test_x.select_item(1));
+
+    let cost = session.last_cost().expect("cost recorded");
+    let model = cost.model.expect("accelerator reports a hardware model");
+    assert!(model.cycles > 0, "cycle count must be reported");
+    assert!(model.latency_ms > 0.0, "latency must be reported");
+    assert!(model.mem_bytes > 0, "off-chip traffic must be reported");
+    assert_eq!(cost.samples, cfg.s);
+
+    // More samples cost more cycles (the suffix re-runs per sample).
+    let accel2 = Accelerator::new(AccelConfig::default(), &folded, &qg, ds.image_shape());
+    session = Session::for_graph(&folded)
+        .backend(Backend::Accel(accel2))
+        .bayes(BayesConfig::new(2, 40))
+        .seed(7)
+        .build();
+    let _ = session.predictive(&ds.test_x.select_item(1));
+    let model40 = session.last_cost().unwrap().model.unwrap();
+    assert!(
+        model40.cycles > model.cycles,
+        "S=40 must cost more cycles than S=10"
+    );
+}
+
+#[test]
+fn hardware_masks_flow_through_session() {
+    let (net, _ds) = trained_lenet();
+    let x = Tensor::full(Shape4::new(1, 1, 28, 28), 0.2);
+    let cfg = BayesConfig::new(2, 6);
+    let mut a = Session::for_graph(&net)
+        .bayes(cfg)
+        .hardware_masks(9)
+        .build();
+    let mut b = Session::for_graph(&net)
+        .bayes(cfg)
+        .hardware_masks(9)
+        .build();
+    let pa = a.predictive(&x);
+    let pb = b.predictive(&x);
+    assert_eq!(
+        pa.as_slice(),
+        pb.as_slice(),
+        "hardware-mask sessions must be reproducible from the seed"
+    );
+    let mut c = Session::for_graph(&net)
+        .bayes(cfg)
+        .hardware_masks(10)
+        .build();
+    assert_ne!(pa.as_slice(), c.predictive(&x).as_slice());
+}
