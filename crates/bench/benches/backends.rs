@@ -1,13 +1,19 @@
-//! Cross-backend predictive latency: the three `BayesBackend`
-//! substrates (float, int8, simulated accelerator) serving LeNet-5
-//! through the same `Session` protocol at `S ∈ {10, 100}`.
+//! Cross-backend predictive latency: the four `BayesBackend`
+//! substrates (float, fused, int8, simulated accelerator) serving
+//! LeNet-5 through the same `Session` protocol at `S ∈ {10, 100}`,
+//! each at both the serial engine and full thread fan-out.
 //!
 //! Run with `cargo bench --bench backends`. This keeps the perf
-//! trajectory honest about the int8 and accelerator paths, not just
-//! the float engine: the float numbers track the PR-1 suffix-reuse
-//! engine, the int8/accel numbers track the integer executors, and
-//! the accelerator's *modelled* hardware latency is printed alongside
-//! its simulation wall time.
+//! trajectory honest about every serving path, not just the float
+//! engine: `session_<backend>_s<S>` is the historical max-parallel
+//! datapoint, `session_<backend>_serial_s<S>` isolates the engine
+//! without thread fan-out (so the per-call thread-spawn overhead at
+//! small `S` is visible, and the fused backend's single-chunk fusion
+//! is measured at its fullest). The headline number for PR 3 is
+//! `session_fused_s100` vs `session_float_s100` — batched-sample GEMM
+//! fusion streams each suffix weight matrix once per layer instead of
+//! once per sample. The accelerator's *modelled* hardware latency is
+//! printed alongside its simulation wall time.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -28,29 +34,42 @@ fn bench_backends(c: &mut Criterion) {
 
     for &s in &[10usize, 100] {
         let bayes = BayesConfig::new(3, s);
-        let backends: Vec<(&str, Backend)> = vec![
-            ("float", Backend::Float),
-            ("int8", Backend::Int8(qgraph.clone())),
-            ("accel", Backend::Accel(accel.clone())),
-        ];
-        for (label, backend) in backends {
-            let mut session = Session::for_graph(&net)
-                .backend(backend)
-                .bayes(bayes)
-                .parallel(ParallelConfig::max_parallel())
-                .seed(7)
-                .build();
-            c.bench_function(&format!("session_{label}_s{s}"), |bch| {
-                bch.iter(|| black_box(session.predictive(&x)))
-            });
-            if let Some(m) = session.last_cost().and_then(|cost| cost.model) {
-                println!(
-                    "  session_{label}_s{s}: modelled hardware latency {:.3} ms \
-                     ({} cycles, {:.1} KiB off-chip)",
-                    m.latency_ms,
-                    m.cycles,
-                    m.mem_bytes as f64 / 1024.0
-                );
+        for (pmode, parallel) in [
+            ("", ParallelConfig::max_parallel()),
+            ("serial_", ParallelConfig::serial()),
+        ] {
+            let backends: Vec<(&str, Backend)> = vec![
+                ("float", Backend::Float),
+                ("fused", Backend::Fused),
+                ("int8", Backend::Int8(qgraph.clone())),
+                ("accel", Backend::Accel(accel.clone())),
+            ];
+            for (label, backend) in backends {
+                let mut session = Session::for_graph(&net)
+                    .backend(backend)
+                    .bayes(bayes)
+                    .parallel(parallel)
+                    .seed(7)
+                    .build();
+                c.bench_function(&format!("session_{label}_{pmode}s{s}"), |bch| {
+                    bch.iter(|| black_box(session.predictive(&x)))
+                });
+                if let Some(m) = session.last_cost().and_then(|cost| cost.model) {
+                    if m.cycles > 0 {
+                        println!(
+                            "  session_{label}_{pmode}s{s}: modelled hardware latency {:.3} ms \
+                             ({} cycles, {:.1} KiB off-chip)",
+                            m.latency_ms,
+                            m.cycles,
+                            m.mem_bytes as f64 / 1024.0
+                        );
+                    } else {
+                        println!(
+                            "  session_{label}_{pmode}s{s}: modelled weight traffic {:.1} KiB",
+                            m.mem_bytes as f64 / 1024.0
+                        );
+                    }
+                }
             }
         }
     }

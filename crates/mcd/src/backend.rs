@@ -18,28 +18,39 @@
 //! * wall-clock and model-cost accounting ([`CostReport`]).
 //!
 //! [`FloatBackend`] (below) wraps the f32 [`Graph`] executor with the
-//! intermediate-layer-caching suffix re-runs; `bnn-quant` provides
-//! `Int8Backend`, `bnn-accel` provides `AccelBackend`, and the
-//! `bnn-fpga` facade ties them together behind a `Session` builder.
-//! Any future substrate (batched-GEMM fusion, SIMD kernels, sharded
-//! serving) is a drop-in `impl BayesBackend`.
+//! intermediate-layer-caching suffix re-runs; [`FusedBackend`] layers
+//! batched-sample GEMM fusion on top of it (weights stream once per
+//! layer instead of once per sample, bit-identical results);
+//! `bnn-quant` provides `Int8Backend`, `bnn-accel` provides
+//! `AccelBackend`, and the `bnn-fpga` facade ties them together behind
+//! a `Session` builder. Any future substrate (SIMD kernels, sharded
+//! serving) is a drop-in `impl BayesBackend`, and the conformance
+//! harness in [`crate::conformance`] gives it agreement coverage in
+//! one line.
 
 use crate::predict::{active_sites, mean_probs, BayesConfig, ParallelConfig};
 use crate::source::MaskSource;
-use bnn_nn::{Activations, ExecScratch, Graph, MaskSet, Op};
+use bnn_nn::{Activations, ExecScratch, Graph, MaskSet, Node, Op, StackedScratch};
 use bnn_tensor::{softmax_rows, Shape4, Tensor};
 use std::time::Instant;
 
-/// Analytic cost of one `{L, S}` predictive run, for backends that
-/// carry a hardware model (the accelerator reports cycles, latency at
-/// its configured clock, and off-chip traffic).
+/// Analytic cost of one `{L, S}` predictive run.
+///
+/// The accelerator populates every field (cycles, latency at its
+/// configured clock, off-chip traffic). The software backends model
+/// memory traffic only — the weight bytes a `{L, S}` prediction
+/// streams through the GEMM kernels, which is exactly the quantity
+/// batched-sample fusion changes — and report zero cycles/latency.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ModelCost {
-    /// Modelled execution cycles for the complete prediction.
+    /// Modelled execution cycles for the complete prediction (zero for
+    /// software backends, which have no cycle model).
     pub cycles: u64,
-    /// Modelled latency in milliseconds at the backend's clock.
+    /// Modelled latency in milliseconds at the backend's clock (zero
+    /// for software backends).
     pub latency_ms: f64,
-    /// Modelled off-chip memory traffic in bytes.
+    /// Modelled memory traffic in bytes: off-chip traffic on the
+    /// accelerator, weight-streaming traffic on the software backends.
     pub mem_bytes: u64,
 }
 
@@ -127,8 +138,26 @@ pub trait BayesBackend: Sync {
     /// probabilities of shape `(n, k)`.
     fn forward(&self, masks: &MaskSet, scratch: &mut Self::Scratch) -> Tensor;
 
+    /// A group of Monte Carlo passes over the prepared input: one
+    /// `(n, k)` probability tensor per mask set, in mask-set order.
+    ///
+    /// The engine hands each worker its whole contiguous sample chunk
+    /// through this hook. The default implementation loops
+    /// [`BayesBackend::forward`] — every per-sample backend inherits
+    /// the previous behaviour unchanged. Backends that fuse samples
+    /// ([`FusedBackend`]'s stacked GEMMs) override it; an override
+    /// must return exactly `mask_sets.len()` tensors and must be
+    /// bit-identical to the default for *any* sub-chunking of the
+    /// sample list, because the engine's chunk boundaries move with
+    /// the thread count and the bit-identical-at-any-parallelism
+    /// guarantee extends to every backend.
+    fn forward_batch(&self, mask_sets: &[MaskSet], scratch: &mut Self::Scratch) -> Vec<Tensor> {
+        mask_sets.iter().map(|m| self.forward(m, scratch)).collect()
+    }
+
     /// Analytic cost of a full `{L, S}` prediction, if the backend
-    /// models one (the accelerator's cycle/traffic models).
+    /// models one (the accelerator's cycle/traffic models, the
+    /// software backends' weight-streaming traffic).
     fn model_cost(&self, bayes: BayesConfig) -> Option<ModelCost> {
         let _ = bayes;
         None
@@ -175,40 +204,49 @@ pub fn sample_probs_on<B: BayesBackend>(
 
 /// Execute pre-drawn mask sets on a prepared backend with the
 /// configured fan-out. Samples are returned in mask-set order.
+///
+/// Each worker receives its whole contiguous chunk through
+/// [`BayesBackend::forward_batch`], so fusing backends amortize
+/// weight streaming across the chunk while per-sample backends run
+/// the default forward loop.
 fn run_samples<B: BayesBackend>(
     backend: &B,
     mask_sets: &[MaskSet],
     parallel: ParallelConfig,
 ) -> Vec<Tensor> {
     let threads = parallel.threads.clamp(1, mask_sets.len());
-    if threads == 1 {
-        // Strictly serial: one scratch, no threads anywhere.
+    let probs: Vec<Tensor> = if threads == 1 {
+        // Strictly serial: one scratch, no threads anywhere, and the
+        // fullest possible fusion (one chunk spanning all samples).
         let mut scratch = backend.make_scratch();
-        return mask_sets
-            .iter()
-            .map(|m| backend.forward(m, &mut scratch))
-            .collect();
-    }
-    // Contiguous sample chunks per worker; joining in spawn order
-    // keeps the samples in stream order.
-    let chunk = mask_sets.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        let workers: Vec<_> = mask_sets
-            .chunks(chunk)
-            .map(|ms| {
-                scope.spawn(move || {
-                    let mut scratch = backend.make_scratch();
-                    ms.iter()
-                        .map(|m| backend.forward(m, &mut scratch))
-                        .collect::<Vec<_>>()
+        backend.forward_batch(mask_sets, &mut scratch)
+    } else {
+        // Contiguous sample chunks per worker; joining in spawn order
+        // keeps the samples in stream order.
+        let chunk = mask_sets.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = mask_sets
+                .chunks(chunk)
+                .map(|ms| {
+                    scope.spawn(move || {
+                        let mut scratch = backend.make_scratch();
+                        backend.forward_batch(ms, &mut scratch)
+                    })
                 })
-            })
-            .collect();
-        workers
-            .into_iter()
-            .flat_map(|w| w.join().expect("sampler thread panicked"))
-            .collect()
-    })
+                .collect();
+            workers
+                .into_iter()
+                .flat_map(|w| w.join().expect("sampler thread panicked"))
+                .collect()
+        })
+    };
+    assert_eq!(
+        probs.len(),
+        mask_sets.len(),
+        "{}: forward_batch must return one tensor per mask set",
+        backend.name()
+    );
+    probs
 }
 
 /// Predictive distribution `(n, k)` — the mean of the per-sample
@@ -299,6 +337,72 @@ enum FloatState {
     Full(Tensor),
 }
 
+/// Bind an input for the float-graph backends ([`FloatBackend`],
+/// [`FusedBackend`] — both resume from the very same cached
+/// activations): cache the deterministic prefix when a site is
+/// active (IC: `forward_full` keeps every node output so suffix
+/// re-runs can resume), else keep the input for the full-forward
+/// fallback.
+fn prepare_float_state(graph: &Graph, x: &Tensor, active: &[bool]) -> FloatPrepared {
+    let state = match first_active_site_node(graph, active) {
+        Some(site_node) => FloatState::Prefix(graph.forward_full(x, &MaskSet::none()), site_node),
+        None => FloatState::Full(x.clone()),
+    };
+    FloatPrepared {
+        shape: x.shape(),
+        state,
+    }
+}
+
+/// Node id of the first active MCD site in a graph, if any.
+fn first_active_site_node(graph: &Graph, active: &[bool]) -> Option<usize> {
+    graph
+        .nodes()
+        .iter()
+        .enumerate()
+        .find_map(|(id, node)| match node.op {
+            Op::McdSite { site, .. } if active.get(site.0).copied().unwrap_or(false) => Some(id),
+            _ => None,
+        })
+}
+
+/// Analytic weight-streaming traffic of one `{L, S}` prediction over a
+/// float graph: every weight layer's parameter bytes, counted once for
+/// the deterministic prefix and — per sample for the per-sample engine,
+/// once per layer for the fused engine — for the Bayesian suffix.
+///
+/// This is the quantity the paper's accelerator dataflow (and the
+/// software batched-sample fusion) optimizes: with `fused_suffix` the
+/// suffix term loses its factor of `S`. With no active site the whole
+/// network counts once on either engine — the generic engine
+/// short-circuits a deterministic predictive to a single pass and
+/// replicates it, so no weight is streamed `S` times there.
+fn weight_stream_bytes(graph: &Graph, bayes: BayesConfig, fused_suffix: bool) -> u64 {
+    let active = active_sites(graph.n_sites(), bayes.l);
+    let split = first_active_site_node(graph, &active).unwrap_or(graph.nodes().len());
+    let layer_bytes = |node: &Node| -> u64 {
+        match node.op {
+            Op::Conv { w, b, .. } | Op::Linear { w, b, .. } => {
+                4 * (graph.params().get(w).len() + graph.params().get(b).len()) as u64
+            }
+            _ => 0,
+        }
+    };
+    graph
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(id, node)| {
+            let bytes = layer_bytes(node);
+            if id < split || fused_suffix {
+                bytes
+            } else {
+                bytes * bayes.s as u64
+            }
+        })
+        .sum()
+}
+
 impl<'g> FloatBackend<'g> {
     /// Create a backend over a graph.
     pub fn new(graph: &'g Graph) -> FloatBackend<'g> {
@@ -306,20 +410,6 @@ impl<'g> FloatBackend<'g> {
             graph,
             prepared: None,
         }
-    }
-
-    /// Node id of the first active MCD site, if any.
-    fn first_active_site_node(&self, active: &[bool]) -> Option<usize> {
-        self.graph
-            .nodes()
-            .iter()
-            .enumerate()
-            .find_map(|(id, node)| match node.op {
-                Op::McdSite { site, .. } if active.get(site.0).copied().unwrap_or(false) => {
-                    Some(id)
-                }
-                _ => None,
-            })
     }
 
     fn prepared(&self) -> &FloatPrepared {
@@ -357,18 +447,7 @@ impl BayesBackend for FloatBackend<'_> {
     }
 
     fn prepare(&mut self, x: &Tensor, active: &[bool]) {
-        let state = match self.first_active_site_node(active) {
-            // IC: run the deterministic prefix once; `forward_full`
-            // keeps every node output so suffix re-runs can resume.
-            Some(site_node) => {
-                FloatState::Prefix(self.graph.forward_full(x, &MaskSet::none()), site_node)
-            }
-            None => FloatState::Full(x.clone()),
-        };
-        self.prepared = Some(FloatPrepared {
-            shape: x.shape(),
-            state,
-        });
+        self.prepared = Some(prepare_float_state(self.graph, x, active));
     }
 
     fn make_scratch(&self) -> Option<ExecScratch> {
@@ -398,6 +477,235 @@ impl BayesBackend for FloatBackend<'_> {
         };
         softmaxed(logits)
     }
+
+    fn model_cost(&self, bayes: BayesConfig) -> Option<ModelCost> {
+        Some(ModelCost {
+            cycles: 0,
+            latency_ms: 0.0,
+            mem_bytes: weight_stream_bytes(self.graph, bayes, false),
+        })
+    }
+}
+
+/// The fused batched-sample f32 backend: the software analogue of the
+/// accelerator's weight-streaming dataflow.
+///
+/// [`FloatBackend`] re-runs the Bayesian suffix once per Monte Carlo
+/// sample, paying the weight traffic of every suffix layer `S` times.
+/// This backend instead hands each engine worker's whole sample chunk
+/// to [`bnn_nn::Graph::forward_from_stacked`], which walks the suffix
+/// *once* with the samples stacked along the batch axis — convolutions
+/// through a sample-stacked im2col buffer and one `(S·Ho·Wo)`-column
+/// GEMM, fully-connected layers through one row-stacked GEMM — so each
+/// weight matrix streams once per layer per chunk. Per-sample dropout
+/// masks are applied to each sample's stacked item group.
+///
+/// Because the stacked kernels are bit-identical to the per-sample
+/// ones at any chunk size (see `bnn_tensor::gemm_stacked`), the fused
+/// predictions are **bit-identical to [`FloatBackend`]** under the
+/// same seed and mask stream, at any thread count. `model_cost`
+/// reports the reduced weight-streaming traffic: suffix weights once
+/// per layer instead of once per sample.
+#[derive(Debug)]
+pub struct FusedBackend<'g> {
+    graph: &'g Graph,
+    prepared: Option<FloatPrepared>,
+    /// Bumped on every [`BayesBackend::prepare`]: pooled scratches
+    /// from an older generation replicate a *previous* prefix and must
+    /// drop their replicas before reuse.
+    generation: u64,
+    /// Retired stacked workspaces, reused across predictive calls.
+    /// Building one is allocation- and page-fault-heavy (hundreds of
+    /// microseconds at `S = 100`), which would otherwise be paid per
+    /// call per worker.
+    pool: std::sync::Arc<std::sync::Mutex<Vec<PooledStacked>>>,
+}
+
+/// Bound on retired workspaces kept alive (per backend).
+const SCRATCH_POOL_CAP: usize = 8;
+
+#[derive(Debug)]
+struct PooledStacked {
+    generation: u64,
+    shape: Shape4,
+    from: usize,
+    scratch: StackedScratch,
+}
+
+/// Per-worker scratch of [`FusedBackend`]: the stacked suffix
+/// workspace, acquired from the backend's pool (or built) for the
+/// worker's chunk size and returned to the pool on drop. The
+/// deterministic fallback path needs no scratch.
+#[derive(Debug)]
+pub struct FusedScratch {
+    stacked: Option<StackedScratch>,
+    /// `(generation, input shape, suffix boundary)` of the held
+    /// scratch, for pool revalidation.
+    meta: Option<(u64, Shape4, usize)>,
+    pool: std::sync::Arc<std::sync::Mutex<Vec<PooledStacked>>>,
+}
+
+impl FusedScratch {
+    /// Hand the held workspace back to the backend's pool.
+    fn retire(&mut self) {
+        if let (Some(scratch), Some((generation, shape, from))) =
+            (self.stacked.take(), self.meta.take())
+        {
+            if let Ok(mut pool) = self.pool.lock() {
+                if pool.len() < SCRATCH_POOL_CAP {
+                    pool.push(PooledStacked {
+                        generation,
+                        shape,
+                        from,
+                        scratch,
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl Drop for FusedScratch {
+    fn drop(&mut self) {
+        self.retire();
+    }
+}
+
+impl<'g> FusedBackend<'g> {
+    /// Create a fused backend over a graph.
+    pub fn new(graph: &'g Graph) -> FusedBackend<'g> {
+        FusedBackend {
+            graph,
+            prepared: None,
+            generation: 0,
+            pool: std::sync::Arc::default(),
+        }
+    }
+
+    fn prepared(&self) -> &FloatPrepared {
+        self.prepared
+            .as_ref()
+            .expect("FusedBackend::prepare not called")
+    }
+
+    /// Make `scratch` hold a stacked workspace for `samples` chunks of
+    /// the current prepared input: reuse what it already holds if it
+    /// matches, else acquire from the pool (dropping stale prefix
+    /// replicas), else build fresh.
+    fn provision<'s>(
+        &self,
+        scratch: &'s mut FusedScratch,
+        shape: Shape4,
+        from: usize,
+        samples: usize,
+    ) -> &'s mut StackedScratch {
+        let held_ok = scratch.stacked.as_ref().is_some_and(|sc| {
+            sc.samples() == samples && scratch.meta == Some((self.generation, shape, from))
+        });
+        if !held_ok {
+            scratch.retire();
+            let pooled = self.pool.lock().ok().and_then(|mut pool| {
+                pool.iter()
+                    .position(|e| {
+                        e.scratch.samples() == samples && e.shape == shape && e.from == from
+                    })
+                    .map(|pos| pool.swap_remove(pos))
+            });
+            let sc = match pooled {
+                Some(mut e) => {
+                    if e.generation != self.generation {
+                        // Replicas belong to a previous prepare.
+                        e.scratch.clear_replicas();
+                    }
+                    e.scratch
+                }
+                None => self.graph.stacked_scratch_after(shape, from, samples),
+            };
+            scratch.stacked = Some(sc);
+            scratch.meta = Some((self.generation, shape, from));
+        }
+        scratch.stacked.as_mut().expect("scratch just provisioned")
+    }
+}
+
+impl BayesBackend for FusedBackend<'_> {
+    type Scratch = FusedScratch;
+
+    fn name(&self) -> &'static str {
+        "fused"
+    }
+
+    fn n_sites(&self) -> usize {
+        self.graph.n_sites()
+    }
+
+    fn site_channels(&self, input: Shape4) -> Vec<usize> {
+        self.graph.site_channels(input)
+    }
+
+    fn output_classes(&self, input: Shape4) -> usize {
+        self.graph.infer_shapes(input)[self.graph.output_id()].item_len()
+    }
+
+    fn prepare(&mut self, x: &Tensor, active: &[bool]) {
+        self.generation += 1;
+        self.prepared = Some(prepare_float_state(self.graph, x, active));
+    }
+
+    fn make_scratch(&self) -> FusedScratch {
+        FusedScratch {
+            stacked: None,
+            meta: None,
+            pool: std::sync::Arc::clone(&self.pool),
+        }
+    }
+
+    fn forward(&self, masks: &MaskSet, scratch: &mut FusedScratch) -> Tensor {
+        self.forward_batch(std::slice::from_ref(masks), scratch)
+            .pop()
+            .expect("one mask set yields one sample")
+    }
+
+    fn forward_batch(&self, mask_sets: &[MaskSet], scratch: &mut FusedScratch) -> Vec<Tensor> {
+        let p = self.prepared();
+        match &p.state {
+            // Deterministic fallback: no suffix to fuse.
+            FloatState::Full(x) => mask_sets
+                .iter()
+                .map(|m| softmaxed(self.graph.forward(x, m)))
+                .collect(),
+            FloatState::Prefix(prefix, site_node) => {
+                let from = site_node - 1;
+                let s = mask_sets.len();
+                let stacked = self.provision(scratch, p.shape, from, s);
+                let mut logits = self
+                    .graph
+                    .forward_from_stacked(prefix, from, mask_sets, stacked);
+                let ls = logits.shape();
+                softmax_rows(logits.as_mut_slice(), ls.n, ls.item_len());
+                // Split the stacked (s·n, k) rows back into per-sample
+                // (n, k) probability tensors.
+                let (base, k) = (ls.n / s, ls.item_len());
+                (0..s)
+                    .map(|si| {
+                        let mut t = Tensor::zeros(Shape4::vec(base, k));
+                        t.as_mut_slice().copy_from_slice(
+                            &logits.as_slice()[si * base * k..(si + 1) * base * k],
+                        );
+                        t
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    fn model_cost(&self, bayes: BayesConfig) -> Option<ModelCost> {
+        Some(ModelCost {
+            cycles: 0,
+            latency_ms: 0.0,
+            mem_bytes: weight_stream_bytes(self.graph, bayes, true),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -426,7 +734,9 @@ mod tests {
         assert_eq!(cost.samples, 5);
         assert_eq!(cost.batch, 2);
         assert!(cost.wall_ms >= 0.0);
-        assert!(cost.model.is_none(), "CPU path has no hardware model");
+        let model = cost.model.expect("software paths model weight traffic");
+        assert_eq!(model.cycles, 0, "CPU path has no cycle model");
+        assert!(model.mem_bytes > 0, "weight traffic must be reported");
     }
 
     #[test]
@@ -483,5 +793,135 @@ mod tests {
         assert_eq!(backend.n_sites(), 5);
         assert_eq!(backend.output_classes(shape), 10);
         assert_eq!(backend.site_channels(shape).len(), 5);
+    }
+
+    #[test]
+    fn fused_backend_bit_identical_to_float_backend() {
+        let net = models::lenet5(10, 1, 16, 13);
+        let x = Tensor::from_vec(
+            Shape4::new(3, 1, 16, 16),
+            (0..3 * 256)
+                .map(|i| ((i * 11 % 23) as f32 / 11.0) - 1.0)
+                .collect(),
+        );
+        for l in [1usize, 3, 5] {
+            let cfg = BayesConfig::new(l, 7);
+            let mut float = FloatBackend::new(&net);
+            let (want, _) = predictive_on(
+                &mut float,
+                &x,
+                cfg,
+                &mut SoftwareMaskSource::new(42),
+                ParallelConfig::serial(),
+            );
+            for threads in [1usize, 4] {
+                let mut fused = FusedBackend::new(&net);
+                let (got, cost) = predictive_on(
+                    &mut fused,
+                    &x,
+                    cfg,
+                    &mut SoftwareMaskSource::new(42),
+                    ParallelConfig::with_threads(threads),
+                );
+                assert_eq!(
+                    got.as_slice(),
+                    want.as_slice(),
+                    "fused(L={l}, threads={threads}) diverged from float"
+                );
+                assert_eq!(cost.samples, cfg.s);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_per_sample_probs_match_float_per_sample() {
+        // Not just the mean: every individual sample tensor agrees.
+        let net = models::lenet5(10, 1, 16, 4);
+        let x = Tensor::full(Shape4::new(2, 1, 16, 16), 0.3);
+        let cfg = BayesConfig::new(2, 5);
+        let mut float = FloatBackend::new(&net);
+        let mut fused = FusedBackend::new(&net);
+        let a = sample_probs_on(
+            &mut float,
+            &x,
+            cfg,
+            &mut SoftwareMaskSource::new(8),
+            ParallelConfig::serial(),
+        );
+        let b = sample_probs_on(
+            &mut fused,
+            &x,
+            cfg,
+            &mut SoftwareMaskSource::new(8),
+            ParallelConfig::serial(),
+        );
+        assert_eq!(a.len(), b.len());
+        for (s, (pa, pb)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(pa.as_slice(), pb.as_slice(), "sample {s} diverged");
+        }
+    }
+
+    #[test]
+    fn fused_deterministic_fallback_matches_float() {
+        let net = models::lenet5(10, 1, 16, 5);
+        let x = Tensor::full(Shape4::new(1, 1, 16, 16), 0.2);
+        let cfg = BayesConfig {
+            l: 0,
+            s: 3,
+            p: 0.25,
+        };
+        let mut float = FloatBackend::new(&net);
+        let mut fused = FusedBackend::new(&net);
+        let (want, _) = predictive_on(
+            &mut float,
+            &x,
+            cfg,
+            &mut SoftwareMaskSource::new(1),
+            ParallelConfig::serial(),
+        );
+        let (got, _) = predictive_on(
+            &mut fused,
+            &x,
+            cfg,
+            &mut SoftwareMaskSource::new(1),
+            ParallelConfig::serial(),
+        );
+        assert_eq!(got.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn fused_counts_suffix_weight_traffic_once_per_layer() {
+        let net = models::lenet5(10, 1, 16, 2);
+        let float = FloatBackend::new(&net);
+        let fused = FusedBackend::new(&net);
+        let float_cost = |cfg: BayesConfig| float.model_cost(cfg).unwrap().mem_bytes;
+        let fused_cost = |cfg: BayesConfig| fused.model_cost(cfg).unwrap().mem_bytes;
+
+        // Fused traffic is independent of S; float grows linearly.
+        assert_eq!(
+            fused_cost(BayesConfig::new(2, 10)),
+            fused_cost(BayesConfig::new(2, 50))
+        );
+        let (f10, f50) = (
+            float_cost(BayesConfig::new(2, 10)),
+            float_cost(BayesConfig::new(2, 50)),
+        );
+        assert!(f50 > f10, "float weight traffic must grow with S");
+        // The regression identity: float(S) = prefix + S·suffix and
+        // fused = prefix + suffix, so the slope recovers the suffix.
+        let suffix = (f10 - fused_cost(BayesConfig::new(2, 10))) / 9;
+        assert!(suffix > 0, "the Bayesian suffix contains weight layers");
+        assert_eq!(
+            f50 - f10,
+            40 * suffix,
+            "float slope must be the suffix weight bytes"
+        );
+        // Deterministic runs stream everything exactly once on both.
+        let det = BayesConfig {
+            l: 0,
+            s: 25,
+            p: 0.25,
+        };
+        assert_eq!(float_cost(det), fused_cost(det));
     }
 }

@@ -1,0 +1,256 @@
+//! Backend conformance harness: agreement coverage for any
+//! [`BayesBackend`] in one line.
+//!
+//! Every execution substrate must honour the same engine contract —
+//! consume the seeded mask stream identically, be bit-identical to
+//! itself at any thread count, and serve batched exactly like
+//! unbatched. [`assert_backend_agrees`] checks all of that for a
+//! candidate backend against a reference backend under a single shared
+//! seed, with the agreement strictness chosen per pair:
+//!
+//! * [`Tolerance::BitExact`] for substrates that are exact
+//!   re-schedulings of the reference (fused vs. float, accelerator
+//!   vs. int8) — not a single ulp may move;
+//! * [`Tolerance::L1`] for substrates with intrinsic numeric drift
+//!   (int8 vs. float quantization error).
+//!
+//! The facade's `tests/backends.rs` runs this suite over float, fused,
+//! int8 and accelerator; a future `impl BayesBackend` plugs in with
+//! one call:
+//!
+//! ```
+//! use bnn_mcd::conformance::{assert_backend_agrees, Tolerance};
+//! use bnn_mcd::{BayesConfig, FloatBackend, FusedBackend};
+//! use bnn_nn::models;
+//! use bnn_tensor::{Shape4, Tensor};
+//!
+//! let net = models::lenet5(10, 1, 16, 2);
+//! let x = Tensor::full(Shape4::new(2, 1, 16, 16), 0.1);
+//! assert_backend_agrees(
+//!     &mut FloatBackend::new(&net),
+//!     &mut FusedBackend::new(&net),
+//!     &x,
+//!     BayesConfig::new(2, 6),
+//!     7,
+//!     Tolerance::BitExact,
+//! );
+//! ```
+
+use crate::backend::{predictive_batched_on, predictive_on, BayesBackend};
+use crate::predict::{BayesConfig, ParallelConfig};
+use crate::source::SoftwareMaskSource;
+use bnn_tensor::Tensor;
+
+/// How closely a candidate backend must agree with the reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Tolerance {
+    /// Byte-equal probabilities: the candidate is an exact
+    /// re-scheduling of the reference computation.
+    BitExact,
+    /// Per-item L1 distance below the bound: the candidate carries
+    /// intrinsic numeric drift (e.g. quantization).
+    L1(f32),
+}
+
+/// The thread counts every candidate is exercised at (the engine's
+/// bit-identical-at-any-parallelism guarantee is asserted between
+/// them).
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+fn check_close(want: &Tensor, got: &Tensor, tol: Tolerance, what: &str) {
+    assert_eq!(want.shape(), got.shape(), "{what}: shape mismatch");
+    match tol {
+        Tolerance::BitExact => {
+            assert_eq!(
+                want.as_slice(),
+                got.as_slice(),
+                "{what}: probabilities moved"
+            );
+        }
+        Tolerance::L1(bound) => {
+            for i in 0..want.shape().n {
+                let l1: f32 = want
+                    .item(i)
+                    .iter()
+                    .zip(got.item(i))
+                    .map(|(a, b)| (a - b).abs())
+                    .sum();
+                assert!(l1 < bound, "{what}: item {i} drifted, L1 = {l1} >= {bound}");
+            }
+        }
+    }
+}
+
+/// Run the conformance suite: `candidate` against `reference` on input
+/// `x` under one shared seeded mask stream.
+///
+/// Checks performed:
+///
+/// 1. *Agreement* — the candidate's predictive matches the reference's
+///    (serial) within `tol`, at every thread count in `{1, 4}`.
+/// 2. *Thread invariance* — the candidate's predictions at 1 and 4
+///    threads are byte-equal regardless of `tol` (the engine contract
+///    extends to every backend, including fused chunking).
+/// 3. *Batched serving* — `predictive_batched` with `batch = 1` agrees
+///    across backends within `tol`, is thread-invariant, and — for
+///    single-item inputs — is byte-equal to the unbatched predictive.
+/// 4. *Cost accounting* — both backends report the configured sample
+///    count.
+///
+/// The input's batch size must satisfy both backends' constraints
+/// (pass a single-item `x` when the accelerator is involved).
+///
+/// # Panics
+///
+/// Panics (with a message naming the backends and the failing check)
+/// on any disagreement.
+pub fn assert_backend_agrees<R: BayesBackend, C: BayesBackend>(
+    reference: &mut R,
+    candidate: &mut C,
+    x: &Tensor,
+    cfg: BayesConfig,
+    seed: u64,
+    tol: Tolerance,
+) {
+    let pair = format!("{} vs {}", candidate.name(), reference.name());
+
+    let (r_probs, r_cost) = predictive_on(
+        reference,
+        x,
+        cfg,
+        &mut SoftwareMaskSource::new(seed),
+        ParallelConfig::serial(),
+    );
+    assert_eq!(
+        r_cost.samples,
+        cfg.s,
+        "{}: reference cost lost samples",
+        reference.name()
+    );
+
+    let mut per_threads = Vec::new();
+    for threads in THREAD_COUNTS {
+        let (c_probs, c_cost) = predictive_on(
+            candidate,
+            x,
+            cfg,
+            &mut SoftwareMaskSource::new(seed),
+            ParallelConfig::with_threads(threads),
+        );
+        check_close(
+            &r_probs,
+            &c_probs,
+            tol,
+            &format!("{pair} (threads={threads}, unbatched)"),
+        );
+        assert_eq!(
+            c_cost.samples,
+            cfg.s,
+            "{}: candidate cost lost samples",
+            candidate.name()
+        );
+        per_threads.push(c_probs);
+    }
+    assert_eq!(
+        per_threads[0].as_slice(),
+        per_threads[1].as_slice(),
+        "{}: thread fan-out changed the prediction",
+        candidate.name()
+    );
+
+    // Batched serving, one item at a time — the deployment shape every
+    // backend (including the batch-1 accelerator) supports.
+    let (r_batched, _) = predictive_batched_on(
+        reference,
+        x,
+        cfg,
+        &mut SoftwareMaskSource::new(seed),
+        ParallelConfig::serial(),
+        1,
+    );
+    let mut batched = Vec::new();
+    for threads in THREAD_COUNTS {
+        let (c_batched, _) = predictive_batched_on(
+            candidate,
+            x,
+            cfg,
+            &mut SoftwareMaskSource::new(seed),
+            ParallelConfig::with_threads(threads),
+            1,
+        );
+        check_close(
+            &r_batched,
+            &c_batched,
+            tol,
+            &format!("{pair} (threads={threads}, batched)"),
+        );
+        batched.push(c_batched);
+    }
+    assert_eq!(
+        batched[0].as_slice(),
+        batched[1].as_slice(),
+        "{}: thread fan-out changed the batched prediction",
+        candidate.name()
+    );
+    if x.shape().n == 1 {
+        assert_eq!(
+            batched[0].as_slice(),
+            per_threads[0].as_slice(),
+            "{}: batched serving diverged from unbatched",
+            candidate.name()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{FloatBackend, FusedBackend};
+    use bnn_nn::models;
+    use bnn_tensor::Shape4;
+
+    #[test]
+    fn float_agrees_with_itself() {
+        let net = models::lenet5(10, 1, 16, 6);
+        let x = Tensor::full(Shape4::new(2, 1, 16, 16), 0.15);
+        assert_backend_agrees(
+            &mut FloatBackend::new(&net),
+            &mut FloatBackend::new(&net),
+            &x,
+            BayesConfig::new(2, 5),
+            3,
+            Tolerance::BitExact,
+        );
+    }
+
+    #[test]
+    fn fused_passes_conformance_against_float() {
+        let net = models::lenet5(10, 1, 16, 6);
+        let x = Tensor::full(Shape4::new(1, 1, 16, 16), 0.15);
+        assert_backend_agrees(
+            &mut FloatBackend::new(&net),
+            &mut FusedBackend::new(&net),
+            &x,
+            BayesConfig::new(3, 9),
+            11,
+            Tolerance::BitExact,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities moved")]
+    fn bit_exact_tolerance_rejects_different_seeds_worth_of_drift() {
+        // A backend serving a *different* network must be caught.
+        let net = models::lenet5(10, 1, 16, 6);
+        let other = models::lenet5(10, 1, 16, 7);
+        let x = Tensor::full(Shape4::new(1, 1, 16, 16), 0.15);
+        assert_backend_agrees(
+            &mut FloatBackend::new(&net),
+            &mut FloatBackend::new(&other),
+            &x,
+            BayesConfig::new(2, 4),
+            5,
+            Tolerance::BitExact,
+        );
+    }
+}

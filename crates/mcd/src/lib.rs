@@ -32,14 +32,16 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod conformance;
 mod metrics;
 mod predict;
 mod source;
 
 pub use backend::{
     predictive_batched_on, predictive_on, sample_probs_on, BayesBackend, CostReport, FloatBackend,
-    ModelCost,
+    FusedBackend, FusedScratch, ModelCost,
 };
+pub use conformance::{assert_backend_agrees, Tolerance};
 pub use metrics::{accuracy, avg_predictive_entropy, ece, mutual_information, nll, Calibration};
 pub use predict::{
     active_sites, mean_probs, predictive_batched, BayesConfig, McdPredictor, ParallelConfig,

@@ -5,8 +5,8 @@ use crate::param::ParamStore;
 use bnn_rng::SoftRng;
 use bnn_tensor::{
     add_inplace, avg_pool, avg_pool_backward, avg_pool_into, col2im, gemm, gemm_at, gemm_bt,
-    global_avg_pool, global_avg_pool_into, im2col, im2col_into, max_pool, max_pool_backward,
-    max_pool_into, relu_inplace, Shape4, Tensor,
+    gemm_bt_stacked, gemm_stacked, global_avg_pool, global_avg_pool_into, im2col, im2col_into,
+    im2col_stacked_into, max_pool, max_pool_backward, max_pool_into, relu_inplace, Shape4, Tensor,
 };
 
 /// A channel-wise dropout mask: `keep[c]` keeps channel `c` (scaled by
@@ -50,7 +50,10 @@ impl MaskSet {
     ///
     /// # Panics
     ///
-    /// Panics if `active` and `channels` have different lengths.
+    /// Panics if `active` and `channels` have different lengths, or if
+    /// `p` is outside `[0, 1)` (at `p = 1` the kept-channel rescale
+    /// `1/(1-p)` is infinite and dropout degenerates to zeroing the
+    /// whole feature map).
     pub fn draw(
         active: &[bool],
         channels: &[usize],
@@ -61,6 +64,10 @@ impl MaskSet {
             active.len(),
             channels.len(),
             "active/channels length mismatch"
+        );
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1), got {p}"
         );
         let scale = 1.0 / (1.0 - p);
         let masks = active
@@ -80,6 +87,8 @@ impl MaskSet {
     ///
     /// `active[i]` enables site `i`; `channels[i]` is the mask length
     /// (from [`Graph::site_channels`]); `p` is the drop probability.
+    /// Keep bits come from the batched [`SoftRng::bernoulli_many`]
+    /// drop draws (byte-threshold fast path for `p = k/256`).
     pub fn sample_software(
         active: &[bool],
         channels: &[usize],
@@ -87,7 +96,11 @@ impl MaskSet {
         rng: &mut SoftRng,
     ) -> MaskSet {
         MaskSet::draw(active, channels, p, |c| {
-            (0..c).map(|_| !rng.bernoulli(f64::from(p))).collect()
+            let mut bits = rng.bernoulli_many(f64::from(p), c);
+            for b in &mut bits {
+                *b = !*b;
+            }
+            bits
         })
     }
 
@@ -135,11 +148,13 @@ impl Activations {
     }
 }
 
-fn apply_mask(x: &mut Tensor, mask: &Mask, name: &str) {
+/// Apply one channel mask to a contiguous range of batch items (the
+/// sample-stacked walk masks each sample's item group separately).
+fn apply_mask_items(x: &mut Tensor, mask: &Mask, items: std::ops::Range<usize>, name: &str) {
     let s = x.shape();
     assert_eq!(mask.keep.len(), s.c, "{name}: mask length != channels");
     let plane = s.h * s.w;
-    for n in 0..s.n {
+    for n in items {
         let item = x.item_mut(n);
         for (c, &keep) in mask.keep.iter().enumerate() {
             let sl = &mut item[c * plane..(c + 1) * plane];
@@ -149,6 +164,61 @@ fn apply_mask(x: &mut Tensor, mask: &Mask, name: &str) {
                 }
             } else {
                 sl.fill(0.0);
+            }
+        }
+    }
+}
+
+fn apply_mask(x: &mut Tensor, mask: &Mask, name: &str) {
+    let n = x.shape().n;
+    apply_mask_items(x, mask, 0..n, name);
+}
+
+/// Copy an item range of `src` into `out` with the channel mask folded
+/// into the copy: kept channels are written as `v · scale`, dropped
+/// channels as `0.0` — element for element the same values the
+/// copy-then-[`apply_mask`] pair produces, in a single pass.
+///
+/// For flat feature maps (`plane == 1`, the fully-connected case) the
+/// per-channel work is one element, so the mask is applied as a
+/// branch-free bit-mask multiply: `keep` expands to an all-ones or
+/// all-zeros bit mask, the masked value is exactly `v` or `+0.0`, and
+/// the `· scale` multiply then reproduces the copy-then-apply values
+/// bit for bit (`+0.0 · scale = +0.0`). Random keep bits make the
+/// branchy per-channel formulation mispredict-bound, which is
+/// otherwise the dominant per-sample cost of an FC Bayesian suffix.
+fn masked_copy_items(
+    src: &Tensor,
+    out: &mut Tensor,
+    mask: &Mask,
+    items: std::ops::Range<usize>,
+    name: &str,
+) {
+    let s = out.shape();
+    assert_eq!(mask.keep.len(), s.c, "{name}: mask length != channels");
+    let plane = s.h * s.w;
+    if plane == 1 {
+        for n in items {
+            let sl = &src.as_slice()[n * s.c..(n + 1) * s.c];
+            let dst = out.item_mut(n);
+            for ((d, &v), &keep) in dst.iter_mut().zip(sl).zip(&mask.keep) {
+                let bits = (keep as u32).wrapping_neg();
+                *d = f32::from_bits(v.to_bits() & bits) * mask.scale;
+            }
+        }
+    } else {
+        for n in items {
+            let sl = src.item(n);
+            let dst = out.item_mut(n);
+            for (c, &keep) in mask.keep.iter().enumerate() {
+                let r = c * plane..(c + 1) * plane;
+                if keep {
+                    for (d, &v) in dst[r.clone()].iter_mut().zip(&sl[r]) {
+                        *d = v * mask.scale;
+                    }
+                } else {
+                    dst[r].fill(0.0);
+                }
             }
         }
     }
@@ -241,6 +311,93 @@ fn conv_forward(
     let mut cols = Vec::new();
     conv_forward_into(x, w, b, k, stride, pad, &mut y, &mut cols, true);
     y
+}
+
+/// Fused convolution over a sample-stacked batch: every item's im2col
+/// block lands side by side in one `[C·K·K, N·Ho·Wo]` column matrix
+/// and a single [`gemm_stacked`] call covers all of them, so the
+/// weight matrix streams once per *layer* instead of once per item.
+/// The staged `[F, N·Ho·Wo]` GEMM output is then gathered back into
+/// per-item NCHW layout with the bias added — one add per element,
+/// exactly like the per-item path — so the result is bit-identical to
+/// [`conv_forward_into`] on each item.
+#[allow(clippy::too_many_arguments)]
+fn conv_forward_stacked_into(
+    x: &Tensor,
+    w: &Tensor,
+    b: &Tensor,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    y: &mut Tensor,
+    cols: &mut Vec<f32>,
+    stage: &mut Vec<f32>,
+) {
+    let si = x.shape();
+    let so = y.shape();
+    let (f, ckk, howo) = (so.c, si.c * k * k, so.h * so.w);
+    let total_cols = si.n * howo;
+    let cols_len = ckk * total_cols;
+    let stage_len = f * total_cols;
+    if cols.len() < cols_len {
+        cols.resize(cols_len, 0.0);
+    }
+    if stage.len() < stage_len {
+        stage.resize(stage_len, 0.0);
+    }
+    let cols = &mut cols[..cols_len];
+    let stage = &mut stage[..stage_len];
+    for n in 0..si.n {
+        im2col_stacked_into(
+            x.item(n),
+            si.c,
+            si.h,
+            si.w,
+            k,
+            stride,
+            pad,
+            cols,
+            total_cols,
+            n * howo,
+        );
+    }
+    stage.fill(0.0);
+    gemm_stacked(f, ckk, howo, si.n, w.as_slice(), cols, stage);
+    let bias = b.as_slice();
+    for n in 0..si.n {
+        let yi = y.item_mut(n);
+        for (c, &bv) in bias.iter().enumerate() {
+            let src = &stage[c * total_cols + n * howo..c * total_cols + (n + 1) * howo];
+            let dst = &mut yi[c * howo..(c + 1) * howo];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = s + bv;
+            }
+        }
+    }
+}
+
+/// Fused fully-connected forward over a sample-stacked activation
+/// matrix: the `samples` row blocks go through one [`gemm_bt_stacked`]
+/// call, sharing the streamed weight matrix across stacked rows.
+/// Bit-identical to [`linear_forward_into`] on each block.
+fn linear_forward_stacked_into(x: &Tensor, w: &Tensor, b: &Tensor, samples: usize, y: &mut Tensor) {
+    let si = x.shape();
+    let in_f = si.item_len();
+    let out_f = y.shape().item_len();
+    debug_assert_eq!(si.n % samples, 0, "stacked batch must cover all samples");
+    y.as_mut_slice().fill(0.0);
+    gemm_bt_stacked(
+        si.n / samples,
+        in_f,
+        out_f,
+        samples,
+        x.as_slice(),
+        w.as_slice(),
+        y.as_mut_slice(),
+    );
+    for n in 0..si.n {
+        add_inplace(y.item_mut(n), b.as_slice());
+    }
 }
 
 /// Fully-connected forward into a preallocated output.
@@ -379,6 +536,67 @@ pub struct ExecScratch {
     outs: Vec<Tensor>,
     cols: Vec<f32>,
     split_conv: bool,
+}
+
+/// Workspace for the sample-stacked suffix walk
+/// ([`Graph::forward_from_stacked`]): per-node output tensors sized
+/// for `samples · n` stacked batch items, the stacked im2col column
+/// buffer, the fused-GEMM staging buffer, and the replicated prefix
+/// outputs the suffix reads.
+///
+/// Built by [`Graph::stacked_scratch_after`] for one `(graph, input
+/// shape, suffix boundary, sample count)` tuple and reused across
+/// fused walks; running a different configuration through it panics.
+#[derive(Debug, Clone)]
+pub struct StackedScratch {
+    /// Stacked node outputs (placeholders for prefix nodes, which are
+    /// read from the replicas below, never executed).
+    outs: Vec<Tensor>,
+    /// Stacked im2col workspace `[C·K·K, samples·n·Ho·Wo]`.
+    cols: Vec<f32>,
+    /// Fused conv GEMM staging buffer `[F, samples·n·Ho·Wo]`.
+    stage: Vec<f32>,
+    /// Prefix outputs replicated `samples` times, filled lazily for
+    /// exactly the prefix nodes the suffix reads.
+    rep: Vec<Option<Tensor>>,
+    /// Sample count this scratch stacks.
+    samples: usize,
+    /// Suffix boundary the scratch was built for.
+    from: NodeId,
+}
+
+impl StackedScratch {
+    /// Sample count this scratch stacks.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Suffix boundary this scratch was built for.
+    pub fn suffix_from(&self) -> NodeId {
+        self.from
+    }
+
+    /// Drop the cached prefix replicas. A scratch pooled across
+    /// predictive calls must be reset this way whenever the prepared
+    /// prefix changes (new input), or the suffix would read stale
+    /// activations; the buffers themselves stay allocated.
+    pub fn clear_replicas(&mut self) {
+        for slot in &mut self.rep {
+            *slot = None;
+        }
+    }
+}
+
+/// Replicate a whole batch `samples` times along the item axis
+/// (sample-major: sample `s` owns items `s·n .. (s+1)·n`).
+fn stack_items(t: &Tensor, samples: usize) -> Tensor {
+    let s = t.shape();
+    let mut out = Tensor::zeros(s.with_n(samples * s.n));
+    let block = s.len();
+    for si in 0..samples {
+        out.as_mut_slice()[si * block..(si + 1) * block].copy_from_slice(t.as_slice());
+    }
+    out
 }
 
 impl ExecScratch {
@@ -701,6 +919,205 @@ impl Graph {
                 cols,
                 *split_conv,
             );
+        }
+        outs[self.output].clone()
+    }
+
+    /// Workspace for [`Graph::forward_from_stacked`]: stacked output
+    /// buffers (batch `samples · input.n`) for every node after `from`,
+    /// plus the stacked im2col and fused-GEMM staging buffers sized for
+    /// the largest suffix convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0` or the output node is not after `from`.
+    pub fn stacked_scratch_after(
+        &self,
+        input: Shape4,
+        from: NodeId,
+        samples: usize,
+    ) -> StackedScratch {
+        assert!(samples > 0, "at least one stacked sample required");
+        assert!(
+            self.output > from,
+            "suffix [{from}+1..] must contain the output node"
+        );
+        let shapes = self.infer_shapes(input);
+        let mut cols_len = 0usize;
+        let mut stage_len = 0usize;
+        for (id, node) in self.nodes.iter().enumerate().skip(from + 1) {
+            if let Op::Conv { in_c, k, .. } = node.op {
+                let so = shapes[id];
+                let total_cols = samples * so.n * so.h * so.w;
+                cols_len = cols_len.max(in_c * k * k * total_cols);
+                stage_len = stage_len.max(so.c * total_cols);
+            }
+        }
+        let outs = shapes
+            .into_iter()
+            .enumerate()
+            .map(|(id, s)| {
+                if id <= from {
+                    Tensor::zeros(Shape4::vec(0, 0))
+                } else {
+                    Tensor::zeros(s.with_n(samples * s.n))
+                }
+            })
+            .collect();
+        StackedScratch {
+            outs,
+            cols: vec![0.0; cols_len],
+            stage: vec![0.0; stage_len],
+            rep: vec![None; self.nodes.len()],
+            samples,
+            from,
+        }
+    }
+
+    /// The batched-sample fusion walk: resume from node `from`
+    /// (exclusive) *once* for all `masks.len()` Monte Carlo samples,
+    /// returning the sample-stacked logits `(samples · n, k)` with
+    /// sample `s` owning rows `s·n .. (s+1)·n`.
+    ///
+    /// This is the software analogue of the paper's weight-streaming
+    /// dataflow: where [`Graph::forward_from_with`] re-streams every
+    /// suffix weight matrix once per sample, this walk stacks the
+    /// samples' activations — conv via a sample-stacked im2col buffer
+    /// and one `(S·Ho·Wo)`-column [`gemm_stacked`], fully-connected
+    /// layers via one row-stacked [`gemm_bt_stacked`] — so each weight
+    /// matrix streams once per layer. Per-sample dropout masks are
+    /// applied to each sample's item group, and every element's f32
+    /// operation sequence is identical to the per-sample walk, so the
+    /// stacked logits are *bit-identical* to `masks.len()` independent
+    /// [`Graph::forward_from_with`] calls (at any sub-chunking of the
+    /// sample list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `masks` is empty, if `prefix` does not cover node
+    /// `from`, or if `scratch` was built for a different graph, suffix
+    /// boundary or sample count.
+    pub fn forward_from_stacked(
+        &self,
+        prefix: &Activations,
+        from: NodeId,
+        masks: &[MaskSet],
+        scratch: &mut StackedScratch,
+    ) -> Tensor {
+        assert!(!masks.is_empty(), "at least one sample required");
+        assert!(
+            prefix.outs.len() > from,
+            "prefix does not cover node {from}"
+        );
+        let StackedScratch {
+            outs,
+            cols,
+            stage,
+            rep,
+            samples,
+            from: built_from,
+        } = scratch;
+        assert_eq!(
+            outs.len(),
+            self.nodes.len(),
+            "scratch built for a different graph"
+        );
+        assert_eq!(*built_from, from, "scratch built for a different suffix");
+        assert_eq!(
+            *samples,
+            masks.len(),
+            "scratch built for a different sample count"
+        );
+        let base = prefix.outs[self.input].shape().n;
+        // Replicate exactly the prefix outputs the suffix reads (the
+        // Bayesian-site input, plus any residual shortcut reaching
+        // back across the boundary).
+        for node in &self.nodes[from + 1..] {
+            for &j in &node.inputs {
+                if j <= from && rep[j].is_none() {
+                    rep[j] = Some(stack_items(&prefix.outs[j], *samples));
+                }
+            }
+        }
+        let input = &prefix.outs[self.input];
+        for (off, node) in self.nodes[from + 1..].iter().enumerate() {
+            let id = from + 1 + off;
+            let (done, rest) = outs.split_at_mut(id);
+            let out = &mut rest[0];
+            let get = |j: usize| {
+                if j <= from {
+                    rep[j].as_ref().expect("prefix replica materialized")
+                } else {
+                    &done[j]
+                }
+            };
+            match &node.op {
+                Op::Conv {
+                    w,
+                    b,
+                    k,
+                    stride,
+                    pad,
+                    ..
+                } => {
+                    conv_forward_stacked_into(
+                        get(node.inputs[0]),
+                        self.params.get(*w),
+                        self.params.get(*b),
+                        *k,
+                        *stride,
+                        *pad,
+                        out,
+                        cols,
+                        stage,
+                    );
+                }
+                Op::Linear { w, b, .. } => {
+                    linear_forward_stacked_into(
+                        get(node.inputs[0]),
+                        self.params.get(*w),
+                        self.params.get(*b),
+                        *samples,
+                        out,
+                    );
+                }
+                Op::McdSite { site, .. } => {
+                    let src = get(node.inputs[0]);
+                    let item_len = out.shape().item_len();
+                    for (si, ms) in masks.iter().enumerate() {
+                        let items = si * base..(si + 1) * base;
+                        match ms.get(site.0) {
+                            // Mask folded into the copy: one pass per
+                            // sample group, same values as
+                            // copy-then-apply.
+                            Some(mask) => {
+                                masked_copy_items(src, out, mask, items, &node.name);
+                            }
+                            None => {
+                                let span = items.start * item_len..items.end * item_len;
+                                out.as_mut_slice()[span.clone()]
+                                    .copy_from_slice(&src.as_slice()[span]);
+                            }
+                        }
+                    }
+                }
+                // The remaining ops are item-wise (or channel-wise with
+                // per-item math), so the stacked batch runs through the
+                // ordinary eval kernels unchanged. Masks are handled
+                // above; `Op::Input` cannot appear after the prefix.
+                _ => {
+                    eval_node_into(
+                        node,
+                        &self.params,
+                        get,
+                        input,
+                        &MaskSet::none(),
+                        out,
+                        cols,
+                        false,
+                    );
+                }
+            }
         }
         outs[self.output].clone()
     }
@@ -1223,6 +1640,99 @@ mod tests {
         }
     }
 
+    /// Deterministic per-sample masks for the one site of `small_net`.
+    fn site0_masks(samples: usize) -> Vec<MaskSet> {
+        (0..samples)
+            .map(|s| {
+                let keep: Vec<bool> = (0..8).map(|c| (c + s) % 3 != 0).collect();
+                MaskSet::from_masks(vec![Some(Mask {
+                    keep,
+                    scale: 4.0 / 3.0,
+                })])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stacked_suffix_bit_identical_to_per_sample_walk() {
+        let net = small_net();
+        let x = Tensor::from_vec(
+            Shape4::new(2, 1, 4, 4),
+            (0..32).map(|i| (i as f32 / 10.0) - 1.4).collect(),
+        );
+        let prefix = net.forward_full(&x, &MaskSet::none());
+        let from = 5; // right before the MCD site in small_net
+        let masks = site0_masks(3);
+        let mut stacked = net.stacked_scratch_after(x.shape(), from, masks.len());
+        // Run twice through the same scratch: reuse must not leak.
+        for _ in 0..2 {
+            let fused = net.forward_from_stacked(&prefix, from, &masks, &mut stacked);
+            assert_eq!(fused.shape(), Shape4::vec(3 * 2, 3));
+            for (s, ms) in masks.iter().enumerate() {
+                let want = net.forward_from(&prefix, from, ms);
+                assert_eq!(
+                    &fused.as_slice()[s * want.len()..(s + 1) * want.len()],
+                    want.as_slice(),
+                    "sample {s} diverged from the per-sample walk"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stacked_suffix_covers_convolutions() {
+        // A Bayesian site ahead of a conv so the fused walk exercises
+        // the stacked im2col + gemm_stacked path (and the replicated
+        // graph input).
+        let mut b = GraphBuilder::new("conv-suffix", 9);
+        let x = b.input();
+        let m = b.mcd(x, 0.25);
+        let c = b.conv(m, 2, 3, 3, 1, 1);
+        let r = b.relu(c);
+        let p = b.max_pool(r, 2, 2);
+        let f = b.flatten(p);
+        let fc = b.linear(f, 3 * 3 * 3, 4);
+        let net = b.finish(fc);
+
+        let input = Tensor::from_vec(
+            Shape4::new(1, 2, 6, 6),
+            (0..72).map(|i| ((i * 7 % 13) as f32 / 6.0) - 1.0).collect(),
+        );
+        let prefix = net.forward_full(&input, &MaskSet::none());
+        let from = 0; // suffix starts at the site itself
+        let masks: Vec<MaskSet> = (0..4)
+            .map(|s| {
+                MaskSet::from_masks(vec![Some(Mask {
+                    keep: vec![s % 2 == 0, true],
+                    scale: 4.0 / 3.0,
+                })])
+            })
+            .collect();
+        let mut stacked = net.stacked_scratch_after(input.shape(), from, masks.len());
+        let fused = net.forward_from_stacked(&prefix, from, &masks, &mut stacked);
+        for (s, ms) in masks.iter().enumerate() {
+            let want = net.forward_from(&prefix, from, ms);
+            assert_eq!(
+                &fused.as_slice()[s * want.len()..(s + 1) * want.len()],
+                want.as_slice(),
+                "conv-suffix sample {s} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn stacked_scratch_rebuild_is_chunk_size_strict() {
+        let net = small_net();
+        let x = Tensor::full(Shape4::new(1, 1, 4, 4), 0.4);
+        let prefix = net.forward_full(&x, &MaskSet::none());
+        let mut scratch = net.stacked_scratch_after(x.shape(), 5, 2);
+        let masks = site0_masks(3);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = net.forward_from_stacked(&prefix, 5, &masks, &mut scratch);
+        }));
+        assert!(err.is_err(), "sample-count mismatch must panic");
+    }
+
     #[test]
     #[should_panic(expected = "different input shape")]
     fn scratch_rejects_mismatched_input_shape() {
@@ -1230,6 +1740,15 @@ mod tests {
         let mut scratch = net.scratch(Shape4::new(1, 1, 4, 4));
         let x = Tensor::full(Shape4::new(2, 1, 4, 4), 0.5);
         let _ = net.forward_with(&x, &MaskSet::none(), &mut scratch);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability must be in [0, 1)")]
+    fn mask_draw_rejects_p_one() {
+        // p = 1 would make the kept-channel rescale infinite, which the
+        // branch-free fused mask multiply would turn into NaN while the
+        // per-sample path writes zeros — reject it at the source.
+        let _ = MaskSet::draw(&[true], &[4], 1.0, |c| vec![true; c]);
     }
 
     #[test]

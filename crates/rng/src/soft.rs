@@ -86,6 +86,38 @@ impl SoftRng {
         self.next_f64() < p
     }
 
+    /// `len` independent Bernoulli draws with probability `p` of
+    /// `true`.
+    ///
+    /// When `p` is exactly representable as `k/256` — which covers the
+    /// paper's `p = 0.25` and every hardware-legal [`crate::DropProbability`]
+    /// with at most 8 fractional bits — the draws come eight at a time
+    /// from the bytes of one [`SoftRng::next_u64`]: each byte is
+    /// uniform over `0..256`, so `byte < k` is exactly Bernoulli(k/256).
+    /// That makes bulk mask drawing ~4× cheaper than per-draw
+    /// [`SoftRng::bernoulli`], which matters because the MCD engine
+    /// draws all `S` sample masks *serially* before fanning out.
+    /// Other `p` fall back to one draw per decision. Either way the
+    /// stream is a pure function of the seed.
+    pub fn bernoulli_many(&mut self, p: f64, len: usize) -> Vec<bool> {
+        let scaled = p * 256.0;
+        if scaled.fract() == 0.0 && (0.0..=256.0).contains(&scaled) {
+            let t = scaled as u16;
+            let mut out = Vec::with_capacity(len);
+            while out.len() < len {
+                let mut word = self.next_u64();
+                let take = (len - out.len()).min(8);
+                for _ in 0..take {
+                    out.push(u16::from(word as u8) < t);
+                    word >>= 8;
+                }
+            }
+            out
+        } else {
+            (0..len).map(|_| self.bernoulli(p)).collect()
+        }
+    }
+
     /// Standard normal draw (Box–Muller, cached pair).
     pub fn normal_f64(&mut self, mean: f64, std: f64) -> f64 {
         if let Some(bits) = self.cached_normal.take() {

@@ -130,6 +130,60 @@ fn gemm_tiled<F: Fn(usize, usize) -> f32>(
     }
 }
 
+/// Sample-stacked [`gemm`]: `c[m × s·n] += a[m×k] · b[k × s·n]`, where
+/// `b` and `c` hold `s` column blocks of `n` columns side by side
+/// (block `j` occupies columns `j·n .. (j+1)·n` of every row).
+///
+/// Operationally this is `gemm(m, k, s·n, ..)`; the entry point exists
+/// to *name the contract* the batched-sample fusion relies on: the
+/// result is **bit-identical** to `s` independent [`gemm`] calls, one
+/// per block. The blocked kernel's per-element accumulation sequence
+/// depends only on the element's row (`MR` main block vs. row
+/// remainder) and the `KC` depth panels — never on the column tiling —
+/// so stacking Monte Carlo samples along the column axis cannot move a
+/// single ulp while the `a` operand (the weights) streams once for all
+/// `s` blocks instead of once per block. Property-tested against the
+/// per-block reference in `tests/properties.rs`.
+///
+/// # Panics
+///
+/// Panics if `s == 0` or the slice lengths do not match the stacked
+/// dimensions.
+pub fn gemm_stacked(m: usize, k: usize, n: usize, s: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert!(s > 0, "at least one stacked sample required");
+    gemm(m, k, s * n, a, b, c);
+}
+
+/// Sample-stacked [`gemm_bt`]: `c[s·m × n] += a[s·m × k] · bᵀ`, where
+/// `a` and `c` hold `s` row blocks of `m` rows each (`b` is stored
+/// `n×k` row-major, as in [`gemm_bt`]).
+///
+/// Like [`gemm_stacked`], this is operationally `gemm_bt(s·m, k, n,
+/// ..)` with a named guarantee: every output element is a dot product
+/// whose accumulation sequence depends only on the shared dimension
+/// `k`, so the result is **bit-identical** to `s` independent
+/// [`gemm_bt`] calls on the row blocks, while the streamed `b` operand
+/// (the fully-connected weights) is shared across consecutive stacked
+/// rows instead of being re-streamed per block. Property-tested in
+/// `tests/properties.rs`.
+///
+/// # Panics
+///
+/// Panics if `s == 0` or the slice lengths do not match the stacked
+/// dimensions.
+pub fn gemm_bt_stacked(
+    m: usize,
+    k: usize,
+    n: usize,
+    s: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    assert!(s > 0, "at least one stacked sample required");
+    gemm_bt(s * m, k, n, a, b, c);
+}
+
 /// Partial-sum lanes per dot product in [`gemm_bt`].
 const LANES: usize = 8;
 /// `b` rows per [`gemm_bt`] register tile.
@@ -359,5 +413,72 @@ mod tests {
     fn gemm_checks_dims() {
         let mut c = vec![0.0; 4];
         gemm(2, 2, 2, &[0.0; 3], &[0.0; 4], &mut c);
+    }
+
+    #[test]
+    fn gemm_stacked_matches_per_block_calls() {
+        // Ragged everywhere: odd rows (row-remainder path), columns
+        // past the NR tile, depth crossing the KC panel.
+        let (m, k, n, s) = (3, 300, 19, 4);
+        let a = fill(m * k, 11);
+        let b = fill(k * s * n, 12);
+        let mut fused = vec![0.0; m * s * n];
+        gemm_stacked(m, k, n, s, &a, &b, &mut fused);
+        for blk in 0..s {
+            // Extract block `blk` of b (columns blk*n..(blk+1)*n).
+            let mut bb = vec![0.0; k * n];
+            for p in 0..k {
+                bb[p * n..(p + 1) * n]
+                    .copy_from_slice(&b[p * s * n + blk * n..p * s * n + blk * n + n]);
+            }
+            let mut c = vec![0.0; m * n];
+            gemm(m, k, n, &a, &bb, &mut c);
+            for i in 0..m {
+                for j in 0..n {
+                    assert_eq!(
+                        fused[i * s * n + blk * n + j],
+                        c[i * n + j],
+                        "block {blk} element ({i},{j}) moved"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_bt_stacked_matches_per_block_calls() {
+        let (m, k, n, s) = (3, 45, 7, 5);
+        let a = fill(s * m * k, 21);
+        let b = fill(n * k, 22); // stored n×k
+        let mut fused = vec![0.0; s * m * n];
+        gemm_bt_stacked(m, k, n, s, &a, &b, &mut fused);
+        for blk in 0..s {
+            let mut c = vec![0.0; m * n];
+            gemm_bt(m, k, n, &a[blk * m * k..(blk + 1) * m * k], &b, &mut c);
+            assert_eq!(
+                &fused[blk * m * n..(blk + 1) * m * n],
+                &c[..],
+                "row block {blk} moved"
+            );
+        }
+    }
+
+    #[test]
+    fn stacked_wrappers_are_identity_at_s1() {
+        let (m, k, n) = (5, 13, 9);
+        let a = fill(m * k, 31);
+        let b = fill(k * n, 32);
+        let mut c1 = vec![0.0; m * n];
+        gemm(m, k, n, &a, &b, &mut c1);
+        let mut c2 = vec![0.0; m * n];
+        gemm_stacked(m, k, n, 1, &a, &b, &mut c2);
+        assert_eq!(c1, c2);
+
+        let bt = transpose(k, n, &b);
+        let mut d1 = vec![0.0; m * n];
+        gemm_bt(m, k, n, &a, &bt, &mut d1);
+        let mut d2 = vec![0.0; m * n];
+        gemm_bt_stacked(m, k, n, 1, &a, &bt, &mut d2);
+        assert_eq!(d1, d2);
     }
 }

@@ -61,21 +61,59 @@ pub fn im2col_into(
     pad: usize,
     cols: &mut [f32],
 ) {
+    let ho = conv_out_dim(h, k, stride, pad);
+    let wo = conv_out_dim(w, k, stride, pad);
+    im2col_stacked_into(image, c, h, w, k, stride, pad, cols, ho * wo, 0);
+}
+
+/// [`im2col_into`] targeting one column block of a *sample-stacked*
+/// column matrix `[C·K·K, total_cols]` (row-major): the image's
+/// `[C·K·K, Ho·Wo]` columns land at column offset `col0` of every row.
+///
+/// This is the buffer builder for batched-sample GEMM fusion: each
+/// Monte Carlo sample's (or batch item's) im2col block is written side
+/// by side so one [`crate::gemm_stacked`] call covers all of them,
+/// streaming the weight matrix once. The written block — including its
+/// zero padding taps — is fully overwritten, so the buffer needs no
+/// clearing between passes; columns outside the block are untouched.
+///
+/// # Panics
+///
+/// Panics if `image.len() != c*h*w`, `cols` is not exactly
+/// `c*k*k*total_cols` long, or the block does not fit at `col0`.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_stacked_into(
+    image: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    cols: &mut [f32],
+    total_cols: usize,
+    col0: usize,
+) {
     assert_eq!(image.len(), c * h * w, "image buffer must be c*h*w");
     let ho = conv_out_dim(h, k, stride, pad);
     let wo = conv_out_dim(w, k, stride, pad);
+    let row_len = ho * wo;
+    assert!(
+        col0 + row_len <= total_cols,
+        "column block [{col0}, {}) exceeds the stacked width {total_cols}",
+        col0 + row_len
+    );
     assert_eq!(
         cols.len(),
-        c * k * k * ho * wo,
-        "cols buffer must match geometry"
+        c * k * k * total_cols,
+        "cols buffer must match the stacked geometry"
     );
-    cols.fill(0.0);
-    let row_len = ho * wo;
     for ch in 0..c {
         for ky in 0..k {
             for kx in 0..k {
                 let row = (ch * k + ky) * k + kx;
-                let out_row = &mut cols[row * row_len..(row + 1) * row_len];
+                let out_row = &mut cols[row * total_cols + col0..row * total_cols + col0 + row_len];
+                out_row.fill(0.0);
                 for oy in 0..ho {
                     let iy = (oy * stride + ky) as isize - pad as isize;
                     if iy < 0 || iy >= h as isize {
@@ -226,6 +264,41 @@ mod tests {
             .map(|(&a, &b)| f64::from(a) * f64::from(b))
             .sum();
         assert!((lhs - rhs).abs() < 1e-6, "adjoint mismatch: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn stacked_im2col_places_blocks_side_by_side() {
+        // Two "samples" of a 1×3×3 image, 2×2 kernel: each block of the
+        // stacked [4, 2·4] matrix must equal the plain im2col.
+        let img_a = vec![1., 2., 3., 4., 5., 6., 7., 8., 9.];
+        let img_b: Vec<f32> = img_a.iter().map(|v| v * 10.0).collect();
+        let want_a = im2col(&img_a, 1, 3, 3, 2, 1, 0);
+        let want_b = im2col(&img_b, 1, 3, 3, 2, 1, 0);
+        let (row_len, total) = (4usize, 8usize);
+        let mut cols = vec![f32::NAN; 4 * total];
+        im2col_stacked_into(&img_a, 1, 3, 3, 2, 1, 0, &mut cols, total, 0);
+        im2col_stacked_into(&img_b, 1, 3, 3, 2, 1, 0, &mut cols, total, row_len);
+        for r in 0..4 {
+            assert_eq!(
+                &cols[r * total..r * total + row_len],
+                &want_a[r * row_len..(r + 1) * row_len]
+            );
+            assert_eq!(
+                &cols[r * total + row_len..(r + 1) * total],
+                &want_b[r * row_len..(r + 1) * row_len]
+            );
+        }
+    }
+
+    #[test]
+    fn stacked_im2col_overwrites_padding_taps() {
+        // A dirty buffer must come out identical to a fresh one —
+        // padding taps are written, not assumed zero.
+        let img = vec![1.0; 4]; // 1×2×2, 3×3 kernel, pad 1 → 2×2 out
+        let clean = im2col(&img, 1, 2, 2, 3, 1, 1);
+        let mut dirty = vec![7.5f32; clean.len()];
+        im2col_stacked_into(&img, 1, 2, 2, 3, 1, 1, &mut dirty, 4, 0);
+        assert_eq!(dirty, clean);
     }
 
     #[test]

@@ -24,8 +24,8 @@ mod pool;
 mod shape;
 mod tensor;
 
-pub use gemm::{gemm, gemm_at, gemm_bt};
-pub use im2col::{col2im, conv_out_dim, im2col, im2col_into};
+pub use gemm::{gemm, gemm_at, gemm_bt, gemm_bt_stacked, gemm_stacked};
+pub use im2col::{col2im, conv_out_dim, im2col, im2col_into, im2col_stacked_into};
 pub use ops::{add_inplace, log_softmax_rows, relu_inplace, scale_inplace, softmax_rows};
 pub use pool::{
     avg_pool, avg_pool_backward, avg_pool_into, global_avg_pool, global_avg_pool_into, max_pool,

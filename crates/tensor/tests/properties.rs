@@ -1,8 +1,8 @@
 //! Property-based tests of the tensor kernels.
 
 use bnn_tensor::{
-    col2im, conv_out_dim, gemm, gemm_at, gemm_bt, im2col, max_pool, max_pool_backward,
-    softmax_rows, Shape4, Tensor,
+    col2im, conv_out_dim, gemm, gemm_at, gemm_bt, gemm_bt_stacked, gemm_stacked, im2col,
+    im2col_stacked_into, max_pool, max_pool_backward, softmax_rows, Shape4, Tensor,
 };
 use proptest::prelude::*;
 
@@ -161,6 +161,104 @@ proptest! {
         gemm_bt(m, k, n, &a, &bt, &mut c_bt);
         for (got, want) in c_bt.iter().zip(&want) {
             prop_assert!((got - want).abs() < 1e-3, "gemm_bt {}x{}x{}", m, k, n);
+        }
+    }
+}
+
+// The sample-stacked GEMM entry points used by batched-sample fusion:
+// the fused `(S·cols)` call must be *bit-identical* (exact f32
+// equality, not a tolerance) to `S` independent per-block calls.
+// Shapes are random and deliberately ragged — S = 1, odd row counts
+// (row-remainder path), column counts off the NR tile, depth crossing
+// the KC panel — because the contract is exactly that the tiling may
+// not leak into the values.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gemm_stacked_bit_identical_to_independent_gemms(
+        m in 1usize..9, k in 1usize..300, n in 1usize..36, s in 1usize..6,
+        seed in 0u64..1000
+    ) {
+        let mut rng = bnn_rng_stub(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.next()).collect();
+        let b: Vec<f32> = (0..k * s * n).map(|_| rng.next()).collect();
+        let mut fused = vec![0.0f32; m * s * n];
+        gemm_stacked(m, k, n, s, &a, &b, &mut fused);
+        for blk in 0..s {
+            let mut bb = vec![0.0f32; k * n];
+            for p in 0..k {
+                bb[p * n..(p + 1) * n]
+                    .copy_from_slice(&b[p * s * n + blk * n..p * s * n + blk * n + n]);
+            }
+            let mut want = vec![0.0f32; m * n];
+            gemm(m, k, n, &a, &bb, &mut want);
+            for i in 0..m {
+                for j in 0..n {
+                    prop_assert_eq!(
+                        fused[i * s * n + blk * n + j].to_bits(),
+                        want[i * n + j].to_bits(),
+                        "gemm_stacked {}x{}x{} s={} block {} element ({},{}) moved",
+                        m, k, n, s, blk, i, j
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_bt_stacked_bit_identical_to_independent_gemms(
+        m in 1usize..7, k in 1usize..40, n in 1usize..20, s in 1usize..6,
+        seed in 0u64..1000
+    ) {
+        let mut rng = bnn_rng_stub(seed);
+        let a: Vec<f32> = (0..s * m * k).map(|_| rng.next()).collect();
+        let b: Vec<f32> = (0..n * k).map(|_| rng.next()).collect(); // stored n×k
+        let mut fused = vec![0.0f32; s * m * n];
+        gemm_bt_stacked(m, k, n, s, &a, &b, &mut fused);
+        for blk in 0..s {
+            let mut want = vec![0.0f32; m * n];
+            gemm_bt(m, k, n, &a[blk * m * k..(blk + 1) * m * k], &b, &mut want);
+            let got = &fused[blk * m * n..(blk + 1) * m * n];
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                prop_assert_eq!(
+                    g.to_bits(), w.to_bits(),
+                    "gemm_bt_stacked {}x{}x{} s={} block {} flat index {} moved",
+                    m, k, n, s, blk, i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stacked_im2col_blocks_match_plain_im2col(
+        c in 1usize..3, h in 3usize..8, w in 3usize..8,
+        k in 1usize..4, stride in 1usize..3, pad in 0usize..2,
+        s in 1usize..4, seed in 0u64..1000
+    ) {
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        let ho = conv_out_dim(h, k, stride, pad);
+        let wo = conv_out_dim(w, k, stride, pad);
+        let row_len = ho * wo;
+        let total = s * row_len;
+        let mut rng = bnn_rng_stub(seed);
+        let images: Vec<Vec<f32>> = (0..s)
+            .map(|_| (0..c * h * w).map(|_| rng.next()).collect())
+            .collect();
+        // Dirty buffer: the block writer must not rely on prior zeros.
+        let mut cols = vec![9.25f32; c * k * k * total];
+        for (blk, img) in images.iter().enumerate() {
+            im2col_stacked_into(img, c, h, w, k, stride, pad, &mut cols, total, blk * row_len);
+        }
+        for (blk, img) in images.iter().enumerate() {
+            let want = im2col(img, c, h, w, k, stride, pad);
+            for r in 0..c * k * k {
+                let got = &cols[r * total + blk * row_len..r * total + (blk + 1) * row_len];
+                prop_assert_eq!(
+                    got, &want[r * row_len..(r + 1) * row_len],
+                    "block {} row {} diverged", blk, r
+                );
+            }
         }
     }
 }

@@ -1,13 +1,19 @@
 //! **bnn-fpga** — a Rust reproduction of *"High-Performance FPGA-based
 //! Accelerator for Bayesian Neural Networks"* (DAC 2021).
 //!
-//! # Serving: one engine, three substrates
+//! # Serving: one engine, four substrates
 //!
 //! The paper's point is that a Monte Carlo Dropout workload — `S`
 //! forward passes over a partially-Bayesian network — retargets
 //! across execution substrates. This crate's [`Session`] API makes
 //! that the front door: train → quantize → serve is one fluent
-//! pipeline, and swapping the substrate is one builder call.
+//! pipeline, and swapping the substrate is one builder call. The
+//! substrates: f32 software (`Backend::Float`), f32 with
+//! batched-sample GEMM fusion (`Backend::Fused` — weights stream once
+//! per layer instead of once per sample, bit-identical results, the
+//! fastest software path at large `S`), int8 integer
+//! (`Backend::Int8`) and the simulated accelerator
+//! (`Backend::Accel`).
 //!
 //! ```no_run
 //! use bnn_fpga::accel::{AccelConfig, Accelerator};
@@ -46,7 +52,10 @@
 //! Every substrate implements [`mcd::BayesBackend`]; the sampling
 //! engine (mask pre-draw, thread fan-out, averaging, cost accounting)
 //! exists once in [`mcd::backend`] and new substrates are drop-in
-//! implementations.
+//! implementations. The conformance harness in [`mcd::conformance`]
+//! gives any new backend cross-substrate agreement coverage (shared
+//! mask stream, thread invariance, batched-vs-unbatched serving) in
+//! one `assert_backend_agrees` call — see `tests/backends.rs`.
 //!
 //! # Workspace map
 //!
@@ -57,13 +66,13 @@
 //! | [`tensor`] | `bnn-tensor` | NCHW tensors, GEMM, im2col, pooling |
 //! | [`nn`] | `bnn-nn` | layer-graph IR, f32 executor, backprop, SGD, model builders |
 //! | [`data`] | `bnn-data` | synthetic MNIST/SVHN/CIFAR-like datasets, OOD noise |
-//! | [`mcd`] | `bnn-mcd` | the `BayesBackend` trait, generic MC engine, `FloatBackend`, uncertainty metrics |
+//! | [`mcd`] | `bnn-mcd` | the `BayesBackend` trait, generic MC engine, `FloatBackend`/`FusedBackend`, conformance harness, uncertainty metrics |
 //! | [`quant`] | `bnn-quant` | 8-bit linear quantization, int8 executor, `Int8Backend` |
 //! | [`platforms`] | `bnn-platforms` | CPU/GPU latency models, VIBNN and BYNQNet baselines |
 //! | [`framework`] | `bnn-framework` | the automatic hardware/algorithm optimization framework |
 //!
 //! See `examples/quickstart.rs` for the end-to-end tour: train → fold
-//! BN → quantize → serve the same seeded prediction on all three
+//! BN → quantize → serve the same seeded prediction on all four
 //! backends → compare against the paper's CPU/GPU baselines.
 
 #![forbid(unsafe_code)]

@@ -30,7 +30,7 @@
 use bnn_accel::{AccelBackend, Accelerator};
 use bnn_mcd::{
     predictive_batched_on, predictive_on, sample_probs_on, BayesBackend, BayesConfig, CostReport,
-    FloatBackend, HardwareMaskSource, MaskSource, ParallelConfig, SoftwareMaskSource,
+    FloatBackend, FusedBackend, HardwareMaskSource, MaskSource, ParallelConfig, SoftwareMaskSource,
 };
 use bnn_nn::Graph;
 use bnn_quant::{Int8Backend, QGraph};
@@ -38,13 +38,23 @@ use bnn_tensor::{Shape4, Tensor};
 
 /// Which execution substrate a [`Session`] serves from.
 ///
-/// `Float` executes the session's f32 graph directly; `Int8` and
-/// `Accel` carry their own compiled artefacts (a quantized graph, an
-/// accelerator instance) produced by the deployment pipeline.
+/// `Float` and `Fused` execute the session's f32 graph directly
+/// (per-sample suffix re-runs vs. batched-sample GEMM fusion, with
+/// bit-identical results); `Int8` and `Accel` carry their own compiled
+/// artefacts (a quantized graph, an accelerator instance) produced by
+/// the deployment pipeline.
 pub enum Backend {
     /// f32 software execution of the session graph (the PR-1
     /// suffix-reuse engine).
     Float,
+    /// f32 software execution with batched-sample GEMM fusion: each
+    /// worker's Monte Carlo samples walk the Bayesian suffix *once*
+    /// with sample-stacked activations, so every weight matrix streams
+    /// once per layer instead of once per sample. Bit-identical to
+    /// [`Backend::Float`] under the same seed at any thread count;
+    /// prefer it whenever `S` is large relative to the batch (the
+    /// serving common case — see the `backends` bench at `S = 100`).
+    Fused,
     /// int8 integer execution of a quantized graph.
     Int8(QGraph),
     /// The simulated FPGA accelerator (batch-1 inputs; predictions
@@ -56,6 +66,7 @@ impl std::fmt::Debug for Backend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(match self {
             Backend::Float => "Backend::Float",
+            Backend::Fused => "Backend::Fused",
             Backend::Int8(_) => "Backend::Int8(..)",
             Backend::Accel(_) => "Backend::Accel(..)",
         })
@@ -64,6 +75,7 @@ impl std::fmt::Debug for Backend {
 
 enum BackendImpl<'g> {
     Float(FloatBackend<'g>),
+    Fused(FusedBackend<'g>),
     Int8(Int8Backend),
     Accel(AccelBackend),
 }
@@ -73,6 +85,7 @@ macro_rules! with_backend {
     ($inner:expr, $b:ident => $body:expr) => {
         match $inner {
             BackendImpl::Float($b) => $body,
+            BackendImpl::Fused($b) => $body,
             BackendImpl::Int8($b) => $body,
             BackendImpl::Accel($b) => $body,
         }
@@ -143,6 +156,7 @@ impl<'g> SessionBuilder<'g> {
     pub fn build(self) -> Session<'g> {
         let inner = match self.backend {
             Backend::Float => BackendImpl::Float(FloatBackend::new(self.graph)),
+            Backend::Fused => BackendImpl::Fused(FusedBackend::new(self.graph)),
             Backend::Int8(qg) => BackendImpl::Int8(Int8Backend::new(qg)),
             Backend::Accel(accel) => BackendImpl::Accel(AccelBackend::new(accel)),
         };
@@ -252,7 +266,8 @@ impl<'g> Session<'g> {
         self.last_cost.as_ref()
     }
 
-    /// The active backend's name (`"float"`, `"int8"`, `"accel"`).
+    /// The active backend's name (`"float"`, `"fused"`, `"int8"`,
+    /// `"accel"`).
     pub fn backend_name(&self) -> &'static str {
         with_backend!(&self.inner, b => b.name())
     }

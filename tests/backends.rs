@@ -1,24 +1,32 @@
-//! Cross-backend agreement: the `Session` API on its three execution
+//! Cross-backend agreement: the `Session` API on its four execution
 //! substrates against each other and against the legacy entry points.
 //!
-//! The contracts, in decreasing strictness:
+//! The pairwise contracts run through the reusable conformance
+//! harness (`bnn_fpga::mcd::conformance::assert_backend_agrees`:
+//! shared mask stream, threads ∈ {1, 4}, batched vs. unbatched), in
+//! decreasing strictness:
 //!
+//! * `FusedBackend` is *bit-identical* to `FloatBackend`: batched-
+//!   sample GEMM fusion is an exact re-scheduling of the float
+//!   computation.
+//! * `AccelBackend` is *bit-identical* to `Int8Backend`: the tiled PE
+//!   engine is an exact re-scheduling of the integer reference
+//!   executor.
+//! * `Int8Backend` stays within quantization tolerance of
+//!   `FloatBackend` on a trained LeNet-5.
 //! * `Session` on `FloatBackend` is *bit-identical* to the legacy
 //!   `McdPredictor::predictive` for the same seed, at any thread
-//!   count — the redesign may not move a single ulp.
-//! * `Session` on `AccelBackend` is *bit-identical* to `Session` on
-//!   `Int8Backend` for the same seed: the tiled PE engine is an exact
-//!   re-scheduling of the integer reference executor.
-//! * `Int8Backend` predictive means stay within quantization tolerance
-//!   of float on a trained LeNet-5.
+//!   count — the serving redesign may not move a single ulp.
 
-use bnn_fpga::accel::{AccelConfig, Accelerator};
+use bnn_fpga::accel::{AccelBackend, AccelConfig, Accelerator};
 use bnn_fpga::data::synth_mnist;
+use bnn_fpga::mcd::conformance::{assert_backend_agrees, Tolerance};
 use bnn_fpga::mcd::{
-    predictive_batched, BayesConfig, McdPredictor, ParallelConfig, SoftwareMaskSource,
+    predictive_batched, BayesConfig, FloatBackend, FusedBackend, McdPredictor, ParallelConfig,
+    SoftwareMaskSource,
 };
 use bnn_fpga::nn::{models, SgdConfig, Trainer};
-use bnn_fpga::quant::Quantizer;
+use bnn_fpga::quant::{Int8Backend, Quantizer};
 use bnn_fpga::tensor::{Shape4, Tensor};
 use bnn_fpga::{Backend, Session};
 
@@ -49,6 +57,56 @@ fn test_batch(ds: &bnn_fpga::data::Dataset, n: usize) -> Tensor {
 }
 
 #[test]
+fn conformance_fused_bit_identical_to_float() {
+    let (net, ds) = trained_lenet();
+    // Batch > 1 plus L sweeping from FC-only to conv-containing
+    // suffixes, so the fused im2col/GEMM stacking is exercised on both
+    // layer kinds.
+    for l in [2usize, 5] {
+        assert_backend_agrees(
+            &mut FloatBackend::new(&net),
+            &mut FusedBackend::new(&net),
+            &test_batch(&ds, 3),
+            BayesConfig::new(l, 9),
+            77,
+            Tolerance::BitExact,
+        );
+    }
+}
+
+#[test]
+fn conformance_accel_bit_identical_to_int8() {
+    let (net, ds) = trained_lenet();
+    let folded = net.fold_batch_norm();
+    let qg = Quantizer::new(&folded).calibrate(&ds.train_x).quantize();
+    let accel = Accelerator::new(AccelConfig::default(), &folded, &qg, ds.image_shape());
+    // Single-item input: the accelerator processes one image at a time.
+    assert_backend_agrees(
+        &mut Int8Backend::new(qg),
+        &mut AccelBackend::new(accel),
+        &ds.test_x.select_item(0),
+        BayesConfig::new(3, 8),
+        123,
+        Tolerance::BitExact,
+    );
+}
+
+#[test]
+fn conformance_int8_within_quantization_tolerance_of_float() {
+    let (net, ds) = trained_lenet();
+    let folded = net.fold_batch_norm();
+    let qg = Quantizer::new(&folded).calibrate(&ds.train_x).quantize();
+    assert_backend_agrees(
+        &mut FloatBackend::new(&folded),
+        &mut Int8Backend::new(qg),
+        &test_batch(&ds, 4),
+        BayesConfig::new(2, 16),
+        31,
+        Tolerance::L1(0.35),
+    );
+}
+
+#[test]
 fn float_session_bit_identical_to_legacy_predictor() {
     let (net, ds) = trained_lenet();
     let x = test_batch(&ds, 4);
@@ -72,8 +130,75 @@ fn float_session_bit_identical_to_legacy_predictor() {
         );
         let cost = session.last_cost().expect("cost recorded");
         assert_eq!(cost.samples, cfg.s);
-        assert!(cost.model.is_none(), "float path has no hardware model");
+        let model = cost.model.expect("software paths model weight traffic");
+        assert_eq!(model.cycles, 0, "float path has no cycle model");
     }
+}
+
+#[test]
+fn fused_session_bit_identical_to_float_session() {
+    let (net, ds) = trained_lenet();
+    let x = test_batch(&ds, 4);
+    let cfg = BayesConfig::new(3, 12);
+
+    let mut float = Session::for_graph(&net)
+        .bayes(cfg)
+        .parallel(ParallelConfig::serial())
+        .seed(55)
+        .build();
+    let want = float.predictive(&x);
+
+    for threads in [1usize, 4] {
+        let mut fused = Session::for_graph(&net)
+            .backend(Backend::Fused)
+            .bayes(cfg)
+            .parallel(ParallelConfig::with_threads(threads))
+            .seed(55)
+            .build();
+        assert_eq!(fused.backend_name(), "fused");
+        let probs = fused.predictive(&x);
+        assert_eq!(
+            probs.as_slice(),
+            want.as_slice(),
+            "Session(fused, threads={threads}) diverged from Session(float)"
+        );
+    }
+}
+
+#[test]
+fn fused_session_counts_weight_traffic_once_per_layer() {
+    let (net, ds) = trained_lenet();
+    let x = ds.test_x.select_item(0);
+    let mem_at = |backend: Backend, s: usize| -> u64 {
+        let mut session = Session::for_graph(&net)
+            .backend(backend)
+            .bayes(BayesConfig::new(2, s))
+            .seed(9)
+            .build();
+        let _ = session.predictive(&x);
+        session
+            .last_cost()
+            .and_then(|c| c.model)
+            .expect("software paths model weight traffic")
+            .mem_bytes
+    };
+    let (float10, float50) = (mem_at(Backend::Float, 10), mem_at(Backend::Float, 50));
+    let (fused10, fused50) = (mem_at(Backend::Fused, 10), mem_at(Backend::Fused, 50));
+    // Fused streams suffix weights once per layer: traffic is flat in
+    // S. The per-sample float path pays the suffix S times — the
+    // regression identity float(S) = fused + (S-1)·suffix must hold.
+    assert_eq!(
+        fused10, fused50,
+        "fused weight traffic must not scale with S"
+    );
+    assert!(fused10 < float10, "fusion must reduce weight traffic");
+    let suffix = (float10 - fused10) / 9;
+    assert!(suffix > 0, "Bayesian suffix contains weight layers");
+    assert_eq!(
+        float50 - float10,
+        40 * suffix,
+        "float weight traffic must grow by exactly the suffix bytes per sample"
+    );
 }
 
 #[test]
@@ -96,7 +221,7 @@ fn float_session_batched_matches_legacy_batched() {
 }
 
 #[test]
-fn int8_session_within_quantization_tolerance_of_float() {
+fn int8_argmax_agrees_with_float_on_trained_model() {
     let (net, ds) = trained_lenet();
     let folded = net.fold_batch_norm();
     let qg = Quantizer::new(&folded).calibrate(&ds.train_x).quantize();
@@ -112,20 +237,8 @@ fn int8_session_within_quantization_tolerance_of_float() {
 
     let pf = float.predictive(&x);
     let pq = int8.predictive(&x);
-    assert_eq!(pf.shape(), pq.shape());
-
     let mut agree = 0usize;
     for i in 0..x.shape().n {
-        let l1: f32 = pf
-            .item(i)
-            .iter()
-            .zip(pq.item(i))
-            .map(|(a, b)| (a - b).abs())
-            .sum();
-        assert!(
-            l1 < 0.35,
-            "item {i}: int8 predictive drifted from float, L1 = {l1}"
-        );
         if pf.argmax_item(i) == pq.argmax_item(i) {
             agree += 1;
         }
@@ -134,38 +247,6 @@ fn int8_session_within_quantization_tolerance_of_float() {
         agree >= x.shape().n - 1,
         "int8/float argmax agreement {agree}/{}",
         x.shape().n
-    );
-}
-
-#[test]
-fn accel_session_bit_identical_to_int8_session() {
-    // Same seed -> same mask stream; the tiled PE engine is bit-exact
-    // against the integer reference executor, so the two sessions must
-    // produce byte-equal predictive distributions.
-    let (net, ds) = trained_lenet();
-    let folded = net.fold_batch_norm();
-    let qg = Quantizer::new(&folded).calibrate(&ds.train_x).quantize();
-    let accel = Accelerator::new(AccelConfig::default(), &folded, &qg, ds.image_shape());
-    let img = ds.test_x.select_item(0);
-    let cfg = BayesConfig::new(3, 8);
-
-    let mut int8 = Session::for_graph(&folded)
-        .backend(Backend::Int8(qg))
-        .bayes(cfg)
-        .seed(123)
-        .build();
-    let mut fpga = Session::for_graph(&folded)
-        .backend(Backend::Accel(accel))
-        .bayes(cfg)
-        .seed(123)
-        .build();
-
-    let pq = int8.predictive(&img);
-    let ph = fpga.predictive(&img);
-    assert_eq!(
-        pq.as_slice(),
-        ph.as_slice(),
-        "accelerator and int8 backends diverged under an identical mask stream"
     );
 }
 
