@@ -7,13 +7,22 @@
 //! trajectory honest about every serving path, not just the float
 //! engine: `session_<backend>_s<S>` is the historical max-parallel
 //! datapoint, `session_<backend>_serial_s<S>` isolates the engine
-//! without thread fan-out (so the per-call thread-spawn overhead at
-//! small `S` is visible, and the fused backend's single-chunk fusion
-//! is measured at its fullest). The headline number for PR 3 is
+//! without thread fan-out (so per-call fixed overhead at small `S` is
+//! visible, and the fused backend's single-chunk fusion is measured
+//! at its fullest). The headline number for PR 3 is
 //! `session_fused_s100` vs `session_float_s100` — batched-sample GEMM
 //! fusion streams each suffix weight matrix once per layer instead of
-//! once per sample. The accelerator's *modelled* hardware latency is
-//! printed alongside its simulation wall time.
+//! once per sample. The `session_<backend>_pool2_s10` rows (PR 4)
+//! fan two sample chunks out over the session's persistent
+//! `WorkerPool` at `S = 10`, where fixed per-call cost dominates —
+//! the datapoint that tracks the pooled engine's overhead vs the old
+//! per-call `thread::scope` spawn. Caveat for reading the fan-out
+//! rows (`session_*_s<S>` and `*_pool2_*`): on a single-core
+//! container `max_parallel()` collapses to one thread and the pool
+//! rows measure pure scheduling overhead, not speedup — compare them
+//! against `serial_`, not against each other across hosts. The
+//! accelerator's *modelled* hardware latency is printed alongside its
+//! simulation wall time.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -34,10 +43,17 @@ fn bench_backends(c: &mut Criterion) {
 
     for &s in &[10usize, 100] {
         let bayes = BayesConfig::new(3, s);
-        for (pmode, parallel) in [
+        let mut modes = vec![
             ("", ParallelConfig::max_parallel()),
             ("serial_", ParallelConfig::serial()),
-        ] {
+        ];
+        if s == 10 {
+            // The pooled-engine smoke row: two sample chunks on the
+            // session's resident worker, at the S where per-call
+            // overhead dominates the predictive.
+            modes.push(("pool2_", ParallelConfig::with_threads(2)));
+        }
+        for (pmode, parallel) in modes {
             let backends: Vec<(&str, Backend)> = vec![
                 ("float", Backend::Float),
                 ("fused", Backend::Fused),

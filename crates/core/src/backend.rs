@@ -20,9 +20,14 @@ use bnn_quant::{IcRunner, QTensor};
 use bnn_tensor::{Shape4, Tensor};
 
 /// The simulated accelerator as a Bayesian execution substrate.
+///
+/// The compiled accelerator is held behind an `Arc`: it is read-only
+/// during execution (the PE stations take `&self`), so
+/// [`BayesBackend::fork`] (batch-axis parallelism) and `Clone` are
+/// pointer bumps, not copies of the compiled model.
 #[derive(Debug, Clone)]
 pub struct AccelBackend {
-    accel: Accelerator,
+    accel: std::sync::Arc<Accelerator>,
     prepared: Option<IcRunner>,
 }
 
@@ -30,7 +35,7 @@ impl AccelBackend {
     /// Create a backend over a compiled accelerator instance.
     pub fn new(accel: Accelerator) -> AccelBackend {
         AccelBackend {
-            accel,
+            accel: std::sync::Arc::new(accel),
             prepared: None,
         }
     }
@@ -102,6 +107,16 @@ impl BayesBackend for AccelBackend {
             cycles: timing.total_cycles,
             latency_ms: timing.latency_ms(self.accel.config()),
             mem_bytes: traffic.total(),
+        })
+    }
+
+    fn fork(&self) -> Option<Self> {
+        // Forks share the compiled instance (an Arc bump) and
+        // simulate bit-identically; batch-axis parallelism in the
+        // generic engine forks one backend per batch worker.
+        Some(AccelBackend {
+            accel: std::sync::Arc::clone(&self.accel),
+            prepared: None,
         })
     }
 }

@@ -13,9 +13,15 @@
 //! * active-site computation (`last L of N`),
 //! * serial mask pre-draw from a [`MaskSource`] (so the deterministic
 //!   stream never depends on thread timing),
-//! * [`ParallelConfig`] thread fan-out with per-worker scratch,
+//! * [`ParallelConfig`] two-axis (batch × sample) fan-out over a
+//!   persistent [`WorkerPool`] with per-worker scratch,
 //! * sample averaging ([`mean_probs`]) and batched prediction,
 //! * wall-clock and model-cost accounting ([`CostReport`]).
+//!
+//! Every entry point has a `_pooled` variant taking an explicit
+//! [`WorkerPool`] (what a `Session` owns); the plain variants reuse
+//! the process-wide [`WorkerPool::global`], so no predictive call
+//! ever pays per-call thread spawn.
 //!
 //! [`FloatBackend`] (below) wraps the f32 [`Graph`] executor with the
 //! intermediate-layer-caching suffix re-runs; [`FusedBackend`] layers
@@ -28,10 +34,12 @@
 //! harness in [`crate::conformance`] gives it agreement coverage in
 //! one line.
 
+use crate::pool::WorkerPool;
 use crate::predict::{active_sites, mean_probs, BayesConfig, ParallelConfig};
 use crate::source::MaskSource;
 use bnn_nn::{Activations, ExecScratch, Graph, MaskSet, Node, Op, StackedScratch};
 use bnn_tensor::{softmax_rows, Shape4, Tensor};
+use std::ops::Range;
 use std::time::Instant;
 
 /// Analytic cost of one `{L, S}` predictive run.
@@ -162,21 +170,69 @@ pub trait BayesBackend: Sync {
         let _ = bayes;
         None
     }
+
+    /// A fresh, *unprepared* duplicate of this backend.
+    ///
+    /// Batch-axis parallelism ([`ParallelConfig::batch_threads`])
+    /// needs one backend per batch worker, because
+    /// [`BayesBackend::prepare`] binds a single input batch. A fork
+    /// must compute bit-identically to the original (same graph, same
+    /// parameters); prepared state and pooled scratches need not (and
+    /// should not) be carried over. The default `None` opts the
+    /// substrate out — `predictive_batched*` then falls back to the
+    /// sequential batch loop, which stays bit-identical.
+    fn fork(&self) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        None
+    }
 }
 
 /// Per-sample softmax probabilities: `s` tensors of shape `(n, k)`.
 ///
 /// This is *the* sampling engine — every backend and the legacy
 /// [`crate::McdPredictor`] route through it. All `S` mask sets are
-/// drawn serially from `src` up front, then the passes fan out over
-/// `parallel.threads` scoped workers (contiguous chunks, joined in
-/// spawn order), which keeps the result bit-identical at any thread
-/// count. With no active Bayesian site the predictive is
+/// drawn serially from `src` up front, then the passes execute as
+/// contiguous sample chunks on `pool` (joined in chunk order), which
+/// keeps the result bit-identical at any thread count, chunk size and
+/// pool size. With no active Bayesian site the predictive is
 /// deterministic: one pass, replicated, and `src` is not consumed.
 ///
 /// # Panics
 ///
 /// Panics if `cfg.s == 0`.
+pub fn sample_probs_pooled<B: BayesBackend>(
+    backend: &mut B,
+    x: &Tensor,
+    cfg: BayesConfig,
+    src: &mut dyn MaskSource,
+    parallel: ParallelConfig,
+    pool: &WorkerPool,
+) -> Vec<Tensor> {
+    assert!(cfg.s > 0, "at least one Monte Carlo sample required");
+    let active = active_sites(backend.n_sites(), cfg.l);
+    let channels = backend.site_channels(x.shape());
+    let mask_sets = draw_mask_sets(&active, &channels, cfg, src);
+    backend.prepare(x, &active);
+    run_prepared(backend, cfg.s, &mask_sets, parallel, pool)
+}
+
+/// The pool the legacy (pool-less) entry points fall back to: the
+/// process-wide [`WorkerPool::global`] when the schedule actually
+/// fans out, else a static zero-worker inline pool — so strictly
+/// serial callers never spawn the global worker threads.
+fn fallback_pool(parallel: ParallelConfig) -> &'static WorkerPool {
+    if parallel.pool_workers() == 0 {
+        WorkerPool::inline()
+    } else {
+        WorkerPool::global()
+    }
+}
+
+/// [`sample_probs_pooled`] on the process-wide [`WorkerPool::global`]
+/// (or, for a fully serial schedule, an inline pool that spawns
+/// nothing).
 pub fn sample_probs_on<B: BayesBackend>(
     backend: &mut B,
     x: &Tensor,
@@ -184,28 +240,48 @@ pub fn sample_probs_on<B: BayesBackend>(
     src: &mut dyn MaskSource,
     parallel: ParallelConfig,
 ) -> Vec<Tensor> {
-    assert!(cfg.s > 0, "at least one Monte Carlo sample required");
-    let active = active_sites(backend.n_sites(), cfg.l);
+    sample_probs_pooled(backend, x, cfg, src, parallel, fallback_pool(parallel))
+}
+
+/// Serially pre-draw one predictive call's mask sets: `S` sets when
+/// any site is active, none (and no stream consumption) otherwise.
+fn draw_mask_sets(
+    active: &[bool],
+    channels: &[usize],
+    cfg: BayesConfig,
+    src: &mut dyn MaskSource,
+) -> Vec<MaskSet> {
     if !active.iter().any(|&a| a) {
-        // No Bayesian layer: the predictive is deterministic and the
-        // mask stream is left untouched.
-        backend.prepare(x, &active);
+        return Vec::new();
+    }
+    (0..cfg.s)
+        .map(|_| src.next_masks(active, channels, cfg.p))
+        .collect()
+}
+
+/// Per-sample passes over an already-prepared backend: the shared tail
+/// of [`sample_probs_pooled`] and the batch-parallel schedule. An
+/// empty `mask_sets` is the deterministic short-circuit — one pass,
+/// replicated `s` times.
+fn run_prepared<B: BayesBackend>(
+    backend: &B,
+    s: usize,
+    mask_sets: &[MaskSet],
+    parallel: ParallelConfig,
+    pool: &WorkerPool,
+) -> Vec<Tensor> {
+    if mask_sets.is_empty() {
         let mut scratch = backend.make_scratch();
         let probs = backend.forward(&MaskSet::none(), &mut scratch);
-        return vec![probs; cfg.s];
+        return vec![probs; s];
     }
-    let channels = backend.site_channels(x.shape());
-    backend.prepare(x, &active);
-    let mask_sets: Vec<MaskSet> = (0..cfg.s)
-        .map(|_| src.next_masks(&active, &channels, cfg.p))
-        .collect();
-    run_samples(backend, &mask_sets, parallel)
+    run_samples(backend, mask_sets, parallel, pool)
 }
 
 /// Execute pre-drawn mask sets on a prepared backend with the
 /// configured fan-out. Samples are returned in mask-set order.
 ///
-/// Each worker receives its whole contiguous chunk through
+/// Each work unit receives its whole contiguous chunk through
 /// [`BayesBackend::forward_batch`], so fusing backends amortize
 /// weight streaming across the chunk while per-sample backends run
 /// the default forward loop.
@@ -213,32 +289,36 @@ fn run_samples<B: BayesBackend>(
     backend: &B,
     mask_sets: &[MaskSet],
     parallel: ParallelConfig,
+    pool: &WorkerPool,
 ) -> Vec<Tensor> {
     let threads = parallel.threads.clamp(1, mask_sets.len());
+    let chunk = parallel
+        .chunk
+        .unwrap_or_else(|| mask_sets.len().div_ceil(threads))
+        .clamp(1, mask_sets.len());
     let probs: Vec<Tensor> = if threads == 1 {
-        // Strictly serial: one scratch, no threads anywhere, and the
-        // fullest possible fusion (one chunk spanning all samples).
+        // Strictly serial: one scratch, nothing queued on the pool.
+        // Without a chunk override this is one chunk spanning all
+        // samples — the fullest possible fusion.
         let mut scratch = backend.make_scratch();
-        backend.forward_batch(mask_sets, &mut scratch)
+        let mut out = Vec::with_capacity(mask_sets.len());
+        for ms in mask_sets.chunks(chunk) {
+            out.extend(backend.forward_batch(ms, &mut scratch));
+        }
+        out
     } else {
-        // Contiguous sample chunks per worker; joining in spawn order
-        // keeps the samples in stream order.
-        let chunk = mask_sets.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            let workers: Vec<_> = mask_sets
-                .chunks(chunk)
-                .map(|ms| {
-                    scope.spawn(move || {
-                        let mut scratch = backend.make_scratch();
-                        backend.forward_batch(ms, &mut scratch)
-                    })
-                })
-                .collect();
-            workers
-                .into_iter()
-                .flat_map(|w| w.join().expect("sampler thread panicked"))
-                .collect()
-        })
+        // Contiguous sample chunks as pool tasks; results join in
+        // chunk order, which keeps the samples in stream order.
+        let tasks: Vec<Box<dyn FnOnce() -> Vec<Tensor> + Send + '_>> = mask_sets
+            .chunks(chunk)
+            .map(|ms| {
+                Box::new(move || {
+                    let mut scratch = backend.make_scratch();
+                    backend.forward_batch(ms, &mut scratch)
+                }) as Box<dyn FnOnce() -> Vec<Tensor> + Send + '_>
+            })
+            .collect();
+        pool.run(tasks).into_iter().flatten().collect()
     };
     assert_eq!(
         probs.len(),
@@ -252,15 +332,16 @@ fn run_samples<B: BayesBackend>(
 /// Predictive distribution `(n, k)` — the mean of the per-sample
 /// softmax probabilities (the paper's `1/S Σ p(y|x, M_s)`) — plus the
 /// run's cost report.
-pub fn predictive_on<B: BayesBackend>(
+pub fn predictive_pooled<B: BayesBackend>(
     backend: &mut B,
     x: &Tensor,
     cfg: BayesConfig,
     src: &mut dyn MaskSource,
     parallel: ParallelConfig,
+    pool: &WorkerPool,
 ) -> (Tensor, CostReport) {
     let t0 = Instant::now();
-    let passes = sample_probs_on(backend, x, cfg, src, parallel);
+    let passes = sample_probs_pooled(backend, x, cfg, src, parallel, pool);
     let probs = mean_probs(&passes, passes.len());
     let report = CostReport {
         samples: cfg.s,
@@ -271,13 +352,88 @@ pub fn predictive_on<B: BayesBackend>(
     (probs, report)
 }
 
+/// [`predictive_pooled`] on the process-wide [`WorkerPool::global`]
+/// (or, for a fully serial schedule, an inline pool that spawns
+/// nothing).
+pub fn predictive_on<B: BayesBackend>(
+    backend: &mut B,
+    x: &Tensor,
+    cfg: BayesConfig,
+    src: &mut dyn MaskSource,
+    parallel: ParallelConfig,
+) -> (Tensor, CostReport) {
+    predictive_pooled(backend, x, cfg, src, parallel, fallback_pool(parallel))
+}
+
 /// Predictive over a dataset in batches of at most `batch` items,
 /// returning an `(n, k)` probability tensor and the accumulated cost.
 ///
+/// This is where both schedule axes meet: with
+/// `parallel.batch_threads > 1` (and a backend whose
+/// [`BayesBackend::fork`] is implemented) the batch groups themselves
+/// run as pool tasks, each forked backend preparing its own inputs
+/// while its sample chunks nest on the *same* pool. The mask stream
+/// is pre-drawn serially in group order, every group's samples join
+/// in stream order, and rows are assembled in input order — so the
+/// result is bit-identical to the sequential batch loop (which is
+/// itself bit-identical to per-input [`predictive_pooled`] calls at
+/// `batch = 1`). `wall_ms` sums the per-group wall times, which
+/// overlap under batch parallelism.
+///
 /// # Panics
 ///
-/// Panics if `batch == 0` or `xs` is empty.
-pub fn predictive_batched_on<B: BayesBackend>(
+/// Panics if `batch == 0`, `cfg.s == 0` or `xs` is empty.
+pub fn predictive_batched_pooled<B: BayesBackend + Send>(
+    backend: &mut B,
+    xs: &Tensor,
+    cfg: BayesConfig,
+    src: &mut dyn MaskSource,
+    parallel: ParallelConfig,
+    batch: usize,
+    pool: &WorkerPool,
+) -> (Tensor, CostReport) {
+    assert!(batch > 0, "batch must be non-zero");
+    // Checked up front (not only inside the per-group predictive) so
+    // the batch-parallel schedule fails the same way the sequential
+    // loop does, before any group executes.
+    assert!(cfg.s > 0, "at least one Monte Carlo sample required");
+    let s = xs.shape();
+    let groups: Vec<Range<usize>> = (0..s.n)
+        .step_by(batch)
+        .map(|row| row..(row + batch).min(s.n))
+        .collect();
+    let batch_threads = parallel.batch_threads.clamp(1, groups.len().max(1));
+    if batch_threads > 1 {
+        if let Some(result) = predictive_batch_parallel(
+            backend,
+            xs,
+            cfg,
+            src,
+            parallel,
+            &groups,
+            batch_threads,
+            pool,
+        ) {
+            return result;
+        }
+    }
+    // Sequential batch loop (also the fallback for unforkable
+    // backends).
+    let mut out: Option<Tensor> = None;
+    let mut cost = CostReport::default();
+    for group in &groups {
+        let bx = slice_items(xs, group.clone());
+        let (probs, c) = predictive_pooled(backend, &bx, cfg, src, parallel, pool);
+        cost.accumulate(&c);
+        write_rows(&mut out, s.n, group.start, &probs);
+    }
+    (out.expect("dataset is non-empty"), cost)
+}
+
+/// [`predictive_batched_pooled`] on the process-wide
+/// [`WorkerPool::global`] (or, for a fully serial schedule, an
+/// inline pool that spawns nothing).
+pub fn predictive_batched_on<B: BayesBackend + Send>(
     backend: &mut B,
     xs: &Tensor,
     cfg: BayesConfig,
@@ -285,39 +441,128 @@ pub fn predictive_batched_on<B: BayesBackend>(
     parallel: ParallelConfig,
     batch: usize,
 ) -> (Tensor, CostReport) {
-    assert!(batch > 0, "batch must be non-zero");
-    let s = xs.shape();
+    predictive_batched_pooled(
+        backend,
+        xs,
+        cfg,
+        src,
+        parallel,
+        batch,
+        fallback_pool(parallel),
+    )
+}
+
+/// One batch group's result inside the batch-parallel schedule: the
+/// group's first input row, its predictive distribution and its cost.
+type GroupResult = (usize, Tensor, CostReport);
+
+/// A batch-parallel pool task: a contiguous run of batch groups
+/// executed on one forked backend.
+type GroupTask<'a> = Box<dyn FnOnce() -> Vec<GroupResult> + Send + 'a>;
+
+/// The batch-parallel schedule: contiguous runs of batch groups as
+/// pool tasks over forked backends. Returns `None` when the backend
+/// cannot fork (the caller then runs the sequential loop).
+#[allow(clippy::too_many_arguments)]
+fn predictive_batch_parallel<B: BayesBackend + Send>(
+    backend: &mut B,
+    xs: &Tensor,
+    cfg: BayesConfig,
+    src: &mut dyn MaskSource,
+    parallel: ParallelConfig,
+    groups: &[Range<usize>],
+    batch_threads: usize,
+    pool: &WorkerPool,
+) -> Option<(Tensor, CostReport)> {
+    let span = groups.len().div_ceil(batch_threads);
+    let mut forks = Vec::with_capacity(groups.len().div_ceil(span));
+    for _ in groups.chunks(span) {
+        forks.push(backend.fork()?);
+    }
+    // Serial mask pre-draw in group order: exactly the stream the
+    // sequential loop would consume (channel counts are independent
+    // of the group's item count).
+    let active = active_sites(backend.n_sites(), cfg.l);
+    let channels = backend.site_channels(xs.shape().with_n(1));
+    let group_masks: Vec<Vec<MaskSet>> = groups
+        .iter()
+        .map(|_| draw_mask_sets(&active, &channels, cfg, src))
+        .collect();
+
+    let n = xs.shape().n;
+    let tasks: Vec<GroupTask<'_>> = forks
+        .into_iter()
+        .zip(groups.chunks(span))
+        .zip(group_masks.chunks(span))
+        .map(|((mut fork, task_groups), task_masks)| {
+            let active = &active;
+            Box::new(move || {
+                task_groups
+                    .iter()
+                    .zip(task_masks)
+                    .map(|(group, masks)| {
+                        let t0 = Instant::now();
+                        let bx = slice_items(xs, group.clone());
+                        fork.prepare(&bx, active);
+                        let passes = run_prepared(&fork, cfg.s, masks, parallel, pool);
+                        let probs = mean_probs(&passes, passes.len());
+                        let cost = CostReport {
+                            samples: cfg.s,
+                            batch: bx.shape().n,
+                            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                            model: fork.model_cost(cfg),
+                        };
+                        (group.start, probs, cost)
+                    })
+                    .collect()
+            }) as GroupTask<'_>
+        })
+        .collect();
+
     let mut out: Option<Tensor> = None;
     let mut cost = CostReport::default();
-    let mut row = 0usize;
-    while row < s.n {
-        let take = batch.min(s.n - row);
-        let mut bx = Tensor::zeros(Shape4::new(take, s.c, s.h, s.w));
-        for i in 0..take {
-            bx.item_mut(i).copy_from_slice(xs.item(row + i));
-        }
-        let (probs, c) = predictive_on(backend, &bx, cfg, src, parallel);
+    for (row, probs, c) in pool.run(tasks).into_iter().flatten() {
         cost.accumulate(&c);
-        let k = probs.shape().item_len();
-        let all = out.get_or_insert_with(|| Tensor::zeros(Shape4::vec(s.n, k)));
-        for i in 0..take {
-            all.item_mut(row + i).copy_from_slice(probs.item(i));
-        }
-        row += take;
+        write_rows(&mut out, n, row, &probs);
     }
-    (out.expect("dataset is non-empty"), cost)
+    Some((out.expect("dataset is non-empty"), cost))
+}
+
+/// Copy an item range of `xs` into a fresh batch tensor.
+fn slice_items(xs: &Tensor, items: Range<usize>) -> Tensor {
+    let s = xs.shape();
+    let mut bx = Tensor::zeros(Shape4::new(items.len(), s.c, s.h, s.w));
+    for (i, item) in items.enumerate() {
+        bx.item_mut(i).copy_from_slice(xs.item(item));
+    }
+    bx
+}
+
+/// Write a batch group's probability rows into the (lazily created)
+/// full output tensor, starting at item `row`.
+fn write_rows(out: &mut Option<Tensor>, n: usize, row: usize, probs: &Tensor) {
+    let k = probs.shape().item_len();
+    let all = out.get_or_insert_with(|| Tensor::zeros(Shape4::vec(n, k)));
+    for i in 0..probs.shape().n {
+        all.item_mut(row + i).copy_from_slice(probs.item(i));
+    }
 }
 
 /// The f32 software backend: wraps the [`Graph`] executor with the
 /// PR-1 performance engine — the deterministic prefix runs once per
-/// input ([`Graph::forward_full`]) and each Monte Carlo pass re-runs
-/// only the Bayesian suffix through a reusable [`ExecScratch`]
+/// input through the scratch-backed prefix pass
+/// ([`Graph::forward_prefix_with`], reusing the previous call's
+/// buffers), and each Monte Carlo pass re-runs only the Bayesian
+/// suffix through a reusable [`ExecScratch`]
 /// ([`Graph::forward_from_with`]). Bit-identical to the legacy
 /// [`crate::McdPredictor`] at any thread count.
 #[derive(Debug)]
 pub struct FloatBackend<'g> {
     graph: &'g Graph,
     prepared: Option<FloatPrepared>,
+    /// im2col workspace of the prefix pass, kept across `prepare`
+    /// calls.
+    prefix_cols: Vec<f32>,
 }
 
 #[derive(Debug)]
@@ -340,12 +585,28 @@ enum FloatState {
 /// Bind an input for the float-graph backends ([`FloatBackend`],
 /// [`FusedBackend`] — both resume from the very same cached
 /// activations): cache the deterministic prefix when a site is
-/// active (IC: `forward_full` keeps every node output so suffix
-/// re-runs can resume), else keep the input for the full-forward
-/// fallback.
-fn prepare_float_state(graph: &Graph, x: &Tensor, active: &[bool]) -> FloatPrepared {
+/// active (IC: the scratch-backed prefix pass keeps every node
+/// output up to the suffix boundary so re-runs can resume, reusing
+/// the previous call's buffers through `reuse`/`cols`), else keep
+/// the input for the full-forward fallback.
+fn prepare_float_state(
+    graph: &Graph,
+    x: &Tensor,
+    active: &[bool],
+    reuse: Option<FloatPrepared>,
+    cols: &mut Vec<f32>,
+) -> FloatPrepared {
     let state = match first_active_site_node(graph, active) {
-        Some(site_node) => FloatState::Prefix(graph.forward_full(x, &MaskSet::none()), site_node),
+        Some(site_node) => {
+            let reuse_acts = reuse.and_then(|p| match p.state {
+                FloatState::Prefix(acts, _) => Some(acts),
+                FloatState::Full(_) => None,
+            });
+            FloatState::Prefix(
+                graph.forward_prefix_with(x, site_node - 1, &MaskSet::none(), reuse_acts, cols),
+                site_node,
+            )
+        }
         None => FloatState::Full(x.clone()),
     };
     FloatPrepared {
@@ -409,6 +670,7 @@ impl<'g> FloatBackend<'g> {
         FloatBackend {
             graph,
             prepared: None,
+            prefix_cols: Vec::new(),
         }
     }
 
@@ -447,7 +709,14 @@ impl BayesBackend for FloatBackend<'_> {
     }
 
     fn prepare(&mut self, x: &Tensor, active: &[bool]) {
-        self.prepared = Some(prepare_float_state(self.graph, x, active));
+        let reuse = self.prepared.take();
+        self.prepared = Some(prepare_float_state(
+            self.graph,
+            x,
+            active,
+            reuse,
+            &mut self.prefix_cols,
+        ));
     }
 
     fn make_scratch(&self) -> Option<ExecScratch> {
@@ -485,6 +754,10 @@ impl BayesBackend for FloatBackend<'_> {
             mem_bytes: weight_stream_bytes(self.graph, bayes, false),
         })
     }
+
+    fn fork(&self) -> Option<Self> {
+        Some(FloatBackend::new(self.graph))
+    }
 }
 
 /// The fused batched-sample f32 backend: the software analogue of the
@@ -510,6 +783,9 @@ impl BayesBackend for FloatBackend<'_> {
 pub struct FusedBackend<'g> {
     graph: &'g Graph,
     prepared: Option<FloatPrepared>,
+    /// im2col workspace of the prefix pass, kept across `prepare`
+    /// calls.
+    prefix_cols: Vec<f32>,
     /// Bumped on every [`BayesBackend::prepare`]: pooled scratches
     /// from an older generation replicate a *previous* prefix and must
     /// drop their replicas before reuse.
@@ -577,6 +853,7 @@ impl<'g> FusedBackend<'g> {
         FusedBackend {
             graph,
             prepared: None,
+            prefix_cols: Vec::new(),
             generation: 0,
             pool: std::sync::Arc::default(),
         }
@@ -649,7 +926,14 @@ impl BayesBackend for FusedBackend<'_> {
 
     fn prepare(&mut self, x: &Tensor, active: &[bool]) {
         self.generation += 1;
-        self.prepared = Some(prepare_float_state(self.graph, x, active));
+        let reuse = self.prepared.take();
+        self.prepared = Some(prepare_float_state(
+            self.graph,
+            x,
+            active,
+            reuse,
+            &mut self.prefix_cols,
+        ));
     }
 
     fn make_scratch(&self) -> FusedScratch {
@@ -705,6 +989,13 @@ impl BayesBackend for FusedBackend<'_> {
             latency_ms: 0.0,
             mem_bytes: weight_stream_bytes(self.graph, bayes, true),
         })
+    }
+
+    fn fork(&self) -> Option<Self> {
+        // A fresh fork gets its own scratch pool: pooled workspaces
+        // are tagged with per-instance generations, which must not
+        // collide across forks.
+        Some(FusedBackend::new(self.graph))
     }
 }
 

@@ -36,7 +36,11 @@
 //! );
 //! ```
 
-use crate::backend::{predictive_batched_on, predictive_on, BayesBackend};
+use crate::backend::{
+    predictive_batched_on, predictive_batched_pooled, predictive_on, predictive_pooled,
+    BayesBackend,
+};
+use crate::pool::WorkerPool;
 use crate::predict::{BayesConfig, ParallelConfig};
 use crate::source::SoftwareMaskSource;
 use bnn_tensor::Tensor;
@@ -96,6 +100,11 @@ fn check_close(want: &Tensor, got: &Tensor, tol: Tolerance, what: &str) {
 ///    single-item inputs — is byte-equal to the unbatched predictive.
 /// 4. *Cost accounting* — both backends report the configured sample
 ///    count.
+/// 5. *Pooled engine* — one long-lived [`WorkerPool`] per pool size in
+///    `{1, 4}` serves repeated predictive calls, a sample-parallel
+///    split, an explicitly chunked split and a batch-parallel split
+///    (`batch_threads = 4`, `batch = 1`), all byte-equal to the
+///    candidate's serial predictions.
 ///
 /// The input's batch size must satisfy both backends' constraints
 /// (pass a single-item `x` when the accelerator is involved).
@@ -104,7 +113,7 @@ fn check_close(want: &Tensor, got: &Tensor, tol: Tolerance, what: &str) {
 ///
 /// Panics (with a message naming the backends and the failing check)
 /// on any disagreement.
-pub fn assert_backend_agrees<R: BayesBackend, C: BayesBackend>(
+pub fn assert_backend_agrees<R: BayesBackend + Send, C: BayesBackend + Send>(
     reference: &mut R,
     candidate: &mut C,
     x: &Tensor,
@@ -197,6 +206,60 @@ pub fn assert_backend_agrees<R: BayesBackend, C: BayesBackend>(
             batched[0].as_slice(),
             per_threads[0].as_slice(),
             "{}: batched serving diverged from unbatched",
+            candidate.name()
+        );
+    }
+
+    // Pooled engine: one long-lived pool per size, serving repeated
+    // calls and both schedule axes — every prediction must be
+    // byte-equal to the candidate's own serial results above.
+    for workers in [1usize, 4] {
+        let pool = WorkerPool::new(workers);
+        let repeats = if workers == 1 { 1 } else { 2 };
+        for repeat in 0..repeats {
+            let (p_probs, _) = predictive_pooled(
+                candidate,
+                x,
+                cfg,
+                &mut SoftwareMaskSource::new(seed),
+                ParallelConfig::with_threads(4),
+                &pool,
+            );
+            assert_eq!(
+                p_probs.as_slice(),
+                per_threads[0].as_slice(),
+                "{}: pooled sample-parallel call {repeat} on {workers} worker(s) \
+                 changed the prediction",
+                candidate.name()
+            );
+        }
+        let (chunked, _) = predictive_pooled(
+            candidate,
+            x,
+            cfg,
+            &mut SoftwareMaskSource::new(seed),
+            ParallelConfig::with_threads(2).with_chunk(1),
+            &pool,
+        );
+        assert_eq!(
+            chunked.as_slice(),
+            per_threads[0].as_slice(),
+            "{}: pooled chunked split on {workers} worker(s) changed the prediction",
+            candidate.name()
+        );
+        let (batch_par, _) = predictive_batched_pooled(
+            candidate,
+            x,
+            cfg,
+            &mut SoftwareMaskSource::new(seed),
+            ParallelConfig::serial().with_batch_threads(4),
+            1,
+            &pool,
+        );
+        assert_eq!(
+            batch_par.as_slice(),
+            batched[0].as_slice(),
+            "{}: pooled batch-parallel split on {workers} worker(s) changed the prediction",
             candidate.name()
         );
     }

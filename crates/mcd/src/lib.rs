@@ -28,21 +28,27 @@
 //! assert!((row - 1.0).abs() < 1e-4, "predictive rows are distributions");
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the worker pool's lifetime erasure in
+// `pool.rs` is the one audited exception (see its SAFETY comment);
+// everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod backend;
 pub mod conformance;
 mod metrics;
+pub mod pool;
 mod predict;
 mod source;
 
 pub use backend::{
-    predictive_batched_on, predictive_on, sample_probs_on, BayesBackend, CostReport, FloatBackend,
-    FusedBackend, FusedScratch, ModelCost,
+    predictive_batched_on, predictive_batched_pooled, predictive_on, predictive_pooled,
+    sample_probs_on, sample_probs_pooled, BayesBackend, CostReport, FloatBackend, FusedBackend,
+    FusedScratch, ModelCost,
 };
 pub use conformance::{assert_backend_agrees, Tolerance};
 pub use metrics::{accuracy, avg_predictive_entropy, ece, mutual_information, nll, Calibration};
+pub use pool::WorkerPool;
 pub use predict::{
     active_sites, mean_probs, predictive_batched, BayesConfig, McdPredictor, ParallelConfig,
 };

@@ -6,9 +6,10 @@
 //! units around. The software analogue here: all `S` mask sets are
 //! drawn *serially* from the [`MaskSource`] (so the deterministic
 //! stream is identical whatever the thread count), then the
-//! Bayesian-suffix re-runs execute on a scoped thread team, each
-//! worker owning one reusable [`bnn_nn::ExecScratch`]. The predictive
-//! mean is reduced in sample order, making the parallel path
+//! Bayesian-suffix re-runs execute as contiguous chunks on a
+//! persistent [`crate::WorkerPool`], each work unit owning one
+//! reusable [`bnn_nn::ExecScratch`]. The predictive mean is reduced
+//! in sample order, making every [`ParallelConfig`] schedule
 //! bit-identical to the serial one.
 
 use crate::backend::{predictive_batched_on, sample_probs_on, FloatBackend};
@@ -57,41 +58,95 @@ impl BayesConfig {
     }
 }
 
-/// How the predictor spreads Monte Carlo samples over threads.
+/// The engine's two-axis work schedule: how Monte Carlo samples and
+/// input batches spread over a [`crate::WorkerPool`].
 ///
-/// The mask stream is always drawn serially, so the prediction is
-/// bit-identical for every `threads` value; this only selects how the
-/// suffix re-runs are executed.
+/// The mask stream is always drawn serially and chunk results join in
+/// task order, so the prediction is bit-identical for every setting
+/// of every field; this only selects how the work is executed.
+///
+/// * [`ParallelConfig::threads`] fans the `S` suffix re-runs of one
+///   input batch out as contiguous sample chunks (the *sample axis*).
+/// * [`ParallelConfig::batch_threads`] fans the outer loop of
+///   `predictive_batched*` out over batch groups (the *batch axis*);
+///   each group's samples then still use the sample axis, nested on
+///   the same pool.
+/// * [`ParallelConfig::chunk`] overrides the sample-chunk size
+///   (default: an even split over `threads`), which also sets how
+///   many samples a fusing backend stacks per GEMM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParallelConfig {
-    /// Worker threads for the per-sample suffix re-runs. `1` is the
-    /// fully serial engine.
+    /// Sample-axis fan-out for the per-sample suffix re-runs. `1` is
+    /// the fully serial engine.
     pub threads: usize,
+    /// Batch-axis fan-out for `predictive_batched*`'s outer loop over
+    /// batch groups. `1` (the default everywhere) serves groups
+    /// sequentially; larger values need a backend whose
+    /// [`crate::BayesBackend::fork`] is implemented (all four in-tree
+    /// substrates) and fall back to sequential otherwise.
+    pub batch_threads: usize,
+    /// Override for the number of samples per engine work unit.
+    /// `None` splits the samples evenly over `threads`; `Some(c)`
+    /// forces chunks of at most `c` samples (clamped to at least 1).
+    pub chunk: Option<usize>,
 }
 
 impl ParallelConfig {
-    /// One worker per available CPU (the [`McdPredictor`] default).
+    /// One sample-axis worker per available CPU (the [`McdPredictor`]
+    /// default); batch axis sequential.
     pub fn max_parallel() -> ParallelConfig {
         let threads = std::thread::available_parallelism()
             .map(NonZeroUsize::get)
             .unwrap_or(1);
-        ParallelConfig { threads }
+        ParallelConfig {
+            threads,
+            batch_threads: 1,
+            chunk: None,
+        }
     }
 
-    /// Serial sampling: no sample-level workers, and the per-sample
-    /// suffix re-runs spawn no threads (convolution batch splitting
-    /// is disabled there too). The one-time deterministic prefix pass
-    /// may still split convolutions across two scoped workers for
-    /// batches of at least four items.
+    /// Serial sampling: no sample- or batch-level workers, and the
+    /// per-sample suffix re-runs spawn no threads (convolution batch
+    /// splitting is disabled there too). The one-time deterministic
+    /// prefix pass may still split convolutions across two scoped
+    /// workers for batches of at least four items.
     pub fn serial() -> ParallelConfig {
-        ParallelConfig { threads: 1 }
+        ParallelConfig {
+            threads: 1,
+            batch_threads: 1,
+            chunk: None,
+        }
     }
 
-    /// Exactly `threads` workers (clamped to at least one).
+    /// Exactly `threads` sample-axis workers (clamped to at least
+    /// one); batch axis sequential.
     pub fn with_threads(threads: usize) -> ParallelConfig {
         ParallelConfig {
             threads: threads.max(1),
+            batch_threads: 1,
+            chunk: None,
         }
+    }
+
+    /// Set the batch-axis fan-out (clamped to at least one).
+    pub fn with_batch_threads(mut self, batch_threads: usize) -> ParallelConfig {
+        self.batch_threads = batch_threads.max(1);
+        self
+    }
+
+    /// Force sample chunks of at most `chunk` samples (clamped to at
+    /// least one).
+    pub fn with_chunk(mut self, chunk: usize) -> ParallelConfig {
+        self.chunk = Some(chunk.max(1));
+        self
+    }
+
+    /// Resident workers a dedicated [`crate::WorkerPool`] needs so
+    /// this schedule never waits on a busy worker: full two-axis
+    /// concurrency minus the calling thread (which always helps). The
+    /// serial default wants zero — a pool that executes inline.
+    pub fn pool_workers(&self) -> usize {
+        (self.threads.max(1) * self.batch_threads.max(1)).saturating_sub(1)
     }
 }
 

@@ -1,0 +1,148 @@
+//! Property tests for the pooled two-axis engine schedule.
+//!
+//! The engine contract: predictions are a pure function of the graph,
+//! the Bayesian config and the mask-source seed — *never* of the
+//! schedule. These properties drive the schedule axes through random
+//! input counts, sample counts, thread counts, chunk sizes and pool
+//! sizes and require byte equality against the simplest possible
+//! reference: a serial per-input `predictive_pooled` loop.
+
+use bnn_mcd::{
+    predictive_batched_pooled, predictive_pooled, BayesConfig, FloatBackend, FusedBackend,
+    ParallelConfig, SoftwareMaskSource, WorkerPool,
+};
+use bnn_nn::models;
+use bnn_tensor::{Shape4, Tensor};
+use proptest::prelude::*;
+
+fn input(n: usize, hw: usize, seed: u64) -> Tensor {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let data = (0..n * hw * hw)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+        .collect();
+    Tensor::from_vec(Shape4::new(n, 1, hw, hw), data)
+}
+
+/// Reference: one serial predictive per input item, continuing the
+/// same mask stream — exactly what `predictive_batched*` at
+/// `batch = 1` promises to reproduce.
+fn per_input_reference(net: &bnn_nn::Graph, xs: &Tensor, cfg: BayesConfig, seed: u64) -> Tensor {
+    let inline = WorkerPool::new(0);
+    let mut backend = FloatBackend::new(net);
+    let mut src = SoftwareMaskSource::new(seed);
+    let n = xs.shape().n;
+    let mut out: Option<Tensor> = None;
+    for i in 0..n {
+        let x = xs.select_item(i);
+        let (probs, _) = predictive_pooled(
+            &mut backend,
+            &x,
+            cfg,
+            &mut src,
+            ParallelConfig::serial(),
+            &inline,
+        );
+        let k = probs.shape().item_len();
+        let all = out.get_or_insert_with(|| Tensor::zeros(Shape4::vec(n, k)));
+        all.item_mut(i).copy_from_slice(probs.item(0));
+    }
+    out.expect("at least one input item")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// `predictive_batched_pooled` with batch-axis parallelism (and
+    /// any sample-axis split on top) is bit-identical to the
+    /// per-input serial loop, on both the per-sample and the fused
+    /// float backends, at any pool size.
+    #[test]
+    fn batch_parallel_matches_per_input_loop(
+        seed in 0u64..1000,
+        n in 1usize..7,
+        l in 1usize..4,
+        s in 1usize..8,
+        threads in 1usize..5,
+        batch_threads in 2usize..5,
+        chunk in 1usize..5,
+        workers in 0usize..5,
+        fused in any::<bool>(),
+    ) {
+        let net = models::lenet5(10, 1, 16, 3);
+        let xs = input(n, 16, seed);
+        let cfg = BayesConfig::new(l, s);
+        let want = per_input_reference(&net, &xs, cfg, seed);
+
+        let pool = WorkerPool::new(workers);
+        let parallel = ParallelConfig::with_threads(threads)
+            .with_batch_threads(batch_threads)
+            .with_chunk(chunk);
+        let mut src = SoftwareMaskSource::new(seed);
+        let (got, cost) = if fused {
+            let mut backend = FusedBackend::new(&net);
+            predictive_batched_pooled(&mut backend, &xs, cfg, &mut src, parallel, 1, &pool)
+        } else {
+            let mut backend = FloatBackend::new(&net);
+            predictive_batched_pooled(&mut backend, &xs, cfg, &mut src, parallel, 1, &pool)
+        };
+        prop_assert_eq!(
+            got.as_slice(),
+            want.as_slice(),
+            "two-axis schedule changed the prediction (fused={}, workers={}, \
+             threads={}, batch_threads={}, chunk={})",
+            fused, workers, threads, batch_threads, chunk
+        );
+        prop_assert_eq!(cost.samples, n * s, "S per input item");
+        prop_assert_eq!(cost.batch, n);
+    }
+
+    /// Chunk-size overrides on the sample axis never move a byte, at
+    /// any thread count and pool size (the fused backend stacks
+    /// exactly `chunk` samples per GEMM, so this also pins the
+    /// stacked kernels' any-sub-chunking contract).
+    #[test]
+    fn sample_chunking_is_bit_identical(
+        seed in 0u64..1000,
+        s in 1usize..10,
+        threads in 1usize..5,
+        chunk in 1usize..11,
+        workers in 0usize..4,
+    ) {
+        let net = models::lenet5(10, 1, 16, 5);
+        let x = input(2, 16, seed);
+        let cfg = BayesConfig::new(3, s);
+
+        let inline = WorkerPool::new(0);
+        let mut serial = FusedBackend::new(&net);
+        let (want, _) = predictive_pooled(
+            &mut serial,
+            &x,
+            cfg,
+            &mut SoftwareMaskSource::new(seed),
+            ParallelConfig::serial(),
+            &inline,
+        );
+
+        let pool = WorkerPool::new(workers);
+        let mut chunked = FusedBackend::new(&net);
+        let (got, _) = predictive_pooled(
+            &mut chunked,
+            &x,
+            cfg,
+            &mut SoftwareMaskSource::new(seed),
+            ParallelConfig::with_threads(threads).with_chunk(chunk),
+            &pool,
+        );
+        prop_assert_eq!(
+            got.as_slice(),
+            want.as_slice(),
+            "chunk={} threads={} workers={} changed the prediction",
+            chunk, threads, workers
+        );
+    }
+}

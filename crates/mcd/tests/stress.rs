@@ -1,0 +1,294 @@
+//! Timeout-guarded stress tests for the persistent worker pool and
+//! the pooled sampling engine.
+//!
+//! What these pin down, beyond the bit-identity properties:
+//!
+//! * one shared [`WorkerPool`] survives many sequential *and*
+//!   concurrent predictive calls (nested batch × sample scheduling
+//!   included) without deadlock — every test body runs under a hard
+//!   watchdog deadline, so a wedged queue fails loudly instead of
+//!   hanging CI;
+//! * the zero-sample and single-sample edges behave: `S = 0` panics
+//!   the *call* (cleanly, pool intact), `S = 1` serves;
+//! * a panicking backend poisons its own call, not the process — the
+//!   pool's workers keep serving afterwards.
+
+use bnn_mcd::{
+    predictive_batched_pooled, predictive_pooled, BayesBackend, BayesConfig, FloatBackend,
+    ParallelConfig, SoftwareMaskSource, WorkerPool,
+};
+use bnn_nn::{models, Graph, MaskSet};
+use bnn_tensor::{Shape4, Tensor};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Run `body` on a fresh thread and fail the test if it has not
+/// finished within `secs` — the deadlock guard for everything below.
+fn with_deadline<F: FnOnce() + Send + 'static>(secs: u64, body: F) {
+    let (tx, rx) = mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        body();
+        let _ = tx.send(());
+    });
+    match rx.recv_timeout(Duration::from_secs(secs)) {
+        Ok(()) => worker.join().expect("stress body panicked"),
+        Err(_) => panic!("stress test exceeded {secs}s — engine deadlock?"),
+    }
+}
+
+fn test_net() -> Graph {
+    models::lenet5(10, 1, 16, 7)
+}
+
+fn test_input(n: usize) -> Tensor {
+    Tensor::from_vec(
+        Shape4::new(n, 1, 16, 16),
+        (0..n * 256)
+            .map(|i| ((i * 13 % 31) as f32 / 15.0) - 1.0)
+            .collect(),
+    )
+}
+
+#[test]
+fn shared_pool_serves_sequential_and_concurrent_calls() {
+    with_deadline(120, || {
+        let net = Arc::new(test_net());
+        let pool = Arc::new(WorkerPool::new(4));
+        let cfg = BayesConfig::new(3, 6);
+        let x = test_input(2);
+
+        // Reference prediction per seed, on an inline pool.
+        let reference = |seed: u64| {
+            let inline = WorkerPool::new(0);
+            let mut backend = FloatBackend::new(&net);
+            predictive_pooled(
+                &mut backend,
+                &x,
+                cfg,
+                &mut SoftwareMaskSource::new(seed),
+                ParallelConfig::serial(),
+                &inline,
+            )
+            .0
+        };
+
+        // Many sequential calls through the one pool, mixed schedules.
+        let mut backend = FloatBackend::new(&net);
+        for round in 0..12u64 {
+            let parallel = match round % 3 {
+                0 => ParallelConfig::with_threads(4),
+                1 => ParallelConfig::with_threads(2).with_chunk(1),
+                _ => ParallelConfig::serial(),
+            };
+            let (probs, _) = predictive_pooled(
+                &mut backend,
+                &x,
+                cfg,
+                &mut SoftwareMaskSource::new(round),
+                parallel,
+                &pool,
+            );
+            assert_eq!(
+                probs.as_slice(),
+                reference(round).as_slice(),
+                "sequential call {round} diverged"
+            );
+        }
+
+        // Concurrent callers (each its own backend + seed) sharing the
+        // pool, including nested batch × sample schedules.
+        let mut joins = Vec::new();
+        for t in 0..4u64 {
+            let net = Arc::clone(&net);
+            let pool = Arc::clone(&pool);
+            joins.push(std::thread::spawn(move || {
+                let xs = test_input(3);
+                let mut backend = FloatBackend::new(&net);
+                let parallel = ParallelConfig::with_threads(2).with_batch_threads(2);
+                let mut results = Vec::new();
+                for round in 0..4u64 {
+                    let seed = t * 1000 + round;
+                    let (probs, _) = predictive_batched_pooled(
+                        &mut backend,
+                        &xs,
+                        cfg,
+                        &mut SoftwareMaskSource::new(seed),
+                        parallel,
+                        1,
+                        &pool,
+                    );
+                    results.push((seed, probs));
+                }
+                results
+            }));
+        }
+        for join in joins {
+            for (seed, probs) in join.join().expect("caller thread survived") {
+                let inline = WorkerPool::new(0);
+                let mut serial = FloatBackend::new(&net);
+                let xs = test_input(3);
+                let (want, _) = predictive_batched_pooled(
+                    &mut serial,
+                    &xs,
+                    cfg,
+                    &mut SoftwareMaskSource::new(seed),
+                    ParallelConfig::serial(),
+                    1,
+                    &inline,
+                );
+                assert_eq!(
+                    probs.as_slice(),
+                    want.as_slice(),
+                    "concurrent call (seed {seed}) diverged"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn zero_and_single_sample_edges() {
+    with_deadline(60, || {
+        let net = test_net();
+        let pool = WorkerPool::new(4);
+        let x = test_input(1);
+
+        // S = 0 must panic the call — cleanly, without wedging the pool.
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let mut backend = FloatBackend::new(&net);
+            predictive_pooled(
+                &mut backend,
+                &x,
+                BayesConfig {
+                    l: 2,
+                    s: 0,
+                    p: 0.25,
+                },
+                &mut SoftwareMaskSource::new(1),
+                ParallelConfig::with_threads(4),
+                &pool,
+            )
+        }));
+        assert!(err.is_err(), "S = 0 must panic the predictive call");
+
+        // S = 1 serves on every schedule, through the same pool.
+        let inline = WorkerPool::new(0);
+        let mut serial = FloatBackend::new(&net);
+        let cfg = BayesConfig::new(2, 1);
+        let (want, _) = predictive_pooled(
+            &mut serial,
+            &x,
+            cfg,
+            &mut SoftwareMaskSource::new(7),
+            ParallelConfig::serial(),
+            &inline,
+        );
+        for parallel in [
+            ParallelConfig::with_threads(4),
+            ParallelConfig::with_threads(1).with_chunk(3),
+            ParallelConfig::serial().with_batch_threads(4),
+        ] {
+            let mut backend = FloatBackend::new(&net);
+            let (got, cost) = predictive_pooled(
+                &mut backend,
+                &x,
+                cfg,
+                &mut SoftwareMaskSource::new(7),
+                parallel,
+                &pool,
+            );
+            assert_eq!(got.as_slice(), want.as_slice(), "S = 1 diverged");
+            assert_eq!(cost.samples, 1);
+        }
+    });
+}
+
+/// A backend whose forward passes panic: the injected fault for the
+/// poisoning test. Geometry is nominal; no pass ever completes.
+struct PanickyBackend;
+
+impl BayesBackend for PanickyBackend {
+    type Scratch = ();
+
+    fn name(&self) -> &'static str {
+        "panicky"
+    }
+
+    fn n_sites(&self) -> usize {
+        1
+    }
+
+    fn site_channels(&self, _input: Shape4) -> Vec<usize> {
+        vec![4]
+    }
+
+    fn output_classes(&self, _input: Shape4) -> usize {
+        2
+    }
+
+    fn prepare(&mut self, _x: &Tensor, _active: &[bool]) {}
+
+    fn make_scratch(&self) {}
+
+    fn forward(&self, _masks: &MaskSet, _scratch: &mut ()) -> Tensor {
+        panic!("injected backend panic");
+    }
+}
+
+#[test]
+fn worker_panic_poisons_the_call_not_the_process() {
+    with_deadline(60, || {
+        let net = test_net();
+        let pool = WorkerPool::new(4);
+        let x = test_input(1);
+
+        // Every sample chunk of this call panics on a pool worker; the
+        // call must re-throw on the caller and nothing else.
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let mut backend = PanickyBackend;
+            predictive_pooled(
+                &mut backend,
+                &x,
+                BayesConfig::new(1, 8),
+                &mut SoftwareMaskSource::new(3),
+                ParallelConfig::with_threads(4),
+                &pool,
+            )
+        }))
+        .expect_err("backend panic must poison the predictive call");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert_eq!(msg, "injected backend panic");
+
+        // The same pool keeps serving healthy calls afterwards.
+        let inline = WorkerPool::new(0);
+        let cfg = BayesConfig::new(3, 6);
+        let mut serial = FloatBackend::new(&net);
+        let (want, _) = predictive_pooled(
+            &mut serial,
+            &x,
+            cfg,
+            &mut SoftwareMaskSource::new(9),
+            ParallelConfig::serial(),
+            &inline,
+        );
+        let mut backend = FloatBackend::new(&net);
+        let (got, _) = predictive_pooled(
+            &mut backend,
+            &x,
+            cfg,
+            &mut SoftwareMaskSource::new(9),
+            ParallelConfig::with_threads(4),
+            &pool,
+        );
+        assert_eq!(
+            got.as_slice(),
+            want.as_slice(),
+            "pool must survive a poisoned call"
+        );
+    });
+}

@@ -761,8 +761,79 @@ impl Graph {
     ///
     /// Used by software intermediate-layer caching (run the prefix once,
     /// re-run only the Bayesian suffix) and by executor cross-checks.
+    /// Hot serving loops that only need the outputs up to a suffix
+    /// boundary should prefer [`Graph::forward_prefix_with`], which
+    /// stops at the boundary and reuses a previous cache's buffers.
     pub fn forward_full(&self, input: &Tensor, masks: &MaskSet) -> Activations {
         run_forward_eval(&self.nodes, &self.params, input, masks)
+    }
+
+    /// Evaluation-mode pass over the deterministic prefix only: nodes
+    /// `0..=upto` are executed and returned as an [`Activations`]
+    /// whose later slots are empty placeholders. Computed outputs are
+    /// bit-identical to [`Graph::forward_full`]'s for every node
+    /// `<= upto`, which is exactly the region
+    /// [`Graph::forward_from_with`] / [`Graph::forward_from_stacked`]
+    /// read when resuming from `upto` — so a per-call `prepare` pays
+    /// for the prefix instead of the whole network.
+    ///
+    /// Passing a previously returned cache back through `reuse` (and
+    /// keeping `cols`, the shared im2col workspace, across calls)
+    /// re-executes into the existing buffers: once warm, the prefix
+    /// pass allocates nothing. The returned cache keeps no backward
+    /// auxiliaries and must not feed [`Graph::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upto` is not a node of this graph, or if `reuse`
+    /// came from a different graph.
+    pub fn forward_prefix_with(
+        &self,
+        input: &Tensor,
+        upto: NodeId,
+        masks: &MaskSet,
+        reuse: Option<Activations>,
+        cols: &mut Vec<f32>,
+    ) -> Activations {
+        assert!(upto < self.nodes.len(), "prefix node {upto} does not exist");
+        let mut acts = match reuse {
+            Some(acts) => {
+                assert_eq!(
+                    acts.outs.len(),
+                    self.nodes.len(),
+                    "prefix cache built for a different graph"
+                );
+                acts
+            }
+            None => Activations {
+                outs: (0..self.nodes.len())
+                    .map(|_| Tensor::zeros(Shape4::vec(0, 0)))
+                    .collect(),
+                aux: vec![Aux::None; self.nodes.len()],
+            },
+        };
+        for (id, node) in self.nodes.iter().take(upto + 1).enumerate() {
+            let (done, rest) = acts.outs.split_at_mut(id);
+            let shape = node_out_shape(node, input.shape(), |j| done[j].shape());
+            if rest[0].shape() != shape {
+                rest[0] = Tensor::zeros(shape);
+            }
+            eval_node_into(
+                node,
+                &self.params,
+                |j| &done[j],
+                input,
+                masks,
+                &mut rest[0],
+                cols,
+                true,
+            );
+            // Reused caches may carry a MaxPool argmax from a
+            // forward_full pass; it no longer matches the fresh
+            // outputs, so drop it.
+            acts.aux[id] = Aux::None;
+        }
+        acts
     }
 
     /// Build an execution scratch for this graph at a given input
@@ -1638,6 +1709,54 @@ mod tests {
             let got = net.forward_from_with(&prefix, from, &masks, &mut suffix);
             assert_eq!(got.as_slice(), want.as_slice());
         }
+    }
+
+    #[test]
+    fn forward_prefix_matches_forward_full_and_reuses_buffers() {
+        let net = small_net();
+        let masks = MaskSet::none();
+        let mut cols = Vec::new();
+        let mut cache: Option<Activations> = None;
+        // Alternate shapes so reuse must reallocate mismatched nodes,
+        // then hit the warm path again on the repeat.
+        for n in [2usize, 1, 2, 2] {
+            let x = Tensor::from_vec(
+                Shape4::new(n, 1, 4, 4),
+                (0..n * 16).map(|i| (i as f32 / 7.0) - 1.1).collect(),
+            );
+            let full = net.forward_full(&x, &masks);
+            for upto in [0usize, 3, 5] {
+                let acts = net.forward_prefix_with(&x, upto, &masks, cache.take(), &mut cols);
+                for id in 0..=upto {
+                    assert_eq!(
+                        acts.output(id).as_slice(),
+                        full.output(id).as_slice(),
+                        "prefix node {id} (upto {upto}, n {n}) diverged from forward_full"
+                    );
+                }
+                cache = Some(acts);
+            }
+        }
+    }
+
+    #[test]
+    fn forward_prefix_cache_resumes_suffix_identically() {
+        // The prefix cache must drive forward_from_with exactly like a
+        // forward_full cache does.
+        let net = small_net();
+        let x = Tensor::full(Shape4::new(2, 1, 4, 4), 0.4);
+        let masks = MaskSet::from_masks(vec![Some(Mask {
+            keep: vec![true, false, true, true, false, true, true, true],
+            scale: 4.0 / 3.0,
+        })]);
+        let from = 5; // right before the MCD site in small_net
+        let full = net.forward_full(&x, &MaskSet::none());
+        let want = net.forward_from(&full, from, &masks);
+        let mut cols = Vec::new();
+        let prefix = net.forward_prefix_with(&x, from, &MaskSet::none(), None, &mut cols);
+        let mut scratch = net.scratch_after(x.shape(), from).serial_conv();
+        let got = net.forward_from_with(&prefix, from, &masks, &mut scratch);
+        assert_eq!(got.as_slice(), want.as_slice());
     }
 
     /// Deterministic per-sample masks for the one site of `small_net`.

@@ -91,9 +91,13 @@ impl IcRunner {
 }
 
 /// Int8 execution substrate over a quantized graph.
+///
+/// The graph is held behind an `Arc`: it is immutable at serving
+/// time, so [`BayesBackend::fork`] (batch-axis parallelism) and
+/// `Clone` are pointer bumps, not weight copies.
 #[derive(Debug, Clone)]
 pub struct Int8Backend {
-    qgraph: QGraph,
+    qgraph: std::sync::Arc<QGraph>,
     prepared: Option<IcRunner>,
 }
 
@@ -101,7 +105,7 @@ impl Int8Backend {
     /// Create a backend owning a quantized graph.
     pub fn new(qgraph: QGraph) -> Int8Backend {
         Int8Backend {
-            qgraph,
+            qgraph: std::sync::Arc::new(qgraph),
             prepared: None,
         }
     }
@@ -152,6 +156,17 @@ impl BayesBackend for Int8Backend {
 
     fn model_cost(&self, _bayes: BayesConfig) -> Option<ModelCost> {
         None
+    }
+
+    fn fork(&self) -> Option<Self> {
+        // The quantized graph is immutable at serving time, so a fork
+        // shares it (an Arc bump, no weight copy) and computes
+        // bit-identically — which is what batch-axis parallelism in
+        // the generic engine requires.
+        Some(Int8Backend {
+            qgraph: std::sync::Arc::clone(&self.qgraph),
+            prepared: None,
+        })
     }
 }
 

@@ -90,4 +90,68 @@ proptest! {
         sorted.sort_unstable();
         prop_assert_eq!(sorted, (0..20).collect::<Vec<_>>());
     }
+
+    /// `bernoulli_many` off the byte-threshold grid is the serial
+    /// `bernoulli` loop: same bits *and* same stream consumption. (On
+    /// the grid the fast path takes over — covered below.)
+    #[test]
+    fn bernoulli_many_general_p_matches_serial_bit_for_bit(
+        seed in 0u64..10_000,
+        len in 0usize..70,
+        p in 0.0f64..1.0,
+    ) {
+        // A uniform f64 is never exactly k/256 in practice, but make
+        // the assumption explicit so the property cannot silently
+        // drift onto the fast path.
+        prop_assume!((p * 256.0).fract() != 0.0);
+        let mut fast = SoftRng::new(seed);
+        let mut serial = SoftRng::new(seed);
+        let want: Vec<bool> = (0..len).map(|_| serial.bernoulli(p)).collect();
+        let got = fast.bernoulli_many(p, len);
+        prop_assert_eq!(&got, &want, "batched draws diverged from serial");
+        // Both consumed the same stream prefix: the next draws agree.
+        prop_assert_eq!(fast.next_u64(), serial.next_u64(), "stream positions diverged");
+    }
+
+    /// On the byte-threshold grid (`p = k/256`, which includes the
+    /// paper's 0.25 and every hardware-legal drop probability), every
+    /// draw is exactly `byte < k` over the raw SplitMix64 byte
+    /// stream, one word per eight draws — the PR-3 fast path's whole
+    /// contract, pinned directly instead of via the mask stream.
+    #[test]
+    fn bernoulli_many_byte_threshold_fast_path_is_exact(
+        seed in 0u64..10_000,
+        len in 0usize..70,
+        k in 0u32..257,
+    ) {
+        let p = f64::from(k) / 256.0;
+        let mut fast = SoftRng::new(seed);
+        let got = fast.bernoulli_many(p, len);
+        prop_assert_eq!(got.len(), len);
+
+        // Reference: the documented contract, straight off the raw
+        // word stream of an equally-seeded generator.
+        let mut raw = SoftRng::new(seed);
+        let mut want = Vec::with_capacity(len);
+        while want.len() < len {
+            let mut word = raw.next_u64();
+            for _ in 0..(len - want.len()).min(8) {
+                want.push(u32::from(word as u8) < k);
+                word >>= 8;
+            }
+        }
+        prop_assert_eq!(&got, &want, "fast path diverged from the byte-threshold contract");
+        // Exactly ceil(len/8) words consumed: the continuations agree.
+        prop_assert_eq!(fast.next_u64(), raw.next_u64(), "stream positions diverged");
+    }
+
+    /// The grid edges are degenerate Bernoullis: p = 0 never fires,
+    /// p = 1 always does (the serial path cannot promise the latter —
+    /// `next_f64() < 1.0` — which is why mask drawing asserts p < 1).
+    #[test]
+    fn bernoulli_many_degenerate_probabilities(seed in 0u64..10_000, len in 0usize..70) {
+        let mut rng = SoftRng::new(seed);
+        prop_assert!(rng.bernoulli_many(0.0, len).iter().all(|&b| !b));
+        prop_assert!(rng.bernoulli_many(1.0, len).iter().all(|&b| b));
+    }
 }

@@ -50,12 +50,16 @@
 //! ```
 //!
 //! Every substrate implements [`mcd::BayesBackend`]; the sampling
-//! engine (mask pre-draw, thread fan-out, averaging, cost accounting)
-//! exists once in [`mcd::backend`] and new substrates are drop-in
-//! implementations. The conformance harness in [`mcd::conformance`]
-//! gives any new backend cross-substrate agreement coverage (shared
-//! mask stream, thread invariance, batched-vs-unbatched serving) in
-//! one `assert_backend_agrees` call — see `tests/backends.rs`.
+//! engine (mask pre-draw, two-axis batch × sample scheduling over a
+//! persistent [`mcd::WorkerPool`], averaging, cost accounting) exists
+//! once in [`mcd::backend`] and new substrates are drop-in
+//! implementations. Each [`Session`] owns (or shares) its pool, so no
+//! predictive call pays per-call thread spawn. The conformance
+//! harness in [`mcd::conformance`] gives any new backend
+//! cross-substrate agreement coverage (shared mask stream, thread and
+//! pool-size invariance, batched-vs-unbatched serving, both schedule
+//! axes) in one `assert_backend_agrees` call — see
+//! `tests/backends.rs`.
 //!
 //! # Workspace map
 //!

@@ -29,12 +29,14 @@
 
 use bnn_accel::{AccelBackend, Accelerator};
 use bnn_mcd::{
-    predictive_batched_on, predictive_on, sample_probs_on, BayesBackend, BayesConfig, CostReport,
-    FloatBackend, FusedBackend, HardwareMaskSource, MaskSource, ParallelConfig, SoftwareMaskSource,
+    predictive_batched_pooled, predictive_pooled, sample_probs_pooled, BayesBackend, BayesConfig,
+    CostReport, FloatBackend, FusedBackend, HardwareMaskSource, MaskSource, ParallelConfig,
+    SoftwareMaskSource, WorkerPool,
 };
 use bnn_nn::Graph;
 use bnn_quant::{Int8Backend, QGraph};
 use bnn_tensor::{Shape4, Tensor};
+use std::sync::Arc;
 
 /// Which execution substrate a [`Session`] serves from.
 ///
@@ -109,6 +111,7 @@ pub struct SessionBuilder<'g> {
     bayes: BayesConfig,
     parallel: ParallelConfig,
     source: SourceChoice,
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl<'g> SessionBuilder<'g> {
@@ -125,11 +128,29 @@ impl<'g> SessionBuilder<'g> {
         self
     }
 
-    /// Thread fan-out for the Monte Carlo passes (default:
-    /// [`ParallelConfig::serial`]; results are bit-identical at any
-    /// setting).
+    /// The two-axis work schedule — sample-axis `threads`, batch-axis
+    /// `batch_threads`, optional sample `chunk` — for the Monte Carlo
+    /// passes (default: [`ParallelConfig::serial`]; results are
+    /// bit-identical at any setting).
     pub fn parallel(mut self, parallel: ParallelConfig) -> SessionBuilder<'g> {
         self.parallel = parallel;
+        self
+    }
+
+    /// Share an existing [`WorkerPool`] instead of letting the session
+    /// create its own (several sessions serving from one resident
+    /// thread team).
+    pub fn pool(mut self, pool: Arc<WorkerPool>) -> SessionBuilder<'g> {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Size the session's own [`WorkerPool`] explicitly (default:
+    /// [`ParallelConfig::pool_workers`] for the configured schedule —
+    /// zero resident workers, i.e. inline execution, for the serial
+    /// default).
+    pub fn pool_workers(mut self, workers: usize) -> SessionBuilder<'g> {
+        self.pool = Some(Arc::new(WorkerPool::new(workers)));
         self
     }
 
@@ -165,11 +186,15 @@ impl<'g> SessionBuilder<'g> {
             SourceChoice::Hardware(seed) => Box::new(HardwareMaskSource::paper_default(seed)),
             SourceChoice::Custom(src) => src,
         };
+        let pool = self
+            .pool
+            .unwrap_or_else(|| Arc::new(WorkerPool::new(self.parallel.pool_workers())));
         Session {
             inner,
             bayes: self.bayes,
             parallel: self.parallel,
             source,
+            pool,
             last_cost: None,
         }
     }
@@ -184,11 +209,27 @@ impl<'g> SessionBuilder<'g> {
 /// [`Session::last_cost`] reports the most recent run's wall time
 /// plus — on the accelerator — its modelled cycles, latency and
 /// off-chip traffic.
+///
+/// # Pool configuration
+///
+/// Every session owns (or shares) a persistent [`WorkerPool`]: its
+/// worker threads are created once at `build` and every predictive
+/// call executes its batch/sample chunks on them, so no call pays
+/// per-call thread spawn. The pool is sized by the configured
+/// [`ParallelConfig`] — the serial default gets a zero-worker pool
+/// that runs inline — and can be overridden with
+/// [`SessionBuilder::pool_workers`] or shared across sessions with
+/// [`SessionBuilder::pool`]. Predictions are bit-identical at *any*
+/// pool size and any [`ParallelConfig`]: the two-axis schedule
+/// (`threads` over Monte Carlo samples, `batch_threads` over the
+/// batch groups of [`Session::predictive_batched`], `chunk` over the
+/// sample-chunk size) only changes wall-clock time.
 pub struct Session<'g> {
     inner: BackendImpl<'g>,
     bayes: BayesConfig,
     parallel: ParallelConfig,
     source: Box<dyn MaskSource + Send>,
+    pool: Arc<WorkerPool>,
     last_cost: Option<CostReport>,
 }
 
@@ -205,6 +246,7 @@ impl<'g> Session<'g> {
             bayes: BayesConfig::new(1, 10),
             parallel: ParallelConfig::default(),
             source: SourceChoice::Software(0),
+            pool: None,
         }
     }
 
@@ -218,12 +260,13 @@ impl<'g> Session<'g> {
     /// the accelerator processes one image at a time; feed datasets
     /// through [`Session::predictive_batched`] with `batch = 1`.
     pub fn predictive(&mut self, x: &Tensor) -> Tensor {
-        let (probs, cost) = with_backend!(&mut self.inner, b => predictive_on(
+        let (probs, cost) = with_backend!(&mut self.inner, b => predictive_pooled(
             b,
             x,
             self.bayes,
             self.source.as_mut(),
             self.parallel,
+            &self.pool,
         ));
         self.last_cost = Some(cost);
         probs
@@ -232,12 +275,13 @@ impl<'g> Session<'g> {
     /// Per-sample softmax probabilities (the paper's `S` sweep reuses
     /// prefixes of this list).
     pub fn sample_probs(&mut self, x: &Tensor) -> Vec<Tensor> {
-        with_backend!(&mut self.inner, b => sample_probs_on(
+        with_backend!(&mut self.inner, b => sample_probs_pooled(
             b,
             x,
             self.bayes,
             self.source.as_mut(),
             self.parallel,
+            &self.pool,
         ))
     }
 
@@ -249,13 +293,14 @@ impl<'g> Session<'g> {
     /// Panics if `batch == 0`, or (on [`Backend::Accel`]) if
     /// `batch != 1`.
     pub fn predictive_batched(&mut self, xs: &Tensor, batch: usize) -> Tensor {
-        let (probs, cost) = with_backend!(&mut self.inner, b => predictive_batched_on(
+        let (probs, cost) = with_backend!(&mut self.inner, b => predictive_batched_pooled(
             b,
             xs,
             self.bayes,
             self.source.as_mut(),
             self.parallel,
             batch,
+            &self.pool,
         ));
         self.last_cost = Some(cost);
         probs
@@ -264,6 +309,12 @@ impl<'g> Session<'g> {
     /// Cost report of the most recent predictive call.
     pub fn last_cost(&self) -> Option<&CostReport> {
         self.last_cost.as_ref()
+    }
+
+    /// The session's worker pool (share it with another session via
+    /// [`SessionBuilder::pool`]).
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
     }
 
     /// The active backend's name (`"float"`, `"fused"`, `"int8"`,
@@ -294,6 +345,7 @@ impl std::fmt::Debug for Session<'_> {
             .field("backend", &self.backend_name())
             .field("bayes", &self.bayes)
             .field("parallel", &self.parallel)
+            .field("pool_workers", &self.pool.workers())
             .field("last_cost", &self.last_cost)
             .finish()
     }

@@ -23,7 +23,7 @@ use bnn_fpga::data::synth_mnist;
 use bnn_fpga::mcd::conformance::{assert_backend_agrees, Tolerance};
 use bnn_fpga::mcd::{
     predictive_batched, BayesConfig, FloatBackend, FusedBackend, McdPredictor, ParallelConfig,
-    SoftwareMaskSource,
+    SoftwareMaskSource, WorkerPool,
 };
 use bnn_fpga::nn::{models, SgdConfig, Trainer};
 use bnn_fpga::quant::{Int8Backend, Quantizer};
@@ -218,6 +218,99 @@ fn float_session_batched_matches_legacy_batched() {
     let cost = session.last_cost().expect("cost recorded");
     assert_eq!(cost.batch, 6);
     assert_eq!(cost.samples, 3 * cfg.s, "S per batch over 3 batches");
+}
+
+#[test]
+fn sessions_sharing_one_pool_serve_identically() {
+    // One resident worker team behind several sessions (the serving
+    // deployment shape): every schedule — serial, sample-parallel,
+    // two-axis batched — must produce the session's canonical bytes.
+    let (net, ds) = trained_lenet();
+    let xs = test_batch(&ds, 4);
+    let cfg = BayesConfig::new(2, 6);
+    let pool = std::sync::Arc::new(WorkerPool::new(4));
+
+    let mut serial = Session::for_graph(&net).bayes(cfg).seed(21).build();
+    let want_single = serial.predictive(&xs);
+    let mut serial = Session::for_graph(&net).bayes(cfg).seed(21).build();
+    let want_batched = serial.predictive_batched(&xs, 1);
+
+    for fused in [false, true] {
+        // Fresh seeded sessions per check: predictive calls advance
+        // the mask stream, and the references above started at seed.
+        let build = || {
+            Session::for_graph(&net)
+                .backend(if fused {
+                    Backend::Fused
+                } else {
+                    Backend::Float
+                })
+                .bayes(cfg)
+                .parallel(ParallelConfig::with_threads(4).with_batch_threads(2))
+                .pool(std::sync::Arc::clone(&pool))
+                .seed(21)
+                .build()
+        };
+        let mut session = build();
+        assert_eq!(session.pool().workers(), 4, "builder must adopt the pool");
+        let got = session.predictive(&xs);
+        assert_eq!(
+            got.as_slice(),
+            want_single.as_slice(),
+            "{}: shared-pool predictive diverged",
+            session.backend_name()
+        );
+        let mut session = build();
+        let got = session.predictive_batched(&xs, 1);
+        assert_eq!(
+            got.as_slice(),
+            want_batched.as_slice(),
+            "{}: shared-pool two-axis batched serving diverged",
+            session.backend_name()
+        );
+    }
+}
+
+#[test]
+fn int8_and_accel_batch_parallel_serving_is_bit_identical() {
+    // The batch axis on the integer substrates: three single-item
+    // groups fanned over forked backends (Arc-shared model, fresh
+    // prepared state per group) must reproduce the sequential loop
+    // byte for byte — the accelerator's batch-1 constraint is exactly
+    // why batch_threads is its only parallel axis.
+    let (net, ds) = trained_lenet();
+    let folded = net.fold_batch_norm();
+    let qg = Quantizer::new(&folded).calibrate(&ds.train_x).quantize();
+    let accel = Accelerator::new(AccelConfig::default(), &folded, &qg, ds.image_shape());
+    let xs = test_batch(&ds, 3);
+    let cfg = BayesConfig::new(2, 4);
+
+    for fpga in [false, true] {
+        let build = |parallel: ParallelConfig| {
+            let backend = if fpga {
+                Backend::Accel(accel.clone())
+            } else {
+                Backend::Int8(qg.clone())
+            };
+            Session::for_graph(&folded)
+                .backend(backend)
+                .bayes(cfg)
+                .parallel(parallel)
+                .seed(13)
+                .build()
+        };
+        let mut serial = build(ParallelConfig::serial());
+        let want = serial.predictive_batched(&xs, 1);
+        let mut parallel = build(ParallelConfig::serial().with_batch_threads(2));
+        assert!(parallel.pool().workers() > 0, "batch axis must get a pool");
+        let got = parallel.predictive_batched(&xs, 1);
+        assert_eq!(
+            got.as_slice(),
+            want.as_slice(),
+            "{}: batch-parallel serving diverged from sequential",
+            parallel.backend_name()
+        );
+    }
 }
 
 #[test]
