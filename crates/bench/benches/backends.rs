@@ -31,7 +31,9 @@ use bnn_fpga::mcd::{BayesConfig, ParallelConfig};
 use bnn_fpga::nn::models;
 use bnn_fpga::quant::Quantizer;
 use bnn_fpga::tensor::{Shape4, Tensor};
-use bnn_fpga::{Backend, Session};
+use bnn_fpga::{Backend, BatchPolicy, ServeBackend, Server, Session};
+use std::sync::Arc;
+use std::time::Duration;
 
 fn bench_backends(c: &mut Criterion) {
     let net = models::lenet5(10, 1, 28, 5).fold_batch_norm();
@@ -91,6 +93,88 @@ fn bench_backends(c: &mut Criterion) {
     }
 }
 
+/// Closed-loop serving: `clients` threads each submit `PER_CLIENT`
+/// single-input requests and wait for every reply before the next
+/// (the serving workload the ROADMAP's cross-call-batching lever
+/// names). Two arms per client count:
+///
+/// * `serve_solo_c<N>` — the pre-serve deployment shape: every caller
+///   owns a whole fused `Session` per request (cold prefix buffers
+///   and stacked scratches, per-call dispatch) and serves itself.
+/// * `serve_coalesced_c<N>` — one resident `Server` (fused backend,
+///   hot scratches) coalescing the concurrent requests into
+///   micro-batches.
+///
+/// Reported time is per iteration = `clients × PER_CLIENT` requests;
+/// divide for per-request cost. At 1 client the server's thread hops
+/// are pure overhead; the coalesced arm must win from 4 clients up as
+/// prefix-buffer reuse and dispatch amortization kick in.
+fn bench_serving(c: &mut Criterion) {
+    const PER_CLIENT: usize = 4;
+    let net = models::lenet5(10, 1, 28, 5).fold_batch_norm();
+    let graph = Arc::new(net.clone());
+    let bayes = BayesConfig::new(3, 10);
+    let x = Tensor::full(Shape4::new(1, 1, 28, 28), 0.25);
+
+    for &clients in &[1usize, 4, 16] {
+        c.bench_function(&format!("serve_solo_c{clients}"), |bch| {
+            bch.iter(|| {
+                std::thread::scope(|scope| {
+                    for client in 0..clients {
+                        let net = &net;
+                        let x = &x;
+                        scope.spawn(move || {
+                            for round in 0..PER_CLIENT {
+                                let mut session = Session::for_graph(net)
+                                    .backend(Backend::Fused)
+                                    .bayes(bayes)
+                                    .seed((client * PER_CLIENT + round) as u64)
+                                    .build();
+                                black_box(session.predictive(x));
+                            }
+                        });
+                    }
+                });
+            })
+        });
+
+        // Zero coalescing window: closed-loop clients queue their next
+        // request while the dispatcher serves the current micro-batch,
+        // so batches form under backlog without holding replies
+        // hostage to a timer (a non-zero window pays off for sporadic
+        // open-loop traffic, not for saturated closed loops).
+        let server = Server::for_graph(Arc::clone(&graph))
+            .backend(ServeBackend::Fused)
+            .bayes(bayes)
+            .policy(BatchPolicy {
+                max_batch: 16,
+                max_wait: Duration::ZERO,
+                queue_cap: 256,
+            })
+            .start();
+        c.bench_function(&format!("serve_coalesced_c{clients}"), |bch| {
+            bch.iter(|| {
+                std::thread::scope(|scope| {
+                    for client in 0..clients {
+                        let handle = server.handle();
+                        let x = x.clone();
+                        scope.spawn(move || {
+                            for round in 0..PER_CLIENT {
+                                let pending = handle.predict_seeded(
+                                    x.clone(),
+                                    (client * PER_CLIENT + round) as u64,
+                                );
+                                black_box(pending.wait().expect("served"));
+                            }
+                        });
+                    }
+                });
+            })
+        });
+        server.shutdown();
+    }
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -101,6 +185,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_backends
+    targets = bench_backends, bench_serving
 }
 criterion_main!(benches);

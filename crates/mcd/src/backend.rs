@@ -21,7 +21,10 @@
 //! Every entry point has a `_pooled` variant taking an explicit
 //! [`WorkerPool`] (what a `Session` owns); the plain variants reuse
 //! the process-wide [`WorkerPool::global`], so no predictive call
-//! ever pays per-call thread spawn.
+//! ever pays per-call thread spawn. [`serve_requests_pooled`] is the
+//! cross-call-batching entry point behind the `bnn-serve` front door:
+//! a micro-batch of independently-seeded [`SeededRequest`]s, each
+//! bit-identical to its solo serving whatever its neighbors.
 //!
 //! [`FloatBackend`] (below) wraps the f32 [`Graph`] executor with the
 //! intermediate-layer-caching suffix re-runs; [`FusedBackend`] layers
@@ -36,7 +39,7 @@
 
 use crate::pool::WorkerPool;
 use crate::predict::{active_sites, mean_probs, BayesConfig, ParallelConfig};
-use crate::source::MaskSource;
+use crate::source::{MaskSource, SoftwareMaskSource};
 use bnn_nn::{Activations, ExecScratch, Graph, MaskSet, Node, Op, StackedScratch};
 use bnn_tensor::{softmax_rows, Shape4, Tensor};
 use std::ops::Range;
@@ -211,6 +214,7 @@ pub fn sample_probs_pooled<B: BayesBackend>(
     pool: &WorkerPool,
 ) -> Vec<Tensor> {
     assert!(cfg.s > 0, "at least one Monte Carlo sample required");
+    let parallel = parallel.normalized();
     let active = active_sites(backend.n_sites(), cfg.l);
     let channels = backend.site_channels(x.shape());
     let mask_sets = draw_mask_sets(&active, &channels, cfg, src);
@@ -332,6 +336,10 @@ fn run_samples<B: BayesBackend>(
 /// Predictive distribution `(n, k)` — the mean of the per-sample
 /// softmax probabilities (the paper's `1/S Σ p(y|x, M_s)`) — plus the
 /// run's cost report.
+///
+/// Routes through the same `run_request` core as the request-serving
+/// path ([`serve_requests_pooled`]), so the two are bit-identical by
+/// construction, not merely by test.
 pub fn predictive_pooled<B: BayesBackend>(
     backend: &mut B,
     x: &Tensor,
@@ -340,16 +348,13 @@ pub fn predictive_pooled<B: BayesBackend>(
     parallel: ParallelConfig,
     pool: &WorkerPool,
 ) -> (Tensor, CostReport) {
-    let t0 = Instant::now();
-    let passes = sample_probs_pooled(backend, x, cfg, src, parallel, pool);
-    let probs = mean_probs(&passes, passes.len());
-    let report = CostReport {
-        samples: cfg.s,
-        batch: x.shape().n,
-        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
-        model: backend.model_cost(cfg),
-    };
-    (probs, report)
+    assert!(cfg.s > 0, "at least one Monte Carlo sample required");
+    let parallel = parallel.normalized();
+    let active = active_sites(backend.n_sites(), cfg.l);
+    let channels = backend.site_channels(x.shape());
+    let masks = draw_mask_sets(&active, &channels, cfg, src);
+    let out = run_request(backend, x, &masks, &active, cfg, parallel, pool);
+    (out.probs, out.cost)
 }
 
 /// [`predictive_pooled`] on the process-wide [`WorkerPool::global`]
@@ -397,6 +402,7 @@ pub fn predictive_batched_pooled<B: BayesBackend + Send>(
     // the batch-parallel schedule fails the same way the sequential
     // loop does, before any group executes.
     assert!(cfg.s > 0, "at least one Monte Carlo sample required");
+    let parallel = parallel.normalized();
     let s = xs.shape();
     let groups: Vec<Range<usize>> = (0..s.n)
         .step_by(batch)
@@ -526,6 +532,204 @@ fn predictive_batch_parallel<B: BayesBackend + Send>(
         write_rows(&mut out, n, row, &probs);
     }
     Some((out.expect("dataset is non-empty"), cost))
+}
+
+/// One coalesced serving request: an input and the request's *private*
+/// mask-stream seed.
+///
+/// This is the engine-side contract behind cross-call batching
+/// (`bnn-serve`): a request's Monte Carlo masks are derived from its
+/// own seed — not pulled from one serial stream in batch order — so
+/// its prediction cannot depend on which neighbors it happens to be
+/// coalesced with, or on its position in the micro-batch.
+#[derive(Debug, Clone, Copy)]
+pub struct SeededRequest<'a> {
+    /// The request's input (single-item for the serving front door;
+    /// the engine accepts any batch size).
+    pub x: &'a Tensor,
+    /// Seed of the request's private software mask stream
+    /// ([`crate::SoftwareMaskSource`]).
+    pub seed: u64,
+}
+
+/// One request's result from [`serve_requests_pooled`].
+#[derive(Debug, Clone)]
+pub struct RequestResult {
+    /// The `S` per-sample softmax probability tensors, in the
+    /// request's own mask-stream order (what an uncertainty
+    /// decomposition consumes).
+    pub passes: Vec<Tensor>,
+    /// The predictive mean `(n, k)` over those passes.
+    pub probs: Tensor,
+    /// This request's slice of the run's cost: its own wall time,
+    /// sample count and model cost.
+    pub cost: CostReport,
+}
+
+/// Serve a micro-batch of independently-seeded requests in one engine
+/// pass: the cross-call-batching primitive behind `bnn-serve`.
+///
+/// Each request runs as its own batch group — one
+/// [`BayesBackend::prepare`] plus `S` suffix passes whose masks are
+/// drawn from the request's *own* [`crate::SoftwareMaskSource`] — so
+/// request `i`'s result is **bit-identical** to serving it alone
+/// ([`sample_probs_pooled`] with `SoftwareMaskSource::new(seed_i)`),
+/// whatever its neighbors, its position, the micro-batch size, the
+/// schedule or the pool size. (Per-request groups are also *required*
+/// for that guarantee, not just sufficient: dropout masks are
+/// channel-wise and shared across the items of one forward pass, so
+/// folding strangers' inputs into one tensor would force them to share
+/// one mask stream.) What coalescing buys is everything around the
+/// math: one dispatcher wake-up and one pool submission per
+/// micro-batch, one resident backend whose prefix buffers and pooled
+/// stacked scratches stay hot across requests, and — with
+/// `parallel.batch_threads > 1` on a forkable backend — the requests
+/// of one micro-batch fanning out over the pool.
+///
+/// Requests may differ in input shape; the mask sets are pre-drawn
+/// serially in request order (each from its own seed, so the order is
+/// immaterial to the results).
+///
+/// # Panics
+///
+/// Panics if `cfg.s == 0`.
+pub fn serve_requests_pooled<B: BayesBackend + Send>(
+    backend: &mut B,
+    requests: &[SeededRequest<'_>],
+    cfg: BayesConfig,
+    parallel: ParallelConfig,
+    pool: &WorkerPool,
+) -> Vec<RequestResult> {
+    assert!(cfg.s > 0, "at least one Monte Carlo sample required");
+    let parallel = parallel.normalized();
+    if requests.is_empty() {
+        return Vec::new();
+    }
+    let active = active_sites(backend.n_sites(), cfg.l);
+    // Per-request mask pre-draw: each request's private stream,
+    // consumed exactly as its solo serving would.
+    let request_masks: Vec<Vec<MaskSet>> = requests
+        .iter()
+        .map(|req| {
+            let channels = backend.site_channels(req.x.shape());
+            draw_mask_sets(
+                &active,
+                &channels,
+                cfg,
+                &mut SoftwareMaskSource::new(req.seed),
+            )
+        })
+        .collect();
+
+    let batch_threads = parallel.batch_threads.min(requests.len());
+    if batch_threads > 1 {
+        if let Some(results) = serve_requests_parallel(
+            backend,
+            requests,
+            &request_masks,
+            &active,
+            cfg,
+            parallel,
+            batch_threads,
+            pool,
+        ) {
+            return results;
+        }
+    }
+    // Sequential request loop (also the fallback for unforkable
+    // backends): the resident backend serves the requests in order,
+    // reusing its prefix buffers and pooled scratches across them.
+    requests
+        .iter()
+        .zip(&request_masks)
+        .map(|(req, masks)| run_request(backend, req.x, masks, &active, cfg, parallel, pool))
+        .collect()
+}
+
+/// [`serve_requests_pooled`] on the process-wide [`WorkerPool::global`]
+/// (or, for a fully serial schedule, an inline pool that spawns
+/// nothing).
+pub fn serve_requests_on<B: BayesBackend + Send>(
+    backend: &mut B,
+    requests: &[SeededRequest<'_>],
+    cfg: BayesConfig,
+    parallel: ParallelConfig,
+) -> Vec<RequestResult> {
+    serve_requests_pooled(backend, requests, cfg, parallel, fallback_pool(parallel))
+}
+
+/// Bind one input and execute its pre-drawn mask sets: timed
+/// prepare, sample passes, predictive mean and cost accounting.
+/// *The* shared serving core — [`predictive_pooled`] and both
+/// request schedules of [`serve_requests_pooled`] all run exactly
+/// this, which is what makes solo and coalesced serving
+/// bit-identical by construction.
+fn run_request<B: BayesBackend>(
+    backend: &mut B,
+    x: &Tensor,
+    masks: &[MaskSet],
+    active: &[bool],
+    cfg: BayesConfig,
+    parallel: ParallelConfig,
+    pool: &WorkerPool,
+) -> RequestResult {
+    let t0 = Instant::now();
+    backend.prepare(x, active);
+    let passes = run_prepared(backend, cfg.s, masks, parallel, pool);
+    let probs = mean_probs(&passes, passes.len());
+    let cost = CostReport {
+        samples: cfg.s,
+        batch: x.shape().n,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        model: backend.model_cost(cfg),
+    };
+    RequestResult {
+        passes,
+        probs,
+        cost,
+    }
+}
+
+/// A batch-parallel serving task: a contiguous run of requests
+/// executed on one forked backend.
+type RequestTask<'a> = Box<dyn FnOnce() -> Vec<RequestResult> + Send + 'a>;
+
+/// The batch-parallel request schedule: contiguous request runs as
+/// pool tasks over forked backends. Returns `None` when the backend
+/// cannot fork (the caller then runs the sequential loop).
+#[allow(clippy::too_many_arguments)]
+fn serve_requests_parallel<B: BayesBackend + Send>(
+    backend: &mut B,
+    requests: &[SeededRequest<'_>],
+    request_masks: &[Vec<MaskSet>],
+    active: &[bool],
+    cfg: BayesConfig,
+    parallel: ParallelConfig,
+    batch_threads: usize,
+    pool: &WorkerPool,
+) -> Option<Vec<RequestResult>> {
+    let span = requests.len().div_ceil(batch_threads);
+    let mut forks = Vec::with_capacity(requests.len().div_ceil(span));
+    for _ in requests.chunks(span) {
+        forks.push(backend.fork()?);
+    }
+    let tasks: Vec<RequestTask<'_>> = forks
+        .into_iter()
+        .zip(requests.chunks(span))
+        .zip(request_masks.chunks(span))
+        .map(|((mut fork, task_requests), task_masks)| {
+            Box::new(move || {
+                task_requests
+                    .iter()
+                    .zip(task_masks)
+                    .map(|(req, masks)| {
+                        run_request(&mut fork, req.x, masks, active, cfg, parallel, pool)
+                    })
+                    .collect()
+            }) as RequestTask<'_>
+        })
+        .collect();
+    Some(pool.run(tasks).into_iter().flatten().collect())
 }
 
 /// Copy an item range of `xs` into a fresh batch tensor.
@@ -1178,6 +1382,149 @@ mod tests {
             ParallelConfig::serial(),
         );
         assert_eq!(got.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn served_request_bit_identical_solo_vs_coalesced() {
+        // The coalescing-invariance contract at the engine level: a
+        // request's probabilities are a pure function of (input, seed,
+        // config) — never of its neighbors, its position, the
+        // schedule or the pool.
+        let net = models::lenet5(10, 1, 16, 9);
+        let inputs: Vec<Tensor> = (0..5)
+            .map(|i| {
+                Tensor::from_vec(
+                    Shape4::new(1, 1, 16, 16),
+                    (0..256)
+                        .map(|j| ((i * 7 + j * 3) % 17) as f32 / 8.5 - 1.0)
+                        .collect(),
+                )
+            })
+            .collect();
+        let cfg = BayesConfig::new(3, 6);
+
+        // Solo reference per request, from a fresh backend each time.
+        let solo: Vec<Tensor> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| {
+                let mut backend = FloatBackend::new(&net);
+                predictive_on(
+                    &mut backend,
+                    x,
+                    cfg,
+                    &mut SoftwareMaskSource::new(100 + i as u64),
+                    ParallelConfig::serial(),
+                )
+                .0
+            })
+            .collect();
+
+        let requests: Vec<SeededRequest<'_>> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| SeededRequest {
+                x,
+                seed: 100 + i as u64,
+            })
+            .collect();
+        let pool = WorkerPool::new(4);
+        for parallel in [
+            ParallelConfig::serial(),
+            ParallelConfig::with_threads(3),
+            ParallelConfig::serial().with_batch_threads(3),
+            ParallelConfig::with_threads(2)
+                .with_batch_threads(2)
+                .with_chunk(1),
+        ] {
+            // One resident backend serving the coalesced micro-batch —
+            // and, crucially, the same backend reused across calls with
+            // different neighbor sets.
+            let mut float = FloatBackend::new(&net);
+            let mut fused = FusedBackend::new(&net);
+            for subset in [&requests[..], &requests[2..3], &requests[1..4]] {
+                for (req, out) in subset.iter().zip(serve_requests_pooled(
+                    &mut float, subset, cfg, parallel, &pool,
+                )) {
+                    let want = &solo[(req.seed - 100) as usize];
+                    assert_eq!(
+                        out.probs.as_slice(),
+                        want.as_slice(),
+                        "float request seed {} diverged under {parallel:?}",
+                        req.seed
+                    );
+                    assert_eq!(out.passes.len(), cfg.s);
+                    assert_eq!(out.cost.samples, cfg.s);
+                    assert_eq!(out.cost.batch, 1);
+                }
+                for (req, out) in subset.iter().zip(serve_requests_pooled(
+                    &mut fused, subset, cfg, parallel, &pool,
+                )) {
+                    let want = &solo[(req.seed - 100) as usize];
+                    assert_eq!(
+                        out.probs.as_slice(),
+                        want.as_slice(),
+                        "fused request seed {} diverged under {parallel:?}",
+                        req.seed
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn served_request_matches_solo_sample_probs_per_pass() {
+        // Not just the mean: every per-sample pass agrees with solo
+        // serving, which is what the uncertainty decomposition eats.
+        let net = models::lenet5(10, 1, 16, 4);
+        let x = Tensor::full(Shape4::new(1, 1, 16, 16), 0.3);
+        let other = Tensor::full(Shape4::new(1, 1, 16, 16), -0.4);
+        let cfg = BayesConfig::new(2, 5);
+        let mut backend = FloatBackend::new(&net);
+        let want = sample_probs_on(
+            &mut backend,
+            &x,
+            cfg,
+            &mut SoftwareMaskSource::new(77),
+            ParallelConfig::serial(),
+        );
+        let requests = [
+            SeededRequest { x: &other, seed: 1 },
+            SeededRequest { x: &x, seed: 77 },
+        ];
+        let out = serve_requests_on(&mut backend, &requests, cfg, ParallelConfig::serial());
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].passes.len(), want.len());
+        for (s, (a, b)) in want.iter().zip(&out[1].passes).enumerate() {
+            assert_eq!(a.as_slice(), b.as_slice(), "pass {s} diverged");
+        }
+    }
+
+    #[test]
+    fn served_requests_deterministic_and_empty_edges() {
+        let net = models::lenet5(10, 1, 16, 3);
+        let x = Tensor::full(Shape4::new(1, 1, 16, 16), 0.2);
+        // L = 0: no active site, seeds are irrelevant, the passes
+        // replicate one deterministic forward.
+        let cfg = BayesConfig {
+            l: 0,
+            s: 3,
+            p: 0.25,
+        };
+        let mut backend = FloatBackend::new(&net);
+        let out = serve_requests_on(
+            &mut backend,
+            &[
+                SeededRequest { x: &x, seed: 1 },
+                SeededRequest { x: &x, seed: 2 },
+            ],
+            cfg,
+            ParallelConfig::serial(),
+        );
+        assert_eq!(out[0].probs.as_slice(), out[1].probs.as_slice());
+        // Empty micro-batch: no work, no panic.
+        let none = serve_requests_on(&mut backend, &[], cfg, ParallelConfig::serial());
+        assert!(none.is_empty());
     }
 
     #[test]

@@ -38,7 +38,7 @@
 
 use crate::backend::{
     predictive_batched_on, predictive_batched_pooled, predictive_on, predictive_pooled,
-    BayesBackend,
+    serve_requests_pooled, BayesBackend, SeededRequest,
 };
 use crate::pool::WorkerPool;
 use crate::predict::{BayesConfig, ParallelConfig};
@@ -105,6 +105,12 @@ fn check_close(want: &Tensor, got: &Tensor, tol: Tolerance, what: &str) {
 ///    split, an explicitly chunked split and a batch-parallel split
 ///    (`batch_threads = 4`, `batch = 1`), all byte-equal to the
 ///    candidate's serial predictions.
+/// 6. *Coalescing invariance* — the request-serving path
+///    ([`serve_requests_pooled`], the `bnn-serve` engine hook): a
+///    [`SeededRequest`] carrying the shared seed is byte-equal to the
+///    candidate's solo predictive whether served alone or coalesced
+///    between neighbors with foreign seeds, under both the sequential
+///    and the batch-parallel request schedule, at pool sizes `{1, 4}`.
 ///
 /// The input's batch size must satisfy both backends' constraints
 /// (pass a single-item `x` when the accelerator is involved).
@@ -262,6 +268,60 @@ pub fn assert_backend_agrees<R: BayesBackend + Send, C: BayesBackend + Send>(
             "{}: pooled batch-parallel split on {workers} worker(s) changed the prediction",
             candidate.name()
         );
+
+        // Coalescing invariance: the request with this suite's seed
+        // must come back byte-equal to the candidate's solo predictive
+        // above, alone or sandwiched between foreign-seeded neighbors,
+        // on either request schedule.
+        let solo = serve_requests_pooled(
+            candidate,
+            &[SeededRequest { x, seed }],
+            cfg,
+            ParallelConfig::serial(),
+            &pool,
+        );
+        assert_eq!(
+            solo[0].probs.as_slice(),
+            per_threads[0].as_slice(),
+            "{}: request-path solo serving on {workers} worker(s) diverged from predictive",
+            candidate.name()
+        );
+        let neighbors = [
+            SeededRequest {
+                x,
+                seed: seed.wrapping_add(101),
+            },
+            SeededRequest { x, seed },
+            SeededRequest {
+                x,
+                seed: seed.wrapping_add(202),
+            },
+        ];
+        let mut per_schedule = Vec::new();
+        for parallel in [
+            ParallelConfig::serial(),
+            ParallelConfig::serial().with_batch_threads(4),
+        ] {
+            let coalesced = serve_requests_pooled(candidate, &neighbors, cfg, parallel, &pool);
+            assert_eq!(
+                coalesced[1].probs.as_slice(),
+                per_threads[0].as_slice(),
+                "{}: coalescing with neighbors moved the prediction \
+                 (batch_threads={}, {workers} worker(s))",
+                candidate.name(),
+                parallel.batch_threads
+            );
+            per_schedule.push(coalesced);
+        }
+        // The neighbors themselves are schedule-invariant too.
+        for (i, (a, b)) in per_schedule[0].iter().zip(&per_schedule[1]).enumerate() {
+            assert_eq!(
+                a.probs.as_slice(),
+                b.probs.as_slice(),
+                "{}: request schedule moved coalesced request {i} ({workers} worker(s))",
+                candidate.name()
+            );
+        }
     }
 }
 

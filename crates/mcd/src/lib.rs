@@ -40,11 +40,12 @@ mod metrics;
 pub mod pool;
 mod predict;
 mod source;
+pub mod uncertainty;
 
 pub use backend::{
     predictive_batched_on, predictive_batched_pooled, predictive_on, predictive_pooled,
-    sample_probs_on, sample_probs_pooled, BayesBackend, CostReport, FloatBackend, FusedBackend,
-    FusedScratch, ModelCost,
+    sample_probs_on, sample_probs_pooled, serve_requests_on, serve_requests_pooled, BayesBackend,
+    CostReport, FloatBackend, FusedBackend, FusedScratch, ModelCost, RequestResult, SeededRequest,
 };
 pub use conformance::{assert_backend_agrees, Tolerance};
 pub use metrics::{accuracy, avg_predictive_entropy, ece, mutual_information, nll, Calibration};
@@ -53,3 +54,4 @@ pub use predict::{
     active_sites, mean_probs, predictive_batched, BayesConfig, McdPredictor, ParallelConfig,
 };
 pub use source::{draw_site_masks, HardwareMaskSource, MaskSource, SoftwareMaskSource};
+pub use uncertainty::Uncertainty;

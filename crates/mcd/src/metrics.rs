@@ -23,23 +23,14 @@ pub fn accuracy(probs: &Tensor, labels: &[usize]) -> f64 {
 /// `aPE = 1/E Σ_e −Σ_k p(y_k|x_e) log p(y_k|x_e)`.
 ///
 /// The paper evaluates this on Gaussian-noise inputs — higher is
-/// better there (the network *should* be uncertain).
+/// better there (the network *should* be uncertain). The per-row
+/// entropies come from the shared [`crate::uncertainty`] primitives.
 pub fn avg_predictive_entropy(probs: &Tensor) -> f64 {
-    let s = probs.shape();
-    let n = s.n;
-    let mut total = 0.0f64;
-    for i in 0..n {
-        let row = probs.item(i);
-        let mut h = 0.0f64;
-        for &pv in row {
-            let p = f64::from(pv);
-            if p > 0.0 {
-                h -= p * p.ln();
-            }
-        }
-        total += h;
-    }
-    total / n as f64
+    let n = probs.shape().n;
+    crate::uncertainty::predictive_entropies(probs)
+        .into_iter()
+        .sum::<f64>()
+        / n as f64
 }
 
 /// Decomposed epistemic uncertainty: the BALD mutual information
@@ -58,37 +49,11 @@ pub fn avg_predictive_entropy(probs: &Tensor) -> f64 {
 /// Panics if `passes` is empty.
 pub fn mutual_information(passes: &[Tensor]) -> f64 {
     assert!(!passes.is_empty(), "at least one Monte Carlo pass required");
-    let s = passes[0].shape();
-    let (n, k) = (s.n, s.item_len());
-    let mut total_mi = 0.0f64;
-    for i in 0..n {
-        // Predictive mean entropy.
-        let mut mean = vec![0.0f64; k];
-        let mut expected_h = 0.0f64;
-        for p in passes {
-            let row = p.item(i);
-            let mut h = 0.0f64;
-            for (j, &v) in row.iter().enumerate() {
-                let v = f64::from(v);
-                mean[j] += v;
-                if v > 0.0 {
-                    h -= v * v.ln();
-                }
-            }
-            expected_h += h;
-        }
-        let inv = 1.0 / passes.len() as f64;
-        expected_h *= inv;
-        let mut h_mean = 0.0f64;
-        for m in &mut mean {
-            *m *= inv;
-            if *m > 0.0 {
-                h_mean -= *m * m.ln();
-            }
-        }
-        total_mi += (h_mean - expected_h).max(0.0);
-    }
-    total_mi / n as f64
+    let n = passes[0].shape().n;
+    crate::uncertainty::mutual_information_rows(passes)
+        .into_iter()
+        .sum::<f64>()
+        / n as f64
 }
 
 /// Mean negative log-likelihood of the labels under the predictive.

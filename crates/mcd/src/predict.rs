@@ -141,12 +141,31 @@ impl ParallelConfig {
         self
     }
 
+    /// The validated form of this schedule: every axis at least one.
+    ///
+    /// The builder methods ([`ParallelConfig::with_threads`],
+    /// [`ParallelConfig::with_batch_threads`],
+    /// [`ParallelConfig::with_chunk`]) already clamp, but plain struct
+    /// construction can still produce zero `threads`, `batch_threads`
+    /// or `chunk` — meaningless schedules (there is no way to run
+    /// samples on zero workers; the calling thread always
+    /// participates). Every engine entry point normalizes through
+    /// here, exactly once, so a zeroed field behaves as the serial
+    /// setting of that axis instead of panicking deep in the engine.
+    pub fn normalized(mut self) -> ParallelConfig {
+        self.threads = self.threads.max(1);
+        self.batch_threads = self.batch_threads.max(1);
+        self.chunk = self.chunk.map(|c| c.max(1));
+        self
+    }
+
     /// Resident workers a dedicated [`crate::WorkerPool`] needs so
     /// this schedule never waits on a busy worker: full two-axis
     /// concurrency minus the calling thread (which always helps). The
     /// serial default wants zero — a pool that executes inline.
     pub fn pool_workers(&self) -> usize {
-        (self.threads.max(1) * self.batch_threads.max(1)).saturating_sub(1)
+        let n = self.normalized();
+        (n.threads * n.batch_threads).saturating_sub(1)
     }
 }
 
@@ -344,6 +363,41 @@ mod tests {
         for p in &passes[1..] {
             assert_eq!(p.as_slice(), passes[0].as_slice());
         }
+    }
+
+    #[test]
+    fn zeroed_schedule_axes_normalize_to_serial() {
+        // Plain struct construction bypasses the clamping builders;
+        // `normalized` is the one place that fixes it up.
+        let zeroed = ParallelConfig {
+            threads: 0,
+            batch_threads: 0,
+            chunk: Some(0),
+        };
+        let n = zeroed.normalized();
+        assert_eq!(n.threads, 1);
+        assert_eq!(n.batch_threads, 1);
+        assert_eq!(n.chunk, Some(1));
+        assert_eq!(zeroed.pool_workers(), 0, "zeroed axes want no workers");
+        assert_eq!(
+            ParallelConfig::serial().normalized(),
+            ParallelConfig::serial()
+        );
+
+        // The engine serves a zeroed schedule bit-identically to the
+        // serial one instead of panicking.
+        let net = models::lenet5(10, 1, 16, 2);
+        let x = Tensor::full(Shape4::new(2, 1, 16, 16), 0.1);
+        let cfg = BayesConfig::new(2, 3);
+        let mut src = SoftwareMaskSource::new(4);
+        let want = McdPredictor::new(&net)
+            .with_parallelism(ParallelConfig::serial())
+            .predictive(&x, cfg, &mut src);
+        let mut src = SoftwareMaskSource::new(4);
+        let got = McdPredictor::new(&net)
+            .with_parallelism(zeroed)
+            .predictive(&x, cfg, &mut src);
+        assert_eq!(got.as_slice(), want.as_slice());
     }
 
     #[test]

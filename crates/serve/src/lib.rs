@@ -1,0 +1,941 @@
+//! `bnn-serve` — the request-coalescing serving front door.
+//!
+//! The paper's accelerator earns its throughput by batching Monte
+//! Carlo work so weights stream once per layer; the software engine
+//! mirrors that (fused chunks, the two-axis pooled schedule). This
+//! crate closes the remaining gap for *serving*: concurrent callers
+//! each submitting one input no longer own a whole session and pay
+//! the dispatch cost alone. A [`Server`] runs one resident dispatcher
+//! thread over one hot backend; callers submit through cheap
+//! cloneable [`Handle`]s, the dispatcher coalesces queued requests
+//! into micro-batches under a [`BatchPolicy`], runs one
+//! request-serving engine pass
+//! ([`bnn_mcd::serve_requests_pooled`]) over the shared
+//! [`WorkerPool`], and hands each caller its own probabilities plus a
+//! per-request [`Uncertainty`] summary and [`CostReport`] slice.
+//!
+//! # Coalescing invariance
+//!
+//! The load-bearing guarantee: **a request's reply is bit-identical
+//! whether it is served alone or coalesced with arbitrary
+//! neighbors**, at any pool size, on every backend. Each request
+//! carries its own mask-stream seed (derived from the server seed and
+//! the request id via [`request_seed`], or pinned explicitly with
+//! [`Handle::predict_seeded`]), and the engine derives each request's
+//! Monte Carlo masks from that seed alone — never from one serial
+//! stream in batch order — so timing, queue depth and neighbor
+//! composition cannot move a byte. The conformance harness
+//! (`bnn_mcd::conformance`) and this crate's property tests assert
+//! exactly that, over the float and fused backends at pool sizes
+//! `{1, 4}`.
+//!
+//! # Backpressure and shutdown
+//!
+//! The submission queue is bounded ([`BatchPolicy::queue_cap`]):
+//! [`Handle::predict`] blocks while the queue is full,
+//! [`Handle::try_predict`] returns the input back instead of
+//! blocking. [`Server::shutdown`] (and `Drop`) closes the queue,
+//! drains every already-accepted request through the normal serving
+//! path, and joins the dispatcher — no accepted request is abandoned.
+//!
+//! # Example
+//!
+//! ```
+//! use bnn_serve::{BatchPolicy, ServeBackend, Server};
+//! use bnn_mcd::BayesConfig;
+//! use bnn_nn::models;
+//! use bnn_tensor::{Shape4, Tensor};
+//! use std::sync::Arc;
+//!
+//! let net = Arc::new(models::lenet5(10, 1, 16, 1));
+//! let server = Server::for_graph(net)
+//!     .backend(ServeBackend::Fused)
+//!     .bayes(BayesConfig::new(2, 5))
+//!     .seed(42)
+//!     .start();
+//! let handle = server.handle();
+//! let x = Tensor::full(Shape4::new(1, 1, 16, 16), 0.1);
+//! let reply = handle.predict(x).wait().expect("served");
+//! let sum: f32 = reply.probs.item(0).iter().sum();
+//! assert!((sum - 1.0).abs() < 1e-4);
+//! assert!(reply.uncertainty.entropy >= 0.0);
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bnn_accel::{AccelBackend, Accelerator};
+use bnn_mcd::{
+    serve_requests_pooled, BayesBackend, BayesConfig, CostReport, FloatBackend, FusedBackend,
+    ParallelConfig, SeededRequest, Uncertainty, WorkerPool,
+};
+use bnn_nn::Graph;
+use bnn_quant::{Int8Backend, QGraph};
+use bnn_rng::SoftRng;
+use bnn_tensor::Tensor;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How the dispatcher forms micro-batches from the request queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Most requests coalesced into one engine pass. `1` disables
+    /// coalescing (pure FIFO serving). Normalized to at least 1.
+    pub max_batch: usize,
+    /// How long the dispatcher holds an under-full batch open for
+    /// late arrivals, measured from the *oldest* queued request's
+    /// submission — the bound on coalescing-added latency. Zero
+    /// serves immediately (batches then form only under backlog).
+    /// The window also closes early when the queue reaches
+    /// [`BatchPolicy::queue_cap`], since no request can arrive past
+    /// the cap until the dispatcher drains.
+    pub max_wait: Duration,
+    /// Bound on queued (accepted, not yet dispatched) requests: the
+    /// backpressure knob. [`Handle::predict`] blocks at the cap,
+    /// [`Handle::try_predict`] rejects. Normalized to at least 1.
+    pub queue_cap: usize,
+}
+
+impl Default for BatchPolicy {
+    /// Micro-batches of up to 16, a 200 µs coalescing window, a
+    /// 256-request queue.
+    fn default() -> BatchPolicy {
+        BatchPolicy {
+            max_batch: 16,
+            max_wait: Duration::from_micros(200),
+            queue_cap: 256,
+        }
+    }
+}
+
+impl BatchPolicy {
+    fn normalized(mut self) -> BatchPolicy {
+        self.max_batch = self.max_batch.max(1);
+        self.queue_cap = self.queue_cap.max(1);
+        self
+    }
+}
+
+/// Which execution substrate the server's resident backend runs on
+/// (mirrors the session-level `Backend` choice).
+pub enum ServeBackend {
+    /// f32 software execution (per-sample suffix re-runs).
+    Float,
+    /// f32 software execution with batched-sample GEMM fusion —
+    /// bit-identical to [`ServeBackend::Float`], the fastest software
+    /// path at large `S` and the serving default.
+    Fused,
+    /// int8 integer execution of a quantized graph.
+    Int8(QGraph),
+    /// The simulated FPGA accelerator.
+    Accel(Accelerator),
+}
+
+impl std::fmt::Debug for ServeBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ServeBackend::Float => "ServeBackend::Float",
+            ServeBackend::Fused => "ServeBackend::Fused",
+            ServeBackend::Int8(_) => "ServeBackend::Int8(..)",
+            ServeBackend::Accel(_) => "ServeBackend::Accel(..)",
+        })
+    }
+}
+
+/// Derive a request's private mask-stream seed from the server seed
+/// and the request id.
+///
+/// One SplitMix64 scramble over `base ^ id·φ64`: consecutive ids get
+/// decorrelated streams, and the mapping is a documented pure
+/// function so any reply can be reproduced offline
+/// (`SoftwareMaskSource::new(request_seed(base, id))`).
+pub fn request_seed(base: u64, request_id: u64) -> u64 {
+    SoftRng::new(base ^ request_id.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64()
+}
+
+/// Why a served request failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The server was shut down before this request could be served.
+    Closed,
+    /// The backend panicked while serving this request's micro-batch
+    /// (the dispatcher survives and keeps serving later batches).
+    Failed,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ServeError::Closed => "server closed before the request was served",
+            ServeError::Failed => "backend failed while serving the request",
+        })
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Why [`Handle::try_predict`] rejected a submission; the input
+/// tensor is handed back for a later retry.
+#[derive(Debug)]
+pub enum TryPredictError {
+    /// The bounded queue is at [`BatchPolicy::queue_cap`].
+    Full(Tensor),
+    /// The server has been shut down.
+    Closed(Tensor),
+}
+
+impl std::fmt::Display for TryPredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TryPredictError::Full(_) => "request queue is full",
+            TryPredictError::Closed(_) => "server is closed",
+        })
+    }
+}
+
+impl std::error::Error for TryPredictError {}
+
+/// One served prediction, as delivered to the caller.
+#[derive(Debug, Clone)]
+pub struct Reply {
+    /// The request's id (its seed is `request_seed(server_seed, id)`
+    /// unless it was pinned with [`Handle::predict_seeded`]).
+    pub id: u64,
+    /// Predictive probabilities `(1, k)` — bit-identical to serving
+    /// this request alone.
+    pub probs: Tensor,
+    /// Per-request uncertainty summary (max-prob confidence,
+    /// predictive entropy, mutual information).
+    pub uncertainty: Uncertainty,
+    /// This request's slice of the engine cost: its own wall time,
+    /// sample count and model cost.
+    pub cost: CostReport,
+    /// How many requests were coalesced into this request's
+    /// micro-batch (including itself) — the observability hook for
+    /// tuning [`BatchPolicy`].
+    pub coalesced: usize,
+}
+
+/// One queued request.
+struct Queued {
+    x: Tensor,
+    seed: u64,
+    id: u64,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<Reply, ServeError>>,
+}
+
+struct QState {
+    queue: VecDeque<Queued>,
+    closed: bool,
+    next_id: u64,
+}
+
+struct SharedQ {
+    state: Mutex<QState>,
+    /// Signals the dispatcher: work arrived, or the server closed.
+    work: Condvar,
+    /// Signals blocked producers: queue space freed, or closed.
+    space: Condvar,
+    queue_cap: usize,
+    base_seed: u64,
+}
+
+/// Lock ignoring poisoning: queue state is only mutated outside
+/// serving (backend panics are caught before unwinding here), so a
+/// poisoned lock still guards consistent data.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A cheap cloneable submission handle to a running [`Server`].
+#[derive(Clone)]
+pub struct Handle {
+    shared: Arc<SharedQ>,
+}
+
+/// A pending reply: the blocking receiver side of one request.
+#[derive(Debug)]
+pub struct Pending {
+    rx: mpsc::Receiver<Result<Reply, ServeError>>,
+    id: Option<u64>,
+}
+
+impl Pending {
+    /// The id the server assigned this request, or `None` if the
+    /// submission raced a shutdown and was never accepted (its
+    /// [`Pending::wait`] resolves to [`ServeError::Closed`]).
+    pub fn id(&self) -> Option<u64> {
+        self.id
+    }
+
+    /// Block until the reply arrives. A dispatcher that disappears
+    /// without answering (shutdown racing the submission) reads as
+    /// [`ServeError::Closed`].
+    pub fn wait(self) -> Result<Reply, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Closed))
+    }
+
+    /// Non-blocking poll: `None` while the request is still in
+    /// flight.
+    pub fn try_wait(&self) -> Option<Result<Reply, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::Closed)),
+        }
+    }
+}
+
+impl Handle {
+    /// Submit one single-item input, blocking while the queue is at
+    /// capacity. The request's mask seed is derived from the server
+    /// seed and its id ([`request_seed`]). Returns the blocking
+    /// receiver for the reply; a closed server surfaces as
+    /// [`ServeError::Closed`] at [`Pending::wait`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not single-item (`n != 1`) — the front door
+    /// serves one input per request; batch datasets go through
+    /// `Session::predictive_batched`.
+    pub fn predict(&self, x: Tensor) -> Pending {
+        self.submit(x, None, true).unwrap_or_else(|err| match err {
+            TryPredictError::Full(_) => unreachable!("blocking submit waits on a full queue"),
+            TryPredictError::Closed(_) => closed_pending(),
+        })
+    }
+
+    /// [`Handle::predict`] with an explicit mask-stream seed — the
+    /// reproducibility hook (the reply is the bit-identical solo
+    /// prediction for `(x, seed)` regardless of coalescing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not single-item (`n != 1`).
+    pub fn predict_seeded(&self, x: Tensor, seed: u64) -> Pending {
+        self.submit(x, Some(seed), true)
+            .unwrap_or_else(|err| match err {
+                TryPredictError::Full(_) => unreachable!("blocking submit waits on a full queue"),
+                TryPredictError::Closed(_) => closed_pending(),
+            })
+    }
+
+    /// Non-blocking submission: rejects (handing the input back)
+    /// instead of blocking when the queue is at capacity or the
+    /// server is closed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not single-item (`n != 1`).
+    pub fn try_predict(&self, x: Tensor) -> Result<Pending, TryPredictError> {
+        self.submit(x, None, false)
+    }
+
+    /// [`Handle::try_predict`] with an explicit mask-stream seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not single-item (`n != 1`).
+    pub fn try_predict_seeded(&self, x: Tensor, seed: u64) -> Result<Pending, TryPredictError> {
+        self.submit(x, Some(seed), false)
+    }
+
+    fn submit(
+        &self,
+        x: Tensor,
+        seed: Option<u64>,
+        block: bool,
+    ) -> Result<Pending, TryPredictError> {
+        assert_eq!(
+            x.shape().n,
+            1,
+            "serving requests are single-input; got a batch of {}",
+            x.shape().n
+        );
+        let mut st = lock(&self.shared.state);
+        loop {
+            if st.closed {
+                return Err(TryPredictError::Closed(x));
+            }
+            if st.queue.len() < self.shared.queue_cap {
+                let id = st.next_id;
+                st.next_id += 1;
+                let seed = seed.unwrap_or_else(|| request_seed(self.shared.base_seed, id));
+                let (tx, rx) = mpsc::channel();
+                st.queue.push_back(Queued {
+                    x,
+                    seed,
+                    id,
+                    enqueued: Instant::now(),
+                    reply: tx,
+                });
+                drop(st);
+                self.shared.work.notify_all();
+                return Ok(Pending { rx, id: Some(id) });
+            }
+            if !block {
+                return Err(TryPredictError::Full(x));
+            }
+            st = self
+                .shared
+                .space
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+/// A [`Pending`] that resolves immediately to [`ServeError::Closed`]
+/// (submission raced a shutdown; no id was ever assigned).
+fn closed_pending() -> Pending {
+    let (tx, rx) = mpsc::channel();
+    let _ = tx.send(Err(ServeError::Closed));
+    Pending { rx, id: None }
+}
+
+/// Builder for a [`Server`]; see [`Server::for_graph`].
+pub struct ServerBuilder {
+    graph: Arc<Graph>,
+    backend: ServeBackend,
+    bayes: BayesConfig,
+    parallel: ParallelConfig,
+    policy: BatchPolicy,
+    seed: u64,
+    pool: Option<Arc<WorkerPool>>,
+}
+
+impl ServerBuilder {
+    /// Select the resident execution substrate (default:
+    /// [`ServeBackend::Fused`], the fastest software path for the
+    /// serving common case of large `S` over single inputs).
+    pub fn backend(mut self, backend: ServeBackend) -> ServerBuilder {
+        self.backend = backend;
+        self
+    }
+
+    /// Bayesian configuration `{L, S, p}` served to every request
+    /// (default: `L = 1, S = 10, p = 0.25`).
+    pub fn bayes(mut self, bayes: BayesConfig) -> ServerBuilder {
+        self.bayes = bayes;
+        self
+    }
+
+    /// The engine schedule each micro-batch runs under:
+    /// `batch_threads` fans the coalesced requests out over forked
+    /// backends, `threads` splits each request's samples (default:
+    /// serial; replies are bit-identical at any setting).
+    pub fn parallel(mut self, parallel: ParallelConfig) -> ServerBuilder {
+        self.parallel = parallel;
+        self
+    }
+
+    /// The micro-batching policy (default: [`BatchPolicy::default`]).
+    pub fn policy(mut self, policy: BatchPolicy) -> ServerBuilder {
+        self.policy = policy;
+        self
+    }
+
+    /// Base seed for per-request mask-stream derivation
+    /// ([`request_seed`]; default 0).
+    pub fn seed(mut self, seed: u64) -> ServerBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Share an existing [`WorkerPool`] instead of letting the server
+    /// create its own (e.g. the pool of a `Session` serving batch
+    /// jobs next to this front door).
+    pub fn pool(mut self, pool: Arc<WorkerPool>) -> ServerBuilder {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Start the dispatcher thread and return the running server.
+    pub fn start(self) -> Server {
+        let policy = self.policy.normalized();
+        let parallel = self.parallel.normalized();
+        let pool = self
+            .pool
+            .unwrap_or_else(|| Arc::new(WorkerPool::new(parallel.pool_workers())));
+        let shared = Arc::new(SharedQ {
+            state: Mutex::new(QState {
+                queue: VecDeque::new(),
+                closed: false,
+                next_id: 0,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            queue_cap: policy.queue_cap,
+            base_seed: self.seed,
+        });
+        let ctx = DispatchCtx {
+            shared: Arc::clone(&shared),
+            bayes: self.bayes,
+            parallel,
+            policy,
+            pool: Arc::clone(&pool),
+        };
+        let graph = self.graph;
+        let backend = self.backend;
+        let dispatcher = std::thread::Builder::new()
+            .name("bnn-serve".into())
+            .spawn(move || match backend {
+                ServeBackend::Float => dispatch(FloatBackend::new(&graph), &ctx),
+                ServeBackend::Fused => dispatch(FusedBackend::new(&graph), &ctx),
+                ServeBackend::Int8(qgraph) => dispatch(Int8Backend::new(qgraph), &ctx),
+                ServeBackend::Accel(accel) => dispatch(AccelBackend::new(accel), &ctx),
+            })
+            .expect("spawn serve dispatcher");
+        Server {
+            shared,
+            pool,
+            dispatcher: Some(dispatcher),
+        }
+    }
+}
+
+/// Everything the dispatcher thread needs besides its backend.
+struct DispatchCtx {
+    shared: Arc<SharedQ>,
+    bayes: BayesConfig,
+    parallel: ParallelConfig,
+    policy: BatchPolicy,
+    pool: Arc<WorkerPool>,
+}
+
+/// A running serving front door: one dispatcher thread, one resident
+/// backend, one bounded request queue.
+///
+/// Construct with [`Server::for_graph`]; submit through
+/// [`Server::handle`]. Dropping the server shuts it down gracefully
+/// (queue closed, accepted requests drained, dispatcher joined).
+pub struct Server {
+    shared: Arc<SharedQ>,
+    pool: Arc<WorkerPool>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Start building a server over a graph (the f32 source of truth;
+    /// [`ServeBackend::Int8`] / [`ServeBackend::Accel`] carry their
+    /// own compiled artefacts lowered from it).
+    pub fn for_graph(graph: Arc<Graph>) -> ServerBuilder {
+        ServerBuilder {
+            graph,
+            backend: ServeBackend::Fused,
+            bayes: BayesConfig::new(1, 10),
+            parallel: ParallelConfig::default(),
+            policy: BatchPolicy::default(),
+            seed: 0,
+            pool: None,
+        }
+    }
+
+    /// A new submission handle (cheap; clone freely across client
+    /// threads).
+    pub fn handle(&self) -> Handle {
+        Handle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The server's worker pool (shareable with sessions).
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// Requests currently queued — accepted but not yet taken into a
+    /// micro-batch (in-flight batches are not counted). An
+    /// observability hook for load shedding and tests.
+    pub fn queued(&self) -> usize {
+        lock(&self.shared.state).queue.len()
+    }
+
+    /// Graceful shutdown: close the queue (new submissions fail
+    /// [`ServeError::Closed`]), serve every already-accepted request,
+    /// and join the dispatcher.
+    pub fn shutdown(mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.closed = true;
+        }
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+        if let Some(handle) = self.dispatcher.take() {
+            // The dispatcher only exits through its drain path; a join
+            // error would mean it panicked outside the per-batch
+            // catch_unwind, in which case waiting callers resolve to
+            // Closed through their dropped channels.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = lock(&self.shared.state);
+        f.debug_struct("Server")
+            .field("queued", &st.queue.len())
+            .field("closed", &st.closed)
+            .field("next_id", &st.next_id)
+            .field("pool_workers", &self.pool.workers())
+            .finish()
+    }
+}
+
+/// Dispatcher body: form micro-batches until the closed queue drains.
+fn dispatch<B: BayesBackend + Send>(mut backend: B, ctx: &DispatchCtx) {
+    while let Some(batch) = next_batch(&ctx.shared, &ctx.policy) {
+        serve_batch(&mut backend, batch, ctx);
+    }
+}
+
+/// Pop the next micro-batch: block for work, then hold the batch open
+/// for late arrivals up to `max_wait` from the oldest request (unless
+/// the batch fills, the server is draining, or the queue reaches its
+/// cap — at the cap no producer can enqueue until we drain, so
+/// further waiting would be pure dead time for every queued request
+/// *and* every backpressure-blocked producer). Returns `None` when
+/// the queue is closed and empty.
+fn next_batch(shared: &SharedQ, policy: &BatchPolicy) -> Option<Vec<Queued>> {
+    // The size past which this batch cannot grow while we hold the
+    // window open.
+    let full = policy.max_batch.min(shared.queue_cap);
+    let mut st = lock(&shared.state);
+    loop {
+        if !st.queue.is_empty() {
+            break;
+        }
+        if st.closed {
+            return None;
+        }
+        st = shared
+            .work
+            .wait(st)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+    if !policy.max_wait.is_zero() {
+        while !st.closed && st.queue.len() < full {
+            // Remaining window, derived from elapsed time instead of a
+            // materialized deadline `Instant`: `enqueued + max_wait`
+            // would overflow (and panic the dispatcher) for huge
+            // `max_wait` values like `Duration::MAX` ("hold until
+            // full").
+            let oldest = st.queue.front().expect("queue non-empty").enqueued;
+            let remaining = policy.max_wait.saturating_sub(oldest.elapsed());
+            if remaining.is_zero() {
+                break;
+            }
+            // Each wait is capped so the underlying timed-wait never
+            // sees an astronomical duration either; the loop re-derives
+            // the remainder, so a capped timeout just re-checks.
+            let step = remaining.min(Duration::from_secs(3600));
+            st = shared
+                .work
+                .wait_timeout(st, step)
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
+        }
+    }
+    let take = st.queue.len().min(policy.max_batch);
+    let batch: Vec<Queued> = st.queue.drain(..take).collect();
+    drop(st);
+    shared.space.notify_all();
+    Some(batch)
+}
+
+/// Serve one micro-batch through the request-coalescing engine pass
+/// and deliver each caller its reply. A backend panic fails the
+/// batch's requests ([`ServeError::Failed`]) but not the dispatcher.
+fn serve_batch<B: BayesBackend + Send>(backend: &mut B, batch: Vec<Queued>, ctx: &DispatchCtx) {
+    let coalesced = batch.len();
+    let requests: Vec<SeededRequest<'_>> = batch
+        .iter()
+        .map(|q| SeededRequest {
+            x: &q.x,
+            seed: q.seed,
+        })
+        .collect();
+    let served = catch_unwind(AssertUnwindSafe(|| {
+        serve_requests_pooled(backend, &requests, ctx.bayes, ctx.parallel, &ctx.pool)
+    }));
+    drop(requests);
+    match served {
+        Ok(outs) => {
+            for (q, out) in batch.into_iter().zip(outs) {
+                let uncertainty = Uncertainty::summarize(&out.probs, &out.passes, 0);
+                let _ = q.reply.send(Ok(Reply {
+                    id: q.id,
+                    probs: out.probs,
+                    uncertainty,
+                    cost: out.cost,
+                    coalesced,
+                }));
+            }
+        }
+        Err(_) => {
+            for q in batch {
+                let _ = q.reply.send(Err(ServeError::Failed));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnn_mcd::{predictive_on, SoftwareMaskSource};
+    use bnn_nn::models;
+    use bnn_tensor::Shape4;
+
+    fn test_net() -> Graph {
+        models::lenet5(10, 1, 16, 5)
+    }
+
+    fn test_input(fill: f32) -> Tensor {
+        Tensor::full(Shape4::new(1, 1, 16, 16), fill)
+    }
+
+    /// Solo reference: the bit-exact prediction for `(x, seed)`.
+    fn solo(net: &Graph, x: &Tensor, cfg: BayesConfig, seed: u64) -> Tensor {
+        let mut backend = FloatBackend::new(net);
+        predictive_on(
+            &mut backend,
+            x,
+            cfg,
+            &mut SoftwareMaskSource::new(seed),
+            ParallelConfig::serial(),
+        )
+        .0
+    }
+
+    #[test]
+    fn served_reply_matches_solo_prediction() {
+        let net = Arc::new(test_net());
+        let cfg = BayesConfig::new(2, 6);
+        let server = Server::for_graph(Arc::clone(&net))
+            .backend(ServeBackend::Fused)
+            .bayes(cfg)
+            .seed(9)
+            .start();
+        let handle = server.handle();
+        let x = test_input(0.2);
+        let reply = handle
+            .predict_seeded(x.clone(), 1234)
+            .wait()
+            .expect("served");
+        let want = solo(&net, &x, cfg, 1234);
+        assert_eq!(reply.probs.as_slice(), want.as_slice());
+        assert_eq!(reply.cost.samples, cfg.s);
+        assert!(reply.coalesced >= 1);
+        // Uncertainty summary is consistent with the probabilities.
+        let (pred, conf) = bnn_mcd::uncertainty::max_prob(reply.probs.item(0));
+        assert_eq!(reply.uncertainty.predicted, pred);
+        assert_eq!(reply.uncertainty.confidence, conf);
+        server.shutdown();
+    }
+
+    #[test]
+    fn auto_seeds_follow_the_documented_derivation() {
+        let net = Arc::new(test_net());
+        let cfg = BayesConfig::new(2, 4);
+        let base = 77u64;
+        let server = Server::for_graph(Arc::clone(&net))
+            .bayes(cfg)
+            .seed(base)
+            .start();
+        let handle = server.handle();
+        let x = test_input(0.1);
+        let pending = handle.predict(x.clone());
+        let id = pending.id().expect("accepted submissions carry an id");
+        let reply = pending.wait().expect("served");
+        assert_eq!(reply.id, id);
+        let want = solo(&net, &x, cfg, request_seed(base, id));
+        assert_eq!(
+            reply.probs.as_slice(),
+            want.as_slice(),
+            "auto-derived seed must be reproducible offline"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn coalescing_window_holds_until_shutdown_drains() {
+        let net = Arc::new(test_net());
+        // max_batch 3 with a long window and a roomy queue: the
+        // dispatcher holds the under-full batch open (2 < 3 and the
+        // cap is far), so the two requests deterministically coalesce
+        // when shutdown closes the window and drains.
+        let server = Server::for_graph(Arc::clone(&net))
+            .bayes(BayesConfig::new(1, 2))
+            .policy(BatchPolicy {
+                max_batch: 3,
+                max_wait: Duration::from_secs(30),
+                queue_cap: 8,
+            })
+            .start();
+        let handle = server.handle();
+        let a = handle.predict_seeded(test_input(0.1), 1);
+        let b = handle.predict_seeded(test_input(0.2), 2);
+        server.shutdown();
+        let ra = a.wait().expect("drained on shutdown");
+        let rb = b.wait().expect("drained on shutdown");
+        assert_eq!(ra.coalesced, 2);
+        assert_eq!(rb.coalesced, 2);
+        assert_eq!(
+            ra.probs.as_slice(),
+            solo(&net, &test_input(0.1), BayesConfig::new(1, 2), 1).as_slice()
+        );
+        assert_eq!(
+            rb.probs.as_slice(),
+            solo(&net, &test_input(0.2), BayesConfig::new(1, 2), 2).as_slice()
+        );
+    }
+
+    #[test]
+    fn window_closes_at_queue_cap_instead_of_stalling() {
+        let net = Arc::new(test_net());
+        // queue_cap 2 below max_batch 3: once two requests are queued
+        // the batch cannot grow (no producer can enqueue until a
+        // drain), so the dispatcher must serve immediately instead of
+        // sleeping out the absurd 1-hour window. A stall here trips
+        // the surrounding test timeout; the replies prove both were
+        // served as one batch.
+        let server = Server::for_graph(Arc::clone(&net))
+            .bayes(BayesConfig::new(1, 2))
+            .policy(BatchPolicy {
+                max_batch: 3,
+                max_wait: Duration::from_secs(3600),
+                queue_cap: 2,
+            })
+            .start();
+        let handle = server.handle();
+        let a = handle.predict_seeded(test_input(0.1), 1);
+        let b = handle.predict_seeded(test_input(0.2), 2);
+        let ra = a.wait().expect("served");
+        let rb = b.wait().expect("served");
+        assert!(ra.coalesced <= 2 && rb.coalesced <= 2);
+        assert_eq!(
+            ra.probs.as_slice(),
+            solo(&net, &test_input(0.1), BayesConfig::new(1, 2), 1).as_slice()
+        );
+        server.shutdown();
+        assert_eq!(rb.id, 1);
+    }
+
+    #[test]
+    fn astronomical_max_wait_means_hold_until_full() {
+        let net = Arc::new(test_net());
+        // `Duration::MAX` as "hold the batch open until it fills":
+        // must not overflow the dispatcher's deadline arithmetic. The
+        // window closes on fill for the pair, and shutdown drains the
+        // straggler.
+        let cfg = BayesConfig::new(1, 2);
+        let server = Server::for_graph(Arc::clone(&net))
+            .bayes(cfg)
+            .policy(BatchPolicy {
+                max_batch: 2,
+                max_wait: Duration::MAX,
+                queue_cap: 8,
+            })
+            .start();
+        let handle = server.handle();
+        let a = handle.predict_seeded(test_input(0.1), 1);
+        let b = handle.predict_seeded(test_input(0.2), 2);
+        let ra = a.wait().expect("batch filled");
+        let rb = b.wait().expect("batch filled");
+        assert!(ra.coalesced <= 2 && rb.coalesced <= 2);
+        assert_eq!(
+            ra.probs.as_slice(),
+            solo(&net, &test_input(0.1), cfg, 1).as_slice()
+        );
+        let straggler = handle.predict_seeded(test_input(0.3), 3);
+        server.shutdown();
+        let rc = straggler.wait().expect("drained on shutdown");
+        assert_eq!(
+            rc.probs.as_slice(),
+            solo(&net, &test_input(0.3), cfg, 3).as_slice()
+        );
+    }
+
+    #[test]
+    fn backpressure_rejects_while_dispatcher_is_busy() {
+        let net = Arc::new(test_net());
+        // A slow micro-batch (large S) occupies the dispatcher; the
+        // bounded queue then fills behind it and try_predict must
+        // reject, handing the input back.
+        let cfg = BayesConfig::new(1, 800);
+        let server = Server::for_graph(Arc::clone(&net))
+            .bayes(cfg)
+            .policy(BatchPolicy {
+                max_batch: 2,
+                max_wait: Duration::ZERO,
+                queue_cap: 2,
+            })
+            .start();
+        let handle = server.handle();
+        let a = handle.predict_seeded(test_input(0.1), 1);
+        // Wait until the dispatcher has taken the first request into
+        // its (long-running) batch, then fill the queue behind it.
+        while server.queued() > 0 {
+            std::thread::yield_now();
+        }
+        let b = handle.predict_seeded(test_input(0.2), 2);
+        let c = handle.predict_seeded(test_input(0.3), 3);
+        match handle.try_predict(test_input(0.4)) {
+            Err(TryPredictError::Full(x)) => assert_eq!(x.shape().n, 1),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // Everything accepted is served bit-exactly once the backlog
+        // drains.
+        for (pending, fill, seed) in [(a, 0.1f32, 1u64), (b, 0.2, 2), (c, 0.3, 3)] {
+            let reply = pending.wait().expect("served");
+            assert_eq!(
+                reply.probs.as_slice(),
+                solo(&net, &test_input(fill), cfg, seed).as_slice()
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn submissions_after_shutdown_resolve_closed() {
+        let net = Arc::new(test_net());
+        let server = Server::for_graph(net).bayes(BayesConfig::new(1, 2)).start();
+        let handle = server.handle();
+        server.shutdown();
+        assert_eq!(
+            handle.predict(test_input(0.1)).wait().map(|_| ()),
+            Err(ServeError::Closed)
+        );
+        match handle.try_predict(test_input(0.1)) {
+            Err(TryPredictError::Closed(x)) => assert_eq!(x.shape().n, 1),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "single-input")]
+    fn multi_item_submissions_are_rejected() {
+        let net = Arc::new(test_net());
+        let server = Server::for_graph(net).start();
+        let handle = server.handle();
+        let _ = handle.predict(Tensor::zeros(Shape4::new(2, 1, 16, 16)));
+    }
+}

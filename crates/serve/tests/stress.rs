@@ -1,0 +1,248 @@
+//! Timeout-guarded stress tests for the serving front door.
+//!
+//! What these pin down, beyond the bit-identity properties in
+//! `coalesce.rs`:
+//!
+//! * many client threads hammering one server with a *tiny*
+//!   coalescing window and a small bounded queue make progress —
+//!   blocking submissions, rejections and micro-batch formation all
+//!   interleave without deadlock (every body runs under a hard
+//!   watchdog deadline, so a wedged queue fails loudly instead of
+//!   hanging CI);
+//! * shutdown under load is graceful: every accepted request is
+//!   served (bit-identically), every request that raced the close
+//!   resolves to `Closed`, and nothing hangs;
+//! * a panicking backend fails its own micro-batch, not the server —
+//!   later requests are served normally.
+
+use bnn_mcd::{
+    predictive_on, BayesConfig, FloatBackend, ParallelConfig, SoftwareMaskSource, WorkerPool,
+};
+use bnn_nn::{models, Graph};
+use bnn_serve::{BatchPolicy, ServeBackend, ServeError, Server, TryPredictError};
+use bnn_tensor::{Shape4, Tensor};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Run `body` on a fresh thread and fail the test if it has not
+/// finished within `secs` — the deadlock guard for everything below.
+fn with_deadline<F: FnOnce() + Send + 'static>(secs: u64, body: F) {
+    let (tx, rx) = mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        body();
+        let _ = tx.send(());
+    });
+    match rx.recv_timeout(Duration::from_secs(secs)) {
+        Ok(()) => worker.join().expect("stress body panicked"),
+        Err(_) => panic!("stress test exceeded {secs}s — server deadlock?"),
+    }
+}
+
+fn test_net() -> Graph {
+    models::lenet5(10, 1, 16, 7)
+}
+
+fn request_input(seed: u64) -> Tensor {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
+    let data = (0..256)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+        .collect();
+    Tensor::from_vec(Shape4::new(1, 1, 16, 16), data)
+}
+
+fn solo(net: &Graph, x: &Tensor, cfg: BayesConfig, seed: u64) -> Tensor {
+    let mut backend = FloatBackend::new(net);
+    predictive_on(
+        &mut backend,
+        x,
+        cfg,
+        &mut SoftwareMaskSource::new(seed),
+        ParallelConfig::serial(),
+    )
+    .0
+}
+
+#[test]
+fn many_clients_tiny_window_bounded_queue() {
+    with_deadline(120, || {
+        let net = Arc::new(test_net());
+        let cfg = BayesConfig::new(2, 3);
+        let server = Server::for_graph(Arc::clone(&net))
+            .backend(ServeBackend::Fused)
+            .bayes(cfg)
+            .parallel(ParallelConfig::with_threads(2).with_batch_threads(2))
+            .policy(BatchPolicy {
+                max_batch: 4,
+                max_wait: Duration::from_micros(50),
+                queue_cap: 8,
+            })
+            .pool(Arc::new(WorkerPool::new(4)))
+            .start();
+
+        // 8 clients × 12 requests through blocking submission (the
+        // bounded queue forces real backpressure stalls), plus
+        // interleaved try_predict traffic that may be rejected.
+        let mut clients = Vec::new();
+        for t in 0..8u64 {
+            let handle = server.handle();
+            clients.push(std::thread::spawn(move || {
+                let mut replies = Vec::new();
+                for round in 0..12u64 {
+                    let seed = t * 1000 + round;
+                    let pending = handle.predict_seeded(request_input(seed), seed);
+                    if round % 3 == 0 {
+                        // Fire-and-maybe-reject traffic on top.
+                        match handle.try_predict_seeded(request_input(seed + 500), seed + 500) {
+                            Ok(extra) => replies.push((seed + 500, extra.wait())),
+                            Err(TryPredictError::Full(_)) => {}
+                            Err(TryPredictError::Closed(_)) => {
+                                panic!("server closed during the load phase")
+                            }
+                        }
+                    }
+                    replies.push((seed, pending.wait()));
+                }
+                replies
+            }));
+        }
+        let mut max_coalesced = 0usize;
+        for client in clients {
+            for (seed, reply) in client.join().expect("client thread survived") {
+                let reply = reply.expect("accepted request must be served");
+                let want = solo(&net, &request_input(seed), cfg, seed);
+                assert_eq!(
+                    reply.probs.as_slice(),
+                    want.as_slice(),
+                    "request (seed {seed}) diverged under load"
+                );
+                assert!(reply.coalesced >= 1 && reply.coalesced <= 4);
+                max_coalesced = max_coalesced.max(reply.coalesced);
+            }
+        }
+        // With 8 clients on a tiny window, at least *some* micro-batch
+        // must actually have coalesced — otherwise this test isn't
+        // exercising the path it claims to.
+        assert!(
+            max_coalesced >= 2,
+            "no micro-batch ever coalesced under 8-client load"
+        );
+        server.shutdown();
+    });
+}
+
+#[test]
+fn shutdown_under_load_drains_accepted_requests() {
+    with_deadline(120, || {
+        let net = Arc::new(test_net());
+        let cfg = BayesConfig::new(2, 2);
+        let server = Server::for_graph(Arc::clone(&net))
+            .bayes(cfg)
+            .policy(BatchPolicy {
+                max_batch: 4,
+                max_wait: Duration::from_micros(50),
+                queue_cap: 16,
+            })
+            .start();
+
+        // Clients submit continuously *until they observe the close*;
+        // the main thread shuts the server down mid-flight. Every
+        // reply must be either the bit-exact served result or a clean
+        // `Closed` — never a hang, never a wrong answer.
+        let mut clients = Vec::new();
+        for t in 0..6u64 {
+            let handle = server.handle();
+            clients.push(std::thread::spawn(move || {
+                let mut outcomes = Vec::new();
+                let mut round = 0u64;
+                loop {
+                    let seed = t * 100_000 + round;
+                    round += 1;
+                    let pending = handle.predict_seeded(request_input(seed), seed);
+                    let outcome = pending.wait();
+                    let done = matches!(outcome, Err(ServeError::Closed));
+                    outcomes.push((seed, outcome));
+                    if done {
+                        break;
+                    }
+                }
+                outcomes
+            }));
+        }
+        // Let some traffic through, then pull the plug. The clients
+        // keep submitting until the close lands, so `closed` outcomes
+        // are guaranteed; the 30 ms head start guarantees `served`
+        // ones.
+        std::thread::sleep(Duration::from_millis(30));
+        server.shutdown();
+
+        let (mut served, mut closed) = (0usize, 0usize);
+        for client in clients {
+            for (seed, outcome) in client.join().expect("client thread survived") {
+                match outcome {
+                    Ok(reply) => {
+                        served += 1;
+                        let want = solo(&net, &request_input(seed), cfg, seed);
+                        assert_eq!(
+                            reply.probs.as_slice(),
+                            want.as_slice(),
+                            "request (seed {seed}) diverged across shutdown"
+                        );
+                    }
+                    Err(ServeError::Closed) => closed += 1,
+                    Err(ServeError::Failed) => {
+                        panic!("healthy backend reported Failed (seed {seed})")
+                    }
+                }
+            }
+        }
+        assert!(served > 0, "shutdown raced ahead of every submission");
+        assert!(
+            closed > 0,
+            "every request beat the shutdown — not a race test"
+        );
+    });
+}
+
+#[test]
+fn backend_panic_fails_the_batch_not_the_server() {
+    with_deadline(60, || {
+        let net = Arc::new(test_net());
+        let cfg = BayesConfig::new(2, 2);
+        let server = Server::for_graph(Arc::clone(&net))
+            .bayes(cfg)
+            .policy(BatchPolicy {
+                max_batch: 2,
+                max_wait: Duration::from_micros(50),
+                queue_cap: 8,
+            })
+            .start();
+        let handle = server.handle();
+
+        // A zero-element input slips past the single-item check but
+        // panics inside the engine (shape inference): the injected
+        // fault.
+        let poison = Tensor::zeros(Shape4::new(1, 0, 0, 0));
+        let bad = handle.predict(poison);
+        assert_eq!(
+            bad.wait().map(|_| ()),
+            Err(ServeError::Failed),
+            "a panicking micro-batch must fail, not hang"
+        );
+
+        // The dispatcher survives and keeps serving.
+        let seed = 42u64;
+        let reply = handle
+            .predict_seeded(request_input(seed), seed)
+            .wait()
+            .expect("server must survive a poisoned batch");
+        let want = solo(&net, &request_input(seed), cfg, seed);
+        assert_eq!(reply.probs.as_slice(), want.as_slice());
+        server.shutdown();
+    });
+}

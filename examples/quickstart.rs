@@ -7,8 +7,9 @@
 //! fusion (`Backend::Fused`: bit-identical to `Backend::Float` but
 //! each suffix weight matrix streams once per layer instead of once
 //! per sample — prefer it when `S` is large), int8 integer, and the
-//! simulated FPGA accelerator — and compare against the paper's
-//! CPU/GPU baselines.
+//! simulated FPGA accelerator — compare against the paper's CPU/GPU
+//! baselines, and finish by serving four concurrent clients through
+//! the request-coalescing `bnn-serve` front door.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
@@ -20,7 +21,7 @@ use bnn_fpga::mcd::{BayesConfig, ParallelConfig};
 use bnn_fpga::nn::{arch::extract_layers, models, SgdConfig, Trainer};
 use bnn_fpga::platforms::PlatformModel;
 use bnn_fpga::quant::Quantizer;
-use bnn_fpga::{Backend, Session};
+use bnn_fpga::{Backend, BatchPolicy, ServeBackend, Server, Session};
 
 fn main() {
     // 1. Data + model. LeNet-5 has N = 5 weight layers, each guarded
@@ -105,4 +106,46 @@ fn main() {
         "\nbaselines ({} MC samples, no IC): CPU {cpu:.3} ms, GPU {gpu:.3} ms",
         bayes.s
     );
+
+    // 6. Concurrent serving: the bnn-serve front door. Many clients
+    //    submit single inputs through cheap cloneable handles; one
+    //    resident dispatcher coalesces them into micro-batches and
+    //    hands each caller its probabilities plus an uncertainty
+    //    summary and its own cost slice. Each request's masks derive
+    //    from its own seed, so a reply is bit-identical whether the
+    //    request was served alone or coalesced with strangers.
+    let server = Server::for_graph(std::sync::Arc::new(folded.clone()))
+        .backend(ServeBackend::Fused)
+        .bayes(bayes)
+        .policy(BatchPolicy {
+            max_batch: 8,
+            max_wait: std::time::Duration::from_millis(1),
+            queue_cap: 64,
+        })
+        .seed(2024)
+        .start();
+    println!("\n== 4 concurrent clients through one coalescing server ==");
+    std::thread::scope(|scope| {
+        for client in 0..4usize {
+            let handle = server.handle();
+            let x = ds.test_x.select_item(client);
+            let truth = ds.test_y[client];
+            scope.spawn(move || {
+                let reply = handle.predict(x).wait().expect("served");
+                let u = reply.uncertainty;
+                println!(
+                    "client {client}: class {} (truth {truth}, confidence {:.3}), \
+                     entropy {:.3} nats (epistemic {:.3}), \
+                     coalesced x{}, {:.3} ms",
+                    u.predicted,
+                    u.confidence,
+                    u.entropy,
+                    u.mutual_information,
+                    reply.coalesced,
+                    reply.cost.wall_ms
+                );
+            });
+        }
+    });
+    server.shutdown();
 }

@@ -11,6 +11,7 @@
 //! ```
 
 use bnn_fpga::data::{gaussian_noise_like, synth_mnist};
+use bnn_fpga::mcd::uncertainty::{max_entropy, max_prob, mutual_information_rows};
 use bnn_fpga::mcd::{avg_predictive_entropy, BayesConfig, ParallelConfig};
 use bnn_fpga::nn::{models, MaskSet, SgdConfig, Trainer};
 use bnn_fpga::tensor::{softmax_rows, Tensor};
@@ -20,7 +21,9 @@ fn confidence_histogram(probs: &Tensor, bins: usize) -> Vec<f64> {
     let mut hist = vec![0.0f64; bins];
     let n = probs.shape().n;
     for i in 0..n {
-        let conf = probs.item(i)[probs.argmax_item(i)];
+        // Max-prob confidence from the shared uncertainty module —
+        // the same quantity a bnn-serve reply carries per request.
+        let (_, conf) = max_prob(probs.item(i));
         let b = ((f64::from(conf) * bins as f64) as usize).min(bins - 1);
         hist[b] += 1.0;
     }
@@ -66,19 +69,16 @@ fn main() {
     softmax_rows(std_logits.as_mut_slice(), n, k);
     let std_probs = std_logits;
 
-    // BNN: MCD with S = 50 samples, served through a Session.
+    // BNN: MCD with S = 50 samples, served through a Session. Keep
+    // the per-sample passes so the epistemic share (BALD mutual
+    // information) can be decomposed out of the total entropy.
     let mut session = Session::for_graph(&bnn_net)
         .bayes(BayesConfig::new(l, 50))
         .parallel(ParallelConfig::max_parallel())
         .seed(7)
         .build();
-    let bnn_probs = session.predictive(&noise);
-    if let Some(cost) = session.last_cost() {
-        println!(
-            "\nBNN predictive: S = {} samples in {:.1} ms wall",
-            cost.samples, cost.wall_ms
-        );
-    }
+    let passes = session.sample_probs(&noise);
+    let bnn_probs = bnn_fpga::mcd::mean_probs(&passes, passes.len());
 
     println!("\n== Confidence on random-noise inputs (Figure 1) ==\n");
     print_hist(
@@ -94,8 +94,11 @@ fn main() {
     let ape_std = avg_predictive_entropy(&std_probs);
     let ape_bnn = avg_predictive_entropy(&bnn_probs);
     println!("\naPE on noise: standard NN {ape_std:.3} nats, BNN {ape_bnn:.3} nats");
+    let mi_rows = mutual_information_rows(&passes);
+    let mi_bnn = mi_rows.iter().sum::<f64>() / mi_rows.len() as f64;
+    println!("BNN epistemic share (BALD mutual information): {mi_bnn:.3} nats");
     println!(
         "(higher is better on OOD data; max = ln 10 = {:.3})",
-        (10.0f64).ln()
+        max_entropy(10)
     );
 }

@@ -58,8 +58,28 @@
 //! harness in [`mcd::conformance`] gives any new backend
 //! cross-substrate agreement coverage (shared mask stream, thread and
 //! pool-size invariance, batched-vs-unbatched serving, both schedule
-//! axes) in one `assert_backend_agrees` call — see
-//! `tests/backends.rs`.
+//! axes, coalescing invariance) in one `assert_backend_agrees` call —
+//! see `tests/backends.rs`.
+//!
+//! # Serving concurrent traffic: the `bnn-serve` front door
+//!
+//! A [`Session`] is the right shape for *batch* work — one owner, one
+//! mask stream, dataset-sized calls. Concurrent single-input traffic
+//! goes through [`Server`] (crate `bnn-serve`, re-exported as
+//! [`serve`]): callers submit through cheap cloneable [`Handle`]s, a
+//! resident dispatcher coalesces queued requests into micro-batches
+//! under a [`BatchPolicy`] (`max_batch` / `max_wait` / `queue_cap`
+//! backpressure), and every caller gets back its probabilities plus a
+//! per-request [`mcd::Uncertainty`] summary (max-prob confidence,
+//! predictive entropy, mutual information) and its own
+//! [`mcd::CostReport`] slice. The load-bearing guarantee is
+//! **coalescing invariance**: each request's masks derive from its own
+//! seed (`serve::request_seed`, or pinned via
+//! `Handle::predict_seeded`), so its reply is bit-identical whether it
+//! is served alone or coalesced with arbitrary neighbors — on every
+//! substrate, at any pool size. See `examples/quickstart.rs` for the
+//! multi-client tour and [`Session::serve_requests`] for the
+//! synchronous in-thread form.
 //!
 //! # Workspace map
 //!
@@ -71,6 +91,7 @@
 //! | [`nn`] | `bnn-nn` | layer-graph IR, f32 executor, backprop, SGD, model builders |
 //! | [`data`] | `bnn-data` | synthetic MNIST/SVHN/CIFAR-like datasets, OOD noise |
 //! | [`mcd`] | `bnn-mcd` | the `BayesBackend` trait, generic MC engine, `FloatBackend`/`FusedBackend`, conformance harness, uncertainty metrics |
+//! | [`serve`] | `bnn-serve` | the request-coalescing serving front door: `Server`, `Handle`, `BatchPolicy` |
 //! | [`quant`] | `bnn-quant` | 8-bit linear quantization, int8 executor, `Int8Backend` |
 //! | [`platforms`] | `bnn-platforms` | CPU/GPU latency models, VIBNN and BYNQNet baselines |
 //! | [`framework`] | `bnn-framework` | the automatic hardware/algorithm optimization framework |
@@ -92,5 +113,9 @@ pub use bnn_nn as nn;
 pub use bnn_platforms as platforms;
 pub use bnn_quant as quant;
 pub use bnn_rng as rng;
+pub use bnn_serve as serve;
+pub use bnn_serve::{
+    BatchPolicy, Handle, Pending, Reply, ServeBackend, ServeError, Server, TryPredictError,
+};
 pub use bnn_tensor as tensor;
 pub use session::{Backend, Session, SessionBuilder};

@@ -29,9 +29,9 @@
 
 use bnn_accel::{AccelBackend, Accelerator};
 use bnn_mcd::{
-    predictive_batched_pooled, predictive_pooled, sample_probs_pooled, BayesBackend, BayesConfig,
-    CostReport, FloatBackend, FusedBackend, HardwareMaskSource, MaskSource, ParallelConfig,
-    SoftwareMaskSource, WorkerPool,
+    predictive_batched_pooled, predictive_pooled, sample_probs_pooled, serve_requests_pooled,
+    BayesBackend, BayesConfig, CostReport, FloatBackend, FusedBackend, HardwareMaskSource,
+    MaskSource, ParallelConfig, RequestResult, SeededRequest, SoftwareMaskSource, WorkerPool,
 };
 use bnn_nn::Graph;
 use bnn_quant::{Int8Backend, QGraph};
@@ -72,6 +72,21 @@ impl std::fmt::Debug for Backend {
             Backend::Int8(_) => "Backend::Int8(..)",
             Backend::Accel(_) => "Backend::Accel(..)",
         })
+    }
+}
+
+impl From<Backend> for bnn_serve::ServeBackend {
+    /// A session-level substrate choice maps one-to-one onto the
+    /// serving front door's (`bnn_serve::Server`), so deployment code
+    /// can pick once and both serve batch jobs (`Session`) and
+    /// concurrent single-input traffic (`Server`) from it.
+    fn from(backend: Backend) -> bnn_serve::ServeBackend {
+        match backend {
+            Backend::Float => bnn_serve::ServeBackend::Float,
+            Backend::Fused => bnn_serve::ServeBackend::Fused,
+            Backend::Int8(qgraph) => bnn_serve::ServeBackend::Int8(qgraph),
+            Backend::Accel(accel) => bnn_serve::ServeBackend::Accel(accel),
+        }
     }
 }
 
@@ -304,6 +319,32 @@ impl<'g> Session<'g> {
         ));
         self.last_cost = Some(cost);
         probs
+    }
+
+    /// Serve a micro-batch of independently-seeded requests in one
+    /// coalesced engine pass — the synchronous, in-thread form of the
+    /// `bnn_fpga::serve::Server` front door.
+    ///
+    /// Each `(input, seed)` pair runs as its own batch group with its
+    /// own mask stream, so every result is **bit-identical** to a
+    /// solo `predictive` call on a fresh session seeded with that
+    /// request's seed, whatever its neighbors (coalescing
+    /// invariance). Unlike [`Session::predictive`], this does *not*
+    /// consume the session's own mask stream — the seeds are the
+    /// requests'. Each [`RequestResult`] carries the per-sample
+    /// passes, the predictive mean and that request's cost slice.
+    pub fn serve_requests(&mut self, requests: &[(&Tensor, u64)]) -> Vec<RequestResult> {
+        let reqs: Vec<SeededRequest<'_>> = requests
+            .iter()
+            .map(|&(x, seed)| SeededRequest { x, seed })
+            .collect();
+        with_backend!(&mut self.inner, b => serve_requests_pooled(
+            b,
+            &reqs,
+            self.bayes,
+            self.parallel,
+            &self.pool,
+        ))
     }
 
     /// Cost report of the most recent predictive call.

@@ -406,3 +406,135 @@ fn hardware_masks_flow_through_session() {
         .build();
     assert_ne!(pa.as_slice(), c.predictive(&x).as_slice());
 }
+
+#[test]
+fn session_serve_requests_bit_identical_on_all_substrates() {
+    // The coalesced request path (`Session::serve_requests` — the
+    // synchronous form of the bnn-serve front door) on every
+    // substrate: each (input, seed) request must come back byte-equal
+    // to a fresh solo session seeded with that request's seed,
+    // whatever its neighbors in the micro-batch.
+    let (net, ds) = trained_lenet();
+    let folded = net.fold_batch_norm();
+    let qg = Quantizer::new(&folded).calibrate(&ds.train_x).quantize();
+    let accel = Accelerator::new(AccelConfig::default(), &folded, &qg, ds.image_shape());
+    let cfg = BayesConfig::new(2, 5);
+    // Single-item inputs: the shape every backend (incl. the batch-1
+    // accelerator) serves.
+    let inputs: Vec<Tensor> = (0..3).map(|i| ds.test_x.select_item(i)).collect();
+    let seeds = [401u64, 402, 403];
+
+    type MakeBackend = Box<dyn Fn() -> Backend>;
+    let backends: Vec<(&str, MakeBackend)> = vec![
+        ("float", Box::new(|| Backend::Float)),
+        ("fused", Box::new(|| Backend::Fused)),
+        (
+            "int8",
+            Box::new({
+                let qg = qg.clone();
+                move || Backend::Int8(qg.clone())
+            }),
+        ),
+        (
+            "accel",
+            Box::new({
+                let accel = accel.clone();
+                move || Backend::Accel(accel.clone())
+            }),
+        ),
+    ];
+    for (label, make) in backends {
+        // Solo references: one fresh session per request, seeded with
+        // the request's own seed.
+        let solo: Vec<Tensor> = inputs
+            .iter()
+            .zip(seeds)
+            .map(|(x, seed)| {
+                Session::for_graph(&folded)
+                    .backend(make())
+                    .bayes(cfg)
+                    .seed(seed)
+                    .build()
+                    .predictive(x)
+            })
+            .collect();
+        for parallel in [
+            ParallelConfig::serial(),
+            ParallelConfig::serial().with_batch_threads(3),
+        ] {
+            let mut session = Session::for_graph(&folded)
+                .backend(make())
+                .bayes(cfg)
+                .parallel(parallel)
+                .build();
+            let requests: Vec<(&Tensor, u64)> = inputs.iter().zip(seeds).collect();
+            let served = session.serve_requests(&requests);
+            assert_eq!(served.len(), 3);
+            for (i, (out, want)) in served.iter().zip(&solo).enumerate() {
+                assert_eq!(
+                    out.probs.as_slice(),
+                    want.as_slice(),
+                    "{label}: coalesced request {i} diverged from solo serving \
+                     (batch_threads={})",
+                    parallel.batch_threads
+                );
+                assert_eq!(out.passes.len(), cfg.s);
+                assert_eq!(out.cost.samples, cfg.s);
+            }
+        }
+    }
+}
+
+#[test]
+fn server_front_door_serves_integer_substrates() {
+    // The threaded Server over the substrates the serve crate's own
+    // tests don't cover (int8, accelerator), reached through the
+    // facade's Backend -> ServeBackend conversion: replies must be
+    // byte-equal to solo sessions with the same seeds.
+    let (net, ds) = trained_lenet();
+    let folded = net.fold_batch_norm();
+    let qg = Quantizer::new(&folded).calibrate(&ds.train_x).quantize();
+    let accel = Accelerator::new(AccelConfig::default(), &folded, &qg, ds.image_shape());
+    let cfg = BayesConfig::new(2, 4);
+    let graph = std::sync::Arc::new(folded.clone());
+
+    for backend in [Backend::Int8(qg.clone()), Backend::Accel(accel.clone())] {
+        let name = format!("{backend:?}");
+        let solo = |x: &Tensor, seed: u64, backend: Backend| {
+            Session::for_graph(&folded)
+                .backend(backend)
+                .bayes(cfg)
+                .seed(seed)
+                .build()
+                .predictive(x)
+        };
+        let server = bnn_fpga::Server::for_graph(std::sync::Arc::clone(&graph))
+            .backend(backend.into())
+            .bayes(cfg)
+            .start();
+        let handle = server.handle();
+        let pendings: Vec<_> = (0..3u64)
+            .map(|i| {
+                let x = ds.test_x.select_item(i as usize);
+                (i, handle.predict_seeded(x, 900 + i))
+            })
+            .collect();
+        for (i, pending) in pendings {
+            let reply = pending.wait().expect("served");
+            let x = ds.test_x.select_item(i as usize);
+            let rebuilt = if name.contains("Int8") {
+                Backend::Int8(qg.clone())
+            } else {
+                Backend::Accel(accel.clone())
+            };
+            let want = solo(&x, 900 + i, rebuilt);
+            assert_eq!(
+                reply.probs.as_slice(),
+                want.as_slice(),
+                "{name}: served reply {i} diverged from the solo session"
+            );
+            assert_eq!(reply.uncertainty.predicted, reply.probs.argmax_item(0));
+        }
+        server.shutdown();
+    }
+}
