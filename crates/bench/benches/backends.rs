@@ -31,9 +31,9 @@ use bnn_fpga::mcd::{BayesConfig, ParallelConfig};
 use bnn_fpga::nn::models;
 use bnn_fpga::quant::Quantizer;
 use bnn_fpga::tensor::{Shape4, Tensor};
-use bnn_fpga::{Backend, BatchPolicy, ServeBackend, Server, Session};
+use bnn_fpga::{Backend, BatchPolicy, Priority, ServeBackend, ServeError, Server, Session};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn bench_backends(c: &mut Criterion) {
     let net = models::lenet5(10, 1, 28, 5).fold_batch_norm();
@@ -150,6 +150,7 @@ fn bench_serving(c: &mut Criterion) {
                 max_batch: 16,
                 max_wait: Duration::ZERO,
                 queue_cap: 256,
+                ..BatchPolicy::default()
             })
             .start();
         c.bench_function(&format!("serve_coalesced_c{clients}"), |bch| {
@@ -175,6 +176,137 @@ fn bench_serving(c: &mut Criterion) {
     }
 }
 
+/// One measured closed-loop overload pass against the admission
+/// scheduler, emitted as machine-readable `BENCH_serve.json` at the
+/// workspace root (serde stays stubbed offline, so the JSON is
+/// assembled by hand):
+///
+/// * 2 high-priority closed-loop clients (submit → wait → repeat, no
+///   deadline) whose per-request latencies give the p50/p99 numbers —
+///   the tail the admission scheduler must keep bounded under flood;
+/// * 4 low-priority open-loop flooders with 2 ms queue budgets
+///   hammering a 16-slot queue, so the overload counters (rejected /
+///   expired / shed) actually move.
+///
+/// Not a criterion row: percentiles need per-request timestamps, so
+/// the pass is measured by hand and both printed and persisted.
+fn bench_admission(_c: &mut Criterion) {
+    const HIGH_CLIENTS: usize = 2;
+    const HIGH_ROUNDS: usize = 24;
+    const FLOOD_CLIENTS: usize = 4;
+    const FLOOD_ROUNDS: usize = 80;
+
+    let graph = Arc::new(models::lenet5(10, 1, 28, 5).fold_batch_norm());
+    let bayes = BayesConfig::new(3, 10);
+    let x = Tensor::full(Shape4::new(1, 1, 28, 28), 0.25);
+    let server = Server::for_graph(Arc::clone(&graph))
+        .backend(ServeBackend::Fused)
+        .bayes(bayes)
+        .policy(BatchPolicy {
+            max_batch: 8,
+            max_wait: Duration::ZERO,
+            queue_cap: 16,
+            ..BatchPolicy::default()
+        })
+        .start();
+
+    let (latencies, flood_outcomes) = std::thread::scope(|scope| {
+        let mut highs = Vec::new();
+        for client in 0..HIGH_CLIENTS {
+            let handle = server.handle();
+            let x = x.clone();
+            highs.push(scope.spawn(move || {
+                (0..HIGH_ROUNDS)
+                    .map(|round| {
+                        let start = Instant::now();
+                        handle
+                            .request(x.clone())
+                            .seed((client * HIGH_ROUNDS + round) as u64)
+                            .priority(Priority::High)
+                            .submit()
+                            .wait()
+                            .expect("high-priority request served");
+                        start.elapsed()
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let mut floods = Vec::new();
+        for client in 0..FLOOD_CLIENTS {
+            let handle = server.handle();
+            let x = x.clone();
+            floods.push(scope.spawn(move || {
+                let mut turned_away = 0usize;
+                let pendings: Vec<_> = (0..FLOOD_ROUNDS)
+                    .filter_map(|round| {
+                        handle
+                            .request(x.clone())
+                            .seed((10_000 + client * FLOOD_ROUNDS + round) as u64)
+                            .priority(Priority::Low)
+                            .deadline(Duration::from_millis(2))
+                            .try_submit()
+                            .map_err(|_| turned_away += 1)
+                            .ok()
+                    })
+                    .collect();
+                let resolved: Vec<_> = pendings.into_iter().map(|p| p.wait()).collect();
+                (resolved, turned_away)
+            }));
+        }
+        let mut latencies: Vec<Duration> = highs
+            .into_iter()
+            .flat_map(|h| h.join().expect("high client survived"))
+            .collect();
+        latencies.sort();
+        let flood_outcomes: Vec<_> = floods
+            .into_iter()
+            .map(|f| f.join().expect("flood client survived"))
+            .collect();
+        (latencies, flood_outcomes)
+    });
+
+    let mut door_rejected = 0usize;
+    for (outcomes, turned_away) in &flood_outcomes {
+        door_rejected += turned_away;
+        for outcome in outcomes {
+            assert!(
+                outcome.is_ok()
+                    || matches!(
+                        outcome,
+                        Err(ServeError::Rejected) | Err(ServeError::DeadlineExceeded)
+                    ),
+                "flood outcome outside the admission contract: {outcome:?}"
+            );
+        }
+    }
+    let pct = |q: usize| latencies[(latencies.len() - 1) * q / 100].as_micros();
+    let (p50, p99) = (pct(50), pct(99));
+    let stats = server.stats();
+    server.shutdown();
+
+    println!(
+        "  serve_admission: high p50 {p50} us, p99 {p99} us; \
+         {} served, {} shed, {} expired, {} rejected ({door_rejected} at the door)",
+        stats.served, stats.shed, stats.expired, stats.rejected
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"serve_admission\",\n  \"high_clients\": {HIGH_CLIENTS},\n  \
+         \"high_requests\": {},\n  \"flood_clients\": {FLOOD_CLIENTS},\n  \
+         \"flood_requests\": {},\n  \"high_p50_us\": {p50},\n  \"high_p99_us\": {p99},\n  \
+         \"served\": {},\n  \"shed\": {},\n  \"expired\": {},\n  \"failed\": {},\n  \
+         \"rejected\": {}\n}}\n",
+        HIGH_CLIENTS * HIGH_ROUNDS,
+        FLOOD_CLIENTS * FLOOD_ROUNDS,
+        stats.served,
+        stats.shed,
+        stats.expired,
+        stats.failed,
+        stats.rejected,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, json).expect("write BENCH_serve.json");
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -185,6 +317,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_backends, bench_serving
+    targets = bench_backends, bench_serving, bench_admission
 }
 criterion_main!(benches);

@@ -14,6 +14,12 @@
 //! * [`Tolerance::L1`] for substrates with intrinsic numeric drift
 //!   (int8 vs. float quantization error).
 //!
+//! Checks 1–6 live in [`assert_backend_agrees`]; check 7 — chaos
+//! transparency, fault containment and replayability under the
+//! [`crate::chaos::ChaosBackend`] fault injector — lives in
+//! [`assert_chaos_agrees`] (it builds backends through a factory
+//! because the wrapper takes ownership).
+//!
 //! The facade's `tests/backends.rs` runs this suite over float, fused,
 //! int8 and accelerator; a future `impl BayesBackend` plugs in with
 //! one call:
@@ -40,10 +46,12 @@ use crate::backend::{
     predictive_batched_on, predictive_batched_pooled, predictive_on, predictive_pooled,
     serve_requests_pooled, BayesBackend, SeededRequest,
 };
+use crate::chaos::{fault_at, ChaosBackend, ChaosConfig, Fault};
 use crate::pool::WorkerPool;
 use crate::predict::{BayesConfig, ParallelConfig};
 use crate::source::SoftwareMaskSource;
 use bnn_tensor::Tensor;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// How closely a candidate backend must agree with the reference.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -321,6 +329,144 @@ pub fn assert_backend_agrees<R: BayesBackend + Send, C: BayesBackend + Send>(
                 "{}: request schedule moved coalesced request {i} ({workers} worker(s))",
                 candidate.name()
             );
+        }
+    }
+}
+
+/// Conformance check 7 — *chaos transparency and containment* — for
+/// any backend, via a factory (the [`ChaosBackend`] wrapper takes
+/// ownership of its inner backend, so the harness builds instances as
+/// it needs them).
+///
+/// Three properties are asserted, all on the request-serving path the
+/// `bnn-serve` dispatcher uses ([`serve_requests_pooled`], sequential
+/// schedule — the schedule under which fault indices map 1:1 onto
+/// requests):
+///
+/// 1. *Transparency* — a [`ChaosBackend`] with faults disabled
+///    ([`ChaosConfig::disabled`]) is **byte-equal** to the bare
+///    backend, request for request.
+/// 2. *Containment* — under an active schedule mixing panics and
+///    delays, a panic-faulted micro-batch fails (panics, here caught
+///    like the server's quarantine catches them) while every
+///    *non-faulted* request — including delayed ones — stays
+///    byte-equal to the fault-free run.
+/// 3. *Replayability* — the observed fault positions equal the pure
+///    [`fault_at`] schedule, and a second run under the same chaos
+///    seed reproduces outcomes bit-for-bit.
+///
+/// The active chaos schedule is derived from `seed` by a bounded
+/// deterministic search so it always contains at least one panic, one
+/// delay and one clean call — no flakiness, no degenerate all-fault
+/// or no-fault schedules.
+///
+/// # Panics
+///
+/// Panics (naming the failing property) on any violation.
+pub fn assert_chaos_agrees<B, F>(mut make: F, x: &Tensor, cfg: BayesConfig, seed: u64)
+where
+    B: BayesBackend + Send,
+    F: FnMut() -> B,
+{
+    let pool = WorkerPool::new(0);
+    let n_requests = 6u64;
+    let requests: Vec<SeededRequest> = (0..n_requests)
+        .map(|i| SeededRequest {
+            x,
+            seed: seed.wrapping_add(i),
+        })
+        .collect();
+    let mut bare = make();
+    let b_name = bare.name();
+    // Fault-free reference, bare backend.
+    let want: Vec<Tensor> =
+        serve_requests_pooled(&mut bare, &requests, cfg, ParallelConfig::serial(), &pool)
+            .into_iter()
+            .map(|r| r.probs)
+            .collect();
+
+    // 1. Transparency: disabled chaos is byte-equal to bare.
+    let mut quiet = ChaosBackend::new(make(), ChaosConfig::disabled(seed));
+    let got = serve_requests_pooled(&mut quiet, &requests, cfg, ParallelConfig::serial(), &pool);
+    for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+        assert_eq!(
+            w.as_slice(),
+            g.probs.as_slice(),
+            "{b_name}: disabled chaos moved request {i} (transparency)"
+        );
+    }
+    assert_eq!(
+        quiet.calls(),
+        n_requests,
+        "{b_name}: chaos call accounting lost requests"
+    );
+
+    // 2 + 3. Active schedule: search (deterministically, from
+    // `seed`) for one holding all three fault kinds over the run.
+    let chaos = (0..10_000u64)
+        .map(|k| ChaosConfig::new(seed.wrapping_add(k), 0.35, 0.35))
+        .find(|c| {
+            let s = c.schedule(n_requests);
+            s.contains(&Fault::Panic) && s.contains(&Fault::Delay) && s.contains(&Fault::None)
+        })
+        .expect("a mixed fault schedule exists within the search bound");
+    let mut run = || -> Vec<Option<Tensor>> {
+        let mut faulty = ChaosBackend::new(make(), chaos);
+        requests
+            .iter()
+            .map(|req| {
+                // One request per micro-batch, panics quarantined
+                // exactly like the serving dispatcher does.
+                catch_unwind(AssertUnwindSafe(|| {
+                    serve_requests_pooled(
+                        &mut faulty,
+                        std::slice::from_ref(req),
+                        cfg,
+                        ParallelConfig::serial(),
+                        &pool,
+                    )
+                    .pop()
+                    .expect("one reply per request")
+                    .probs
+                }))
+                .ok()
+            })
+            .collect()
+    };
+    let first = run();
+    for (i, outcome) in first.iter().enumerate() {
+        let scheduled = fault_at(&chaos, i as u64);
+        match outcome {
+            None => assert_eq!(
+                scheduled,
+                Fault::Panic,
+                "{b_name}: request {i} failed off-schedule (containment)"
+            ),
+            Some(probs) => {
+                assert_ne!(
+                    scheduled,
+                    Fault::Panic,
+                    "{b_name}: request {i} survived a scheduled panic (containment)"
+                );
+                assert_eq!(
+                    probs.as_slice(),
+                    want[i].as_slice(),
+                    "{b_name}: non-faulted request {i} diverged from the \
+                     fault-free run (containment)"
+                );
+            }
+        }
+    }
+    let second = run();
+    for (i, (a, b)) in first.iter().zip(&second).enumerate() {
+        match (a, b) {
+            (None, None) => {}
+            (Some(pa), Some(pb)) => assert_eq!(
+                pa.as_slice(),
+                pb.as_slice(),
+                "{b_name}: replay moved request {i} (replayability)"
+            ),
+            _ => panic!("{b_name}: replay changed request {i}'s fault outcome (replayability)"),
         }
     }
 }

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod chaos;
 pub mod conformance;
 mod metrics;
 pub mod pool;
@@ -47,7 +48,8 @@ pub use backend::{
     sample_probs_on, sample_probs_pooled, serve_requests_on, serve_requests_pooled, BayesBackend,
     CostReport, FloatBackend, FusedBackend, FusedScratch, ModelCost, RequestResult, SeededRequest,
 };
-pub use conformance::{assert_backend_agrees, Tolerance};
+pub use chaos::{fault_at, ChaosBackend, ChaosConfig, Fault};
+pub use conformance::{assert_backend_agrees, assert_chaos_agrees, Tolerance};
 pub use metrics::{accuracy, avg_predictive_entropy, ece, mutual_information, nll, Calibration};
 pub use pool::WorkerPool;
 pub use predict::{

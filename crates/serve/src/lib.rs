@@ -29,14 +29,45 @@
 //! exactly that, over the float and fused backends at pool sizes
 //! `{1, 4}`.
 //!
-//! # Backpressure and shutdown
+//! # Admission control
 //!
-//! The submission queue is bounded ([`BatchPolicy::queue_cap`]):
-//! [`Handle::predict`] blocks while the queue is full,
-//! [`Handle::try_predict`] returns the input back instead of
-//! blocking. [`Server::shutdown`] (and `Drop`) closes the queue,
-//! drains every already-accepted request through the normal serving
-//! path, and joins the dispatcher — no accepted request is abandoned.
+//! Every submission carries a [`Priority`] (default
+//! [`Priority::Normal`]) and, optionally, a deadline — set both
+//! through the [`Handle::request`] builder. The dispatcher dequeues
+//! strictly by priority class (High before Normal before Low, FIFO
+//! within a class), and the bounded queue
+//! ([`BatchPolicy::queue_cap`]) sheds load by priority: when a
+//! submission arrives at a full queue, the *youngest request of the
+//! lowest class strictly below it* is evicted and resolved
+//! [`ServeError::Rejected`] — so low-priority work absorbs overload
+//! while high-priority latency stays bounded by the queue depth.
+//! Submissions that find no lower-priority victim block
+//! ([`Handle::predict`]) or are themselves rejected with the input
+//! handed back ([`Handle::try_predict`]; pair it with
+//! [`RetryPolicy`], the jittered-backoff retry helper). A queued
+//! request whose deadline passes before it is taken into a
+//! micro-batch resolves [`ServeError::DeadlineExceeded`] instead of
+//! silently aging in place.
+//!
+//! # Failure containment
+//!
+//! Every request resolves with a definite outcome — a [`Reply`] or a
+//! typed [`ServeError`] — never a hang. A backend panic is
+//! quarantined to its own micro-batch: its requests resolve
+//! [`ServeError::BackendFailed`], the dispatcher survives. After
+//! `breaker_after` *consecutive* micro-batch panics
+//! ([`ServerBuilder::breaker_after`]) the per-server circuit breaker
+//! trips: queued work is failed fast with `BackendFailed` and new
+//! submissions are rejected at the door instead of accepting doomed
+//! work ([`Server::breaker_tripped`] observes the state).
+//! [`Server::shutdown`] (and `Drop`) closes the queue, drains every
+//! already-accepted request through the normal serving path
+//! (deadlines still honoured mid-drain), and joins the dispatcher.
+//! All of it is provoked on demand, deterministically, by the chaos
+//! harness: [`ServerBuilder::chaos`] wraps the resident backend in
+//! [`bnn_mcd::ChaosBackend`], injecting seeded panics and delays on a
+//! replayable schedule. [`Server::stats`] exposes the admission
+//! counters (served / shed / expired / failed / rejected).
 //!
 //! # Example
 //!
@@ -67,8 +98,8 @@
 
 use bnn_accel::{AccelBackend, Accelerator};
 use bnn_mcd::{
-    serve_requests_pooled, BayesBackend, BayesConfig, CostReport, FloatBackend, FusedBackend,
-    ParallelConfig, SeededRequest, Uncertainty, WorkerPool,
+    serve_requests_pooled, BayesBackend, BayesConfig, ChaosBackend, ChaosConfig, CostReport,
+    FloatBackend, FusedBackend, ParallelConfig, SeededRequest, Uncertainty, WorkerPool,
 };
 use bnn_nn::Graph;
 use bnn_quant::{Int8Backend, QGraph};
@@ -76,6 +107,7 @@ use bnn_rng::SoftRng;
 use bnn_tensor::Tensor;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -97,18 +129,32 @@ pub struct BatchPolicy {
     pub max_wait: Duration,
     /// Bound on queued (accepted, not yet dispatched) requests: the
     /// backpressure knob. [`Handle::predict`] blocks at the cap,
-    /// [`Handle::try_predict`] rejects. Normalized to at least 1.
+    /// [`Handle::try_predict`] rejects — and an arriving submission
+    /// sheds the youngest strictly-lower-priority queued request
+    /// first (resolved [`ServeError::Rejected`]). Normalized to at
+    /// least 1.
     pub queue_cap: usize,
+    /// Opt-in adaptive coalescing window: the dispatcher tracks an
+    /// EMA of request inter-arrival gaps and *collapses the window to
+    /// zero when traffic is sparse* (estimated gap longer than
+    /// [`BatchPolicy::max_wait`], or no history yet), so a lone
+    /// request is served immediately instead of waiting out the full
+    /// fixed window. Dense traffic (gap within the window) keeps the
+    /// configured `max_wait` and coalesces as usual. Off by default:
+    /// the fixed window is the deterministic choice (and some
+    /// workloads rely on "hold until full" semantics).
+    pub adaptive_window: bool,
 }
 
 impl Default for BatchPolicy {
-    /// Micro-batches of up to 16, a 200 µs coalescing window, a
+    /// Micro-batches of up to 16, a fixed 200 µs coalescing window, a
     /// 256-request queue.
     fn default() -> BatchPolicy {
         BatchPolicy {
             max_batch: 16,
             max_wait: Duration::from_micros(200),
             queue_cap: 256,
+            adaptive_window: false,
         }
     }
 }
@@ -158,47 +204,188 @@ pub fn request_seed(base: u64, request_id: u64) -> u64 {
     SoftRng::new(base ^ request_id.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64()
 }
 
-/// Why a served request failed.
+/// A request's admission class. Ordered: `Low < Normal < High`. The
+/// dispatcher dequeues higher classes first (FIFO within a class),
+/// and at queue saturation an arriving submission sheds the youngest
+/// queued request of the lowest class *strictly below* its own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Sheddable background work — first to go under overload.
+    Low,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Latency-sensitive work: served first, never shed by arrivals
+    /// (nothing outranks it).
+    High,
+}
+
+/// The number of priority classes (one queue per class).
+const PRIORITIES: usize = 3;
+
+impl Priority {
+    fn index(self) -> usize {
+        match self {
+            Priority::Low => 0,
+            Priority::Normal => 1,
+            Priority::High => 2,
+        }
+    }
+}
+
+/// Why a request failed — the definite-outcome taxonomy: every
+/// accepted request resolves with a [`Reply`] or exactly one of
+/// these, never a hang.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServeError {
-    /// The server was shut down before this request could be served.
-    Closed,
+    /// Shed by admission control: the queue was at
+    /// [`BatchPolicy::queue_cap`] and this request was (or would have
+    /// been) the lowest-priority work. Retryable — see
+    /// [`RetryPolicy`].
+    Rejected,
+    /// The request's deadline passed while it was still queued; it
+    /// was resolved at batch-formation time instead of silently
+    /// aging.
+    DeadlineExceeded,
     /// The backend panicked while serving this request's micro-batch
-    /// (the dispatcher survives and keeps serving later batches).
-    Failed,
+    /// (quarantined: the dispatcher survives), or the circuit breaker
+    /// was already tripped and the request was failed fast.
+    BackendFailed,
+    /// The server was shut down before this request could be served.
+    Shutdown,
 }
 
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(match self {
-            ServeError::Closed => "server closed before the request was served",
-            ServeError::Failed => "backend failed while serving the request",
+            ServeError::Rejected => "request shed by admission control (queue at capacity)",
+            ServeError::DeadlineExceeded => "request deadline passed while queued",
+            ServeError::BackendFailed => "backend failed while serving the request",
+            ServeError::Shutdown => "server shut down before the request was served",
         })
     }
 }
 
 impl std::error::Error for ServeError {}
 
-/// Why [`Handle::try_predict`] rejected a submission; the input
-/// tensor is handed back for a later retry.
+/// A rejected submission: the typed reason plus the input tensor,
+/// handed back so the caller can retry without re-building it.
 #[derive(Debug)]
-pub enum TryPredictError {
-    /// The bounded queue is at [`BatchPolicy::queue_cap`].
-    Full(Tensor),
-    /// The server has been shut down.
-    Closed(Tensor),
+pub struct SubmitError {
+    /// Why the submission was not accepted ([`ServeError::Rejected`],
+    /// [`ServeError::Shutdown`], or — breaker tripped —
+    /// [`ServeError::BackendFailed`]).
+    pub error: ServeError,
+    /// The input, returned to the caller.
+    pub input: Tensor,
 }
 
-impl std::fmt::Display for TryPredictError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            TryPredictError::Full(_) => "request queue is full",
-            TryPredictError::Closed(_) => "server is closed",
-        })
+impl SubmitError {
+    /// Recover the input tensor for a retry.
+    pub fn into_input(self) -> Tensor {
+        self.input
     }
 }
 
-impl std::error::Error for TryPredictError {}
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "submission rejected: {}", self.error)
+    }
+}
+
+impl std::error::Error for SubmitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// Client-side jittered exponential backoff for
+/// [`ServeError::Rejected`] submissions.
+///
+/// Deterministic (the jitter stream derives from
+/// [`RetryPolicy::seed`]): the same policy replays the same backoff
+/// schedule. Only `Rejected` is retried — `Shutdown` and
+/// `BackendFailed` are not transient and surface immediately.
+///
+/// ```no_run
+/// # use bnn_serve::{RetryPolicy, Handle};
+/// # use bnn_tensor::Tensor;
+/// # fn demo(handle: &Handle, x: Tensor) {
+/// let reply = RetryPolicy::default()
+///     .run(|| handle.try_predict(x.clone()))
+///     .expect("accepted within the retry budget")
+///     .wait();
+/// # let _ = reply;
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (including the first; normalized to at least 1).
+    pub attempts: usize,
+    /// Backoff before the first retry; doubles per retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub cap: Duration,
+    /// Seed of the jitter stream (each sleep is scaled by a uniform
+    /// factor in `[0.5, 1.5)`).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// 4 attempts, 200 µs base, 20 ms cap.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 4,
+            base: Duration::from_micros(200),
+            cap: Duration::from_millis(20),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Run `attempt` until it succeeds, fails with a non-retryable
+    /// error, or the attempt budget is spent (the last
+    /// [`SubmitError`] is returned).
+    pub fn run<T>(
+        &self,
+        mut attempt: impl FnMut() -> Result<T, SubmitError>,
+    ) -> Result<T, SubmitError> {
+        let mut rng = SoftRng::new(self.seed);
+        let mut backoff = self.base.min(self.cap);
+        for _ in 1..self.attempts.max(1) {
+            match attempt() {
+                Err(e) if e.error == ServeError::Rejected => {
+                    let jitter = 0.5 + rng.next_f64();
+                    std::thread::sleep(backoff.mul_f64(jitter).min(self.cap));
+                    backoff = backoff.saturating_mul(2).min(self.cap);
+                }
+                other => return other,
+            }
+        }
+        attempt()
+    }
+}
+
+/// A point-in-time snapshot of a server's admission counters
+/// ([`Server::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Requests served with a [`Reply`].
+    pub served: u64,
+    /// Queued requests evicted by a higher-priority arrival
+    /// (resolved [`ServeError::Rejected`]).
+    pub shed: u64,
+    /// Queued requests whose deadline passed (resolved
+    /// [`ServeError::DeadlineExceeded`]).
+    pub expired: u64,
+    /// Requests failed by a backend panic or the tripped breaker
+    /// (resolved [`ServeError::BackendFailed`]).
+    pub failed: u64,
+    /// Submissions rejected at the door (non-blocking submit at
+    /// capacity, or any submit after the breaker tripped).
+    pub rejected: u64,
+}
 
 /// One served prediction, as delivered to the caller.
 #[derive(Debug, Clone)]
@@ -227,13 +414,100 @@ struct Queued {
     seed: u64,
     id: u64,
     enqueued: Instant,
+    deadline: Option<Instant>,
     reply: mpsc::Sender<Result<Reply, ServeError>>,
 }
 
+/// EMA smoothing factor for the arrival-gap tracker (the adaptive
+/// window's traffic estimate): each new gap contributes a quarter.
+const GAP_EMA: f64 = 0.25;
+
 struct QState {
-    queue: VecDeque<Queued>,
+    /// One FIFO per priority class, indexed by [`Priority::index`]
+    /// (0 = Low).
+    queues: [VecDeque<Queued>; PRIORITIES],
     closed: bool,
+    /// Circuit breaker state: once tripped, queued work is failed
+    /// fast and new submissions are rejected at the door.
+    tripped: bool,
     next_id: u64,
+    /// When the most recent submission arrived.
+    last_arrival: Option<Instant>,
+    /// EMA of submission inter-arrival gaps, in seconds (`None` until
+    /// two submissions have arrived). Feeds [`effective_wait`].
+    arrival_gap: Option<f64>,
+}
+
+impl QState {
+    fn len(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.queues.iter().all(VecDeque::is_empty)
+    }
+
+    /// Submission instant of the oldest queued request (across all
+    /// classes) — the coalescing window is measured from it.
+    fn oldest(&self) -> Option<Instant> {
+        self.queues
+            .iter()
+            .filter_map(|q| q.front())
+            .map(|q| q.enqueued)
+            .min()
+    }
+
+    /// The earliest queued deadline — bounds the dispatcher's waits
+    /// so expiry resolves promptly.
+    fn nearest_deadline(&self) -> Option<Instant> {
+        self.queues
+            .iter()
+            .flatten()
+            .filter_map(|q| q.deadline)
+            .min()
+    }
+
+    /// Dequeue the next request: highest class first, FIFO within.
+    fn pop_highest(&mut self) -> Option<Queued> {
+        self.queues.iter_mut().rev().find_map(VecDeque::pop_front)
+    }
+
+    /// Evict the youngest queued request of the lowest non-empty
+    /// class strictly below `incoming` (the load-shedding victim), if
+    /// any.
+    fn shed_below(&mut self, incoming: Priority) -> Option<Queued> {
+        self.queues[..incoming.index()]
+            .iter_mut()
+            .find(|q| !q.is_empty())?
+            .pop_back()
+    }
+}
+
+/// Monotonic admission counters, written lock-free from both sides of
+/// the queue; [`ServeStats`] is their snapshot.
+#[derive(Default)]
+struct Counters {
+    served: AtomicU64,
+    shed: AtomicU64,
+    expired: AtomicU64,
+    failed: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Counters {
+    fn bump(counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
 }
 
 struct SharedQ {
@@ -244,6 +518,7 @@ struct SharedQ {
     space: Condvar,
     queue_cap: usize,
     base_seed: u64,
+    counters: Counters,
 }
 
 /// Lock ignoring poisoning: queue state is only mutated outside
@@ -268,17 +543,17 @@ pub struct Pending {
 
 impl Pending {
     /// The id the server assigned this request, or `None` if the
-    /// submission raced a shutdown and was never accepted (its
-    /// [`Pending::wait`] resolves to [`ServeError::Closed`]).
+    /// submission was never accepted (its [`Pending::wait`] resolves
+    /// to the typed rejection, e.g. [`ServeError::Shutdown`]).
     pub fn id(&self) -> Option<u64> {
         self.id
     }
 
-    /// Block until the reply arrives. A dispatcher that disappears
+    /// Block until the outcome arrives. A dispatcher that disappears
     /// without answering (shutdown racing the submission) reads as
-    /// [`ServeError::Closed`].
+    /// [`ServeError::Shutdown`].
     pub fn wait(self) -> Result<Reply, ServeError> {
-        self.rx.recv().unwrap_or(Err(ServeError::Closed))
+        self.rx.recv().unwrap_or(Err(ServeError::Shutdown))
     }
 
     /// Non-blocking poll: `None` while the request is still in
@@ -287,17 +562,33 @@ impl Pending {
         match self.rx.try_recv() {
             Ok(result) => Some(result),
             Err(mpsc::TryRecvError::Empty) => None,
-            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::Closed)),
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::Shutdown)),
         }
     }
 }
 
 impl Handle {
-    /// Submit one single-item input, blocking while the queue is at
-    /// capacity. The request's mask seed is derived from the server
-    /// seed and its id ([`request_seed`]). Returns the blocking
-    /// receiver for the reply; a closed server surfaces as
-    /// [`ServeError::Closed`] at [`Pending::wait`].
+    /// Start building a submission for one single-item input: set
+    /// [`Submission::priority`], [`Submission::deadline`] and
+    /// [`Submission::seed`], then [`Submission::submit`] (blocking)
+    /// or [`Submission::try_submit`] (non-blocking). The convenience
+    /// methods below are shorthands over this builder.
+    pub fn request(&self, x: Tensor) -> Submission<'_> {
+        Submission {
+            handle: self,
+            x,
+            priority: Priority::Normal,
+            deadline: None,
+            seed: None,
+        }
+    }
+
+    /// Submit one single-item input at [`Priority::Normal`], blocking
+    /// while the queue is at capacity. The request's mask seed is
+    /// derived from the server seed and its id ([`request_seed`]).
+    /// Returns the blocking receiver for the outcome; a closed server
+    /// surfaces as [`ServeError::Shutdown`] at [`Pending::wait`], a
+    /// tripped breaker as [`ServeError::BackendFailed`].
     ///
     /// # Panics
     ///
@@ -305,10 +596,7 @@ impl Handle {
     /// serves one input per request; batch datasets go through
     /// `Session::predictive_batched`.
     pub fn predict(&self, x: Tensor) -> Pending {
-        self.submit(x, None, true).unwrap_or_else(|err| match err {
-            TryPredictError::Full(_) => unreachable!("blocking submit waits on a full queue"),
-            TryPredictError::Closed(_) => closed_pending(),
-        })
+        self.request(x).submit()
     }
 
     /// [`Handle::predict`] with an explicit mask-stream seed — the
@@ -319,22 +607,19 @@ impl Handle {
     ///
     /// Panics if `x` is not single-item (`n != 1`).
     pub fn predict_seeded(&self, x: Tensor, seed: u64) -> Pending {
-        self.submit(x, Some(seed), true)
-            .unwrap_or_else(|err| match err {
-                TryPredictError::Full(_) => unreachable!("blocking submit waits on a full queue"),
-                TryPredictError::Closed(_) => closed_pending(),
-            })
+        self.request(x).seed(seed).submit()
     }
 
-    /// Non-blocking submission: rejects (handing the input back)
-    /// instead of blocking when the queue is at capacity or the
-    /// server is closed.
+    /// Non-blocking submission at [`Priority::Normal`]: rejects
+    /// (handing the input back in the [`SubmitError`]) instead of
+    /// blocking when the queue is at capacity with no lower-priority
+    /// victim to shed, or the server is closed or tripped.
     ///
     /// # Panics
     ///
     /// Panics if `x` is not single-item (`n != 1`).
-    pub fn try_predict(&self, x: Tensor) -> Result<Pending, TryPredictError> {
-        self.submit(x, None, false)
+    pub fn try_predict(&self, x: Tensor) -> Result<Pending, SubmitError> {
+        self.request(x).try_submit()
     }
 
     /// [`Handle::try_predict`] with an explicit mask-stream seed.
@@ -342,60 +627,154 @@ impl Handle {
     /// # Panics
     ///
     /// Panics if `x` is not single-item (`n != 1`).
-    pub fn try_predict_seeded(&self, x: Tensor, seed: u64) -> Result<Pending, TryPredictError> {
-        self.submit(x, Some(seed), false)
+    pub fn try_predict_seeded(&self, x: Tensor, seed: u64) -> Result<Pending, SubmitError> {
+        self.request(x).seed(seed).try_submit()
     }
 
     fn submit(
         &self,
         x: Tensor,
         seed: Option<u64>,
+        priority: Priority,
+        deadline: Option<Duration>,
         block: bool,
-    ) -> Result<Pending, TryPredictError> {
+    ) -> Result<Pending, SubmitError> {
         assert_eq!(
             x.shape().n,
             1,
             "serving requests are single-input; got a batch of {}",
             x.shape().n
         );
-        let mut st = lock(&self.shared.state);
+        let shared = &self.shared;
+        let mut st = lock(&shared.state);
         loop {
             if st.closed {
-                return Err(TryPredictError::Closed(x));
-            }
-            if st.queue.len() < self.shared.queue_cap {
-                let id = st.next_id;
-                st.next_id += 1;
-                let seed = seed.unwrap_or_else(|| request_seed(self.shared.base_seed, id));
-                let (tx, rx) = mpsc::channel();
-                st.queue.push_back(Queued {
-                    x,
-                    seed,
-                    id,
-                    enqueued: Instant::now(),
-                    reply: tx,
+                return Err(SubmitError {
+                    error: ServeError::Shutdown,
+                    input: x,
                 });
-                drop(st);
-                self.shared.work.notify_all();
-                return Ok(Pending { rx, id: Some(id) });
             }
-            if !block {
-                return Err(TryPredictError::Full(x));
+            if st.tripped {
+                // Breaker tripped: fail fast instead of accepting
+                // doomed work.
+                Counters::bump(&shared.counters.rejected, 1);
+                return Err(SubmitError {
+                    error: ServeError::BackendFailed,
+                    input: x,
+                });
             }
-            st = self
-                .shared
-                .space
-                .wait(st)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if st.len() >= shared.queue_cap {
+                if let Some(victim) = st.shed_below(priority) {
+                    // Shed the youngest strictly-lower-priority
+                    // request to admit this one.
+                    Counters::bump(&shared.counters.shed, 1);
+                    let _ = victim.reply.send(Err(ServeError::Rejected));
+                } else if block {
+                    st = shared
+                        .space
+                        .wait(st)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    continue;
+                } else {
+                    Counters::bump(&shared.counters.rejected, 1);
+                    return Err(SubmitError {
+                        error: ServeError::Rejected,
+                        input: x,
+                    });
+                }
+            }
+            let now = Instant::now();
+            if let Some(prev) = st.last_arrival {
+                let gap = now.duration_since(prev).as_secs_f64();
+                st.arrival_gap = Some(match st.arrival_gap {
+                    Some(ema) => ema + GAP_EMA * (gap - ema),
+                    None => gap,
+                });
+            }
+            st.last_arrival = Some(now);
+            let id = st.next_id;
+            st.next_id += 1;
+            let seed = seed.unwrap_or_else(|| request_seed(shared.base_seed, id));
+            // `checked_add`: an astronomical deadline (`Duration::MAX`
+            // as "no deadline, really") must not panic — it simply
+            // never expires.
+            let deadline = deadline.and_then(|d| now.checked_add(d));
+            let (tx, rx) = mpsc::channel();
+            st.queues[priority.index()].push_back(Queued {
+                x,
+                seed,
+                id,
+                enqueued: now,
+                deadline,
+                reply: tx,
+            });
+            drop(st);
+            shared.work.notify_all();
+            return Ok(Pending { rx, id: Some(id) });
         }
     }
 }
 
-/// A [`Pending`] that resolves immediately to [`ServeError::Closed`]
-/// (submission raced a shutdown; no id was ever assigned).
-fn closed_pending() -> Pending {
+/// An in-flight submission builder; see [`Handle::request`].
+pub struct Submission<'h> {
+    handle: &'h Handle,
+    x: Tensor,
+    priority: Priority,
+    deadline: Option<Duration>,
+    seed: Option<u64>,
+}
+
+impl Submission<'_> {
+    /// Set the admission class (default [`Priority::Normal`]).
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Give the request a queue deadline, measured from submission:
+    /// if it is still queued when the deadline passes, it resolves
+    /// [`ServeError::DeadlineExceeded`] instead of being served.
+    /// (A request already taken into a micro-batch is served to
+    /// completion — deadlines bound *queue* time, not service time.)
+    pub fn deadline(mut self, after: Duration) -> Self {
+        self.deadline = Some(after);
+        self
+    }
+
+    /// Pin the request's mask-stream seed (default: derived via
+    /// [`request_seed`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Submit, blocking while the queue is at capacity with nothing
+    /// to shed. Non-queue rejections (shutdown, tripped breaker)
+    /// come back as an immediately-resolved [`Pending`].
+    pub fn submit(self) -> Pending {
+        match self
+            .handle
+            .submit(self.x, self.seed, self.priority, self.deadline, true)
+        {
+            Ok(pending) => pending,
+            Err(err) => resolved_pending(err.error),
+        }
+    }
+
+    /// Submit without blocking: a full queue with no lower-priority
+    /// victim rejects with [`ServeError::Rejected`] and the input
+    /// handed back.
+    pub fn try_submit(self) -> Result<Pending, SubmitError> {
+        self.handle
+            .submit(self.x, self.seed, self.priority, self.deadline, false)
+    }
+}
+
+/// A [`Pending`] that resolves immediately to `error` (the submission
+/// was never accepted; no id was assigned).
+fn resolved_pending(error: ServeError) -> Pending {
     let (tx, rx) = mpsc::channel();
-    let _ = tx.send(Err(ServeError::Closed));
+    let _ = tx.send(Err(error));
     Pending { rx, id: None }
 }
 
@@ -408,6 +787,8 @@ pub struct ServerBuilder {
     policy: BatchPolicy,
     seed: u64,
     pool: Option<Arc<WorkerPool>>,
+    breaker_after: usize,
+    chaos: Option<ChaosConfig>,
 }
 
 impl ServerBuilder {
@@ -456,6 +837,26 @@ impl ServerBuilder {
         self
     }
 
+    /// Trip the circuit breaker after this many *consecutive*
+    /// micro-batch panics (default 8; normalized to at least 1; a
+    /// successful batch resets the count; `usize::MAX` effectively
+    /// disables the breaker). Once tripped, queued requests are
+    /// failed fast with [`ServeError::BackendFailed`] and new
+    /// submissions are rejected at the door.
+    pub fn breaker_after(mut self, consecutive_panics: usize) -> ServerBuilder {
+        self.breaker_after = consecutive_panics;
+        self
+    }
+
+    /// Wrap the resident backend in a [`ChaosBackend`] injecting
+    /// seeded panics and delays per `chaos` — the deterministic
+    /// fault-injection hook the chaos suite drives. Not for
+    /// production serving.
+    pub fn chaos(mut self, chaos: ChaosConfig) -> ServerBuilder {
+        self.chaos = Some(chaos);
+        self
+    }
+
     /// Start the dispatcher thread and return the running server.
     pub fn start(self) -> Server {
         let policy = self.policy.normalized();
@@ -465,14 +866,18 @@ impl ServerBuilder {
             .unwrap_or_else(|| Arc::new(WorkerPool::new(parallel.pool_workers())));
         let shared = Arc::new(SharedQ {
             state: Mutex::new(QState {
-                queue: VecDeque::new(),
+                queues: Default::default(),
                 closed: false,
+                tripped: false,
                 next_id: 0,
+                last_arrival: None,
+                arrival_gap: None,
             }),
             work: Condvar::new(),
             space: Condvar::new(),
             queue_cap: policy.queue_cap,
             base_seed: self.seed,
+            counters: Counters::default(),
         });
         let ctx = DispatchCtx {
             shared: Arc::clone(&shared),
@@ -480,16 +885,18 @@ impl ServerBuilder {
             parallel,
             policy,
             pool: Arc::clone(&pool),
+            breaker_after: self.breaker_after.max(1),
         };
         let graph = self.graph;
         let backend = self.backend;
+        let chaos = self.chaos;
         let dispatcher = std::thread::Builder::new()
             .name("bnn-serve".into())
             .spawn(move || match backend {
-                ServeBackend::Float => dispatch(FloatBackend::new(&graph), &ctx),
-                ServeBackend::Fused => dispatch(FusedBackend::new(&graph), &ctx),
-                ServeBackend::Int8(qgraph) => dispatch(Int8Backend::new(qgraph), &ctx),
-                ServeBackend::Accel(accel) => dispatch(AccelBackend::new(accel), &ctx),
+                ServeBackend::Float => launch(FloatBackend::new(&graph), chaos, &ctx),
+                ServeBackend::Fused => launch(FusedBackend::new(&graph), chaos, &ctx),
+                ServeBackend::Int8(qgraph) => launch(Int8Backend::new(qgraph), chaos, &ctx),
+                ServeBackend::Accel(accel) => launch(AccelBackend::new(accel), chaos, &ctx),
             })
             .expect("spawn serve dispatcher");
         Server {
@@ -507,6 +914,17 @@ struct DispatchCtx {
     parallel: ParallelConfig,
     policy: BatchPolicy,
     pool: Arc<WorkerPool>,
+    /// Consecutive micro-batch panics that trip the breaker.
+    breaker_after: usize,
+}
+
+/// Enter the dispatcher, optionally under chaos fault injection (one
+/// generic wrapping point for every substrate).
+fn launch<B: BayesBackend + Send>(backend: B, chaos: Option<ChaosConfig>, ctx: &DispatchCtx) {
+    match chaos {
+        Some(cfg) => dispatch(ChaosBackend::new(backend, cfg), ctx),
+        None => dispatch(backend, ctx),
+    }
 }
 
 /// A running serving front door: one dispatcher thread, one resident
@@ -534,6 +952,8 @@ impl Server {
             policy: BatchPolicy::default(),
             seed: 0,
             pool: None,
+            breaker_after: 8,
+            chaos: None,
         }
     }
 
@@ -554,12 +974,25 @@ impl Server {
     /// micro-batch (in-flight batches are not counted). An
     /// observability hook for load shedding and tests.
     pub fn queued(&self) -> usize {
-        lock(&self.shared.state).queue.len()
+        lock(&self.shared.state).len()
+    }
+
+    /// Snapshot of the admission counters (served / shed / expired /
+    /// failed / rejected since start).
+    pub fn stats(&self) -> ServeStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Whether the circuit breaker has tripped (the server now fails
+    /// fast; see [`ServerBuilder::breaker_after`]).
+    pub fn breaker_tripped(&self) -> bool {
+        lock(&self.shared.state).tripped
     }
 
     /// Graceful shutdown: close the queue (new submissions fail
-    /// [`ServeError::Closed`]), serve every already-accepted request,
-    /// and join the dispatcher.
+    /// [`ServeError::Shutdown`]), serve every already-accepted
+    /// request (queue deadlines still honoured mid-drain), and join
+    /// the dispatcher.
     pub fn shutdown(mut self) {
         self.close_and_join();
     }
@@ -575,7 +1008,7 @@ impl Server {
             // The dispatcher only exits through its drain path; a join
             // error would mean it panicked outside the per-batch
             // catch_unwind, in which case waiting callers resolve to
-            // Closed through their dropped channels.
+            // Shutdown through their dropped channels.
             let _ = handle.join();
         }
     }
@@ -591,79 +1024,198 @@ impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let st = lock(&self.shared.state);
         f.debug_struct("Server")
-            .field("queued", &st.queue.len())
+            .field("queued", &st.len())
             .field("closed", &st.closed)
+            .field("tripped", &st.tripped)
             .field("next_id", &st.next_id)
             .field("pool_workers", &self.pool.workers())
             .finish()
     }
 }
 
-/// Dispatcher body: form micro-batches until the closed queue drains.
+/// Dispatcher body: form micro-batches until the closed queue drains,
+/// counting consecutive batch panics into the circuit breaker.
 fn dispatch<B: BayesBackend + Send>(mut backend: B, ctx: &DispatchCtx) {
+    let mut consecutive_panics = 0usize;
     while let Some(batch) = next_batch(&ctx.shared, &ctx.policy) {
-        serve_batch(&mut backend, batch, ctx);
+        if serve_batch(&mut backend, batch, ctx) {
+            consecutive_panics = 0;
+        } else {
+            consecutive_panics += 1;
+            if consecutive_panics >= ctx.breaker_after {
+                trip_breaker(&ctx.shared);
+            }
+        }
     }
 }
 
-/// Pop the next micro-batch: block for work, then hold the batch open
-/// for late arrivals up to `max_wait` from the oldest request (unless
-/// the batch fills, the server is draining, or the queue reaches its
-/// cap — at the cap no producer can enqueue until we drain, so
-/// further waiting would be pure dead time for every queued request
-/// *and* every backpressure-blocked producer). Returns `None` when
-/// the queue is closed and empty.
+/// Trip the circuit breaker: queued and future work now fails fast.
+/// Both condvars are notified — the dispatcher must wake to drain the
+/// queue with `BackendFailed`, and backpressure-blocked producers
+/// must wake to be rejected.
+fn trip_breaker(shared: &SharedQ) {
+    lock(&shared.state).tripped = true;
+    shared.work.notify_all();
+    shared.space.notify_all();
+}
+
+/// Resolve every queued request whose deadline has passed with
+/// [`ServeError::DeadlineExceeded`]; returns how many expired.
+fn expire_overdue(st: &mut QState, shared: &SharedQ) -> usize {
+    let now = Instant::now();
+    // Bump the counter *before* delivering any reply: a waiter woken
+    // by its `DeadlineExceeded` may read `Server::stats()` immediately.
+    let mut overdue = Vec::new();
+    for queue in st.queues.iter_mut() {
+        queue.retain(|q| {
+            if q.deadline.is_some_and(|d| d <= now) {
+                overdue.push(q.reply.clone());
+                false
+            } else {
+                true
+            }
+        });
+    }
+    let expired = overdue.len();
+    if expired > 0 {
+        Counters::bump(&shared.counters.expired, expired as u64);
+        for reply in overdue {
+            let _ = reply.send(Err(ServeError::DeadlineExceeded));
+        }
+        shared.space.notify_all();
+    }
+    expired
+}
+
+/// Fail-fast drain after the breaker tripped: every queued request
+/// resolves [`ServeError::BackendFailed`] immediately.
+fn fail_queued(st: &mut QState, shared: &SharedQ) {
+    // Counter first, replies second: a woken waiter may read
+    // `Server::stats()` immediately (same ordering as `serve_batch`
+    // and `expire_overdue`).
+    let dropped: Vec<_> = st
+        .queues
+        .iter_mut()
+        .flat_map(|queue| queue.drain(..))
+        .collect();
+    if !dropped.is_empty() {
+        Counters::bump(&shared.counters.failed, dropped.len() as u64);
+        for q in dropped {
+            let _ = q.reply.send(Err(ServeError::BackendFailed));
+        }
+        shared.space.notify_all();
+    }
+}
+
+/// The coalescing window the dispatcher holds this batch open for:
+/// the fixed [`BatchPolicy::max_wait`], unless the adaptive window is
+/// enabled and traffic is sparse — estimated inter-arrival gap longer
+/// than the window itself (or no estimate yet, the cold-start case) —
+/// in which case holding the batch open cannot plausibly attract a
+/// coalescing partner and the window collapses to zero.
+fn effective_wait(policy: &BatchPolicy, arrival_gap: Option<f64>) -> Duration {
+    if !policy.adaptive_window {
+        return policy.max_wait;
+    }
+    match arrival_gap {
+        Some(gap) if gap <= policy.max_wait.as_secs_f64() => policy.max_wait,
+        _ => Duration::ZERO,
+    }
+}
+
+/// Pop the next micro-batch: block for work, expire overdue requests,
+/// then hold the batch open for late arrivals up to the effective
+/// window from the oldest request (unless the batch fills, the server
+/// is draining or tripped, or the queue reaches its cap — at the cap
+/// no producer can enqueue until we drain, so further waiting would
+/// be pure dead time for every queued request *and* every
+/// backpressure-blocked producer). Requests are dequeued highest
+/// priority first, FIFO within a class. Returns `None` when the queue
+/// is closed and empty.
 fn next_batch(shared: &SharedQ, policy: &BatchPolicy) -> Option<Vec<Queued>> {
     // The size past which this batch cannot grow while we hold the
     // window open.
     let full = policy.max_batch.min(shared.queue_cap);
     let mut st = lock(&shared.state);
-    loop {
-        if !st.queue.is_empty() {
-            break;
-        }
-        if st.closed {
-            return None;
-        }
-        st = shared
-            .work
-            .wait(st)
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-    }
-    if !policy.max_wait.is_zero() {
-        while !st.closed && st.queue.len() < full {
-            // Remaining window, derived from elapsed time instead of a
-            // materialized deadline `Instant`: `enqueued + max_wait`
-            // would overflow (and panic the dispatcher) for huge
-            // `max_wait` values like `Duration::MAX` ("hold until
-            // full").
-            let oldest = st.queue.front().expect("queue non-empty").enqueued;
-            let remaining = policy.max_wait.saturating_sub(oldest.elapsed());
-            if remaining.is_zero() {
+    'accept: loop {
+        // Admission sweep: get a non-empty, non-tripped queue (or
+        // exit once closed and drained).
+        loop {
+            if st.tripped {
+                fail_queued(&mut st, shared);
+            }
+            expire_overdue(&mut st, shared);
+            if !st.is_empty() && !st.tripped {
                 break;
             }
-            // Each wait is capped so the underlying timed-wait never
-            // sees an astronomical duration either; the loop re-derives
-            // the remainder, so a capped timeout just re-checks.
-            let step = remaining.min(Duration::from_secs(3600));
+            if st.closed && st.is_empty() {
+                return None;
+            }
             st = shared
                 .work
-                .wait_timeout(st, step)
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .0;
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
+        if !policy.max_wait.is_zero() {
+            while !st.closed && !st.tripped && st.len() < full {
+                // Remaining window, derived from elapsed time instead
+                // of a materialized deadline `Instant`: `enqueued +
+                // max_wait` would overflow (and panic the dispatcher)
+                // for huge `max_wait` values like `Duration::MAX`
+                // ("hold until full"). Re-evaluated each iteration so
+                // a fresh arrival-rate estimate can collapse an
+                // adaptive window mid-hold.
+                let window = effective_wait(policy, st.arrival_gap);
+                let oldest = st.oldest().expect("queue non-empty in window phase");
+                let remaining = window.saturating_sub(oldest.elapsed());
+                if remaining.is_zero() {
+                    break;
+                }
+                // Each wait is capped so the underlying timed-wait
+                // never sees an astronomical duration, and bounded by
+                // the earliest queued deadline so expiry resolves
+                // promptly; the loop re-derives the remainder, so a
+                // capped timeout just re-checks.
+                let mut step = remaining.min(Duration::from_secs(3600));
+                if let Some(deadline) = st.nearest_deadline() {
+                    step = step.min(deadline.saturating_duration_since(Instant::now()));
+                }
+                st = shared
+                    .work
+                    .wait_timeout(st, step)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .0;
+                expire_overdue(&mut st, shared);
+                if st.is_empty() {
+                    // Everything expired out from under the window.
+                    continue 'accept;
+                }
+            }
+            if st.tripped || st.is_empty() {
+                continue 'accept;
+            }
+        }
+        let take = st.len().min(policy.max_batch);
+        let mut batch = Vec::with_capacity(take);
+        for _ in 0..take {
+            batch.push(st.pop_highest().expect("len checked above"));
+        }
+        drop(st);
+        shared.space.notify_all();
+        return Some(batch);
     }
-    let take = st.queue.len().min(policy.max_batch);
-    let batch: Vec<Queued> = st.queue.drain(..take).collect();
-    drop(st);
-    shared.space.notify_all();
-    Some(batch)
 }
 
 /// Serve one micro-batch through the request-coalescing engine pass
 /// and deliver each caller its reply. A backend panic fails the
-/// batch's requests ([`ServeError::Failed`]) but not the dispatcher.
-fn serve_batch<B: BayesBackend + Send>(backend: &mut B, batch: Vec<Queued>, ctx: &DispatchCtx) {
+/// batch's requests ([`ServeError::BackendFailed`]) but not the
+/// dispatcher. Returns whether the batch was served cleanly (the
+/// breaker counts the `false`s).
+fn serve_batch<B: BayesBackend + Send>(
+    backend: &mut B,
+    batch: Vec<Queued>,
+    ctx: &DispatchCtx,
+) -> bool {
     let coalesced = batch.len();
     let requests: Vec<SeededRequest<'_>> = batch
         .iter()
@@ -678,6 +1230,7 @@ fn serve_batch<B: BayesBackend + Send>(backend: &mut B, batch: Vec<Queued>, ctx:
     drop(requests);
     match served {
         Ok(outs) => {
+            Counters::bump(&ctx.shared.counters.served, coalesced as u64);
             for (q, out) in batch.into_iter().zip(outs) {
                 let uncertainty = Uncertainty::summarize(&out.probs, &out.passes, 0);
                 let _ = q.reply.send(Ok(Reply {
@@ -688,11 +1241,14 @@ fn serve_batch<B: BayesBackend + Send>(backend: &mut B, batch: Vec<Queued>, ctx:
                     coalesced,
                 }));
             }
+            true
         }
         Err(_) => {
+            Counters::bump(&ctx.shared.counters.failed, coalesced as u64);
             for q in batch {
-                let _ = q.reply.send(Err(ServeError::Failed));
+                let _ = q.reply.send(Err(ServeError::BackendFailed));
             }
+            false
         }
     }
 }
@@ -788,6 +1344,7 @@ mod tests {
                 max_batch: 3,
                 max_wait: Duration::from_secs(30),
                 queue_cap: 8,
+                ..BatchPolicy::default()
             })
             .start();
         let handle = server.handle();
@@ -823,6 +1380,7 @@ mod tests {
                 max_batch: 3,
                 max_wait: Duration::from_secs(3600),
                 queue_cap: 2,
+                ..BatchPolicy::default()
             })
             .start();
         let handle = server.handle();
@@ -853,6 +1411,7 @@ mod tests {
                 max_batch: 2,
                 max_wait: Duration::MAX,
                 queue_cap: 8,
+                ..BatchPolicy::default()
             })
             .start();
         let handle = server.handle();
@@ -887,6 +1446,7 @@ mod tests {
                 max_batch: 2,
                 max_wait: Duration::ZERO,
                 queue_cap: 2,
+                ..BatchPolicy::default()
             })
             .start();
         let handle = server.handle();
@@ -899,8 +1459,11 @@ mod tests {
         let b = handle.predict_seeded(test_input(0.2), 2);
         let c = handle.predict_seeded(test_input(0.3), 3);
         match handle.try_predict(test_input(0.4)) {
-            Err(TryPredictError::Full(x)) => assert_eq!(x.shape().n, 1),
-            other => panic!("expected Full, got {other:?}"),
+            Err(SubmitError {
+                error: ServeError::Rejected,
+                input,
+            }) => assert_eq!(input.shape().n, 1),
+            other => panic!("expected Rejected, got {other:?}"),
         }
         // Everything accepted is served bit-exactly once the backlog
         // drains.
@@ -922,11 +1485,150 @@ mod tests {
         server.shutdown();
         assert_eq!(
             handle.predict(test_input(0.1)).wait().map(|_| ()),
-            Err(ServeError::Closed)
+            Err(ServeError::Shutdown)
         );
         match handle.try_predict(test_input(0.1)) {
-            Err(TryPredictError::Closed(x)) => assert_eq!(x.shape().n, 1),
-            other => panic!("expected Closed, got {other:?}"),
+            Err(SubmitError {
+                error: ServeError::Shutdown,
+                input,
+            }) => assert_eq!(input.shape().n, 1),
+            other => panic!("expected Shutdown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn effective_wait_gates_on_the_arrival_estimate() {
+        let fixed = BatchPolicy {
+            max_wait: Duration::from_millis(5),
+            ..BatchPolicy::default()
+        };
+        // Adaptive off: the estimate is ignored.
+        assert_eq!(effective_wait(&fixed, None), fixed.max_wait);
+        assert_eq!(effective_wait(&fixed, Some(100.0)), fixed.max_wait);
+        let adaptive = BatchPolicy {
+            adaptive_window: true,
+            ..fixed
+        };
+        // Cold start and sparse traffic collapse the window; dense
+        // traffic keeps it.
+        assert_eq!(effective_wait(&adaptive, None), Duration::ZERO);
+        assert_eq!(effective_wait(&adaptive, Some(10.0)), Duration::ZERO);
+        assert_eq!(effective_wait(&adaptive, Some(0.000_1)), adaptive.max_wait);
+        // `Duration::MAX` as the window must not panic the gate.
+        let hold_until_full = BatchPolicy {
+            adaptive_window: true,
+            max_wait: Duration::MAX,
+            ..BatchPolicy::default()
+        };
+        assert_eq!(
+            effective_wait(&hold_until_full, Some(3600.0)),
+            Duration::MAX
+        );
+    }
+
+    #[test]
+    fn priority_orders_and_sheds_below() {
+        assert!(Priority::Low < Priority::Normal && Priority::Normal < Priority::High);
+        assert_eq!(Priority::default(), Priority::Normal);
+        let mut st = QState {
+            queues: Default::default(),
+            closed: false,
+            tripped: false,
+            next_id: 0,
+            last_arrival: None,
+            arrival_gap: None,
+        };
+        let queued = |id: u64| {
+            let (tx, _rx) = mpsc::channel();
+            Queued {
+                x: Tensor::zeros(bnn_tensor::Shape4::new(1, 1, 1, 1)),
+                seed: 0,
+                id,
+                enqueued: Instant::now(),
+                deadline: None,
+                reply: tx,
+            }
+        };
+        st.queues[Priority::Low.index()].push_back(queued(0));
+        st.queues[Priority::Low.index()].push_back(queued(1));
+        st.queues[Priority::Normal.index()].push_back(queued(2));
+        st.queues[Priority::High.index()].push_back(queued(3));
+        // High outranks nothing above it; shedding takes the
+        // *youngest* of the *lowest* class strictly below.
+        assert_eq!(st.shed_below(Priority::High).map(|q| q.id), Some(1));
+        assert_eq!(st.shed_below(Priority::Low).map(|q| q.id), None);
+        // Dequeue order: High, then Normal, then the remaining Low.
+        let order: Vec<u64> = std::iter::from_fn(|| st.pop_highest().map(|q| q.id)).collect();
+        assert_eq!(order, vec![3, 2, 0]);
+    }
+
+    #[test]
+    fn retry_policy_retries_rejected_only() {
+        let policy = RetryPolicy {
+            attempts: 4,
+            base: Duration::from_micros(10),
+            cap: Duration::from_micros(50),
+            seed: 7,
+        };
+        // Rejected twice, then accepted: three attempts total.
+        let mut calls = 0;
+        let out = policy.run(|| {
+            calls += 1;
+            if calls < 3 {
+                Err(SubmitError {
+                    error: ServeError::Rejected,
+                    input: Tensor::zeros(bnn_tensor::Shape4::new(1, 1, 1, 1)),
+                })
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(out.unwrap(), 3);
+        // Rejected forever: the budget is spent, the last error
+        // surfaces.
+        let mut calls = 0;
+        let out: Result<(), _> = policy.run(|| {
+            calls += 1;
+            Err(SubmitError {
+                error: ServeError::Rejected,
+                input: Tensor::zeros(bnn_tensor::Shape4::new(1, 1, 1, 1)),
+            })
+        });
+        assert_eq!(calls, 4);
+        assert_eq!(out.unwrap_err().error, ServeError::Rejected);
+        // Non-retryable errors surface immediately.
+        let mut calls = 0;
+        let out: Result<(), _> = policy.run(|| {
+            calls += 1;
+            Err(SubmitError {
+                error: ServeError::Shutdown,
+                input: Tensor::zeros(bnn_tensor::Shape4::new(1, 1, 1, 1)),
+            })
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(out.unwrap_err().error, ServeError::Shutdown);
+    }
+
+    #[test]
+    fn serve_errors_are_std_errors() {
+        use std::error::Error;
+        let submit = SubmitError {
+            error: ServeError::Rejected,
+            input: Tensor::zeros(bnn_tensor::Shape4::new(1, 1, 1, 1)),
+        };
+        assert!(submit.to_string().contains("admission control"));
+        assert_eq!(
+            submit.source().map(|s| s.to_string()),
+            Some(ServeError::Rejected.to_string())
+        );
+        assert_eq!(submit.into_input().shape().n, 1);
+        for err in [
+            ServeError::Rejected,
+            ServeError::DeadlineExceeded,
+            ServeError::BackendFailed,
+            ServeError::Shutdown,
+        ] {
+            assert!(!err.to_string().is_empty());
         }
     }
 

@@ -11,7 +11,8 @@
 //!   hanging CI);
 //! * shutdown under load is graceful: every accepted request is
 //!   served (bit-identically), every request that raced the close
-//!   resolves to `Closed`, and nothing hangs;
+//!   resolves to `Shutdown`, and nothing hangs — including when
+//!   queued deadlines expire mid-drain;
 //! * a panicking backend fails its own micro-batch, not the server —
 //!   later requests are served normally.
 
@@ -19,7 +20,7 @@ use bnn_mcd::{
     predictive_on, BayesConfig, FloatBackend, ParallelConfig, SoftwareMaskSource, WorkerPool,
 };
 use bnn_nn::{models, Graph};
-use bnn_serve::{BatchPolicy, ServeBackend, ServeError, Server, TryPredictError};
+use bnn_serve::{BatchPolicy, Priority, ServeBackend, ServeError, Server, SubmitError};
 use bnn_tensor::{Shape4, Tensor};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -81,6 +82,7 @@ fn many_clients_tiny_window_bounded_queue() {
                 max_batch: 4,
                 max_wait: Duration::from_micros(50),
                 queue_cap: 8,
+                ..BatchPolicy::default()
             })
             .pool(Arc::new(WorkerPool::new(4)))
             .start();
@@ -100,9 +102,12 @@ fn many_clients_tiny_window_bounded_queue() {
                         // Fire-and-maybe-reject traffic on top.
                         match handle.try_predict_seeded(request_input(seed + 500), seed + 500) {
                             Ok(extra) => replies.push((seed + 500, extra.wait())),
-                            Err(TryPredictError::Full(_)) => {}
-                            Err(TryPredictError::Closed(_)) => {
-                                panic!("server closed during the load phase")
+                            Err(SubmitError {
+                                error: ServeError::Rejected,
+                                ..
+                            }) => {}
+                            Err(other) => {
+                                panic!("unexpected rejection during the load phase: {other}")
                             }
                         }
                     }
@@ -147,13 +152,14 @@ fn shutdown_under_load_drains_accepted_requests() {
                 max_batch: 4,
                 max_wait: Duration::from_micros(50),
                 queue_cap: 16,
+                ..BatchPolicy::default()
             })
             .start();
 
         // Clients submit continuously *until they observe the close*;
         // the main thread shuts the server down mid-flight. Every
         // reply must be either the bit-exact served result or a clean
-        // `Closed` — never a hang, never a wrong answer.
+        // `Shutdown` — never a hang, never a wrong answer.
         let mut clients = Vec::new();
         for t in 0..6u64 {
             let handle = server.handle();
@@ -165,7 +171,7 @@ fn shutdown_under_load_drains_accepted_requests() {
                     round += 1;
                     let pending = handle.predict_seeded(request_input(seed), seed);
                     let outcome = pending.wait();
-                    let done = matches!(outcome, Err(ServeError::Closed));
+                    let done = matches!(outcome, Err(ServeError::Shutdown));
                     outcomes.push((seed, outcome));
                     if done {
                         break;
@@ -194,9 +200,9 @@ fn shutdown_under_load_drains_accepted_requests() {
                             "request (seed {seed}) diverged across shutdown"
                         );
                     }
-                    Err(ServeError::Closed) => closed += 1,
-                    Err(ServeError::Failed) => {
-                        panic!("healthy backend reported Failed (seed {seed})")
+                    Err(ServeError::Shutdown) => closed += 1,
+                    Err(other) => {
+                        panic!("healthy backend reported {other:?} (seed {seed})")
                     }
                 }
             }
@@ -220,6 +226,7 @@ fn backend_panic_fails_the_batch_not_the_server() {
                 max_batch: 2,
                 max_wait: Duration::from_micros(50),
                 queue_cap: 8,
+                ..BatchPolicy::default()
             })
             .start();
         let handle = server.handle();
@@ -231,7 +238,7 @@ fn backend_panic_fails_the_batch_not_the_server() {
         let bad = handle.predict(poison);
         assert_eq!(
             bad.wait().map(|_| ()),
-            Err(ServeError::Failed),
+            Err(ServeError::BackendFailed),
             "a panicking micro-batch must fail, not hang"
         );
 
@@ -244,5 +251,101 @@ fn backend_panic_fails_the_batch_not_the_server() {
         let want = solo(&net, &request_input(seed), cfg, seed);
         assert_eq!(reply.probs.as_slice(), want.as_slice());
         server.shutdown();
+    });
+}
+
+#[test]
+fn shutdown_races_expiring_deadlines_without_hanging() {
+    with_deadline(120, || {
+        let net = Arc::new(test_net());
+        // A deliberately slow backend (large S) so the drain takes
+        // long enough for queued deadlines to expire mid-drain.
+        let cfg = BayesConfig::new(2, 40);
+        let server = Server::for_graph(Arc::clone(&net))
+            .bayes(cfg)
+            .policy(BatchPolicy {
+                max_batch: 1,
+                max_wait: Duration::ZERO,
+                queue_cap: 64,
+                ..BatchPolicy::default()
+            })
+            .start();
+
+        // Clients race deadlines against the shutdown below: each
+        // submits a burst of 12 requests *before* waiting on any
+        // reply, so the queue holds a mix while the drain runs. Per
+        // round the budget is: none (must be served once accepted),
+        // zero (expires at the next batch-formation sweep — a
+        // deterministic expiry in any build profile, since a request
+        // can only be popped after passing the sweep), or a tight
+        // 2 ms (genuinely racing the drain; either outcome is legal).
+        // Every single handle must resolve to exactly one typed
+        // outcome.
+        let mut clients = Vec::new();
+        for t in 0..6u64 {
+            let handle = server.handle();
+            clients.push(std::thread::spawn(move || {
+                let pendings: Vec<_> = (0..12u64)
+                    .map(|round| {
+                        let seed = t * 1000 + round;
+                        let submission = handle.request(request_input(seed)).seed(seed).priority(
+                            if round % 2 == 0 {
+                                Priority::Normal
+                            } else {
+                                Priority::Low
+                            },
+                        );
+                        let submission = match round % 3 {
+                            1 => submission.deadline(Duration::ZERO),
+                            2 => submission.deadline(Duration::from_millis(2)),
+                            _ => submission,
+                        };
+                        (seed, submission.submit())
+                    })
+                    .collect();
+                pendings
+                    .into_iter()
+                    .map(|(seed, pending)| (seed, pending.wait()))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        server.shutdown();
+
+        let (mut served, mut expired, mut other) = (0usize, 0usize, 0usize);
+        for client in clients {
+            for (seed, outcome) in client.join().expect("client thread survived") {
+                match outcome {
+                    Ok(reply) => {
+                        served += 1;
+                        let want = solo(&net, &request_input(seed), cfg, seed);
+                        assert_eq!(
+                            reply.probs.as_slice(),
+                            want.as_slice(),
+                            "request (seed {seed}) diverged across the deadline race"
+                        );
+                    }
+                    Err(ServeError::DeadlineExceeded) | Err(ServeError::Rejected) => {
+                        expired += 1;
+                    }
+                    Err(ServeError::Shutdown) => other += 1,
+                    Err(ServeError::BackendFailed) => {
+                        panic!("healthy backend reported BackendFailed (seed {seed})")
+                    }
+                }
+            }
+        }
+        // The race must actually have produced both kinds of outcome
+        // to mean anything: zero-budget requests can never be served
+        // (the sweep runs before every batch forms), and each
+        // client's first burst entry is accepted before the 10 ms
+        // head start elapses, so both counters are structural, not
+        // timing-dependent.
+        assert!(served > 0, "every deadline expired before any service");
+        assert!(
+            expired > 0,
+            "no deadline expired mid-drain — not a race test"
+        );
+        let _ = other;
     });
 }

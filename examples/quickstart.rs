@@ -21,7 +21,7 @@ use bnn_fpga::mcd::{BayesConfig, ParallelConfig};
 use bnn_fpga::nn::{arch::extract_layers, models, SgdConfig, Trainer};
 use bnn_fpga::platforms::PlatformModel;
 use bnn_fpga::quant::Quantizer;
-use bnn_fpga::{Backend, BatchPolicy, ServeBackend, Server, Session};
+use bnn_fpga::{Backend, BatchPolicy, Priority, ServeBackend, ServeError, Server, Session};
 
 fn main() {
     // 1. Data + model. LeNet-5 has N = 5 weight layers, each guarded
@@ -121,6 +121,7 @@ fn main() {
             max_batch: 8,
             max_wait: std::time::Duration::from_millis(1),
             queue_cap: 64,
+            ..BatchPolicy::default()
         })
         .seed(2024)
         .start();
@@ -147,5 +148,33 @@ fn main() {
             });
         }
     });
+
+    // 7. Admission control: requests carry a priority and an optional
+    //    queue-time budget, and every outcome is a typed `ServeError`.
+    //    A latency-critical caller submits High with a deadline; if
+    //    the queue can't reach it in time it gets a clean
+    //    `DeadlineExceeded` back instead of a late answer.
+    let handle = server.handle();
+    let urgent = handle
+        .request(ds.test_x.select_item(5))
+        .priority(Priority::High)
+        .deadline(std::time::Duration::from_millis(250))
+        .seed(7)
+        .submit();
+    match urgent.wait() {
+        Ok(reply) => println!(
+            "\nurgent client: class {} in time (confidence {:.3})",
+            reply.uncertainty.predicted, reply.uncertainty.confidence
+        ),
+        Err(ServeError::DeadlineExceeded) => {
+            println!("\nurgent client: queue budget lapsed — fall back")
+        }
+        Err(err) => println!("\nurgent client: {err}"),
+    }
+    let stats = server.stats();
+    println!(
+        "server totals: {} served, {} shed, {} expired",
+        stats.served, stats.shed, stats.expired
+    );
     server.shutdown();
 }

@@ -81,6 +81,48 @@
 //! multi-client tour and [`Session::serve_requests`] for the
 //! synchronous in-thread form.
 //!
+//! # Failure modes and guarantees
+//!
+//! The front door's contract under stress is that **every accepted
+//! request resolves to exactly one typed outcome** — a served
+//! [`Reply`] or a [`ServeError`] — and that nothing a caller does can
+//! wedge the dispatcher:
+//!
+//! * **Overload** — the queue is bounded (`queue_cap`). A
+//!   non-blocking submission against a full queue is handed back as
+//!   [`ServeError::Rejected`] *with its input*
+//!   ([`SubmitError::into_input`]), so the caller can retry —
+//!   [`RetryPolicy`] packages the jittered-backoff loop. Requests
+//!   carry a [`Priority`]; when a higher-priority request arrives at
+//!   capacity it sheds the youngest strictly-lower-priority entry
+//!   instead of being turned away, and micro-batches always drain the
+//!   highest class first (FIFO within a class).
+//! * **Deadlines** — a submission may attach a queue-time budget
+//!   (`Submission::deadline`). A request whose budget lapses before
+//!   its micro-batch forms resolves to
+//!   [`ServeError::DeadlineExceeded`]; it is swept out at batch
+//!   formation, never served late.
+//! * **Backend faults** — a panicking micro-batch is quarantined:
+//!   exactly its own requests resolve to
+//!   [`ServeError::BackendFailed`] and the dispatcher keeps serving.
+//!   A run of consecutive panics (builder knob
+//!   `ServerBuilder::breaker_after`) trips a circuit breaker: queued
+//!   requests fail over to `BackendFailed`, later submissions are
+//!   refused at the door, and shutdown stays clean.
+//! * **Shutdown** — closing the server drains every accepted request
+//!   (bit-identically) and resolves late arrivals to
+//!   [`ServeError::Shutdown`]; deadlines keep expiring during the
+//!   drain.
+//!
+//! Observability: [`Server::stats`] counts served / shed / expired /
+//! failed / rejected requests. The whole contract is exercised by a
+//! deterministic fault-injection harness — [`mcd::ChaosBackend`]
+//! injects seeded panics and delays at a pure, replayable per-call
+//! schedule ([`mcd::fault_at`]), threaded through
+//! `ServerBuilder::chaos`, and conformance check 7
+//! ([`mcd::conformance::assert_chaos_agrees`]) pins fault containment
+//! and bit-identical survivors on all four substrates.
+//!
 //! # Workspace map
 //!
 //! | module | crate | contents |
@@ -115,7 +157,8 @@ pub use bnn_quant as quant;
 pub use bnn_rng as rng;
 pub use bnn_serve as serve;
 pub use bnn_serve::{
-    BatchPolicy, Handle, Pending, Reply, ServeBackend, ServeError, Server, TryPredictError,
+    BatchPolicy, Handle, Pending, Priority, Reply, RetryPolicy, ServeBackend, ServeError,
+    ServeStats, Server, Submission, SubmitError,
 };
 pub use bnn_tensor as tensor;
 pub use session::{Backend, Session, SessionBuilder};

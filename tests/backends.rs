@@ -17,10 +17,13 @@
 //! * `Session` on `FloatBackend` is *bit-identical* to the legacy
 //!   `McdPredictor::predictive` for the same seed, at any thread
 //!   count — the serving redesign may not move a single ulp.
+//! * Every substrate survives deterministic fault injection
+//!   (`assert_chaos_agrees`): disabled chaos is bit-transparent and
+//!   scheduled faults are contained and replayable.
 
 use bnn_fpga::accel::{AccelBackend, AccelConfig, Accelerator};
 use bnn_fpga::data::synth_mnist;
-use bnn_fpga::mcd::conformance::{assert_backend_agrees, Tolerance};
+use bnn_fpga::mcd::conformance::{assert_backend_agrees, assert_chaos_agrees, Tolerance};
 use bnn_fpga::mcd::{
     predictive_batched, BayesConfig, FloatBackend, FusedBackend, McdPredictor, ParallelConfig,
     SoftwareMaskSource, WorkerPool,
@@ -89,6 +92,25 @@ fn conformance_accel_bit_identical_to_int8() {
         123,
         Tolerance::BitExact,
     );
+}
+
+#[test]
+fn conformance_chaos_containment_on_all_substrates() {
+    // Conformance check 7: deterministic fault injection. On every
+    // substrate, disabled chaos is bit-transparent, a scheduled panic
+    // fails exactly its own request, survivors are bit-identical to
+    // the fault-free run, and the same seed replays the same faults.
+    let (net, ds) = trained_lenet();
+    let folded = net.fold_batch_norm();
+    let qg = Quantizer::new(&folded).calibrate(&ds.train_x).quantize();
+    let accel = Accelerator::new(AccelConfig::default(), &folded, &qg, ds.image_shape());
+    // Single-item input: the accelerator processes one image at a time.
+    let x = ds.test_x.select_item(0);
+    let cfg = BayesConfig::new(2, 4);
+    assert_chaos_agrees(|| FloatBackend::new(&folded), &x, cfg, 0xFA01);
+    assert_chaos_agrees(|| FusedBackend::new(&folded), &x, cfg, 0xFA02);
+    assert_chaos_agrees(|| Int8Backend::new(qg.clone()), &x, cfg, 0xFA03);
+    assert_chaos_agrees(|| AccelBackend::new(accel.clone()), &x, cfg, 0xFA04);
 }
 
 #[test]
