@@ -1,0 +1,270 @@
+//! A comment/string/char-literal-aware line lexer for Rust sources.
+//!
+//! The rules in this crate are token greps, so the one piece of real
+//! parsing they need is knowing which bytes of a line are *code* and
+//! which are comment or literal text — otherwise a doc example
+//! mentioning `unwrap()` or a diagnostic string containing
+//! `"HashMap"` would trip a rule. This lexer walks a file once and
+//! produces, per line, the source with every comment, string literal,
+//! raw string, byte string and char literal blanked to spaces
+//! (columns are preserved, so offsets stay meaningful), plus the text
+//! of each comment on that line (where `SAFETY:` justifications and
+//! `audit:allow` waivers live).
+//!
+//! Handled: `//`/`///`/`//!` line comments, nested `/* */` block
+//! comments (multi-line), `"…"` with escapes, `r"…"`/`r#"…"#`-style
+//! raw strings at any hash depth, `b"…"`/`br#"…"#` byte strings,
+//! char/byte-char literals (`'a'`, `b'\n'`) and — crucially — the
+//! lifetime-vs-char-literal ambiguity (`'env` stays code).
+
+/// One source line, split into its code and comment parts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineView {
+    /// The line with comments and literals blanked to spaces.
+    pub code: String,
+    /// Text of each comment (or comment fragment) on this line,
+    /// without the `//`, `/*`, `*/` markers.
+    pub comments: Vec<String>,
+}
+
+impl LineView {
+    /// Whether the line carries any non-whitespace code.
+    pub fn has_code(&self) -> bool {
+        !self.code.trim().is_empty()
+    }
+
+    /// Whether any comment on this line contains `needle`.
+    pub fn comment_contains(&self, needle: &str) -> bool {
+        self.comments.iter().any(|c| c.contains(needle))
+    }
+}
+
+enum Mode {
+    Code,
+    LineComment,
+    Block { depth: usize },
+    Str,
+    RawStr { hashes: usize },
+}
+
+/// Lex a whole source file into per-line views.
+pub fn lex(src: &str) -> Vec<LineView> {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comments: Vec<String> = Vec::new();
+    let mut cur_comment: Option<String> = None;
+    let mut mode = Mode::Code;
+    let mut i = 0;
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            if let Some(text) = cur_comment.take() {
+                comments.push(text);
+            }
+            lines.push(LineView {
+                code: std::mem::take(&mut code),
+                comments: std::mem::take(&mut comments),
+            });
+            match mode {
+                // A line comment ends with its line.
+                Mode::LineComment => mode = Mode::Code,
+                // A block comment continues; restart its buffer so
+                // each line gets its own fragment.
+                Mode::Block { .. } => cur_comment = Some(String::new()),
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+                    mode = Mode::LineComment;
+                    cur_comment = Some(String::new());
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    mode = Mode::Block { depth: 1 };
+                    cur_comment = Some(String::new());
+                    code.push_str("  ");
+                    i += 2;
+                } else if let Some((skip, raw, hashes)) = raw_or_byte_string_start(&chars, i) {
+                    for _ in 0..skip {
+                        code.push(' ');
+                    }
+                    i += skip;
+                    mode = if raw {
+                        Mode::RawStr { hashes }
+                    } else {
+                        Mode::Str
+                    };
+                } else if c == '"' {
+                    mode = Mode::Str;
+                    code.push(' ');
+                    i += 1;
+                } else if c == '\'' {
+                    i = blank_char_literal_or_lifetime(&chars, i, &mut code);
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            Mode::LineComment => {
+                if let Some(buf) = cur_comment.as_mut() {
+                    buf.push(c);
+                }
+                code.push(' ');
+                i += 1;
+            }
+            Mode::Block { depth } => {
+                if c == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    if depth == 1 {
+                        mode = Mode::Code;
+                        if let Some(text) = cur_comment.take() {
+                            comments.push(text);
+                        }
+                    } else {
+                        mode = Mode::Block { depth: depth - 1 };
+                        if let Some(buf) = cur_comment.as_mut() {
+                            buf.push_str("*/");
+                        }
+                    }
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    mode = Mode::Block { depth: depth + 1 };
+                    if let Some(buf) = cur_comment.as_mut() {
+                        buf.push_str("/*");
+                    }
+                    code.push_str("  ");
+                    i += 2;
+                } else {
+                    if let Some(buf) = cur_comment.as_mut() {
+                        buf.push(c);
+                    }
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    // Escape: blank the backslash and the escaped
+                    // char, except a line continuation (`\` + newline)
+                    // where the newline must reach the line splitter.
+                    code.push(' ');
+                    i += 1;
+                    if i < n && chars[i] != '\n' {
+                        code.push(' ');
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    mode = Mode::Code;
+                    code.push(' ');
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::RawStr { hashes } => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0;
+                    while j < n && seen < hashes && chars[j] == '#' {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        for _ in i..j {
+                            code.push(' ');
+                        }
+                        i = j;
+                        mode = Mode::Code;
+                        continue;
+                    }
+                }
+                code.push(' ');
+                i += 1;
+            }
+        }
+    }
+    if let Some(text) = cur_comment.take() {
+        comments.push(text);
+    }
+    if !code.is_empty() || !comments.is_empty() {
+        lines.push(LineView { code, comments });
+    }
+    lines
+}
+
+/// If position `i` starts a raw or byte string (`r"`, `r#"`, `b"`,
+/// `br#"` …), return `(chars_to_skip_through_quote, is_raw, hashes)`.
+fn raw_or_byte_string_start(chars: &[char], i: usize) -> Option<(usize, bool, usize)> {
+    // An identifier character before the prefix means `r`/`b` is the
+    // tail of a name (`var"` can't occur, but `br` could end an ident).
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return None;
+    }
+    let mut j = i;
+    let mut saw_prefix = false;
+    if j < chars.len() && chars[j] == 'b' {
+        j += 1;
+        saw_prefix = true;
+    }
+    let mut raw = false;
+    if j < chars.len() && chars[j] == 'r' {
+        j += 1;
+        raw = true;
+        saw_prefix = true;
+    }
+    if !saw_prefix {
+        return None;
+    }
+    let mut hashes = 0;
+    while raw && j < chars.len() && chars[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < chars.len() && chars[j] == '"' && (raw || hashes == 0) {
+        Some((j - i + 1, raw, hashes))
+    } else {
+        None
+    }
+}
+
+/// Handle a `'` in code: blank a char literal, or keep a lifetime.
+/// Returns the next index to resume at.
+fn blank_char_literal_or_lifetime(chars: &[char], i: usize, code: &mut String) -> usize {
+    let n = chars.len();
+    if i + 1 < n && chars[i + 1] == '\\' {
+        // Escaped char literal: blank through the closing quote.
+        let mut j = i;
+        code.push(' ');
+        j += 1;
+        while j < n && chars[j] != '\'' && chars[j] != '\n' {
+            if chars[j] == '\\' && j + 1 < n {
+                code.push_str("  ");
+                j += 2;
+            } else {
+                code.push(' ');
+                j += 1;
+            }
+        }
+        if j < n && chars[j] == '\'' {
+            code.push(' ');
+            j += 1;
+        }
+        return j;
+    }
+    if i + 2 < n && chars[i + 2] == '\'' && chars[i + 1] != '\'' {
+        // Plain 'x' literal.
+        code.push_str("   ");
+        return i + 3;
+    }
+    // Lifetime (`'env`) or stray quote: leave it as code.
+    code.push('\'');
+    i + 1
+}

@@ -1,0 +1,95 @@
+//! `bnn-audit` CLI: walk the workspace, run every rule, print
+//! `file:line` diagnostics, write `AUDIT.json`, exit nonzero on any
+//! unwaived finding.
+//!
+//! ```text
+//! bnn-audit [--root DIR] [--json PATH | --no-json]
+//! ```
+//!
+//! With no flags the workspace root is found by walking up from the
+//! current directory to the first `Cargo.toml` containing
+//! `[workspace]`, and the summary is written to `<root>/AUDIT.json`
+//! (deterministic content — CI diffs it against the committed
+//! snapshot so the waiver count stays part of the tracked trajectory).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(body) = std::fs::read_to_string(&manifest) {
+            if body.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut write_json = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--json" => json_path = args.next().map(PathBuf::from),
+            "--no-json" => write_json = false,
+            "--help" | "-h" => {
+                println!("usage: bnn-audit [--root DIR] [--json PATH | --no-json]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("bnn-audit: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("bnn-audit: no workspace root above {}", cwd.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let report = match bnn_audit::audit(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bnn-audit: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    print!("{}", report.render_text());
+
+    if write_json {
+        let path = json_path.unwrap_or_else(|| root.join("AUDIT.json"));
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("bnn-audit: writing {} failed: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("[written {}]", path.display());
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

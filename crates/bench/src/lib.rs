@@ -10,6 +10,7 @@
 //! * `BNN_SEED=<u64>` — change the global experiment seed.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use bnn_data::Dataset;
 use bnn_framework::{NetKind, TrainedMetricProvider, TrainingBudget};

@@ -507,6 +507,7 @@ fn predictive_batch_parallel<B: BayesBackend + Send>(
                     .iter()
                     .zip(task_masks)
                     .map(|(group, masks)| {
+                        // audit:allow(determinism) wall_ms is CostReport telemetry; it never feeds the computation, so replies stay bit-identical.
                         let t0 = Instant::now();
                         let bx = slice_items(xs, group.clone());
                         fork.prepare(&bx, active);
@@ -673,6 +674,7 @@ fn run_request<B: BayesBackend>(
     parallel: ParallelConfig,
     pool: &WorkerPool,
 ) -> RequestResult {
+    // audit:allow(determinism) wall_ms is CostReport telemetry; it never feeds the computation, so replies stay bit-identical.
     let t0 = Instant::now();
     backend.prepare(x, active);
     let passes = run_prepared(backend, cfg.s, masks, parallel, pool);

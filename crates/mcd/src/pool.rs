@@ -285,6 +285,9 @@ fn worker_loop(shared: &Shared) {
 /// `std::thread::scope`, with the scope being one `run` call.
 #[allow(unsafe_code)]
 fn erase_job<'env>(job: Box<dyn FnOnce() + Send + 'env>) -> Job {
+    // SAFETY: completion-before-return (argued above) keeps every
+    // borrow captured by `job` live for the job's whole execution;
+    // the transmute erases only the lifetime, not the layout.
     unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job) }
 }
 

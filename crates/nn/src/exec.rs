@@ -269,6 +269,7 @@ fn conv_forward_into(
             cols.resize(2 * cols_len, 0.0);
         }
         let (cols_a, cols_b) = cols.split_at_mut(cols_len);
+        // audit:allow(concurrency) bnn-nn sits below bnn-mcd, so it cannot route through WorkerPool without a dependency cycle; the halves write disjoint output slices and the result is bit-identical to the serial walk.
         std::thread::scope(|scope| {
             scope.spawn(|| {
                 for n in 0..mid {

@@ -890,6 +890,7 @@ impl ServerBuilder {
         let graph = self.graph;
         let backend = self.backend;
         let chaos = self.chaos;
+        // audit:allow(concurrency) one resident dispatcher thread per Server — an owner loop, not data-parallel fan-out (which routes through WorkerPool).
         let dispatcher = std::thread::Builder::new()
             .name("bnn-serve".into())
             .spawn(move || match backend {
@@ -898,6 +899,7 @@ impl ServerBuilder {
                 ServeBackend::Int8(qgraph) => launch(Int8Backend::new(qgraph), chaos, &ctx),
                 ServeBackend::Accel(accel) => launch(AccelBackend::new(accel), chaos, &ctx),
             })
+            // audit:allow(panic) OS thread creation at Server construction: no dispatcher exists yet to field requests, so there is no typed reply path — failing the build loudly is the only option.
             .expect("spawn serve dispatcher");
         Server {
             shared,
@@ -1166,7 +1168,10 @@ fn next_batch(shared: &SharedQ, policy: &BatchPolicy) -> Option<Vec<Queued>> {
                 // a fresh arrival-rate estimate can collapse an
                 // adaptive window mid-hold.
                 let window = effective_wait(policy, st.arrival_gap);
-                let oldest = st.oldest().expect("queue non-empty in window phase");
+                // The loop guard keeps the queue non-empty here, but a
+                // dispatcher panic is never the right failure mode:
+                // treat an empty queue as a closed window.
+                let Some(oldest) = st.oldest() else { break };
                 let remaining = window.saturating_sub(oldest.elapsed());
                 if remaining.is_zero() {
                     break;
@@ -1197,8 +1202,12 @@ fn next_batch(shared: &SharedQ, policy: &BatchPolicy) -> Option<Vec<Queued>> {
         }
         let take = st.len().min(policy.max_batch);
         let mut batch = Vec::with_capacity(take);
-        for _ in 0..take {
-            batch.push(st.pop_highest().expect("len checked above"));
+        while batch.len() < take {
+            // `take` is bounded by `len`, so the queue can't run dry
+            // mid-drain; if it somehow did, serving a short batch
+            // still beats panicking the dispatcher.
+            let Some(req) = st.pop_highest() else { break };
+            batch.push(req);
         }
         drop(st);
         shared.space.notify_all();

@@ -123,6 +123,43 @@
 //! ([`mcd::conformance::assert_chaos_agrees`]) pins fault containment
 //! and bit-identical survivors on all four substrates.
 //!
+//! # Invariants (statically enforced by `bnn-audit`)
+//!
+//! Bit-identical replies — solo vs. coalesced, at any thread count,
+//! on any substrate — are only as strong as the invariants the code
+//! keeps everywhere, not just on the shapes the conformance harness
+//! samples. `cargo run -p bnn-audit --release` (a CI gate) proves the
+//! code *can't* reach for nondeterminism, via five named rules:
+//!
+//! * **`unsafe-audit`** — `unsafe` only in `crates/mcd/src/pool.rs`,
+//!   each use immediately preceded by a `SAFETY:` argument, and every
+//!   crate roof carries `#![deny(unsafe_code)]` or stricter. One
+//!   audited lifetime-erasure must not quietly become two.
+//! * **`determinism`** — the engine/kernel crates (`tensor`, `nn`,
+//!   `rng`, `quant`, and the deterministic modules of `mcd`) may
+//!   consume only seed-derived state: no `HashMap`/`HashSet`
+//!   (hash-order iteration), no `Instant::now`/`SystemTime`
+//!   (wall-clock), no OS randomness, no env-dependent branching.
+//!   This is what makes "same seed, same reply" provable.
+//! * **`concurrency`** — all data-parallel fan-out routes through
+//!   [`mcd::WorkerPool`] (the one audited spawn site —
+//!   order-preserving, caller-helps, panic-poisoning), and every
+//!   `Mutex` unwrap in `serve`/`pool` states its poisoning policy.
+//! * **`panic`** — no `unwrap`/`expect`/`panic!` on `bnn-serve`
+//!   dispatcher paths outside `#[cfg(test)]`: a dispatcher panic
+//!   kills the thread every `Handle` depends on, so any failure there
+//!   must resolve to a typed [`ServeError`] instead.
+//! * **`lint-headers`** — every crate roof keeps
+//!   `#![warn(missing_docs)]` or stricter.
+//!
+//! Exceptions are inline, named and justified —
+//! `audit:allow(<rule>) reason...` as the leading text of a regular
+//! comment, covering its own line (trailing) or the next code line
+//! (standalone). A waiver without a written reason is itself a
+//! finding, so `grep -rn audit:allow` always returns the complete,
+//! justified exception list; `AUDIT.json` tracks the counts as part
+//! of the repo trajectory next to `BENCH_serve.json`.
+//!
 //! # Workspace map
 //!
 //! | module | crate | contents |
