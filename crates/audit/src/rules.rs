@@ -218,7 +218,11 @@ pub const SPAWN_ALLOWLIST: [&str; 1] = ["crates/mcd/src/pool.rs"];
 const SPAWN_TOKENS: [&str; 3] = ["thread::spawn", "thread::scope", "thread::Builder"];
 
 /// Files where every `Mutex` access must state its poisoning policy.
-pub const LOCK_POLICY_SCOPE: [&str; 2] = ["crates/serve/src/", "crates/mcd/src/pool.rs"];
+pub const LOCK_POLICY_SCOPE: [&str; 3] = [
+    "crates/serve/src/",
+    "crates/net/src/",
+    "crates/mcd/src/pool.rs",
+];
 
 /// **concurrency** — all data-parallel fan-out routes through
 /// `WorkerPool` (one audited spawn site, order-preserving, panic-
@@ -280,10 +284,19 @@ impl Rule for Concurrency {
 const PANIC_METHODS: [&str; 2] = [".unwrap()", ".expect("];
 const PANIC_MACROS: [&str; 4] = ["panic!", "unreachable!", "todo!", "unimplemented!"];
 
-/// **panic** — `crates/serve/src` is the availability boundary: a
-/// panic on a dispatcher path kills the resident thread that every
-/// `Handle` depends on, so any failure there must resolve to a typed
-/// `ServeError` instead. Test modules are exempt.
+/// Crates whose `src/` is an availability boundary: a panic there
+/// kills a resident thread other parties depend on (the serve
+/// dispatcher every `Handle` waits on; a net connection worker
+/// mid-protocol, which would drop the peer without a typed error
+/// frame).
+pub const PANIC_SCOPE: [&str; 2] = ["crates/serve/src/", "crates/net/src/"];
+
+/// **panic** — the [`PANIC_SCOPE`] crates are availability
+/// boundaries: any failure there must resolve to a typed error
+/// (`ServeError`, a wire error frame, a `DecodeError`) instead of a
+/// panic. In particular the `bnn-net` frame decoder's "malformed
+/// input never panics" guarantee is enforced here statically, on top
+/// of the malformed-input tests. Test modules are exempt.
 pub struct PanicHygiene;
 
 impl Rule for PanicHygiene {
@@ -292,7 +305,7 @@ impl Rule for PanicHygiene {
     }
 
     fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
-        if !file.rel_path.starts_with("crates/serve/src/") {
+        if !PANIC_SCOPE.iter().any(|p| file.rel_path.starts_with(p)) {
             return;
         }
         for (idx, line) in file.lines.iter().enumerate() {

@@ -268,6 +268,46 @@ mod tests {
     assert!(report.is_clean(), "{}", report.render_text());
 }
 
+#[test]
+fn panic_rule_covers_the_net_crate() {
+    // The wire decoder's "malformed input never panics" guarantee is
+    // enforced statically: the same rule that guards the serve
+    // dispatcher covers crates/net/src.
+    let report = run(&[(
+        "crates/net/src/wire.rs",
+        r#"fn decode(b: &[u8]) -> u8 { *b.first().unwrap() }
+fn worker() { unreachable!("connection state"); }
+"#,
+    )]);
+    assert_eq!(rule_hits(&report, "panic"), vec![1, 2]);
+}
+
+#[test]
+fn net_lock_unwrap_needs_poisoning_policy() {
+    let report = run(&[(
+        "crates/net/src/monitor.rs",
+        r#"fn f(m: &std::sync::Mutex<u32>) -> u32 { *m.lock().unwrap() }
+"#,
+    )]);
+    assert_eq!(rule_hits(&report, "concurrency"), vec![1]);
+}
+
+#[test]
+fn net_spawn_requires_a_waiver() {
+    let report = run(&[
+        (
+            "crates/net/src/server.rs",
+            r#"fn bare() { std::thread::spawn(|| {}); }
+// audit:allow(concurrency) resident acceptor thread, joined on shutdown.
+fn waived() { std::thread::spawn(|| {}); }
+"#,
+        ),
+        ("crates/net/src/lib.rs", CLEAN_ROOF),
+    ]);
+    assert_eq!(rule_hits(&report, "concurrency"), vec![1]);
+    assert_eq!(report.waived_count("concurrency"), 1);
+}
+
 // ---------------------------------------------------------------- lint-headers
 
 #[test]

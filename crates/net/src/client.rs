@@ -1,0 +1,72 @@
+//! A minimal blocking client for the binary protocol, plus a
+//! one-shot `/status` HTTP helper — enough for tests, examples and
+//! load drivers without pulling in an HTTP stack.
+
+use crate::wire::{self, Request, Response};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+
+/// A blocking binary-protocol connection.
+pub struct NetClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl NetClient {
+    /// Connect to a [`crate::NetServer`].
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(NetClient {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// The local (client-side) address of this connection.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.stream.local_addr()
+    }
+
+    /// Send one request and block for its response (reply or typed
+    /// error frame). Encode and decode failures surface as
+    /// `InvalidInput` / `InvalidData` I/O errors.
+    pub fn send(&mut self, request: &Request) -> io::Result<Response> {
+        wire::encode_request(request, &mut self.buf)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        wire::write_frame(&mut self.stream, &self.buf)?;
+        let payload = wire::read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed before answering",
+            )
+        })?;
+        wire::decode_response(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Fetch `GET /status` from a front door and return the JSON body
+/// (status line and headers stripped).
+pub fn http_get_status<A: ToSocketAddrs>(addr: A) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(b"GET /status HTTP/1.1\r\nHost: bnn\r\nConnection: close\r\n\r\n")?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8(raw)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 HTTP response"))?;
+    match text.split_once("\r\n\r\n") {
+        Some((head, body)) if head.starts_with("HTTP/1.1 200") => Ok(body.to_string()),
+        Some((head, _)) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "unexpected status line: {}",
+                head.lines().next().unwrap_or("<empty>")
+            ),
+        )),
+        None => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "malformed HTTP response (no header terminator)",
+        )),
+    }
+}

@@ -1,0 +1,70 @@
+//! `bnn-net` — the dependency-free TCP front door over the
+//! `bnn-serve` admission layer.
+//!
+//! The source paper's FPGA accelerator (Fan et al., DAC 2021) wins by
+//! making Bayesian inference fast enough for real-time serving; this
+//! crate is where those predictions stop being a library call and
+//! start being a service. It is deliberately dependency-free — a
+//! hand-rolled event loop on `std::net` (resident acceptor thread,
+//! one worker per connection) rather than an async runtime, so the
+//! offline build stays hermetic and the audited threading patterns
+//! stay small enough to read in one sitting.
+//!
+//! Two framings share one port, sniffed from the first four bytes:
+//!
+//! * the **length-prefixed binary protocol v1** ([`wire`]) — request
+//!   frames carry tenant id, priority, optional deadline, optional
+//!   seed and an f32 input tensor; responses are a reply frame
+//!   (probs + [`bnn_mcd::Uncertainty`] + [`bnn_mcd::CostReport`]
+//!   slice, with the effective seed echoed for offline
+//!   reproducibility) or a typed error frame;
+//! * **minimal HTTP/1.1** — `GET /status` returns live JSON
+//!   telemetry from the rolling-window [`monitor`] (p50/p99 latency,
+//!   queue-depth and in-flight gauges, batch-size histogram,
+//!   per-substrate cost aggregates, shed/expired/rejected counters).
+//!
+//! Admission is tenant-aware ([`tenant`]): each tenant gets a
+//! priority ceiling and a token-bucket rate limit, mapped onto the
+//! serve layer's priority scheduler, so the wire boundary cannot be
+//! used to jump the queue.
+//!
+//! ```no_run
+//! use bnn_net::{NetClient, NetConfig, NetServer, Request};
+//! # fn demo(server: bnn_serve::Server, x: bnn_tensor::Tensor) -> std::io::Result<()> {
+//! let front = NetServer::bind("127.0.0.1:0", server, NetConfig::default())?;
+//! let mut client = NetClient::connect(front.local_addr())?;
+//! let response = client.send(&Request::new(x).seed(42))?;
+//! let status_json = bnn_net::http_get_status(front.local_addr())?;
+//! # let _ = (response, status_json);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod monitor;
+pub mod server;
+pub mod tenant;
+pub mod wire;
+
+pub use client::{http_get_status, NetClient};
+pub use monitor::{CostAgg, Monitor, MonitorSnapshot};
+pub use server::{NetConfig, NetServer};
+pub use tenant::{RateLimited, TenantGate, TenantPolicy, TenantTable};
+pub use wire::{
+    DecodeError, EncodeError, ErrorCode, Request, Response, WireError, WireReply, MAX_FRAME,
+    PROTOCOL_VERSION,
+};
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Poisoning policy: a poisoned mutex here means another connection
+/// worker panicked mid-update; the guarded state (telemetry rings,
+/// token buckets, join handles) stays structurally valid, and
+/// propagating the panic would take down an unrelated connection —
+/// so every lock in this crate recovers the guard and continues.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -1,0 +1,401 @@
+//! Rolling-window serving telemetry behind `GET /status`.
+//!
+//! The monitor grows the one-shot `BENCH_serve.json` pass into live
+//! telemetry: a ring buffer of recent request latencies (nearest-rank
+//! p50/p99), a batch-size histogram, aggregated [`CostReport`]s keyed
+//! by substrate, and net-layer counters (connections, HTTP hits,
+//! rate-limited and malformed frames). Admission counters and the
+//! queue-depth/in-flight gauges come straight from
+//! [`bnn_serve::ServeStats`] at snapshot time, so `/status` and
+//! `Server::stats()` can never disagree at quiesce.
+
+use crate::lock;
+use bnn_mcd::CostReport;
+use bnn_serve::ServeStats;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Upper edges of the batch-size histogram buckets: 1, 2, 3–4, 5–8,
+/// 9–16, 17–32, 33+.
+const BATCH_EDGES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Number of histogram buckets (the edges plus the 33+ overflow).
+pub const BATCH_BUCKETS: usize = BATCH_EDGES.len() + 1;
+
+/// Human-readable bucket labels, aligned with [`BATCH_BUCKETS`].
+pub const BATCH_LABELS: [&str; BATCH_BUCKETS] = ["1", "2", "3-4", "5-8", "9-16", "17-32", "33+"];
+
+fn batch_bucket(size: usize) -> usize {
+    match BATCH_EDGES.iter().position(|&edge| size <= edge) {
+        Some(i) => i,
+        None => BATCH_EDGES.len(),
+    }
+}
+
+/// Aggregated engine cost for one substrate.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CostAgg {
+    /// Replies folded into this aggregate.
+    pub requests: u64,
+    /// Total Monte Carlo samples served.
+    pub samples: u64,
+    /// Total measured engine wall time (ms).
+    pub wall_ms: f64,
+    /// Total modelled cycles (0 when the substrate has no model).
+    pub cycles: u64,
+    /// Total modelled memory traffic in bytes.
+    pub mem_bytes: u64,
+    /// Total modelled latency (ms).
+    pub modelled_latency_ms: f64,
+}
+
+impl CostAgg {
+    fn fold(&mut self, cost: &CostReport) {
+        self.requests += 1;
+        self.samples += cost.samples as u64;
+        self.wall_ms += cost.wall_ms;
+        if let Some(model) = cost.model {
+            self.cycles += model.cycles;
+            self.mem_bytes += model.mem_bytes;
+            self.modelled_latency_ms += model.latency_ms;
+        }
+    }
+}
+
+/// Mutable monitor state; one lock, touched once per reply.
+struct State {
+    /// Latency ring, microseconds; `next` is the overwrite cursor.
+    ring: Vec<u64>,
+    next: usize,
+    /// Total replies recorded (ring may hold only the tail).
+    recorded: u64,
+    batch_hist: [u64; BATCH_BUCKETS],
+    cost: CostAgg,
+    rate_limited: u64,
+    malformed: u64,
+    connections: u64,
+    http_requests: u64,
+}
+
+/// Rolling-window monitor shared by every connection worker.
+pub struct Monitor {
+    window: usize,
+    substrate: &'static str,
+    state: Mutex<State>,
+}
+
+impl Monitor {
+    /// A monitor keeping the most recent `window` latencies (clamped
+    /// to at least 1) for the named substrate.
+    pub fn new(window: usize, substrate: &'static str) -> Monitor {
+        Monitor {
+            window: window.max(1),
+            substrate,
+            state: Mutex::new(State {
+                ring: Vec::new(),
+                next: 0,
+                recorded: 0,
+                batch_hist: [0; BATCH_BUCKETS],
+                cost: CostAgg::default(),
+                rate_limited: 0,
+                malformed: 0,
+                connections: 0,
+                http_requests: 0,
+            }),
+        }
+    }
+
+    /// Fold one served reply: wall-clock latency as seen by the
+    /// connection worker, the coalesced batch size, and the cost
+    /// slice.
+    pub fn record_reply(&self, latency: Duration, coalesced: usize, cost: &CostReport) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let mut st = lock(&self.state);
+        if st.ring.len() < self.window {
+            st.ring.push(us);
+        } else {
+            let slot = st.next;
+            st.ring[slot] = us;
+        }
+        st.next = (st.next + 1) % self.window;
+        st.recorded += 1;
+        st.batch_hist[batch_bucket(coalesced.max(1))] += 1;
+        st.cost.fold(cost);
+    }
+
+    /// Count a frame the tenant gate refused.
+    pub fn record_rate_limited(&self) {
+        lock(&self.state).rate_limited += 1;
+    }
+
+    /// Count a frame the decoder refused.
+    pub fn record_malformed(&self) {
+        lock(&self.state).malformed += 1;
+    }
+
+    /// Count an accepted connection.
+    pub fn record_connection(&self) {
+        lock(&self.state).connections += 1;
+    }
+
+    /// Count an HTTP request (any path or method).
+    pub fn record_http(&self) {
+        lock(&self.state).http_requests += 1;
+    }
+
+    /// Consistent copy of everything the monitor knows.
+    pub fn snapshot(&self) -> MonitorSnapshot {
+        let st = lock(&self.state);
+        let mut sorted = st.ring.clone();
+        sorted.sort_unstable();
+        MonitorSnapshot {
+            substrate: self.substrate,
+            window: self.window,
+            latency_samples: sorted.len(),
+            p50_us: nearest_rank(&sorted, 50),
+            p99_us: nearest_rank(&sorted, 99),
+            recorded: st.recorded,
+            batch_hist: st.batch_hist,
+            cost: st.cost,
+            rate_limited: st.rate_limited,
+            malformed: st.malformed,
+            connections: st.connections,
+            http_requests: st.http_requests,
+        }
+    }
+
+    /// Render the full `/status` document: the monitor snapshot plus
+    /// the admission layer's own counters and gauges.
+    pub fn status_json(&self, stats: &ServeStats) -> String {
+        self.snapshot().to_json(stats)
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice; `None`
+/// when empty.
+fn nearest_rank(sorted: &[u64], pct: usize) -> Option<u64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    // ceil(pct/100 * n), clamped to [1, n], then 1-indexed.
+    let rank = (pct * sorted.len()).div_ceil(100).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+/// Point-in-time copy of the monitor state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorSnapshot {
+    /// Which engine substrate this server fronts.
+    pub substrate: &'static str,
+    /// Configured latency window size.
+    pub window: usize,
+    /// Latencies currently in the ring (≤ window).
+    pub latency_samples: usize,
+    /// Nearest-rank median latency over the window, µs.
+    pub p50_us: Option<u64>,
+    /// Nearest-rank 99th-percentile latency over the window, µs.
+    pub p99_us: Option<u64>,
+    /// Total replies ever recorded.
+    pub recorded: u64,
+    /// Batch-size histogram, buckets per [`BATCH_LABELS`].
+    pub batch_hist: [u64; BATCH_BUCKETS],
+    /// Aggregated engine cost for this substrate.
+    pub cost: CostAgg,
+    /// Frames refused by the tenant gate.
+    pub rate_limited: u64,
+    /// Frames the decoder refused.
+    pub malformed: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// HTTP requests seen.
+    pub http_requests: u64,
+}
+
+/// Append a JSON string value. Tenant-free in practice (substrate
+/// names and bucket labels are static), but escape anyway so the
+/// writer is safe for any input.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a float with three decimals — always a valid JSON number
+/// (never NaN/inf: callers only feed accumulated finite values).
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v:.3}"));
+    } else {
+        out.push_str("0.000");
+    }
+}
+
+impl MonitorSnapshot {
+    /// Render the `/status` JSON document, merging the admission
+    /// layer's counters and gauges.
+    pub fn to_json(&self, stats: &ServeStats) -> String {
+        let mut s = String::with_capacity(768);
+        s.push_str("{\"protocol_version\":1,\"substrate\":");
+        push_json_str(&mut s, self.substrate);
+        s.push_str(&format!(
+            ",\"admission\":{{\"served\":{},\"shed\":{},\"expired\":{},\"failed\":{},\"rejected\":{},\"queued\":{},\"in_flight\":{}}}",
+            stats.served,
+            stats.shed,
+            stats.expired,
+            stats.failed,
+            stats.rejected,
+            stats.queued,
+            stats.in_flight
+        ));
+        s.push_str(&format!(
+            ",\"latency\":{{\"window\":{},\"samples\":{},\"recorded\":{},\"p50_us\":{},\"p99_us\":{}}}",
+            self.window,
+            self.latency_samples,
+            self.recorded,
+            json_opt(self.p50_us),
+            json_opt(self.p99_us)
+        ));
+        s.push_str(",\"batch_histogram\":{");
+        for (i, (label, count)) in BATCH_LABELS.iter().zip(self.batch_hist).enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            push_json_str(&mut s, label);
+            s.push_str(&format!(":{count}"));
+        }
+        s.push('}');
+        s.push_str(&format!(
+            ",\"cost\":{{\"requests\":{},\"samples\":{},\"wall_ms\":",
+            self.cost.requests, self.cost.samples
+        ));
+        push_json_f64(&mut s, self.cost.wall_ms);
+        s.push_str(&format!(
+            ",\"cycles\":{},\"mem_bytes\":{},\"modelled_latency_ms\":",
+            self.cost.cycles, self.cost.mem_bytes
+        ));
+        push_json_f64(&mut s, self.cost.modelled_latency_ms);
+        s.push('}');
+        s.push_str(&format!(
+            ",\"net\":{{\"connections\":{},\"http_requests\":{},\"rate_limited\":{},\"malformed\":{}}}}}",
+            self.connections, self.http_requests, self.rate_limited, self.malformed
+        ));
+        s
+    }
+}
+
+fn json_opt(v: Option<u64>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnn_mcd::ModelCost;
+
+    fn report(samples: usize, wall_ms: f64, model: Option<ModelCost>) -> CostReport {
+        CostReport {
+            samples,
+            batch: 1,
+            wall_ms,
+            model,
+        }
+    }
+
+    #[test]
+    fn batch_buckets_partition_sizes() {
+        assert_eq!(batch_bucket(1), 0);
+        assert_eq!(batch_bucket(2), 1);
+        assert_eq!(batch_bucket(3), 2);
+        assert_eq!(batch_bucket(4), 2);
+        assert_eq!(batch_bucket(5), 3);
+        assert_eq!(batch_bucket(8), 3);
+        assert_eq!(batch_bucket(16), 4);
+        assert_eq!(batch_bucket(17), 5);
+        assert_eq!(batch_bucket(32), 5);
+        assert_eq!(batch_bucket(33), 6);
+        assert_eq!(batch_bucket(1000), 6);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        assert_eq!(nearest_rank(&[], 50), None);
+        assert_eq!(nearest_rank(&[7], 50), Some(7));
+        assert_eq!(nearest_rank(&[7], 99), Some(7));
+        let hundred: Vec<u64> = (1..=100).collect();
+        assert_eq!(nearest_rank(&hundred, 50), Some(50));
+        assert_eq!(nearest_rank(&hundred, 99), Some(99));
+    }
+
+    #[test]
+    fn ring_keeps_only_the_window_tail() {
+        let m = Monitor::new(4, "float");
+        for us in [10u64, 20, 30, 40, 1000, 2000] {
+            m.record_reply(Duration::from_micros(us), 1, &report(8, 0.5, None));
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.latency_samples, 4);
+        assert_eq!(snap.recorded, 6);
+        // Window now holds {30, 40, 1000, 2000}.
+        assert_eq!(snap.p50_us, Some(40));
+        assert_eq!(snap.p99_us, Some(2000));
+        assert_eq!(snap.cost.requests, 6);
+        assert_eq!(snap.cost.samples, 48);
+    }
+
+    #[test]
+    fn cost_aggregates_fold_model_fields() {
+        let m = Monitor::new(16, "accel");
+        let model = ModelCost {
+            cycles: 100,
+            latency_ms: 0.25,
+            mem_bytes: 4096,
+        };
+        m.record_reply(Duration::from_micros(5), 3, &report(8, 1.0, Some(model)));
+        m.record_reply(Duration::from_micros(5), 3, &report(8, 1.0, Some(model)));
+        let snap = m.snapshot();
+        assert_eq!(snap.cost.cycles, 200);
+        assert_eq!(snap.cost.mem_bytes, 8192);
+        assert!((snap.cost.modelled_latency_ms - 0.5).abs() < 1e-9);
+        assert_eq!(snap.batch_hist[2], 2); // both coalesced=3 → "3-4"
+    }
+
+    #[test]
+    fn status_json_is_balanced_and_carries_counters() {
+        let m = Monitor::new(8, "int8");
+        m.record_reply(Duration::from_micros(123), 1, &report(4, 0.1, None));
+        m.record_rate_limited();
+        m.record_malformed();
+        m.record_connection();
+        m.record_http();
+        let stats = ServeStats {
+            served: 1,
+            ..Default::default()
+        };
+        let json = m.status_json(&stats);
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"substrate\":\"int8\""));
+        assert!(json.contains("\"served\":1"));
+        assert!(json.contains("\"rate_limited\":1"));
+        assert!(json.contains("\"malformed\":1"));
+        assert!(json.contains("\"connections\":1"));
+        assert!(json.contains("\"http_requests\":1"));
+        assert!(json.contains("\"p50_us\":123"));
+    }
+}

@@ -1,0 +1,432 @@
+//! The TCP front door: a resident acceptor thread plus one worker
+//! thread per connection, all over `std::net` (no external runtime).
+//!
+//! Each connection speaks either the length-prefixed binary protocol
+//! (see [`crate::wire`]) or minimal HTTP/1.1 — sniffed from the first
+//! four bytes: `b"GET "` decodes as a length prefix of ~542 MB, far
+//! past [`MAX_FRAME`], so the two framings can never be confused.
+//! Binary connections loop request → admission → reply; HTTP
+//! connections answer one `GET /status` with the monitor's JSON
+//! document and close.
+
+use crate::lock;
+use crate::monitor::Monitor;
+use crate::tenant::{TenantGate, TenantTable};
+use crate::wire::{self, ErrorCode, Request, MAX_FRAME};
+use bnn_serve::{request_seed, Handle, ServeStats, Server};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Front-door configuration.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Per-tenant admission policy.
+    pub tenants: TenantTable,
+    /// Latency ring size behind `/status` p50/p99.
+    pub latency_window: usize,
+    /// Socket read timeout — the poll granularity at which idle
+    /// connection workers re-check the shutdown flag.
+    pub read_timeout: Duration,
+    /// Maximum simultaneously-open connections; excess accepts are
+    /// closed immediately.
+    pub max_connections: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            tenants: TenantTable::default(),
+            latency_window: 1024,
+            read_timeout: Duration::from_millis(50),
+            max_connections: 256,
+        }
+    }
+}
+
+/// State shared by the acceptor and every connection worker.
+struct NetShared {
+    handle: Handle,
+    base_seed: u64,
+    monitor: Monitor,
+    gate: TenantGate,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    conn_seq: AtomicU64,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    read_timeout: Duration,
+    max_connections: usize,
+}
+
+/// The running front door. Owns the [`Server`] it fronts: dropping
+/// (or [`NetServer::shutdown`]) closes the listener, drains the
+/// admission queue and joins every thread.
+pub struct NetServer {
+    local: SocketAddr,
+    server: Option<Server>,
+    shared: Arc<NetShared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Bind the front door on `addr` (use port 0 for an ephemeral
+    /// port; see [`NetServer::local_addr`]) over an already-started
+    /// admission [`Server`].
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        server: Server,
+        cfg: NetConfig,
+    ) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(NetShared {
+            handle: server.handle(),
+            base_seed: server.base_seed(),
+            monitor: Monitor::new(cfg.latency_window, server.backend_name()),
+            gate: TenantGate::new(cfg.tenants),
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            conn_seq: AtomicU64::new(0),
+            workers: Mutex::new(Vec::new()),
+            read_timeout: cfg.read_timeout,
+            max_connections: cfg.max_connections.max(1),
+        });
+        let accept_shared = Arc::clone(&shared);
+        // audit:allow(concurrency) the resident acceptor thread is the front door's owner loop (one per NetServer, joined on shutdown) — not data-parallel fan-out, which still routes through WorkerPool.
+        let acceptor = thread::Builder::new()
+            .name("bnn-net-acceptor".to_string())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(NetServer {
+            local,
+            server: Some(server),
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (the actual port when bound with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Snapshot of the fronted server's admission counters/gauges.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.handle.stats()
+    }
+
+    /// The `/status` JSON document, rendered in-process (exactly what
+    /// an HTTP client would receive).
+    pub fn status_json(&self) -> String {
+        self.shared.monitor.status_json(&self.shared.handle.stats())
+    }
+
+    /// Graceful shutdown: stop accepting, drain the admission queue
+    /// (already-accepted requests are served), then join the acceptor
+    /// and every connection worker.
+    pub fn shutdown(mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Drain and close the admission layer first: workers blocked
+        // in Pending::wait resolve (reply or typed Shutdown), and any
+        // frame arriving after this resolves Shutdown immediately.
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
+        // Unblock the acceptor's blocking accept() with a poke
+        // connection; it observes the flag and exits. A failed poke
+        // means the listener is already dead — nothing to unblock.
+        let _ = TcpStream::connect(self.local);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Idle workers notice the flag within one read timeout.
+        let drained: Vec<JoinHandle<()>> = {
+            let mut workers = lock(&self.shared.workers);
+            workers.drain(..).collect()
+        };
+        for worker in drained {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("local", &self.local)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The acceptor loop: accept, reap finished workers, spawn a worker
+/// per connection (or close immediately at the connection cap).
+fn accept_loop(listener: TcpListener, shared: Arc<NetShared>) {
+    loop {
+        let accepted = listener.accept();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let (stream, _) = match accepted {
+            Ok(pair) => pair,
+            // Transient accept errors (e.g. the peer reset before we
+            // got to it) should not kill the front door.
+            Err(_) => continue,
+        };
+        reap_finished(&shared);
+        if shared.active.load(Ordering::SeqCst) >= shared.max_connections {
+            let _ = stream.shutdown(SockShutdown::Both);
+            continue;
+        }
+        shared.monitor.record_connection();
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        let conn_id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+        let worker_shared = Arc::clone(&shared);
+        // audit:allow(concurrency) one worker thread per accepted connection, bounded by max_connections and joined on shutdown — connection I/O is inherently blocking on std::net, and the compute fan-out behind it still routes through WorkerPool.
+        let spawned = thread::Builder::new()
+            .name(format!("bnn-net-conn-{conn_id}"))
+            .spawn(move || {
+                serve_connection(stream, &worker_shared);
+                worker_shared.active.fetch_sub(1, Ordering::SeqCst);
+            });
+        match spawned {
+            Ok(handle) => lock(&shared.workers).push(handle),
+            Err(_) => {
+                // Spawn failure: undo the reservation and shed the
+                // connection rather than killing the acceptor.
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// Join workers that have already finished, so a long-lived server
+/// under connection churn does not accumulate JoinHandles.
+fn reap_finished(shared: &NetShared) {
+    let mut workers = lock(&shared.workers);
+    let mut live = Vec::with_capacity(workers.len());
+    for handle in workers.drain(..) {
+        if handle.is_finished() {
+            let _ = handle.join();
+        } else {
+            live.push(handle);
+        }
+    }
+    *workers = live;
+}
+
+/// Sniff result for one fresh connection.
+enum Framing {
+    Binary,
+    Http,
+    /// Peer closed (or shutdown began) before sending four bytes.
+    Gone,
+}
+
+/// Peek the first four bytes without consuming them. `b"GET "` means
+/// HTTP; anything else is a binary length prefix.
+fn sniff(stream: &TcpStream, shared: &NetShared) -> Framing {
+    let mut first = [0u8; 4];
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Framing::Gone;
+        }
+        match stream.peek(&mut first) {
+            Ok(0) => return Framing::Gone,
+            Ok(n) if n >= 4 => {
+                return if &first == b"GET " {
+                    Framing::Http
+                } else {
+                    Framing::Binary
+                };
+            }
+            // A partial peek returns immediately; yield briefly so
+            // the loop is not a busy spin while the rest of the
+            // prefix is in flight.
+            Ok(_) => thread::sleep(Duration::from_millis(1)),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Framing::Gone,
+        }
+    }
+}
+
+/// One connection, start to finish.
+fn serve_connection(stream: TcpStream, shared: &NetShared) {
+    // Replies are single small writes; Nagle only adds latency here.
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(shared.read_timeout)).is_err() {
+        return;
+    }
+    match sniff(&stream, shared) {
+        Framing::Binary => serve_binary(stream, shared),
+        Framing::Http => serve_http(stream, shared),
+        Framing::Gone => {}
+    }
+}
+
+/// The binary request → reply loop.
+fn serve_binary(mut stream: TcpStream, shared: &NetShared) {
+    let mut out = Vec::new();
+    loop {
+        let payload = match wire::read_frame(&mut stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return, // clean close
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue; // idle poll tick
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Oversized prefix or stalled frame: tell the peer,
+                // then drop the connection (framing is lost).
+                shared.monitor.record_malformed();
+                wire::encode_error(ErrorCode::Malformed, None, None, &mut out);
+                let _ = wire::write_frame(&mut stream, &out);
+                return;
+            }
+            Err(_) => return,
+        };
+        let request = match wire::decode_request(&payload) {
+            Ok(request) => request,
+            Err(_) => {
+                // Typed decode error: the stream itself is still
+                // framed, but trust nothing after a bad frame.
+                shared.monitor.record_malformed();
+                wire::encode_error(ErrorCode::Malformed, None, None, &mut out);
+                let _ = wire::write_frame(&mut stream, &out);
+                return;
+            }
+        };
+        if !serve_request(&mut stream, shared, request, &mut out) {
+            return;
+        }
+    }
+}
+
+/// Admit, submit and answer one decoded request. Returns `false`
+/// when the connection should close (a write failed).
+fn serve_request(
+    stream: &mut TcpStream,
+    shared: &NetShared,
+    request: Request,
+    out: &mut Vec<u8>,
+) -> bool {
+    let t0 = Instant::now();
+    let granted = match shared.gate.admit(&request.tenant, request.priority) {
+        Ok(granted) => granted,
+        Err(_) => {
+            shared.monitor.record_rate_limited();
+            wire::encode_error(ErrorCode::RateLimited, None, request.seed, out);
+            return wire::write_frame(stream, out).is_ok();
+        }
+    };
+    let mut submission = shared.handle.request(request.input).priority(granted);
+    if let Some(us) = request.deadline_us {
+        submission = submission.deadline(Duration::from_micros(us));
+    }
+    if let Some(seed) = request.seed {
+        submission = submission.seed(seed);
+    }
+    let pending = submission.submit();
+    let id = pending.id();
+    match pending.wait() {
+        Ok(reply) => {
+            // Seed echo: the client's pinned seed, or the derived
+            // per-request seed — either way the reply is offline-
+            // reproducible from (input, seed) alone.
+            let seed = request
+                .seed
+                .unwrap_or_else(|| request_seed(shared.base_seed, reply.id));
+            shared
+                .monitor
+                .record_reply(t0.elapsed(), reply.coalesced, &reply.cost);
+            wire::encode_reply(&reply, seed, out);
+            wire::write_frame(stream, out).is_ok()
+        }
+        Err(err) => {
+            let seed = request
+                .seed
+                .or_else(|| id.map(|id| request_seed(shared.base_seed, id)));
+            wire::encode_error(ErrorCode::from(err), id, seed, out);
+            wire::write_frame(stream, out).is_ok()
+        }
+    }
+}
+
+/// Largest HTTP request head we accept before answering 431.
+const MAX_HTTP_HEAD: usize = 8 * 1024;
+
+/// Minimal HTTP/1.1: answer one request and close.
+fn serve_http(mut stream: TcpStream, shared: &NetShared) {
+    shared.monitor.record_http();
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 512];
+    loop {
+        if head.windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+        if head.len() > MAX_HTTP_HEAD {
+            let _ = write_http(&mut stream, 431, "Request Header Fields Too Large", "");
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => head.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let text = String::from_utf8_lossy(&head);
+    let request_line = text.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let _ = match (method, path) {
+        ("GET", "/status") => {
+            let body = shared.monitor.status_json(&shared.handle.stats());
+            write_http(&mut stream, 200, "OK", &body)
+        }
+        ("GET", _) => write_http(&mut stream, 404, "Not Found", ""),
+        _ => write_http(&mut stream, 405, "Method Not Allowed", ""),
+    };
+    let _ = stream.shutdown(SockShutdown::Both);
+}
+
+fn write_http(stream: &mut TcpStream, code: u16, reason: &str, body: &str) -> io::Result<()> {
+    let response = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+// MAX_FRAME is re-used by the framing sniffer rationale above; keep
+// the import tied to this module even if the sniffer changes.
+const _: () = assert!(MAX_FRAME < 0x2054_4547, "`GET ` must decode past MAX_FRAME");

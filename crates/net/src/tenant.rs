@@ -1,0 +1,237 @@
+//! Per-tenant admission policy: priority ceilings and token-bucket
+//! rate limits, mapped onto the `bnn-serve` priority scheduler.
+//!
+//! The gate sits in front of `Handle::submit`: each request names a
+//! tenant (the empty string is the anonymous tenant) and a requested
+//! [`Priority`]; the gate clamps the priority to the tenant's ceiling
+//! and charges one token from the tenant's bucket. An empty bucket
+//! refuses the request with a wire-level `RateLimited` error before
+//! it ever touches the admission queue, so one chatty tenant cannot
+//! starve the shed/deadline machinery that protects everyone else.
+
+use crate::lock;
+use bnn_serve::Priority;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Admission policy for one tenant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantPolicy {
+    /// Highest priority this tenant may request; higher requests are
+    /// clamped, not refused.
+    pub ceiling: Priority,
+    /// Sustained request rate in tokens per second.
+    /// `f64::INFINITY` disables rate limiting.
+    pub rate: f64,
+    /// Bucket capacity — the largest burst admitted at once.
+    pub burst: f64,
+}
+
+impl Default for TenantPolicy {
+    /// Unlimited: `High` ceiling, infinite rate.
+    fn default() -> TenantPolicy {
+        TenantPolicy {
+            ceiling: Priority::High,
+            rate: f64::INFINITY,
+            burst: 1.0,
+        }
+    }
+}
+
+impl TenantPolicy {
+    /// A rate-limited policy: `rate` requests/second sustained,
+    /// bursts up to `burst`, priority capped at `ceiling`.
+    pub fn limited(ceiling: Priority, rate: f64, burst: f64) -> TenantPolicy {
+        TenantPolicy {
+            ceiling,
+            rate: rate.max(0.0),
+            burst: burst.max(1.0),
+        }
+    }
+}
+
+/// Tenant-id → policy table with a default for unknown tenants.
+#[derive(Debug, Clone, Default)]
+pub struct TenantTable {
+    default_policy: TenantPolicy,
+    overrides: BTreeMap<String, TenantPolicy>,
+}
+
+impl TenantTable {
+    /// A table where every tenant gets `default_policy`.
+    pub fn new(default_policy: TenantPolicy) -> TenantTable {
+        TenantTable {
+            default_policy,
+            overrides: BTreeMap::new(),
+        }
+    }
+
+    /// Override the policy for one tenant id.
+    pub fn tenant(mut self, name: &str, policy: TenantPolicy) -> TenantTable {
+        self.overrides.insert(name.to_string(), policy);
+        self
+    }
+
+    /// The policy governing `name`.
+    pub fn policy_for(&self, name: &str) -> TenantPolicy {
+        match self.overrides.get(name) {
+            Some(p) => *p,
+            None => self.default_policy,
+        }
+    }
+}
+
+/// One tenant's token bucket.
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+/// The runtime gate: a [`TenantTable`] plus live bucket state.
+pub struct TenantGate {
+    table: TenantTable,
+    buckets: Mutex<BTreeMap<String, Bucket>>,
+}
+
+/// The gate refused a request: the tenant's bucket is empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateLimited;
+
+impl TenantGate {
+    /// A gate enforcing `table`.
+    pub fn new(table: TenantTable) -> TenantGate {
+        TenantGate {
+            table,
+            buckets: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Admit one request from `tenant` asking for `requested`
+    /// priority: clamps to the tenant's ceiling and charges a token.
+    pub fn admit(&self, tenant: &str, requested: Priority) -> Result<Priority, RateLimited> {
+        self.admit_at(tenant, requested, Instant::now())
+    }
+
+    /// [`TenantGate::admit`] with an injected clock, so unit tests
+    /// drive refill deterministically.
+    fn admit_at(
+        &self,
+        tenant: &str,
+        requested: Priority,
+        now: Instant,
+    ) -> Result<Priority, RateLimited> {
+        let policy = self.table.policy_for(tenant);
+        let granted = if requested > policy.ceiling {
+            policy.ceiling
+        } else {
+            requested
+        };
+        // Infinite rate disables the bucket entirely — also dodges
+        // the NaN from `dt * f64::INFINITY` at dt == 0.
+        if !policy.rate.is_finite() {
+            return Ok(granted);
+        }
+        let mut buckets = lock(&self.buckets);
+        let bucket = buckets.entry(tenant.to_string()).or_insert(Bucket {
+            tokens: policy.burst,
+            last: now,
+        });
+        let dt = now.saturating_duration_since(bucket.last).as_secs_f64();
+        bucket.tokens = policy.burst.min(bucket.tokens + dt * policy.rate);
+        bucket.last = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Ok(granted)
+        } else {
+            Err(RateLimited)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn default_policy_is_unlimited() {
+        let gate = TenantGate::new(TenantTable::default());
+        let now = Instant::now();
+        for _ in 0..10_000 {
+            assert_eq!(
+                gate.admit_at("anyone", Priority::High, now),
+                Ok(Priority::High)
+            );
+        }
+    }
+
+    #[test]
+    fn ceiling_clamps_requested_priority() {
+        let table = TenantTable::default().tenant(
+            "guest",
+            TenantPolicy::limited(Priority::Low, f64::INFINITY, 1.0),
+        );
+        let gate = TenantGate::new(table);
+        let now = Instant::now();
+        assert_eq!(
+            gate.admit_at("guest", Priority::High, now),
+            Ok(Priority::Low)
+        );
+        assert_eq!(
+            gate.admit_at("guest", Priority::Low, now),
+            Ok(Priority::Low)
+        );
+        // Other tenants keep the unlimited default.
+        assert_eq!(
+            gate.admit_at("vip", Priority::High, now),
+            Ok(Priority::High)
+        );
+    }
+
+    #[test]
+    fn bucket_drains_and_refills_at_rate() {
+        let table = TenantTable::default().tenant(
+            "metered",
+            TenantPolicy::limited(Priority::Normal, 10.0, 2.0),
+        );
+        let gate = TenantGate::new(table);
+        let t0 = Instant::now();
+        // Burst of 2 admitted, third refused.
+        assert!(gate.admit_at("metered", Priority::Normal, t0).is_ok());
+        assert!(gate.admit_at("metered", Priority::Normal, t0).is_ok());
+        assert_eq!(
+            gate.admit_at("metered", Priority::Normal, t0),
+            Err(RateLimited)
+        );
+        // 100 ms at 10 tokens/s refills exactly one token.
+        let t1 = t0 + Duration::from_millis(100);
+        assert!(gate.admit_at("metered", Priority::Normal, t1).is_ok());
+        assert_eq!(
+            gate.admit_at("metered", Priority::Normal, t1),
+            Err(RateLimited)
+        );
+        // Refill is capped at the burst size, not unbounded.
+        let t2 = t1 + Duration::from_secs(60);
+        assert!(gate.admit_at("metered", Priority::Normal, t2).is_ok());
+        assert!(gate.admit_at("metered", Priority::Normal, t2).is_ok());
+        assert_eq!(
+            gate.admit_at("metered", Priority::Normal, t2),
+            Err(RateLimited)
+        );
+    }
+
+    #[test]
+    fn zero_rate_never_refills() {
+        let table =
+            TenantTable::default().tenant("frozen", TenantPolicy::limited(Priority::Low, 0.0, 1.0));
+        let gate = TenantGate::new(table);
+        let t0 = Instant::now();
+        assert!(gate.admit_at("frozen", Priority::Low, t0).is_ok());
+        let later = t0 + Duration::from_secs(3600);
+        assert_eq!(
+            gate.admit_at("frozen", Priority::Low, later),
+            Err(RateLimited)
+        );
+    }
+}

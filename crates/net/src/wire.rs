@@ -1,0 +1,808 @@
+//! The length-prefixed binary protocol, version 1.
+//!
+//! Every frame on the wire is a little-endian `u32` payload length
+//! followed by that many payload bytes. The payload's first two bytes
+//! are always the protocol version ([`PROTOCOL_VERSION`]) and the
+//! frame kind; everything after is kind-specific. All integers are
+//! little-endian; `f32`/`f64` travel as their IEEE-754 bit patterns,
+//! so a reply's probabilities are **bit-identical** to what the
+//! engine produced — the loopback conformance suite depends on it.
+//!
+//! # Request frame (`kind = 1`)
+//!
+//! | field | type | notes |
+//! |---|---|---|
+//! | version | `u8` | must be [`PROTOCOL_VERSION`] |
+//! | kind | `u8` | `1` |
+//! | flags | `u8` | bit 0: deadline present, bit 1: seed present |
+//! | priority | `u8` | `0` Low, `1` Normal, `2` High |
+//! | tenant len | `u8` | tenant id length in bytes (0 = anonymous) |
+//! | tenant | bytes | UTF-8 tenant id |
+//! | deadline | `u64` | queue-time budget in µs (iff flag bit 0) |
+//! | seed | `u64` | pinned mask-stream seed (iff flag bit 1) |
+//! | n, c, h, w | `4 × u32` | input shape; `n` must be 1 |
+//! | data | `c·h·w × f32` | the input tensor, NCHW order |
+//!
+//! # Reply frame (`kind = 2`)
+//!
+//! | field | type | notes |
+//! |---|---|---|
+//! | version, kind | `u8, u8` | kind `2` |
+//! | id | `u64` | server-assigned request id |
+//! | seed | `u64` | **seed echo** — see below |
+//! | coalesced | `u32` | requests in this reply's micro-batch |
+//! | k | `u32` | number of classes |
+//! | probs | `k × f32` | predictive probabilities |
+//! | predicted | `u32` | argmax class |
+//! | confidence | `f32` | max-prob confidence |
+//! | entropy | `f64` | predictive entropy (nats) |
+//! | mutual information | `f64` | BALD epistemic share (nats) |
+//! | samples | `u64` | Monte Carlo samples served |
+//! | batch | `u64` | input items (always 1 per request) |
+//! | wall ms | `f64` | measured engine wall time |
+//! | has model | `u8` | 1 if an analytic cost model follows |
+//! | cycles | `u64` | modelled cycles (iff has model) |
+//! | latency ms | `f64` | modelled latency (iff has model) |
+//! | mem bytes | `u64` | modelled memory traffic (iff has model) |
+//!
+//! # Error frame (`kind = 3`)
+//!
+//! | field | type | notes |
+//! |---|---|---|
+//! | version, kind | `u8, u8` | kind `3` |
+//! | code | `u8` | see [`ErrorCode`] |
+//! | flags | `u8` | bit 0: id present, bit 1: seed present |
+//! | id | `u64` | request id, if one was assigned |
+//! | seed | `u64` | seed echo, if one is known |
+//!
+//! # Seed echo
+//!
+//! Every reply carries the request's *effective* mask-stream seed:
+//! the seed the client pinned, or — when none was sent — the
+//! server-derived `request_seed(base_seed, id)`. Feeding that seed to
+//! an offline `Session` (or `predictive_on` with a
+//! `SoftwareMaskSource`) over the same input reproduces the reply's
+//! probabilities bit for bit, so any answer that ever crossed the
+//! wire can be re-derived and audited after the fact.
+//!
+//! # Decoder contract
+//!
+//! [`decode_request`] / [`decode_response`] never panic: every
+//! malformed input — truncated frame, oversized length prefix, bad
+//! version byte, unknown kind or priority, non-UTF-8 tenant id,
+//! multi-item shape, trailing bytes — resolves to a typed
+//! [`DecodeError`]. The `bnn-audit` panic rule covers this crate, so
+//! the no-panic property is enforced statically as well as by the
+//! malformed-input tests.
+
+use bnn_mcd::{CostReport, ModelCost, Uncertainty};
+use bnn_serve::{Priority, ServeError};
+use bnn_tensor::{Shape4, Tensor};
+use std::io::{self, Read, Write};
+
+/// The one protocol version this build speaks.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Hard bound on any frame payload (16 MiB): a length prefix past
+/// this is rejected before any allocation, so a hostile or corrupt
+/// prefix cannot balloon server memory.
+pub const MAX_FRAME: usize = 1 << 24;
+
+/// Frame kind: a prediction request.
+pub const KIND_REQUEST: u8 = 1;
+/// Frame kind: a served reply.
+pub const KIND_REPLY: u8 = 2;
+/// Frame kind: a typed error.
+pub const KIND_ERROR: u8 = 3;
+
+const FLAG_DEADLINE: u8 = 1;
+const FLAG_SEED: u8 = 2;
+const FLAG_ID: u8 = 1;
+
+/// One decoded request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Tenant id (empty = anonymous, served under the default
+    /// tenant policy).
+    pub tenant: String,
+    /// Requested admission class — the server clamps it to the
+    /// tenant's priority ceiling.
+    pub priority: Priority,
+    /// Optional queue-time budget in microseconds.
+    pub deadline_us: Option<u64>,
+    /// Optional pinned mask-stream seed; absent means the server
+    /// derives one from its base seed and the request id.
+    pub seed: Option<u64>,
+    /// The single-item input tensor.
+    pub input: Tensor,
+}
+
+impl Request {
+    /// A plain request: anonymous tenant, normal priority, no
+    /// deadline, server-derived seed.
+    pub fn new(input: Tensor) -> Request {
+        Request {
+            tenant: String::new(),
+            priority: Priority::Normal,
+            deadline_us: None,
+            seed: None,
+            input,
+        }
+    }
+
+    /// Set the tenant id.
+    pub fn tenant(mut self, tenant: &str) -> Request {
+        self.tenant = tenant.to_string();
+        self
+    }
+
+    /// Set the requested admission class.
+    pub fn priority(mut self, priority: Priority) -> Request {
+        self.priority = priority;
+        self
+    }
+
+    /// Set the queue-time budget in microseconds.
+    pub fn deadline_us(mut self, us: u64) -> Request {
+        self.deadline_us = Some(us);
+        self
+    }
+
+    /// Pin the mask-stream seed (the reproducibility hook).
+    pub fn seed(mut self, seed: u64) -> Request {
+        self.seed = Some(seed);
+        self
+    }
+}
+
+/// One decoded reply frame (`kind = 2`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireReply {
+    /// Server-assigned request id.
+    pub id: u64,
+    /// The effective mask-stream seed (see the module docs on seed
+    /// echo).
+    pub seed: u64,
+    /// How many requests shared this reply's micro-batch.
+    pub coalesced: u32,
+    /// Predictive probabilities, one `f32` per class, bit-identical
+    /// to the engine output.
+    pub probs: Vec<f32>,
+    /// Per-request uncertainty summary.
+    pub uncertainty: Uncertainty,
+    /// This request's slice of the engine cost report.
+    pub cost: CostReport,
+}
+
+/// The typed error carried by an error frame (`kind = 3`) — the
+/// wire-level superset of [`ServeError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Shed by admission control (queue at capacity).
+    Rejected,
+    /// The queue-time deadline passed before the micro-batch formed.
+    DeadlineExceeded,
+    /// The backend failed while serving (or the breaker is tripped).
+    BackendFailed,
+    /// The server shut down before the request was served.
+    Shutdown,
+    /// The tenant's token bucket is empty — retry after backing off.
+    RateLimited,
+    /// The request frame could not be decoded; the server closes the
+    /// connection after sending this.
+    Malformed,
+}
+
+impl ErrorCode {
+    /// Wire byte for this code.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            ErrorCode::Rejected => 1,
+            ErrorCode::DeadlineExceeded => 2,
+            ErrorCode::BackendFailed => 3,
+            ErrorCode::Shutdown => 4,
+            ErrorCode::RateLimited => 5,
+            ErrorCode::Malformed => 6,
+        }
+    }
+
+    /// Decode a wire byte.
+    pub fn from_u8(byte: u8) -> Option<ErrorCode> {
+        match byte {
+            1 => Some(ErrorCode::Rejected),
+            2 => Some(ErrorCode::DeadlineExceeded),
+            3 => Some(ErrorCode::BackendFailed),
+            4 => Some(ErrorCode::Shutdown),
+            5 => Some(ErrorCode::RateLimited),
+            6 => Some(ErrorCode::Malformed),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServeError> for ErrorCode {
+    fn from(err: ServeError) -> ErrorCode {
+        match err {
+            ServeError::Rejected => ErrorCode::Rejected,
+            ServeError::DeadlineExceeded => ErrorCode::DeadlineExceeded,
+            ServeError::BackendFailed => ErrorCode::BackendFailed,
+            ServeError::Shutdown => ErrorCode::Shutdown,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ErrorCode::Rejected => "rejected by admission control",
+            ErrorCode::DeadlineExceeded => "queue-time deadline exceeded",
+            ErrorCode::BackendFailed => "backend failed",
+            ErrorCode::Shutdown => "server shut down",
+            ErrorCode::RateLimited => "tenant rate limit exceeded",
+            ErrorCode::Malformed => "malformed request frame",
+        })
+    }
+}
+
+/// One decoded error frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireError {
+    /// Why the request failed.
+    pub code: ErrorCode,
+    /// The request id, if admission had already assigned one.
+    pub id: Option<u64>,
+    /// The effective seed, if one is known (pinned by the client, or
+    /// derived once the id was assigned).
+    pub seed: Option<u64>,
+}
+
+/// A decoded server-to-client frame: a reply or a typed error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The request was served.
+    Reply(WireReply),
+    /// The request failed with a typed code.
+    Error(WireError),
+}
+
+/// Why a frame payload failed to decode. Every variant is a typed,
+/// non-panicking outcome — the decoder's whole contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The payload ended before a field it promised.
+    Truncated {
+        /// Bytes the field needed.
+        expected: usize,
+        /// Bytes actually left.
+        got: usize,
+    },
+    /// A length prefix exceeded [`MAX_FRAME`].
+    Oversized {
+        /// The claimed payload length.
+        len: usize,
+        /// The enforced maximum.
+        max: usize,
+    },
+    /// The version byte is not [`PROTOCOL_VERSION`].
+    BadVersion(u8),
+    /// The kind byte names no known frame kind.
+    BadKind(u8),
+    /// The flags byte carries bits this version does not define.
+    BadFlags(u8),
+    /// The priority byte names no admission class.
+    BadPriority(u8),
+    /// The tenant id bytes are not UTF-8.
+    BadTenant,
+    /// The input shape is unusable (zero axis, `n != 1`, or an
+    /// element count past the frame bound).
+    BadShape {
+        /// Items (must be 1).
+        n: u32,
+        /// Channels.
+        c: u32,
+        /// Height.
+        h: u32,
+        /// Width.
+        w: u32,
+    },
+    /// The error-code byte names no [`ErrorCode`].
+    BadErrorCode(u8),
+    /// Bytes remained after the last promised field.
+    TrailingBytes {
+        /// Leftover byte count.
+        extra: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { expected, got } => {
+                write!(
+                    f,
+                    "truncated frame: field needs {expected} byte(s), {got} left"
+                )
+            }
+            DecodeError::Oversized { len, max } => {
+                write!(
+                    f,
+                    "oversized frame: length prefix {len} exceeds the {max}-byte bound"
+                )
+            }
+            DecodeError::BadVersion(v) => {
+                write!(
+                    f,
+                    "bad version byte {v} (this build speaks {PROTOCOL_VERSION})"
+                )
+            }
+            DecodeError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            DecodeError::BadFlags(b) => write!(f, "undefined flag bits in {b:#04x}"),
+            DecodeError::BadPriority(p) => write!(f, "unknown priority byte {p}"),
+            DecodeError::BadTenant => f.write_str("tenant id is not UTF-8"),
+            DecodeError::BadShape { n, c, h, w } => {
+                write!(
+                    f,
+                    "unusable input shape ({n}, {c}, {h}, {w}): requests are single-item"
+                )
+            }
+            DecodeError::BadErrorCode(c) => write!(f, "unknown error code {c}"),
+            DecodeError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing byte(s) after the last field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Why a frame could not be encoded (caller-side validation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// Tenant ids travel behind a `u8` length.
+    TenantTooLong(usize),
+    /// Requests are single-item (`n == 1`).
+    MultiItemInput(usize),
+    /// The encoded payload would exceed [`MAX_FRAME`].
+    FrameTooLarge(usize),
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::TenantTooLong(len) => {
+                write!(f, "tenant id is {len} bytes (maximum 255)")
+            }
+            EncodeError::MultiItemInput(n) => {
+                write!(f, "request input has {n} items (requests are single-item)")
+            }
+            EncodeError::FrameTooLarge(len) => {
+                write!(f, "encoded payload is {len} bytes (maximum {MAX_FRAME})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Bounds-checked little-endian reader over one frame payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated {
+            expected: n,
+            got: self.buf.len().saturating_sub(self.pos),
+        })?;
+        match self.buf.get(self.pos..end) {
+            Some(slice) => {
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(DecodeError::Truncated {
+                expected: n,
+                got: self.buf.len().saturating_sub(self.pos),
+            }),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f32(&mut self) -> Result<f32, DecodeError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// The decoder's final check: every byte must belong to a field.
+    fn finish(&self) -> Result<(), DecodeError> {
+        let extra = self.buf.len().saturating_sub(self.pos);
+        if extra > 0 {
+            return Err(DecodeError::TrailingBytes { extra });
+        }
+        Ok(())
+    }
+}
+
+fn priority_byte(p: Priority) -> u8 {
+    match p {
+        Priority::Low => 0,
+        Priority::Normal => 1,
+        Priority::High => 2,
+    }
+}
+
+fn priority_from(byte: u8) -> Result<Priority, DecodeError> {
+    match byte {
+        0 => Ok(Priority::Low),
+        1 => Ok(Priority::Normal),
+        2 => Ok(Priority::High),
+        other => Err(DecodeError::BadPriority(other)),
+    }
+}
+
+/// Encode a request payload into `out` (cleared first).
+pub fn encode_request(req: &Request, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+    out.clear();
+    if req.tenant.len() > u8::MAX as usize {
+        return Err(EncodeError::TenantTooLong(req.tenant.len()));
+    }
+    let shape = req.input.shape();
+    if shape.n != 1 {
+        return Err(EncodeError::MultiItemInput(shape.n));
+    }
+    out.push(PROTOCOL_VERSION);
+    out.push(KIND_REQUEST);
+    let mut flags = 0u8;
+    if req.deadline_us.is_some() {
+        flags |= FLAG_DEADLINE;
+    }
+    if req.seed.is_some() {
+        flags |= FLAG_SEED;
+    }
+    out.push(flags);
+    out.push(priority_byte(req.priority));
+    out.push(req.tenant.len() as u8);
+    out.extend_from_slice(req.tenant.as_bytes());
+    if let Some(us) = req.deadline_us {
+        out.extend_from_slice(&us.to_le_bytes());
+    }
+    if let Some(seed) = req.seed {
+        out.extend_from_slice(&seed.to_le_bytes());
+    }
+    for dim in [shape.n, shape.c, shape.h, shape.w] {
+        out.extend_from_slice(&(dim as u32).to_le_bytes());
+    }
+    for v in req.input.as_slice() {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    if out.len() > MAX_FRAME {
+        let len = out.len();
+        out.clear();
+        return Err(EncodeError::FrameTooLarge(len));
+    }
+    Ok(())
+}
+
+/// Decode a request payload. Never panics: every malformed input
+/// resolves to a typed [`DecodeError`].
+pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
+    let mut cur = Cursor::new(payload);
+    let version = cur.u8()?;
+    if version != PROTOCOL_VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let kind = cur.u8()?;
+    if kind != KIND_REQUEST {
+        return Err(DecodeError::BadKind(kind));
+    }
+    let flags = cur.u8()?;
+    if flags & !(FLAG_DEADLINE | FLAG_SEED) != 0 {
+        return Err(DecodeError::BadFlags(flags));
+    }
+    let priority = priority_from(cur.u8()?)?;
+    let tenant_len = cur.u8()? as usize;
+    let tenant = std::str::from_utf8(cur.take(tenant_len)?)
+        .map_err(|_| DecodeError::BadTenant)?
+        .to_string();
+    let deadline_us = if flags & FLAG_DEADLINE != 0 {
+        Some(cur.u64()?)
+    } else {
+        None
+    };
+    let seed = if flags & FLAG_SEED != 0 {
+        Some(cur.u64()?)
+    } else {
+        None
+    };
+    let (n, c, h, w) = (cur.u32()?, cur.u32()?, cur.u32()?, cur.u32()?);
+    let elems = u64::from(n) * u64::from(c) * u64::from(h) * u64::from(w);
+    // `n == 1` keeps the serving front door's single-input contract
+    // (the admission layer asserts it); the element bound keeps the
+    // data length multiplication safely inside the frame bound.
+    if n != 1 || c == 0 || h == 0 || w == 0 || elems * 4 > MAX_FRAME as u64 {
+        return Err(DecodeError::BadShape { n, c, h, w });
+    }
+    let elems = elems as usize;
+    let mut data = Vec::with_capacity(elems);
+    for _ in 0..elems {
+        data.push(cur.f32()?);
+    }
+    cur.finish()?;
+    Ok(Request {
+        tenant,
+        priority,
+        deadline_us,
+        seed,
+        input: Tensor::from_vec(
+            Shape4::new(n as usize, c as usize, h as usize, w as usize),
+            data,
+        ),
+    })
+}
+
+/// Encode a served reply (the serve-layer [`bnn_serve::Reply`] plus
+/// its effective seed) into `out` (cleared first).
+pub fn encode_reply(reply: &bnn_serve::Reply, seed: u64, out: &mut Vec<u8>) {
+    out.clear();
+    out.push(PROTOCOL_VERSION);
+    out.push(KIND_REPLY);
+    out.extend_from_slice(&reply.id.to_le_bytes());
+    out.extend_from_slice(&seed.to_le_bytes());
+    out.extend_from_slice(
+        &u32::try_from(reply.coalesced)
+            .unwrap_or(u32::MAX)
+            .to_le_bytes(),
+    );
+    let probs = reply.probs.item(0);
+    out.extend_from_slice(&u32::try_from(probs.len()).unwrap_or(u32::MAX).to_le_bytes());
+    for p in probs {
+        out.extend_from_slice(&p.to_bits().to_le_bytes());
+    }
+    let u = &reply.uncertainty;
+    out.extend_from_slice(&u32::try_from(u.predicted).unwrap_or(u32::MAX).to_le_bytes());
+    out.extend_from_slice(&u.confidence.to_bits().to_le_bytes());
+    out.extend_from_slice(&u.entropy.to_bits().to_le_bytes());
+    out.extend_from_slice(&u.mutual_information.to_bits().to_le_bytes());
+    let cost = &reply.cost;
+    out.extend_from_slice(&(cost.samples as u64).to_le_bytes());
+    out.extend_from_slice(&(cost.batch as u64).to_le_bytes());
+    out.extend_from_slice(&cost.wall_ms.to_bits().to_le_bytes());
+    match cost.model {
+        Some(model) => {
+            out.push(1);
+            out.extend_from_slice(&model.cycles.to_le_bytes());
+            out.extend_from_slice(&model.latency_ms.to_bits().to_le_bytes());
+            out.extend_from_slice(&model.mem_bytes.to_le_bytes());
+        }
+        None => out.push(0),
+    }
+}
+
+/// Encode a typed error frame into `out` (cleared first).
+pub fn encode_error(code: ErrorCode, id: Option<u64>, seed: Option<u64>, out: &mut Vec<u8>) {
+    out.clear();
+    out.push(PROTOCOL_VERSION);
+    out.push(KIND_ERROR);
+    out.push(code.as_u8());
+    let mut flags = 0u8;
+    if id.is_some() {
+        flags |= FLAG_ID;
+    }
+    if seed.is_some() {
+        flags |= FLAG_SEED;
+    }
+    out.push(flags);
+    if let Some(id) = id {
+        out.extend_from_slice(&id.to_le_bytes());
+    }
+    if let Some(seed) = seed {
+        out.extend_from_slice(&seed.to_le_bytes());
+    }
+}
+
+/// Decode a server-to-client payload (reply or error frame). Never
+/// panics; every malformed input resolves to a typed [`DecodeError`].
+pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
+    let mut cur = Cursor::new(payload);
+    let version = cur.u8()?;
+    if version != PROTOCOL_VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let kind = cur.u8()?;
+    match kind {
+        KIND_REPLY => {
+            let id = cur.u64()?;
+            let seed = cur.u64()?;
+            let coalesced = cur.u32()?;
+            let k = cur.u32()? as usize;
+            if k * 4 > MAX_FRAME {
+                return Err(DecodeError::BadShape {
+                    n: 1,
+                    c: k as u32,
+                    h: 1,
+                    w: 1,
+                });
+            }
+            let mut probs = Vec::with_capacity(k);
+            for _ in 0..k {
+                probs.push(cur.f32()?);
+            }
+            let uncertainty = Uncertainty {
+                predicted: cur.u32()? as usize,
+                confidence: cur.f32()?,
+                entropy: cur.f64()?,
+                mutual_information: cur.f64()?,
+            };
+            let samples = cur.u64()? as usize;
+            let batch = cur.u64()? as usize;
+            let wall_ms = cur.f64()?;
+            let model = match cur.u8()? {
+                0 => None,
+                _ => Some(ModelCost {
+                    cycles: cur.u64()?,
+                    latency_ms: cur.f64()?,
+                    mem_bytes: cur.u64()?,
+                }),
+            };
+            cur.finish()?;
+            Ok(Response::Reply(WireReply {
+                id,
+                seed,
+                coalesced,
+                probs,
+                uncertainty,
+                cost: CostReport {
+                    samples,
+                    batch,
+                    wall_ms,
+                    model,
+                },
+            }))
+        }
+        KIND_ERROR => {
+            let code_byte = cur.u8()?;
+            let code = ErrorCode::from_u8(code_byte).ok_or(DecodeError::BadErrorCode(code_byte))?;
+            let flags = cur.u8()?;
+            if flags & !(FLAG_ID | FLAG_SEED) != 0 {
+                return Err(DecodeError::BadFlags(flags));
+            }
+            let id = if flags & FLAG_ID != 0 {
+                Some(cur.u64()?)
+            } else {
+                None
+            };
+            let seed = if flags & FLAG_SEED != 0 {
+                Some(cur.u64()?)
+            } else {
+                None
+            };
+            cur.finish()?;
+            Ok(Response::Error(WireError { code, id, seed }))
+        }
+        other => Err(DecodeError::BadKind(other)),
+    }
+}
+
+/// Write one frame (length prefix + payload) to `w`.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            EncodeError::FrameTooLarge(payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// How many consecutive mid-frame read timeouts [`read_frame`]
+/// tolerates before declaring the frame stalled. With the serving
+/// default 50 ms read timeout this is ~5 s of silence in the middle
+/// of a frame — an idle connection (no frame started) times out on
+/// the *first* read instead, so polling loops stay responsive.
+const MAX_FRAME_STALLS: usize = 100;
+
+/// Read one length-prefixed frame from `r`.
+///
+/// * `Ok(Some(payload))` — a complete frame arrived;
+/// * `Ok(None)` — the peer closed the connection cleanly before
+///   starting a frame;
+/// * `Err(TimedOut / WouldBlock)` — the connection is idle (a read
+///   timeout fired before any frame byte arrived) — the caller's
+///   poll loop re-checks its shutdown flag and calls again;
+/// * any other `Err` — the frame is unrecoverable: an oversized
+///   length prefix (rejected before allocation), a mid-frame EOF, a
+///   stalled frame, or a transport error.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    match fill(r, &mut len_bytes, true) {
+        Ok(()) => {}
+        // `fill` signals "peer closed cleanly before a frame started"
+        // as NotFound; surface it as the clean-EOF variant.
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            DecodeError::Oversized {
+                len,
+                max: MAX_FRAME,
+            },
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    fill(r, &mut payload, false)?;
+    Ok(Some(payload))
+}
+
+/// Read exactly `buf.len()` bytes. With `allow_idle`, a clean EOF or
+/// a timeout *before the first byte* is surfaced to the caller
+/// (EOF via a zero-filled... see below); once any byte has arrived,
+/// timeouts retry (up to [`MAX_FRAME_STALLS`]) and EOF is an error.
+fn fill<R: Read>(r: &mut R, buf: &mut [u8], allow_idle: bool) -> io::Result<()> {
+    let mut got = 0;
+    let mut stalls = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                if got == 0 && allow_idle {
+                    // Clean close before a frame started.
+                    return Err(io::Error::new(io::ErrorKind::NotFound, "peer closed"));
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ));
+            }
+            Ok(n) => {
+                got += n;
+                stalls = 0;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if got == 0 && allow_idle {
+                    // Idle connection: let the caller's poll loop
+                    // re-check shutdown and come back.
+                    return Err(e);
+                }
+                stalls += 1;
+                if stalls >= MAX_FRAME_STALLS {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "frame stalled mid-transfer",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}

@@ -385,6 +385,18 @@ pub struct ServeStats {
     /// Submissions rejected at the door (non-blocking submit at
     /// capacity, or any submit after the breaker tripped).
     pub rejected: u64,
+    /// **Gauge** (not monotonic): requests accepted into the queue
+    /// but not yet taken into a micro-batch. Updated under the same
+    /// lock as the queues themselves, so a snapshot is consistent
+    /// with the queue state that produced it.
+    pub queued: u64,
+    /// **Gauge** (not monotonic): requests taken into a micro-batch
+    /// whose replies have not yet been delivered. Incremented under
+    /// the queue lock at batch formation; decremented — like the
+    /// monotonic counters — *before* reply delivery, so a woken
+    /// waiter never reads a stale in-flight count for its own
+    /// request.
+    pub in_flight: u64,
 }
 
 /// One served prediction, as delivered to the caller.
@@ -421,6 +433,22 @@ struct Queued {
 /// EMA smoothing factor for the arrival-gap tracker (the adaptive
 /// window's traffic estimate): each new gap contributes a quarter.
 const GAP_EMA: f64 = 0.25;
+
+/// Cap on any *single* dispatcher condvar sleep while a batch window
+/// is held open — an hour, far beyond any sane coalescing window.
+///
+/// The cap exists only to keep the OS timed-wait away from
+/// astronomical durations like `Duration::MAX` ("hold until full"),
+/// which platforms may reject or saturate unpredictably. It is safe
+/// because the window-wait loop **re-derives the remaining window
+/// from scratch after every wake** — from `oldest.elapsed()` and the
+/// current adaptive arrival estimate — and every event that should
+/// close the window early (a new submission, shutdown, a breaker
+/// trip) notifies the `work` condvar. A capped timeout therefore just
+/// re-checks and sleeps again; a collapsed adaptive window or a
+/// filled batch is observed at the very next wake, never after a
+/// stale remainder.
+const WINDOW_WAIT_STEP_CAP: Duration = Duration::from_secs(3600);
 
 struct QState {
     /// One FIFO per priority class, indexed by [`Priority::index`]
@@ -483,8 +511,10 @@ impl QState {
     }
 }
 
-/// Monotonic admission counters, written lock-free from both sides of
-/// the queue; [`ServeStats`] is their snapshot.
+/// Monotonic admission counters plus the two backlog gauges, written
+/// lock-free from both sides of the queue; [`ServeStats`] is their
+/// snapshot. The gauges (`queued`, `in_flight`) are only ever bumped
+/// while the queue lock is held, so they track the queues exactly.
 #[derive(Default)]
 struct Counters {
     served: AtomicU64,
@@ -492,11 +522,17 @@ struct Counters {
     expired: AtomicU64,
     failed: AtomicU64,
     rejected: AtomicU64,
+    queued: AtomicU64,
+    in_flight: AtomicU64,
 }
 
 impl Counters {
     fn bump(counter: &AtomicU64, by: u64) {
         counter.fetch_add(by, Ordering::Relaxed);
+    }
+
+    fn drop_gauge(counter: &AtomicU64, by: u64) {
+        counter.fetch_sub(by, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> ServeStats {
@@ -506,6 +542,8 @@ impl Counters {
             expired: self.expired.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            queued: self.queued.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
         }
     }
 }
@@ -518,6 +556,11 @@ struct SharedQ {
     space: Condvar,
     queue_cap: usize,
     base_seed: u64,
+    /// Mirror of [`BatchPolicy::adaptive_window`]: when off, the
+    /// submission path skips the arrival-gap EMA bookkeeping entirely
+    /// (nothing reads the estimate), so fixed-window serving pays no
+    /// tracker cost.
+    adaptive_window: bool,
     counters: Counters,
 }
 
@@ -568,6 +611,13 @@ impl Pending {
 }
 
 impl Handle {
+    /// Snapshot of the server's admission counters and backlog
+    /// gauges — the same numbers as [`Server::stats`], readable from
+    /// any handle (a status endpoint typically only holds a handle).
+    pub fn stats(&self) -> ServeStats {
+        self.shared.counters.snapshot()
+    }
+
     /// Start building a submission for one single-item input: set
     /// [`Submission::priority`], [`Submission::deadline`] and
     /// [`Submission::seed`], then [`Submission::submit`] (blocking)
@@ -666,8 +716,10 @@ impl Handle {
             if st.len() >= shared.queue_cap {
                 if let Some(victim) = st.shed_below(priority) {
                     // Shed the youngest strictly-lower-priority
-                    // request to admit this one.
+                    // request to admit this one. Counter and gauge
+                    // move before the victim learns its fate.
                     Counters::bump(&shared.counters.shed, 1);
+                    Counters::drop_gauge(&shared.counters.queued, 1);
                     let _ = victim.reply.send(Err(ServeError::Rejected));
                 } else if block {
                     st = shared
@@ -683,15 +735,23 @@ impl Handle {
                     });
                 }
             }
+            // One wall-clock read per submission, shared by the
+            // arrival tracker, the enqueue timestamp and the deadline
+            // derivation below.
             let now = Instant::now();
-            if let Some(prev) = st.last_arrival {
-                let gap = now.duration_since(prev).as_secs_f64();
-                st.arrival_gap = Some(match st.arrival_gap {
-                    Some(ema) => ema + GAP_EMA * (gap - ema),
-                    None => gap,
-                });
+            if shared.adaptive_window {
+                // The EMA only feeds `effective_wait`, which ignores
+                // it under a fixed window — don't pay the bookkeeping
+                // unless the policy actually reads the estimate.
+                if let Some(prev) = st.last_arrival {
+                    let gap = now.duration_since(prev).as_secs_f64();
+                    st.arrival_gap = Some(match st.arrival_gap {
+                        Some(ema) => ema + GAP_EMA * (gap - ema),
+                        None => gap,
+                    });
+                }
+                st.last_arrival = Some(now);
             }
-            st.last_arrival = Some(now);
             let id = st.next_id;
             st.next_id += 1;
             let seed = seed.unwrap_or_else(|| request_seed(shared.base_seed, id));
@@ -708,6 +768,7 @@ impl Handle {
                 deadline,
                 reply: tx,
             });
+            Counters::bump(&shared.counters.queued, 1);
             drop(st);
             shared.work.notify_all();
             return Ok(Pending { rx, id: Some(id) });
@@ -877,6 +938,7 @@ impl ServerBuilder {
             space: Condvar::new(),
             queue_cap: policy.queue_cap,
             base_seed: self.seed,
+            adaptive_window: policy.adaptive_window,
             counters: Counters::default(),
         });
         let ctx = DispatchCtx {
@@ -889,6 +951,12 @@ impl ServerBuilder {
         };
         let graph = self.graph;
         let backend = self.backend;
+        let backend_name = match &backend {
+            ServeBackend::Float => "float",
+            ServeBackend::Fused => "fused",
+            ServeBackend::Int8(_) => "int8",
+            ServeBackend::Accel(_) => "accel",
+        };
         let chaos = self.chaos;
         // audit:allow(concurrency) one resident dispatcher thread per Server — an owner loop, not data-parallel fan-out (which routes through WorkerPool).
         let dispatcher = std::thread::Builder::new()
@@ -905,6 +973,7 @@ impl ServerBuilder {
             shared,
             pool,
             dispatcher: Some(dispatcher),
+            backend_name,
         }
     }
 }
@@ -939,6 +1008,7 @@ pub struct Server {
     shared: Arc<SharedQ>,
     pool: Arc<WorkerPool>,
     dispatcher: Option<JoinHandle<()>>,
+    backend_name: &'static str,
 }
 
 impl Server {
@@ -980,9 +1050,24 @@ impl Server {
     }
 
     /// Snapshot of the admission counters (served / shed / expired /
-    /// failed / rejected since start).
+    /// failed / rejected since start) and the backlog gauges
+    /// (queued / in-flight right now).
     pub fn stats(&self) -> ServeStats {
         self.shared.counters.snapshot()
+    }
+
+    /// The base seed auto-derived request mask streams spring from
+    /// ([`request_seed`]`(base_seed, id)`) — exposed so a wire layer
+    /// can echo the effective seed of any reply it forwards.
+    pub fn base_seed(&self) -> u64 {
+        self.shared.base_seed
+    }
+
+    /// Name of the resident execution substrate (`"float"`,
+    /// `"fused"`, `"int8"` or `"accel"` — the same names the
+    /// session-level API reports).
+    pub fn backend_name(&self) -> &'static str {
+        self.backend_name
     }
 
     /// Whether the circuit breaker has tripped (the server now fails
@@ -1081,6 +1166,7 @@ fn expire_overdue(st: &mut QState, shared: &SharedQ) -> usize {
     let expired = overdue.len();
     if expired > 0 {
         Counters::bump(&shared.counters.expired, expired as u64);
+        Counters::drop_gauge(&shared.counters.queued, expired as u64);
         for reply in overdue {
             let _ = reply.send(Err(ServeError::DeadlineExceeded));
         }
@@ -1102,6 +1188,7 @@ fn fail_queued(st: &mut QState, shared: &SharedQ) {
         .collect();
     if !dropped.is_empty() {
         Counters::bump(&shared.counters.failed, dropped.len() as u64);
+        Counters::drop_gauge(&shared.counters.queued, dropped.len() as u64);
         for q in dropped {
             let _ = q.reply.send(Err(ServeError::BackendFailed));
         }
@@ -1176,12 +1263,11 @@ fn next_batch(shared: &SharedQ, policy: &BatchPolicy) -> Option<Vec<Queued>> {
                 if remaining.is_zero() {
                     break;
                 }
-                // Each wait is capped so the underlying timed-wait
-                // never sees an astronomical duration, and bounded by
-                // the earliest queued deadline so expiry resolves
-                // promptly; the loop re-derives the remainder, so a
-                // capped timeout just re-checks.
-                let mut step = remaining.min(Duration::from_secs(3600));
+                // Each wait is capped ([`WINDOW_WAIT_STEP_CAP`]) and
+                // bounded by the earliest queued deadline so expiry
+                // resolves promptly; the loop re-derives the
+                // remainder, so a capped timeout just re-checks.
+                let mut step = remaining.min(WINDOW_WAIT_STEP_CAP);
                 if let Some(deadline) = st.nearest_deadline() {
                     step = step.min(deadline.saturating_duration_since(Instant::now()));
                 }
@@ -1209,6 +1295,12 @@ fn next_batch(shared: &SharedQ, policy: &BatchPolicy) -> Option<Vec<Queued>> {
             let Some(req) = st.pop_highest() else { break };
             batch.push(req);
         }
+        // Gauge handoff under the queue lock: the popped requests
+        // leave `queued` and enter `in_flight` atomically with the
+        // queue mutation, so the two gauges never double-count a
+        // request between them.
+        Counters::drop_gauge(&shared.counters.queued, batch.len() as u64);
+        Counters::bump(&shared.counters.in_flight, batch.len() as u64);
         drop(st);
         shared.space.notify_all();
         return Some(batch);
@@ -1239,7 +1331,10 @@ fn serve_batch<B: BayesBackend + Send>(
     drop(requests);
     match served {
         Ok(outs) => {
+            // Counter and gauge move before any reply is delivered
+            // (a woken waiter may read `Server::stats()` immediately).
             Counters::bump(&ctx.shared.counters.served, coalesced as u64);
+            Counters::drop_gauge(&ctx.shared.counters.in_flight, coalesced as u64);
             for (q, out) in batch.into_iter().zip(outs) {
                 let uncertainty = Uncertainty::summarize(&out.probs, &out.passes, 0);
                 let _ = q.reply.send(Ok(Reply {
@@ -1254,6 +1349,7 @@ fn serve_batch<B: BayesBackend + Send>(
         }
         Err(_) => {
             Counters::bump(&ctx.shared.counters.failed, coalesced as u64);
+            Counters::drop_gauge(&ctx.shared.counters.in_flight, coalesced as u64);
             for q in batch {
                 let _ = q.reply.send(Err(ServeError::BackendFailed));
             }
@@ -1639,6 +1735,138 @@ mod tests {
         ] {
             assert!(!err.to_string().is_empty());
         }
+    }
+
+    /// Regression for the window-wait step cap: with the adaptive
+    /// window enabled, a collapse of the arrival estimate *mid-hold*
+    /// must wake the dispatcher promptly — the loop re-derives the
+    /// effective window on every condvar wake rather than sleeping
+    /// out the remainder it computed before the collapse. Drives
+    /// `next_batch` directly so the collapse is injected
+    /// deterministically (in live serving the estimate only moves on
+    /// a submission, which also notifies `work`).
+    #[test]
+    fn adaptive_collapse_mid_hold_wakes_dispatcher() {
+        let policy = BatchPolicy {
+            max_batch: 8,
+            // Far longer than the test watchdog: if the dispatcher
+            // sleeps out the pre-collapse remainder, the recv below
+            // times out and the test fails.
+            max_wait: Duration::from_secs(600),
+            queue_cap: 64,
+            adaptive_window: true,
+        }
+        .normalized();
+        let shared = Arc::new(SharedQ {
+            state: Mutex::new(QState {
+                queues: Default::default(),
+                closed: false,
+                tripped: false,
+                next_id: 0,
+                last_arrival: None,
+                // Dense-traffic estimate: the window starts held open.
+                arrival_gap: Some(1e-6),
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            queue_cap: policy.queue_cap,
+            base_seed: 0,
+            adaptive_window: true,
+            counters: Counters::default(),
+        });
+        let (reply_tx, _reply_rx) = mpsc::channel();
+        {
+            let mut st = lock(&shared.state);
+            st.queues[Priority::Normal.index()].push_back(Queued {
+                x: Tensor::zeros(Shape4::new(1, 1, 1, 1)),
+                seed: 0,
+                id: 0,
+                enqueued: Instant::now(),
+                deadline: None,
+                reply: reply_tx,
+            });
+        }
+        let dispatcher_shared = Arc::clone(&shared);
+        let (batch_tx, batch_rx) = mpsc::channel();
+        let dispatcher = std::thread::spawn(move || {
+            let batch = next_batch(&dispatcher_shared, &policy);
+            let _ = batch_tx.send(batch.map(|b| b.len()));
+        });
+        // The dispatcher is holding the window open: no batch yet.
+        assert_eq!(
+            batch_rx.recv_timeout(Duration::from_millis(200)),
+            Err(mpsc::RecvTimeoutError::Timeout),
+            "window should be held open under a dense arrival estimate"
+        );
+        // Collapse the estimate mid-hold (sparse traffic) and wake
+        // the dispatcher, exactly as a submission would.
+        {
+            let mut st = lock(&shared.state);
+            st.arrival_gap = Some(1e9);
+        }
+        shared.work.notify_all();
+        assert_eq!(
+            batch_rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("dispatcher must wake promptly on collapse, not sleep out the remainder"),
+            Some(1)
+        );
+        dispatcher.join().expect("dispatcher thread");
+    }
+
+    #[test]
+    fn stats_gauges_track_queue_and_flight() {
+        let net = Arc::new(test_net());
+        // A slow micro-batch (large S) pins the dispatcher while we
+        // inspect the gauges behind it.
+        let cfg = BayesConfig::new(1, 800);
+        let server = Server::for_graph(Arc::clone(&net))
+            .bayes(cfg)
+            .policy(BatchPolicy {
+                max_batch: 1,
+                max_wait: Duration::ZERO,
+                queue_cap: 8,
+                ..BatchPolicy::default()
+            })
+            .start();
+        let handle = server.handle();
+        let a = handle.predict_seeded(test_input(0.1), 1);
+        // Wait for the dispatcher to take request `a` in flight.
+        while server.stats().in_flight == 0 {
+            std::thread::yield_now();
+        }
+        let b = handle.predict_seeded(test_input(0.2), 2);
+        let c = handle.predict_seeded(test_input(0.3), 3);
+        let stats = server.stats();
+        assert_eq!(stats.queued, 2, "b and c wait behind the slow batch");
+        assert_eq!(stats.in_flight, 1, "a is being served");
+        // Handles read the same counters.
+        assert_eq!(handle.stats().queued, 2);
+        for pending in [a, b, c] {
+            pending.wait().expect("served");
+        }
+        let quiesced = server.stats();
+        assert_eq!(quiesced.served, 3);
+        assert_eq!(quiesced.queued, 0, "gauges return to zero at quiesce");
+        assert_eq!(quiesced.in_flight, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn fixed_window_skips_arrival_tracking() {
+        let net = Arc::new(test_net());
+        let server = Server::for_graph(net).bayes(BayesConfig::new(1, 2)).start();
+        let handle = server.handle();
+        handle.predict(test_input(0.1)).wait().expect("served");
+        handle.predict(test_input(0.2)).wait().expect("served");
+        let st = lock(&server.shared.state);
+        assert_eq!(
+            st.last_arrival, None,
+            "fixed-window servers must not pay the arrival tracker"
+        );
+        assert_eq!(st.arrival_gap, None);
+        drop(st);
+        server.shutdown();
     }
 
     #[test]

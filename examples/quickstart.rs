@@ -8,8 +8,11 @@
 //! each suffix weight matrix streams once per layer instead of once
 //! per sample — prefer it when `S` is large), int8 integer, and the
 //! simulated FPGA accelerator — compare against the paper's CPU/GPU
-//! baselines, and finish by serving four concurrent clients through
-//! the request-coalescing `bnn-serve` front door.
+//! baselines, serve four concurrent clients through the
+//! request-coalescing `bnn-serve` front door, and finish with the
+//! same server on a TCP socket: a binary-protocol prediction with
+//! its seed echoed for offline replay, plus a `GET /status`
+//! telemetry fetch (what `curl http://host:port/status` would see).
 //!
 //! ```bash
 //! cargo run --release --example quickstart
@@ -18,6 +21,7 @@
 use bnn_fpga::accel::{AccelConfig, Accelerator};
 use bnn_fpga::data::synth_mnist;
 use bnn_fpga::mcd::{BayesConfig, ParallelConfig};
+use bnn_fpga::net::{NetClient, NetConfig, NetServer, Request, Response};
 use bnn_fpga::nn::{arch::extract_layers, models, SgdConfig, Trainer};
 use bnn_fpga::platforms::PlatformModel;
 use bnn_fpga::quant::Quantizer;
@@ -176,5 +180,36 @@ fn main() {
         "server totals: {} served, {} shed, {} expired",
         stats.served, stats.shed, stats.expired
     );
-    server.shutdown();
+
+    // 8. Over the wire: the bnn-net TCP front door puts that same
+    //    admission layer on a socket — binary protocol v1 for
+    //    predictions (every reply echoes its effective mask seed, so
+    //    it can be reproduced offline bit-for-bit) and HTTP/1.1
+    //    `GET /status` for live telemetry. The curl equivalent of the
+    //    status fetch below:
+    //
+    //        curl http://127.0.0.1:<port>/status
+    let front = NetServer::bind("127.0.0.1:0", server, NetConfig::default())
+        .expect("bind loopback front door");
+    let addr = front.local_addr();
+    println!("\n== the same server over TCP ({addr}) ==");
+    let mut client = NetClient::connect(addr).expect("connect");
+    let response = client
+        .send(
+            &Request::new(ds.test_x.select_item(6))
+                .tenant("quickstart")
+                .seed(99),
+        )
+        .expect("round trip");
+    match response {
+        Response::Reply(reply) => println!(
+            "wire client: class {} (confidence {:.3}), seed echo {} — \
+             replay offline with Session::seed({})",
+            reply.uncertainty.predicted, reply.uncertainty.confidence, reply.seed, reply.seed
+        ),
+        Response::Error(err) => println!("wire client: typed error {:?}", err.code),
+    }
+    let status = bnn_fpga::net::http_get_status(addr).expect("GET /status");
+    println!("GET /status -> {status}");
+    front.shutdown();
 }

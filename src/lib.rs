@@ -115,13 +115,63 @@
 //!   drain.
 //!
 //! Observability: [`Server::stats`] counts served / shed / expired /
-//! failed / rejected requests. The whole contract is exercised by a
+//! failed / rejected requests, plus live `queued` / `in_flight`
+//! backlog gauges. The whole contract is exercised by a
 //! deterministic fault-injection harness — [`mcd::ChaosBackend`]
 //! injects seeded panics and delays at a pure, replayable per-call
 //! schedule ([`mcd::fault_at`]), threaded through
 //! `ServerBuilder::chaos`, and conformance check 7
 //! ([`mcd::conformance::assert_chaos_agrees`]) pins fault containment
 //! and bit-identical survivors on all four substrates.
+//!
+//! # Wire protocol: the `bnn-net` TCP front door
+//!
+//! [`NetServer`] (crate `bnn-net`, re-exported as [`net`]) puts the
+//! admission layer on a TCP port with zero external dependencies — a
+//! resident acceptor thread plus one worker per connection, speaking
+//! two framings sniffed from the first four bytes of each connection
+//! (`b"GET "` decodes as an impossible frame length, so they can
+//! never be confused):
+//!
+//! **Binary protocol v1** — every frame is a little-endian `u32`
+//! payload length followed by the payload; integers are little-endian
+//! and floats travel as IEEE-754 bit patterns (replies are
+//! bit-identical to the engine output). Payload layouts:
+//!
+//! | frame | layout |
+//! |---|---|
+//! | request (kind 1) | `ver u8, kind u8, flags u8, priority u8, tenant_len u8, tenant utf8, [deadline_us u64], [seed u64], n·c·h·w 4×u32, data (c·h·w)×f32` |
+//! | reply (kind 2) | `ver, kind, id u64, seed u64, coalesced u32, k u32, probs k×f32, predicted u32, confidence f32, entropy f64, mutual_info f64, samples u64, batch u64, wall_ms f64, has_model u8, [cycles u64, latency_ms f64, mem_bytes u64]` |
+//! | error (kind 3) | `ver, kind, code u8, flags u8, [id u64], [seed u64]` |
+//!
+//! Error codes: `1` Rejected, `2` DeadlineExceeded, `3`
+//! BackendFailed, `4` Shutdown (the four [`ServeError`]s), plus
+//! wire-only `5` RateLimited (the tenant's token bucket was empty)
+//! and `6` Malformed (undecodable frame; the server closes the
+//! connection after sending it). Malformed input of any kind —
+//! truncated frame, oversized length prefix, bad version byte,
+//! non-UTF-8 tenant id — resolves to a typed
+//! [`net::DecodeError`], never a panic (the
+//! `panic` audit rule covers `crates/net/src`).
+//!
+//! **Seed echo (reproducibility contract)** — every reply carries the
+//! request's *effective* mask-stream seed: the one the client pinned,
+//! or the server-derived [`request_seed`]`(base_seed, id)`. Serving
+//! the same input through an offline [`Session`] seeded with the
+//! echoed value reproduces the reply's probabilities bit for bit, so
+//! any answer that ever crossed the wire can be re-derived and
+//! audited after the fact (`tests/net_loopback.rs` pins this on all
+//! four substrates).
+//!
+//! **HTTP `GET /status`** — one-shot JSON telemetry from a
+//! rolling-window monitor: nearest-rank p50/p99 latency over a ring
+//! buffer, the admission counters and backlog gauges (exactly
+//! [`Server::stats`]), a batch-size histogram, per-substrate cost
+//! aggregates, and net-layer counters (connections, rate-limited,
+//! malformed). Per-tenant policy ([`net::TenantPolicy`])
+//! maps tenant ids to a priority ceiling plus a token-bucket rate
+//! limit, enforced before admission so the wire boundary cannot jump
+//! the in-process queue.
 //!
 //! # Invariants (statically enforced by `bnn-audit`)
 //!
@@ -171,6 +221,7 @@
 //! | [`data`] | `bnn-data` | synthetic MNIST/SVHN/CIFAR-like datasets, OOD noise |
 //! | [`mcd`] | `bnn-mcd` | the `BayesBackend` trait, generic MC engine, `FloatBackend`/`FusedBackend`, conformance harness, uncertainty metrics |
 //! | [`serve`] | `bnn-serve` | the request-coalescing serving front door: `Server`, `Handle`, `BatchPolicy` |
+//! | [`net`] | `bnn-net` | the TCP front door: binary protocol v1, `GET /status` telemetry, tenant gate |
 //! | [`quant`] | `bnn-quant` | 8-bit linear quantization, int8 executor, `Int8Backend` |
 //! | [`platforms`] | `bnn-platforms` | CPU/GPU latency models, VIBNN and BYNQNet baselines |
 //! | [`framework`] | `bnn-framework` | the automatic hardware/algorithm optimization framework |
@@ -188,14 +239,16 @@ pub use bnn_accel as accel;
 pub use bnn_data as data;
 pub use bnn_framework as framework;
 pub use bnn_mcd as mcd;
+pub use bnn_net as net;
+pub use bnn_net::{NetClient, NetConfig, NetServer};
 pub use bnn_nn as nn;
 pub use bnn_platforms as platforms;
 pub use bnn_quant as quant;
 pub use bnn_rng as rng;
 pub use bnn_serve as serve;
 pub use bnn_serve::{
-    BatchPolicy, Handle, Pending, Priority, Reply, RetryPolicy, ServeBackend, ServeError,
-    ServeStats, Server, Submission, SubmitError,
+    request_seed, BatchPolicy, Handle, Pending, Priority, Reply, RetryPolicy, ServeBackend,
+    ServeError, ServeStats, Server, Submission, SubmitError,
 };
 pub use bnn_tensor as tensor;
 pub use session::{Backend, Session, SessionBuilder};

@@ -45,6 +45,7 @@ use std::sync::Arc;
 /// bit-identical results); `Int8` and `Accel` carry their own compiled
 /// artefacts (a quantized graph, an accelerator instance) produced by
 /// the deployment pipeline.
+#[derive(Clone)]
 pub enum Backend {
     /// f32 software execution of the session graph (the PR-1
     /// suffix-reuse engine).
