@@ -15,7 +15,10 @@ use crate::tenant::{TenantGate, TenantTable};
 use crate::wire::{self, ErrorCode, Request, MAX_FRAME};
 use bnn_serve::{request_seed, Handle, ServeStats, Server};
 use std::io::{self, Read, Write};
-use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{
+    IpAddr, Ipv4Addr, Ipv6Addr, Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream,
+    ToSocketAddrs,
+};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
@@ -141,9 +144,20 @@ impl NetServer {
             server.shutdown();
         }
         // Unblock the acceptor's blocking accept() with a poke
-        // connection; it observes the flag and exits. A failed poke
-        // means the listener is already dead — nothing to unblock.
-        let _ = TcpStream::connect(self.local);
+        // connection; it observes the flag and exits. A wildcard bind
+        // (0.0.0.0 / [::]) records the wildcard as the local addr,
+        // and connecting *to* a wildcard is not portable — poke
+        // loopback at the bound port instead. The connect is
+        // time-bounded as a backstop; past that, a failed poke means
+        // the listener is already dead — nothing to unblock.
+        let mut poke = self.local;
+        if poke.ip().is_unspecified() {
+            poke.set_ip(match poke.ip() {
+                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&poke, Duration::from_secs(1));
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
@@ -172,6 +186,29 @@ impl std::fmt::Debug for NetServer {
     }
 }
 
+/// One reserved connection slot: increments `active` on construction
+/// and releases it on drop, so the slot comes back even if the worker
+/// unwinds mid-connection — or the spawn itself fails and the un-run
+/// closure (guard and all) is dropped. Without this, a panicking
+/// worker would leak its slot and ratchet the server toward refusing
+/// every connection at `max_connections`.
+struct SlotGuard {
+    shared: Arc<NetShared>,
+}
+
+impl SlotGuard {
+    fn acquire(shared: Arc<NetShared>) -> SlotGuard {
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        SlotGuard { shared }
+    }
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.shared.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// The acceptor loop: accept, reap finished workers, spawn a worker
 /// per connection (or close immediately at the connection cap).
 fn accept_loop(listener: TcpListener, shared: Arc<NetShared>) {
@@ -192,24 +229,22 @@ fn accept_loop(listener: TcpListener, shared: Arc<NetShared>) {
             continue;
         }
         shared.monitor.record_connection();
-        shared.active.fetch_add(1, Ordering::SeqCst);
+        let slot = SlotGuard::acquire(Arc::clone(&shared));
         let conn_id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
-        let worker_shared = Arc::clone(&shared);
         // audit:allow(concurrency) one worker thread per accepted connection, bounded by max_connections and joined on shutdown — connection I/O is inherently blocking on std::net, and the compute fan-out behind it still routes through WorkerPool.
         let spawned = thread::Builder::new()
             .name(format!("bnn-net-conn-{conn_id}"))
             .spawn(move || {
-                serve_connection(stream, &worker_shared);
-                worker_shared.active.fetch_sub(1, Ordering::SeqCst);
+                serve_connection(stream, &slot.shared);
+                // `slot` drops here (or on unwind), releasing the
+                // reservation exactly once either way.
             });
-        match spawned {
-            Ok(handle) => lock(&shared.workers).push(handle),
-            Err(_) => {
-                // Spawn failure: undo the reservation and shed the
-                // connection rather than killing the acceptor.
-                shared.active.fetch_sub(1, Ordering::SeqCst);
-            }
+        if let Ok(handle) = spawned {
+            lock(&shared.workers).push(handle);
         }
+        // Spawn failure drops the un-run closure — and the SlotGuard
+        // with it — so the reservation is released and the connection
+        // shed without killing the acceptor.
     }
 }
 

@@ -88,6 +88,16 @@ struct Bucket {
     last: Instant,
 }
 
+/// Upper bound on live token buckets. Tenant ids arrive off the wire
+/// (attacker-controlled, up to 255 bytes each), so the bucket map
+/// must not grow one entry per unique id without bound. At the cap,
+/// admitting a previously-unseen tenant evicts the bucket that was
+/// charged longest ago. Eviction hands the evicted tenant a fresh
+/// burst on its next request — a bounded rate-limit under-count that
+/// only an attacker churning thousands of ids can trigger — in
+/// exchange for hard-bounded memory (~1 MiB of keys at worst).
+const MAX_BUCKETS: usize = 4096;
+
 /// The runtime gate: a [`TenantTable`] plus live bucket state.
 pub struct TenantGate {
     table: TenantTable,
@@ -133,6 +143,19 @@ impl TenantGate {
             return Ok(granted);
         }
         let mut buckets = lock(&self.buckets);
+        if buckets.len() >= MAX_BUCKETS && !buckets.contains_key(tenant) {
+            // Evict the least-recently-charged bucket to make room.
+            // O(n) scan, but only on the insert path and only once
+            // the map is full — steady-state traffic from known
+            // tenants never pays it.
+            let oldest = buckets
+                .iter()
+                .min_by_key(|(_, b)| b.last)
+                .map(|(name, _)| name.clone());
+            if let Some(name) = oldest {
+                buckets.remove(&name);
+            }
+        }
         let bucket = buckets.entry(tenant.to_string()).or_insert(Bucket {
             tokens: policy.burst,
             last: now,
@@ -146,6 +169,12 @@ impl TenantGate {
         } else {
             Err(RateLimited)
         }
+    }
+
+    /// Live bucket count (test hook for the eviction bound).
+    #[cfg(test)]
+    fn bucket_count(&self) -> usize {
+        lock(&self.buckets).len()
     }
 }
 
@@ -217,6 +246,37 @@ mod tests {
         assert!(gate.admit_at("metered", Priority::Normal, t2).is_ok());
         assert_eq!(
             gate.admit_at("metered", Priority::Normal, t2),
+            Err(RateLimited)
+        );
+    }
+
+    #[test]
+    fn bucket_map_bounded_under_unique_tenant_flood() {
+        // Finite-rate default policy: every unseen tenant id wants a
+        // bucket — the attack surface REVIEW flagged.
+        let gate = TenantGate::new(TenantTable::new(TenantPolicy::limited(
+            Priority::Normal,
+            0.0,
+            1.0,
+        )));
+        let t0 = Instant::now();
+        for i in 0..MAX_BUCKETS + 100 {
+            let tenant = format!("flood-{i}");
+            assert!(gate
+                .admit_at(
+                    &tenant,
+                    Priority::Normal,
+                    t0 + Duration::from_micros(i as u64)
+                )
+                .is_ok());
+        }
+        assert!(gate.bucket_count() <= MAX_BUCKETS);
+        // The most recently charged tenant kept its drained bucket:
+        // at rate 0 a second request must still be refused — eviction
+        // would instead have handed it a fresh burst.
+        let last = format!("flood-{}", MAX_BUCKETS + 99);
+        assert_eq!(
+            gate.admit_at(&last, Priority::Normal, t0 + Duration::from_secs(1)),
             Err(RateLimited)
         );
     }

@@ -538,14 +538,23 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
         None
     };
     let (n, c, h, w) = (cur.u32()?, cur.u32()?, cur.u32()?, cur.u32()?);
-    let elems = u64::from(n) * u64::from(c) * u64::from(h) * u64::from(w);
     // `n == 1` keeps the serving front door's single-input contract
-    // (the admission layer asserts it); the element bound keeps the
-    // data length multiplication safely inside the frame bound.
-    if n != 1 || c == 0 || h == 0 || w == 0 || elems * 4 > MAX_FRAME as u64 {
+    // (the admission layer asserts it). The element count uses
+    // checked multiplication — three attacker-chosen u32 dims can
+    // overflow u64 — and is bounded by `MAX_FRAME / 4` so the f32
+    // data length stays inside the frame bound with no further
+    // (overflowable) multiply.
+    if n != 1 || c == 0 || h == 0 || w == 0 {
         return Err(DecodeError::BadShape { n, c, h, w });
     }
-    let elems = elems as usize;
+    let elems = [c, h, w]
+        .iter()
+        .try_fold(1u64, |acc, &d| acc.checked_mul(u64::from(d)))
+        .filter(|&e| e <= (MAX_FRAME / 4) as u64);
+    let elems = match elems {
+        Some(e) => e as usize,
+        None => return Err(DecodeError::BadShape { n, c, h, w }),
+    };
     let mut data = Vec::with_capacity(elems);
     for _ in 0..elems {
         data.push(cur.f32()?);
@@ -638,7 +647,8 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
             let seed = cur.u64()?;
             let coalesced = cur.u32()?;
             let k = cur.u32()? as usize;
-            if k * 4 > MAX_FRAME {
+            // u64 compare: `k * 4` could wrap usize on 32-bit hosts.
+            if k as u64 > (MAX_FRAME / 4) as u64 {
                 return Err(DecodeError::BadShape {
                     n: 1,
                     c: k as u32,

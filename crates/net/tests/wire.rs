@@ -264,6 +264,45 @@ fn multi_item_shape_is_rejected_both_ways() {
     }
 }
 
+/// Build the minimal 21-byte request frame (anonymous tenant, no
+/// deadline/seed, no data) carrying an arbitrary wire shape.
+fn shape_only_frame(n: u32, c: u32, h: u32, w: u32) -> Vec<u8> {
+    let mut payload = vec![1u8, 1, 0, 1, 0]; // ver, kind, flags, priority, tenant_len
+    for dim in [n, c, h, w] {
+        payload.extend_from_slice(&dim.to_le_bytes());
+    }
+    payload
+}
+
+#[test]
+fn overflowing_shape_products_are_typed_not_panics() {
+    // The REVIEW attack frame: c·h·w = 2^31 · 2^31 · 4 = 2^64 wraps
+    // the u64 element count to 0, which once smuggled past the frame
+    // bound builds a shape/data-length-mismatched tensor. The decoder
+    // must reject it as BadShape — debug builds used to panic here.
+    let cases = [
+        (1u32, 1 << 31, 1 << 31, 4u32),
+        (1, u32::MAX, u32::MAX, u32::MAX),
+        (1, 1 << 31, 4, 1 << 31),
+        // No u64 overflow, but the byte length exceeds the frame
+        // bound — still BadShape.
+        (1, 1 << 31, 2, 4),
+    ];
+    for (n, c, h, w) in cases {
+        match decode_request(&shape_only_frame(n, c, h, w)) {
+            Err(DecodeError::BadShape { .. }) => {}
+            other => panic!("({n},{c},{h},{w}): expected BadShape, got {other:?}"),
+        }
+    }
+    // A maximal-but-legal shape still decodes (as Truncated here,
+    // since the frame carries no data — the shape check passed).
+    let elems = (MAX_FRAME / 4) as u32;
+    match decode_request(&shape_only_frame(1, elems, 1, 1)) {
+        Err(DecodeError::Truncated { .. }) => {}
+        other => panic!("expected Truncated past the shape check, got {other:?}"),
+    }
+}
+
 #[test]
 fn trailing_bytes_are_typed() {
     let req = request_from("", Priority::Normal, None, None, (1, 1, 1), &[0]);
