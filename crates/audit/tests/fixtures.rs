@@ -308,6 +308,74 @@ fn waived() { std::thread::spawn(|| {}); }
     assert_eq!(report.waived_count("concurrency"), 1);
 }
 
+#[test]
+fn determinism_rule_covers_loadgen_module_and_net_binaries() {
+    // The load generator's schedule must replay from its seed alone:
+    // both the planning module and anything under crates/net/src/bin/
+    // sit inside the determinism scope, while the rest of the net
+    // crate (socket plumbing) stays outside it.
+    let report = run(&[
+        (
+            "crates/net/src/loadgen.rs",
+            r#"fn f() { let m: std::collections::HashMap<u32, u32> = Default::default(); let _ = m; }
+"#,
+        ),
+        (
+            "crates/net/src/bin/loadgen.rs",
+            r#"fn f() { let _ = std::time::Instant::now(); }
+fn g() -> Vec<String> { std::env::args().collect() }
+"#,
+        ),
+        (
+            "crates/net/src/server.rs",
+            r#"fn f() { let _ = std::time::Instant::now(); }
+"#,
+        ),
+    ]);
+    let mut hits: Vec<(String, usize)> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "determinism")
+        .map(|f| (f.path.clone(), f.line))
+        .collect();
+    hits.sort();
+    assert_eq!(
+        hits,
+        vec![
+            ("crates/net/src/bin/loadgen.rs".to_string(), 1),
+            ("crates/net/src/bin/loadgen.rs".to_string(), 2),
+            ("crates/net/src/loadgen.rs".to_string(), 1),
+        ]
+    );
+}
+
+#[test]
+fn loadgen_binary_clock_intake_is_waivable() {
+    let report = run(&[(
+        "crates/net/src/bin/loadgen.rs",
+        r#"fn now() {
+    // audit:allow(determinism) the one clock intake; never feeds the seeded schedule.
+    let _ = std::time::Instant::now();
+}
+"#,
+    )]);
+    assert!(report.is_clean(), "{}", report.render_text());
+    assert_eq!(report.waived_count("determinism"), 1);
+}
+
+#[test]
+fn panic_rule_covers_net_binaries() {
+    // crates/net/src/bin/ sits inside PANIC_SCOPE by prefix: the load
+    // generator must report failures through its exit code, not
+    // unwind mid-run with counters half-merged.
+    let report = run(&[(
+        "crates/net/src/bin/loadgen.rs",
+        r#"fn f(x: Option<u32>) -> u32 { x.unwrap() }
+"#,
+    )]);
+    assert_eq!(rule_hits(&report, "panic"), vec![1]);
+}
+
 // ---------------------------------------------------------------- lint-headers
 
 #[test]

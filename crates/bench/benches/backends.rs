@@ -289,20 +289,25 @@ fn bench_admission(_c: &mut Criterion) {
          {} served, {} shed, {} expired, {} rejected ({door_rejected} at the door)",
         stats.served, stats.shed, stats.expired, stats.rejected
     );
-    let json = format!(
-        "{{\n  \"bench\": \"serve_admission\",\n  \"high_clients\": {HIGH_CLIENTS},\n  \
-         \"high_requests\": {},\n  \"flood_clients\": {FLOOD_CLIENTS},\n  \
-         \"flood_requests\": {},\n  \"high_p50_us\": {p50},\n  \"high_p99_us\": {p99},\n  \
-         \"served\": {},\n  \"shed\": {},\n  \"expired\": {},\n  \"failed\": {},\n  \
-         \"rejected\": {}\n}}\n",
-        HIGH_CLIENTS * HIGH_ROUNDS,
-        FLOOD_CLIENTS * FLOOD_ROUNDS,
-        stats.served,
-        stats.shed,
-        stats.expired,
-        stats.failed,
-        stats.rejected,
-    );
+    // Same JSON dialect as the load generator's BENCH_net.json, so
+    // downstream tooling parses both with one reader. latency_samples
+    // records how many measurements back each percentile row.
+    let mut doc = bnn_fpga::net::loadgen::JsonObj::new();
+    doc.field_str("bench", "serve_admission")
+        .field_u64("high_clients", HIGH_CLIENTS as u64)
+        .field_u64("high_requests", (HIGH_CLIENTS * HIGH_ROUNDS) as u64)
+        .field_u64("flood_clients", FLOOD_CLIENTS as u64)
+        .field_u64("flood_requests", (FLOOD_CLIENTS * FLOOD_ROUNDS) as u64)
+        .field_u64("latency_samples", latencies.len() as u64)
+        .field_u64("high_p50_us", p50 as u64)
+        .field_u64("high_p99_us", p99 as u64)
+        .field_u64("served", stats.served)
+        .field_u64("shed", stats.shed)
+        .field_u64("expired", stats.expired)
+        .field_u64("failed", stats.failed)
+        .field_u64("rejected", stats.rejected);
+    let mut json = doc.finish();
+    json.push('\n');
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(path, json).expect("write BENCH_serve.json");
 }

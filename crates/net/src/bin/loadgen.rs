@@ -1,0 +1,708 @@
+//! `loadgen` — closed- and open-loop load generator for the
+//! `bnn-net` front door.
+//!
+//! Drives many concurrent pipelined wire connections against a
+//! [`bnn_net::NetServer`] (self-hosted over a fused LeNet-5 by default, or an
+//! external `--addr`), following a fully seeded schedule from
+//! [`bnn_net::loadgen::plan`]: per-slot request classes
+//! (priority/tenant/deadline mixes), per-slot pinned seeds, and
+//! deterministic inter-arrival gaps (closed-loop think time, fixed
+//! rate, or Poisson). Latencies fold into log2 histograms per class;
+//! the run ends with a `GET /status` poll and an exact cross-check of
+//! client-side response counts against the server's own counters at
+//! quiesce, emitted as machine-readable `BENCH_net.json` next to
+//! `BENCH_serve.json`.
+//!
+//! ```text
+//! loadgen [--smoke] [--mode closed|fixed|poisson] [--connections N]
+//!         [--requests N] [--depth N] [--think-us N] [--rate R]
+//!         [--seed N] [--addr HOST:PORT] [--out PATH]
+//! ```
+//!
+//! Exit status is nonzero when the counter cross-check fails or any
+//! transport-level error occurred — CI runs `--smoke` as a release
+//! gate.
+//!
+//! Determinism note: the *schedule* (which requests, which seeds,
+//! which gaps) is a pure function of `--seed`; the *measurements*
+//! (latencies, achieved rate) are wall-clock by nature. The waived
+//! helpers below are the only clock and environment reads.
+
+#![forbid(unsafe_code)]
+
+use bnn_mcd::BayesConfig;
+use bnn_net::loadgen::{
+    plan, ArrivalMode, ClassSpec, JsonArr, JsonObj, LogHistogram, Outcomes, PlanConfig, Slot,
+};
+use bnn_net::{
+    http_get_status_with, NetConfig, PipelinedClient, Request, Response, TenantPolicy, TenantTable,
+    Timeouts,
+};
+use bnn_nn::models;
+use bnn_serve::{BatchPolicy, Priority, ServeBackend, Server};
+use bnn_tensor::{Shape4, Tensor};
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+loadgen — seeded closed/open-loop load generator for the bnn-net front door
+
+USAGE:
+    loadgen [OPTIONS]
+
+OPTIONS:
+    --smoke            CI preset: 4 connections x 24 requests, depth 4,
+                       closed loop with 200 us think time
+    --mode MODE        closed | fixed | poisson      [default: closed]
+    --connections N    concurrent connections        [default: 8]
+    --requests N       requests per connection       [default: 64]
+    --depth N          pipelined requests in flight  [default: 8]
+    --think-us N       closed-loop think time (us)   [default: 1000]
+    --rate R           open-loop sends/sec per conn  [default: 200]
+    --seed N           schedule seed                 [default: 45223]
+    --addr HOST:PORT   drive an external server (skips the /status
+                       counter cross-check; default self-hosts a fused
+                       LeNet-5 NetServer on an ephemeral port)
+    --out PATH         report path [default: <workspace>/BENCH_net.json]
+    --help             print this text
+";
+
+/// The binary's only wall-clock read site.
+fn now() -> Instant {
+    // audit:allow(determinism) the load generator measures real latencies; this is the binary's one clock intake, and it never feeds the seeded schedule.
+    Instant::now()
+}
+
+/// The binary's only environment read site.
+fn cli_args() -> Vec<String> {
+    // audit:allow(determinism) CLI flags are the binary's boundary; they select the workload shape and never feed computed values.
+    std::env::args().skip(1).collect()
+}
+
+/// Which pacing family `--mode` selected; combined with `--think-us`
+/// or `--rate` into an [`ArrivalMode`] after parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ModeKind {
+    Closed,
+    Fixed,
+    Poisson,
+}
+
+#[derive(Debug, Clone)]
+struct Options {
+    mode: ModeKind,
+    connections: usize,
+    requests: usize,
+    depth: usize,
+    think_us: u64,
+    rate: f64,
+    seed: u64,
+    addr: Option<String>,
+    out: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            mode: ModeKind::Closed,
+            connections: 8,
+            requests: 64,
+            depth: 8,
+            think_us: 1000,
+            rate: 200.0,
+            seed: 45223,
+            addr: None,
+            out: None,
+        }
+    }
+}
+
+impl Options {
+    /// Parse CLI flags; `Ok(None)` means `--help` was asked for.
+    fn parse(args: &[String]) -> Result<Option<Options>, String> {
+        let mut opts = Options::default();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> Result<&String, String> {
+                it.next().ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--help" | "-h" => return Ok(None),
+                "--smoke" => {
+                    opts.mode = ModeKind::Closed;
+                    opts.connections = 4;
+                    opts.requests = 24;
+                    opts.depth = 4;
+                    opts.think_us = 200;
+                }
+                "--mode" => {
+                    opts.mode = match value("--mode")?.as_str() {
+                        "closed" => ModeKind::Closed,
+                        "fixed" => ModeKind::Fixed,
+                        "poisson" => ModeKind::Poisson,
+                        other => return Err(format!("unknown mode `{other}`")),
+                    };
+                }
+                "--connections" => opts.connections = parse_num(value("--connections")?)?,
+                "--requests" => opts.requests = parse_num(value("--requests")?)?,
+                "--depth" => opts.depth = parse_num(value("--depth")?)?,
+                "--think-us" => opts.think_us = parse_num(value("--think-us")?)?,
+                "--rate" => {
+                    opts.rate = value("--rate")?
+                        .parse::<f64>()
+                        .map_err(|e| format!("bad --rate: {e}"))?;
+                    if !opts.rate.is_finite() || opts.rate <= 0.0 {
+                        return Err("--rate must be positive".to_string());
+                    }
+                }
+                "--seed" => opts.seed = parse_num(value("--seed")?)?,
+                "--addr" => opts.addr = Some(value("--addr")?.clone()),
+                "--out" => opts.out = Some(value("--out")?.clone()),
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        if opts.connections == 0 || opts.requests == 0 {
+            return Err("--connections and --requests must be nonzero".to_string());
+        }
+        Ok(Some(opts))
+    }
+
+    fn arrival_mode(&self) -> ArrivalMode {
+        match self.mode {
+            ModeKind::Closed => ArrivalMode::Closed {
+                think_us: self.think_us,
+            },
+            ModeKind::Fixed => ArrivalMode::Fixed {
+                period_us: (1e6 / self.rate) as u64,
+            },
+            ModeKind::Poisson => ArrivalMode::Poisson {
+                mean_gap_us: (1e6 / self.rate) as u64,
+            },
+        }
+    }
+
+    fn mode_name(&self) -> &'static str {
+        match self.mode {
+            ModeKind::Closed => "closed",
+            ModeKind::Fixed => "fixed",
+            ModeKind::Poisson => "poisson",
+        }
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse().map_err(|e| format!("bad number `{s}`: {e}"))
+}
+
+/// The default request-class mix: a priority spread, a deadline
+/// class, and a rate-limited tenant so every admission path (serve,
+/// expire, rate-limit) carries traffic.
+fn default_classes() -> Vec<ClassSpec> {
+    vec![
+        ClassSpec {
+            name: "high".to_string(),
+            weight: 1.0,
+            priority: Priority::High,
+            tenant: "gold".to_string(),
+            deadline_us: None,
+        },
+        ClassSpec {
+            name: "normal".to_string(),
+            weight: 4.0,
+            priority: Priority::Normal,
+            tenant: String::new(),
+            deadline_us: None,
+        },
+        ClassSpec {
+            name: "deadline".to_string(),
+            weight: 2.0,
+            priority: Priority::Normal,
+            tenant: String::new(),
+            deadline_us: Some(50_000),
+        },
+        ClassSpec {
+            name: "metered".to_string(),
+            weight: 1.0,
+            priority: Priority::Low,
+            tenant: "metered".to_string(),
+            deadline_us: None,
+        },
+    ]
+}
+
+/// Everything one connection driver reports back.
+struct ConnReport {
+    outcomes: Outcomes,
+    class_hist: Vec<LogHistogram>,
+    overall: LogHistogram,
+    sent: u64,
+}
+
+impl ConnReport {
+    fn new(classes: usize) -> ConnReport {
+        ConnReport {
+            outcomes: Outcomes::default(),
+            class_hist: vec![LogHistogram::new(); classes],
+            overall: LogHistogram::new(),
+            sent: 0,
+        }
+    }
+
+    fn record(&mut self, meta: &[(usize, Instant)], corr: u64, response: &Response) {
+        match response {
+            Response::Reply(_) => {
+                self.outcomes.record_served();
+                if let Some(&(class, t0)) = meta.get(corr as usize) {
+                    let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                    if let Some(hist) = self.class_hist.get_mut(class) {
+                        hist.record(us);
+                    }
+                    self.overall.record(us);
+                }
+            }
+            Response::Error(err) => self.outcomes.record_error(err.code),
+        }
+    }
+}
+
+/// Drive one connection through its slot schedule. Transport errors
+/// (timeout, reset, EOF) abort the connection; every planned slot
+/// that got no response is tallied as `transport` so the report
+/// always accounts for the whole schedule.
+fn drive_connection(
+    addr: SocketAddr,
+    slots: &[Slot],
+    classes: &[ClassSpec],
+    input: &Tensor,
+    mode: ArrivalMode,
+    depth: usize,
+) -> ConnReport {
+    let mut report = ConnReport::new(classes.len());
+    let mut client = match PipelinedClient::connect_with(addr, depth, Timeouts::default()) {
+        Ok(client) => client,
+        Err(_) => {
+            report.outcomes.transport += slots.len() as u64;
+            return report;
+        }
+    };
+    // meta[corr] = (class, send instant): submit() hands out corr ids
+    // counting up from 0, so the n-th submission is meta[n].
+    let mut meta: Vec<(usize, Instant)> = Vec::with_capacity(slots.len());
+    let mut target = now();
+    for slot in slots {
+        let spec = match classes.get(slot.class) {
+            Some(spec) => spec,
+            None => continue, // unreachable: plan() indexes its own mix
+        };
+        match mode {
+            ArrivalMode::Closed { .. } => {
+                // Closed loop: previous reply first, then think, then
+                // send — offered load adapts to the service rate.
+                if client.in_flight() >= depth.max(1) {
+                    match client.recv() {
+                        Ok((corr, response)) => report.record(&meta, corr, &response),
+                        Err(_) => {
+                            return abort_transport(report, slots, &meta, client);
+                        }
+                    }
+                }
+                if slot.gap_us > 0 {
+                    thread::sleep(Duration::from_micros(slot.gap_us));
+                }
+            }
+            ArrivalMode::Fixed { .. } | ArrivalMode::Poisson { .. } => {
+                // Open loop: send at the scheduled instant no matter
+                // what came back, up to the pipeline depth bound.
+                target += Duration::from_micros(slot.gap_us);
+                let wait = target.saturating_duration_since(now());
+                if !wait.is_zero() {
+                    thread::sleep(wait);
+                }
+            }
+        }
+        let mut request = Request::new(input.clone())
+            .tenant(&spec.tenant)
+            .priority(spec.priority)
+            .seed(slot.seed);
+        if let Some(us) = spec.deadline_us {
+            request = request.deadline_us(us);
+        }
+        let sent_at = now();
+        match client.submit(&request) {
+            Ok(submitted) => {
+                meta.push((slot.class, sent_at));
+                report.sent += 1;
+                if let Some((corr, response)) = submitted.drained {
+                    report.record(&meta, corr, &response);
+                }
+            }
+            Err(_) => {
+                return abort_transport(report, slots, &meta, client);
+            }
+        }
+    }
+    // Clean teardown: every in-flight id resolves before we hang up.
+    match client.drain() {
+        Ok(responses) => {
+            for (corr, response) in responses {
+                report.record(&meta, corr, &response);
+            }
+            report
+        }
+        Err(_) => abort_transport(report, slots, &meta, client),
+    }
+}
+
+/// Tally every slot that will never get a response as `transport`.
+fn abort_transport(
+    mut report: ConnReport,
+    slots: &[Slot],
+    meta: &[(usize, Instant)],
+    client: PipelinedClient,
+) -> ConnReport {
+    let unsent = slots.len() as u64 - report.sent;
+    let unanswered = meta.len() as u64 - (report.outcomes.total() - report.outcomes.transport);
+    report.outcomes.transport += unsent + unanswered;
+    drop(client);
+    report
+}
+
+/// Server-side counters scraped from the `/status` JSON document.
+/// Every key below appears exactly once in the document, so plain
+/// substring scanning is unambiguous (no JSON parser in the tree).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+struct StatusCounters {
+    served: u64,
+    shed: u64,
+    expired: u64,
+    failed: u64,
+    rejected: u64,
+    rate_limited: u64,
+    malformed: u64,
+    queued: u64,
+    in_flight: u64,
+}
+
+fn status_u64(json: &str, key: &str) -> Result<u64, String> {
+    let pat = format!("\"{key}\":");
+    let at = json
+        .find(&pat)
+        .ok_or_else(|| format!("/status has no `{key}` field"))?
+        + pat.len();
+    let rest = &json[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse()
+        .map_err(|e| format!("bad `{key}` in /status: {e}"))
+}
+
+fn parse_status(json: &str) -> Result<StatusCounters, String> {
+    Ok(StatusCounters {
+        served: status_u64(json, "served")?,
+        shed: status_u64(json, "shed")?,
+        expired: status_u64(json, "expired")?,
+        failed: status_u64(json, "failed")?,
+        rejected: status_u64(json, "rejected")?,
+        rate_limited: status_u64(json, "rate_limited")?,
+        malformed: status_u64(json, "malformed")?,
+        queued: status_u64(json, "queued")?,
+        in_flight: status_u64(json, "in_flight")?,
+    })
+}
+
+/// The quiesce contract: every response the clients counted must be
+/// accounted for by the server under the same name. The door folds
+/// admission sheds into wire `Rejected` frames, so client `rejected`
+/// covers server `rejected + shed`; nothing may remain queued or in
+/// flight once every connection has drained.
+fn counters_match(client: &Outcomes, server: &StatusCounters) -> bool {
+    client.served == server.served
+        && client.expired == server.expired
+        && client.failed == server.failed
+        && client.rejected == server.rejected + server.shed
+        && client.rate_limited == server.rate_limited
+        && client.shutdown == 0
+        && client.malformed == 0
+        && client.transport == 0
+        && server.malformed == 0
+        && server.queued == 0
+        && server.in_flight == 0
+}
+
+fn latency_row(name: &str, hist: &LogHistogram) -> String {
+    let mut row = JsonObj::new();
+    row.field_str("class", name)
+        .field_u64("latency_samples", hist.total())
+        .field_opt_u64("p50_us", hist.percentile_per_mille(500))
+        .field_opt_u64("p99_us", hist.percentile_per_mille(990))
+        .field_opt_u64("p999_us", hist.percentile_per_mille(999))
+        .field_opt_u64("min_us", hist.min_us())
+        .field_opt_u64("max_us", hist.max_us());
+    match hist.mean_us() {
+        Some(mean) => row.field_f64("mean_us", mean),
+        None => row.field_opt_u64("mean_us", None),
+    };
+    row.finish()
+}
+
+struct RunOutcome {
+    report_path: String,
+    checked: bool,
+    matched: bool,
+    transport: u64,
+}
+
+fn run(opts: &Options) -> Result<RunOutcome, String> {
+    let classes = default_classes();
+    let cfg = PlanConfig {
+        seed: opts.seed,
+        connections: opts.connections,
+        requests_per_connection: opts.requests,
+        mode: opts.arrival_mode(),
+        classes: classes.clone(),
+    };
+    let schedules = plan(&cfg).map_err(|e| format!("bad plan: {e}"))?;
+    let input = Tensor::full(Shape4::new(1, 1, 28, 28), 0.25);
+
+    // Self-host unless --addr points at an external front door.
+    let hosted = match &opts.addr {
+        Some(_) => None,
+        None => {
+            let graph = Arc::new(models::lenet5(10, 1, 28, 3).fold_batch_norm());
+            let server = Server::for_graph(graph)
+                .backend(ServeBackend::Fused)
+                .bayes(BayesConfig::new(3, 10))
+                .policy(BatchPolicy {
+                    max_batch: 8,
+                    queue_cap: 256,
+                    ..BatchPolicy::default()
+                })
+                .seed(opts.seed)
+                .start();
+            let tenants = TenantTable::default().tenant(
+                "metered",
+                TenantPolicy::limited(Priority::Normal, 400.0, 4.0),
+            );
+            let net = bnn_net::NetServer::bind(
+                "127.0.0.1:0",
+                server,
+                NetConfig {
+                    tenants,
+                    max_connections: opts.connections + 8,
+                    max_pipeline: opts.depth.max(1),
+                    ..NetConfig::default()
+                },
+            )
+            .map_err(|e| format!("bind failed: {e}"))?;
+            Some(net)
+        }
+    };
+    let addr: SocketAddr = match (&hosted, &opts.addr) {
+        (Some(net), _) => net.local_addr(),
+        (None, Some(addr)) => addr
+            .parse()
+            .map_err(|e| format!("bad --addr `{addr}`: {e}"))?,
+        (None, None) => return Err("no server".to_string()),
+    };
+
+    let t_start = now();
+    // audit:allow(concurrency) one scoped driver thread per load-generator connection, joined before the run summarizes — the generator is a client of the stack, its concurrency IS the workload; server-side compute still routes through WorkerPool.
+    let reports: Vec<ConnReport> = thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(schedules.len());
+        for slots in &schedules {
+            let classes = &classes;
+            let input = &input;
+            handles.push(scope.spawn(move || {
+                drive_connection(addr, slots, classes, input, cfg.mode, opts.depth)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(report) => report,
+                Err(_) => {
+                    // A panicked driver answered nothing: account its
+                    // whole schedule as transport loss.
+                    let mut report = ConnReport::new(classes.len());
+                    report.outcomes.transport += opts.requests as u64;
+                    report
+                }
+            })
+            .collect()
+    });
+    let elapsed = t_start.elapsed();
+
+    let mut outcomes = Outcomes::default();
+    let mut overall = LogHistogram::new();
+    let mut class_hist = vec![LogHistogram::new(); classes.len()];
+    for report in &reports {
+        outcomes.merge(&report.outcomes);
+        overall.merge(&report.overall);
+        for (folded, conn) in class_hist.iter_mut().zip(&report.class_hist) {
+            folded.merge(conn);
+        }
+    }
+
+    // Quiesce cross-check: every driver has drained and disconnected,
+    // so the server's counters are final before we poll them.
+    let (checked, matched, status) = match &hosted {
+        Some(_) => {
+            let json = http_get_status_with(addr, Timeouts::default())
+                .map_err(|e| format!("GET /status failed: {e}"))?;
+            let status = parse_status(&json)?;
+            (true, counters_match(&outcomes, &status), Some(status))
+        }
+        None => (false, false, None),
+    };
+    if let Some(net) = hosted {
+        net.shutdown();
+    }
+
+    let planned: u64 = schedules.iter().map(|s| s.len() as u64).sum();
+    let elapsed_s = elapsed.as_secs_f64().max(1e-9);
+    let offered_rps = match cfg.mode {
+        ArrivalMode::Closed { .. } => None,
+        ArrivalMode::Fixed { .. } | ArrivalMode::Poisson { .. } => {
+            Some(opts.rate * opts.connections as f64)
+        }
+    };
+
+    let mut rows = JsonArr::new();
+    rows.push_raw(&latency_row("all", &overall));
+    for (spec, hist) in classes.iter().zip(&class_hist) {
+        rows.push_raw(&latency_row(&spec.name, hist));
+    }
+    let mut counters = JsonObj::new();
+    counters
+        .field_u64("served", outcomes.served)
+        .field_u64("rejected", outcomes.rejected)
+        .field_u64("expired", outcomes.expired)
+        .field_u64("failed", outcomes.failed)
+        .field_u64("shutdown", outcomes.shutdown)
+        .field_u64("rate_limited", outcomes.rate_limited)
+        .field_u64("malformed", outcomes.malformed)
+        .field_u64("transport", outcomes.transport);
+    let mut doc = JsonObj::new();
+    doc.field_str("bench", "net_loadgen")
+        .field_str("mode", opts.mode_name())
+        .field_u64("seed", opts.seed)
+        .field_u64("connections", opts.connections as u64)
+        .field_u64("requests_per_connection", opts.requests as u64)
+        .field_u64("depth", opts.depth as u64)
+        .field_u64("planned", planned)
+        .field_u64("completed", outcomes.total())
+        .field_f64("elapsed_s", elapsed_s);
+    match offered_rps {
+        Some(rps) => doc.field_f64("offered_rps", rps),
+        None => doc.field_opt_u64("offered_rps", None),
+    };
+    doc.field_f64("achieved_rps", outcomes.total() as f64 / elapsed_s)
+        .field_f64("served_rps", outcomes.served as f64 / elapsed_s)
+        .field_raw("latency", &rows.finish())
+        .field_raw("counters", &counters.finish());
+    if let Some(status) = status {
+        let mut s = JsonObj::new();
+        s.field_u64("served", status.served)
+            .field_u64("shed", status.shed)
+            .field_u64("expired", status.expired)
+            .field_u64("failed", status.failed)
+            .field_u64("rejected", status.rejected)
+            .field_u64("rate_limited", status.rate_limited)
+            .field_u64("malformed", status.malformed)
+            .field_u64("queued", status.queued)
+            .field_u64("in_flight", status.in_flight);
+        doc.field_raw("status", &s.finish());
+    } else {
+        doc.field_raw("status", "null");
+    }
+    doc.field_bool("counters_checked", checked)
+        .field_bool("counters_match", matched);
+    let rendered = format!("{}\n", doc.finish());
+
+    let report_path = match &opts.out {
+        Some(path) => path.clone(),
+        None => concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_net.json").to_string(),
+    };
+    std::fs::write(&report_path, &rendered)
+        .map_err(|e| format!("write {report_path} failed: {e}"))?;
+
+    println!(
+        "loadgen: {} mode, {} conns x {} reqs (depth {}), {:.2}s: \
+         {} served / {} rejected / {} expired / {} rate-limited / {} transport",
+        opts.mode_name(),
+        opts.connections,
+        opts.requests,
+        opts.depth,
+        elapsed_s,
+        outcomes.served,
+        outcomes.rejected,
+        outcomes.expired,
+        outcomes.rate_limited,
+        outcomes.transport,
+    );
+    if let (Some(p50), Some(p99)) = (
+        overall.percentile_per_mille(500),
+        overall.percentile_per_mille(990),
+    ) {
+        println!(
+            "loadgen: latency p50 {p50} us, p99 {p99} us over {} samples",
+            overall.total()
+        );
+    }
+    println!(
+        "loadgen: counters {} ({report_path})",
+        if !checked {
+            "unchecked (external server)"
+        } else if matched {
+            "match /status exactly"
+        } else {
+            "MISMATCH against /status"
+        }
+    );
+    Ok(RunOutcome {
+        report_path,
+        checked,
+        matched,
+        transport: outcomes.transport,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = cli_args();
+    let opts = match Options::parse(&args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("loadgen: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(outcome) => {
+            if outcome.transport > 0 || (outcome.checked && !outcome.matched) {
+                eprintln!(
+                    "loadgen: FAILED ({} transport errors, counters_match={}); see {}",
+                    outcome.transport, outcome.matched, outcome.report_path
+                );
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

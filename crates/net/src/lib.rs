@@ -12,12 +12,17 @@
 //!
 //! Two framings share one port, sniffed from the first four bytes:
 //!
-//! * the **length-prefixed binary protocol v1** ([`wire`]) — request
+//! * the **length-prefixed binary protocol** ([`wire`]) — request
 //!   frames carry tenant id, priority, optional deadline, optional
 //!   seed and an f32 input tensor; responses are a reply frame
 //!   (probs + [`bnn_mcd::Uncertainty`] + [`bnn_mcd::CostReport`]
 //!   slice, with the effective seed echoed for offline
-//!   reproducibility) or a typed error frame;
+//!   reproducibility) or a typed error frame. Version 2 adds a
+//!   client-chosen correlation id, which unlocks **pipelining**: a
+//!   [`PipelinedClient`] keeps up to `depth` requests in flight per
+//!   connection, and the server upgrades that connection to a
+//!   reader/writer pair bounded by [`NetConfig::max_pipeline`].
+//!   Corr-less (v1) peers keep the lock-step loop unchanged;
 //! * **minimal HTTP/1.1** — `GET /status` returns live JSON
 //!   telemetry from the rolling-window [`monitor`] (p50/p99 latency,
 //!   queue-depth and in-flight gauges, batch-size histogram,
@@ -27,6 +32,12 @@
 //! priority ceiling and a token-bucket rate limit, mapped onto the
 //! serve layer's priority scheduler, so the wire boundary cannot be
 //! used to jump the queue.
+//!
+//! For measuring the whole stack under sustained traffic, [`loadgen`]
+//! holds the deterministic planning and reporting layer behind the
+//! `loadgen` binary: seeded closed- and open-loop arrival schedules,
+//! per-class request mixes, log2-bucketed latency histograms and the
+//! `BENCH_net.json` emission format.
 //!
 //! ```no_run
 //! use bnn_net::{NetClient, NetConfig, NetServer, Request};
@@ -44,18 +55,21 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod loadgen;
 pub mod monitor;
 pub mod server;
 pub mod tenant;
 pub mod wire;
 
-pub use client::{http_get_status, NetClient};
+pub use client::{
+    http_get_status, http_get_status_with, NetClient, PipelinedClient, Submitted, Timeouts,
+};
 pub use monitor::{CostAgg, Monitor, MonitorSnapshot};
 pub use server::{NetConfig, NetServer};
 pub use tenant::{RateLimited, TenantGate, TenantPolicy, TenantTable};
 pub use wire::{
     DecodeError, EncodeError, ErrorCode, Request, Response, WireError, WireReply, MAX_FRAME,
-    PROTOCOL_VERSION,
+    PROTOCOL_V2, PROTOCOL_VERSION,
 };
 
 use std::sync::{Mutex, MutexGuard};

@@ -1,0 +1,743 @@
+//! Deterministic planning and reporting behind the `loadgen` binary.
+//!
+//! Everything in this module is pure: no clocks, no threads, no I/O,
+//! no ambient state — a schedule is a function of its seed, which is
+//! what lets two runs of the load generator submit byte-identical
+//! request streams and makes `BENCH_net.json` diffs meaningful across
+//! trajectory snapshots. The binary in `src/bin/loadgen.rs` owns the
+//! sockets and the wall clock; this module owns the arithmetic:
+//!
+//! * [`plan`] expands a [`PlanConfig`] into per-connection
+//!   [`Slot`] schedules — seeded class picks (weighted by
+//!   [`ClassSpec::weight`]) and seeded inter-arrival gaps for the
+//!   three [`ArrivalMode`]s (closed-loop think time, open-loop fixed
+//!   rate, open-loop Poisson via [`SoftRng`]);
+//! * [`LogHistogram`] folds observed latencies into log2 buckets and
+//!   answers per-mille percentiles (p50/p99/p999) with linear
+//!   interpolation inside the hit bucket;
+//! * [`Outcomes`] tallies responses by kind, mirroring the server's
+//!   `/status` counters so the binary can cross-check them exactly at
+//!   quiesce;
+//! * [`JsonObj`] / [`JsonArr`] render the `BENCH_net.json` document
+//!   (shared with the `bnn-bench` snapshot writer, so both benches
+//!   emit the same dialect).
+//!
+//! Seed discipline: connection `c` derives its stream seed as
+//! `request_seed(base, c)`, and slot `s` on that connection pins the
+//! request's mask-stream seed to `request_seed(conn_seed, s)` — the
+//! same SplitMix64 scramble the serve layer uses, so no two slots in
+//! a run share a seed and every reply is offline-reproducible from
+//! `(input, seed)` alone.
+
+use crate::wire::ErrorCode;
+use bnn_rng::SoftRng;
+use bnn_serve::{request_seed, Priority};
+
+/// Arrival pacing for one connection's request stream. The `gap_us`
+/// stamped on each [`Slot`] means "wait this long before sending",
+/// measured from the previous reply (closed loop) or from the
+/// previous send (open loop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalMode {
+    /// Closed loop: send, block for the reply, think, repeat. Offered
+    /// load adapts to service rate — the generator can never outrun
+    /// the server, so tail latencies stay honest.
+    Closed {
+        /// Think time between a reply and the next send.
+        think_us: u64,
+    },
+    /// Open loop at a fixed rate: every slot is one period apart
+    /// regardless of replies (up to the pipeline depth bound).
+    Fixed {
+        /// Constant inter-send period.
+        period_us: u64,
+    },
+    /// Open loop with Poisson arrivals: exponentially distributed
+    /// gaps with the given mean, drawn from the connection's seeded
+    /// [`SoftRng`] stream.
+    Poisson {
+        /// Mean inter-send gap (1e6 / rate for a per-second rate).
+        mean_gap_us: u64,
+    },
+}
+
+/// One request class in the mix: a named (priority, tenant, deadline)
+/// tuple picked per slot with probability `weight / Σ weights`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassSpec {
+    /// Report key (one percentile row per class in `BENCH_net.json`).
+    pub name: String,
+    /// Relative pick weight; non-positive weights never get picked.
+    pub weight: f64,
+    /// Requested admission class.
+    pub priority: Priority,
+    /// Tenant id presented at the door (empty = anonymous).
+    pub tenant: String,
+    /// Optional queue-time budget stamped on every request.
+    pub deadline_us: Option<u64>,
+}
+
+/// The full load shape: how many connections, how many requests each,
+/// paced how, drawn from which class mix, derived from which seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanConfig {
+    /// Base seed; the entire schedule is a pure function of it.
+    pub seed: u64,
+    /// Concurrent connections to drive.
+    pub connections: usize,
+    /// Requests per connection.
+    pub requests_per_connection: usize,
+    /// Arrival pacing shared by every connection.
+    pub mode: ArrivalMode,
+    /// Request class mix (must be non-empty with positive total
+    /// weight).
+    pub classes: Vec<ClassSpec>,
+}
+
+/// One planned request: which class, which pinned seed, and how long
+/// to wait before sending it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot {
+    /// Index into [`PlanConfig::classes`].
+    pub class: usize,
+    /// Pinned mask-stream seed (`request_seed(conn_seed, slot)`).
+    pub seed: u64,
+    /// Inter-arrival gap before this send, per [`ArrivalMode`].
+    pub gap_us: u64,
+}
+
+/// Why a [`PlanConfig`] could not be expanded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanError {
+    /// The class mix is empty.
+    NoClasses,
+    /// Every class weight is zero or negative.
+    ZeroWeight,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::NoClasses => write!(f, "class mix is empty"),
+            PlanError::ZeroWeight => write!(f, "class mix has no positive weight"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Expand a [`PlanConfig`] into one [`Slot`] schedule per connection.
+/// Deterministic: same config, same schedules, independent of
+/// evaluation order — each connection draws from its own forked
+/// stream, so adding a connection never reshuffles the others.
+pub fn plan(cfg: &PlanConfig) -> Result<Vec<Vec<Slot>>, PlanError> {
+    if cfg.classes.is_empty() {
+        return Err(PlanError::NoClasses);
+    }
+    let total_weight: f64 = cfg.classes.iter().map(|c| c.weight.max(0.0)).sum();
+    // NaN weights also land here: NaN sums propagate and fail the check.
+    if total_weight.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return Err(PlanError::ZeroWeight);
+    }
+    let mut schedules = Vec::with_capacity(cfg.connections);
+    for conn in 0..cfg.connections {
+        let conn_seed = request_seed(cfg.seed, conn as u64);
+        let mut rng = SoftRng::new(conn_seed);
+        let mut slots = Vec::with_capacity(cfg.requests_per_connection);
+        for slot in 0..cfg.requests_per_connection {
+            let class = pick_class(&cfg.classes, total_weight, rng.next_f64());
+            let gap_us = match cfg.mode {
+                ArrivalMode::Closed { think_us } => think_us,
+                ArrivalMode::Fixed { period_us } => period_us,
+                ArrivalMode::Poisson { mean_gap_us } => {
+                    exponential_gap(mean_gap_us, rng.next_f64())
+                }
+            };
+            slots.push(Slot {
+                class,
+                seed: request_seed(conn_seed, slot as u64),
+                gap_us,
+            });
+        }
+        schedules.push(slots);
+    }
+    Ok(schedules)
+}
+
+/// Weighted pick: walk the cumulative weights until `u * total` falls
+/// inside a class. `u` in [0, 1); non-positive weights are skipped.
+fn pick_class(classes: &[ClassSpec], total_weight: f64, u: f64) -> usize {
+    let target = u * total_weight;
+    let mut cum = 0.0;
+    let mut last_positive = 0;
+    for (i, class) in classes.iter().enumerate() {
+        if class.weight > 0.0 {
+            cum += class.weight;
+            last_positive = i;
+            if target < cum {
+                return i;
+            }
+        }
+    }
+    // Float round-off on the final cumulative sum: land on the last
+    // pickable class rather than off the end.
+    last_positive
+}
+
+/// Exponential inter-arrival gap: `-ln(1 - u) * mean`, the inverse
+/// CDF of the exponential distribution. `u` in [0, 1) keeps the log
+/// argument in (0, 1], so the gap is finite and non-negative; casts
+/// saturate rather than wrap.
+fn exponential_gap(mean_gap_us: u64, u: f64) -> u64 {
+    let gap = -(1.0 - u).ln() * mean_gap_us as f64;
+    if gap.is_finite() && gap >= 0.0 {
+        gap as u64 // saturating f64→u64 cast
+    } else {
+        mean_gap_us
+    }
+}
+
+/// Number of log2 latency buckets: bucket 0 holds 0 µs, bucket `i`
+/// (1-based) holds `[2^(i-1), 2^i)` µs, and the last bucket holds
+/// everything from `2^39` µs (~9 minutes) up.
+pub const LOG2_BUCKETS: usize = 41;
+
+/// A log2-bucketed latency histogram with exact min/max/mean and
+/// interpolated percentiles. Merging is exact (bucket-wise sums), so
+/// per-connection histograms fold into per-class and overall rows
+/// without holding every sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; LOG2_BUCKETS],
+    total: u64,
+    min_us: u64,
+    max_us: u64,
+    sum_us: u128,
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram::new()
+    }
+}
+
+fn bucket_of(us: u64) -> usize {
+    if us == 0 {
+        0
+    } else {
+        ((64 - us.leading_zeros()) as usize).min(LOG2_BUCKETS - 1)
+    }
+}
+
+/// Inclusive value bounds of bucket `i`.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 0)
+    } else if i >= LOG2_BUCKETS - 1 {
+        (1u64 << (LOG2_BUCKETS - 2), u64::MAX)
+    } else {
+        (1u64 << (i - 1), (1u64 << i) - 1)
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            buckets: [0; LOG2_BUCKETS],
+            total: 0,
+            min_us: u64::MAX,
+            max_us: 0,
+            sum_us: 0,
+        }
+    }
+
+    /// Fold in one latency observation (µs).
+    pub fn record(&mut self, us: u64) {
+        self.buckets[bucket_of(us)] += 1;
+        self.total += 1;
+        self.min_us = self.min_us.min(us);
+        self.max_us = self.max_us.max(us);
+        self.sum_us += u128::from(us);
+    }
+
+    /// Fold another histogram into this one (exact).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.min_us = self.min_us.min(other.min_us);
+        self.max_us = self.max_us.max(other.max_us);
+        self.sum_us += other.sum_us;
+    }
+
+    /// Observations folded in so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest observation, `None` when empty.
+    pub fn min_us(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min_us)
+    }
+
+    /// Largest observation, `None` when empty.
+    pub fn max_us(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max_us)
+    }
+
+    /// Arithmetic mean, `None` when empty.
+    pub fn mean_us(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.sum_us as f64 / self.total as f64)
+    }
+
+    /// Nearest-rank percentile in per-mille (p50 → 500, p99 → 990,
+    /// p99.9 → 999), linearly interpolated inside the hit bucket and
+    /// clamped to the observed [min, max]. `None` when empty.
+    pub fn percentile_per_mille(&self, pm: u32) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let pm = u64::from(pm.min(1000));
+        // ceil(pm/1000 * total), clamped to [1, total], 1-indexed.
+        let rank = (pm * self.total).div_ceil(1000).clamp(1, self.total);
+        let mut cum = 0u64;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            if cum + count >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                let within = (rank - cum - 1) as f64 / count as f64;
+                let span = (hi - lo) as f64;
+                let value = lo.saturating_add((span * within) as u64);
+                return Some(value.clamp(self.min_us, self.max_us));
+            }
+            cum += count;
+        }
+        // Unreachable while counts sum to `total`; fall back to max.
+        Some(self.max_us)
+    }
+}
+
+/// Client-side response tally, keyed the same way as the server's
+/// `/status` counters so the two can be cross-checked exactly at
+/// quiesce. Note the door folds admission sheds into wire `Rejected`
+/// frames, so client `rejected` corresponds to server
+/// `rejected + shed`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Outcomes {
+    /// Reply frames (successful predictions).
+    pub served: u64,
+    /// `Rejected` error frames (queue at capacity or shed).
+    pub rejected: u64,
+    /// `DeadlineExceeded` error frames.
+    pub expired: u64,
+    /// `BackendFailed` error frames.
+    pub failed: u64,
+    /// `Shutdown` error frames.
+    pub shutdown: u64,
+    /// `RateLimited` error frames (tenant gate).
+    pub rate_limited: u64,
+    /// `Malformed` error frames (should be zero for this generator).
+    pub malformed: u64,
+    /// Transport-level failures: timeouts, resets, unexpected EOF.
+    pub transport: u64,
+}
+
+impl Outcomes {
+    /// Count one reply frame.
+    pub fn record_served(&mut self) {
+        self.served += 1;
+    }
+
+    /// Count one typed error frame by its code.
+    pub fn record_error(&mut self, code: ErrorCode) {
+        match code {
+            ErrorCode::Rejected => self.rejected += 1,
+            ErrorCode::DeadlineExceeded => self.expired += 1,
+            ErrorCode::BackendFailed => self.failed += 1,
+            ErrorCode::Shutdown => self.shutdown += 1,
+            ErrorCode::RateLimited => self.rate_limited += 1,
+            ErrorCode::Malformed => self.malformed += 1,
+        }
+    }
+
+    /// Count one transport-level failure.
+    pub fn record_transport(&mut self) {
+        self.transport += 1;
+    }
+
+    /// Fold another tally into this one.
+    pub fn merge(&mut self, other: &Outcomes) {
+        self.served += other.served;
+        self.rejected += other.rejected;
+        self.expired += other.expired;
+        self.failed += other.failed;
+        self.shutdown += other.shutdown;
+        self.rate_limited += other.rate_limited;
+        self.malformed += other.malformed;
+        self.transport += other.transport;
+    }
+
+    /// Every response accounted for, across all kinds.
+    pub fn total(&self) -> u64 {
+        self.served
+            + self.rejected
+            + self.expired
+            + self.failed
+            + self.shutdown
+            + self.rate_limited
+            + self.malformed
+            + self.transport
+    }
+}
+
+/// Append a JSON-escaped string literal (with quotes) to `out`.
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Incremental JSON object writer — the shared dialect for
+/// `BENCH_net.json` and `BENCH_serve.json`: stable key order (fields
+/// appear in call order), floats with three decimals, non-finite
+/// floats rendered as `0.000`, absent optionals as `null`.
+#[derive(Debug, Clone)]
+pub struct JsonObj {
+    buf: String,
+    first: bool,
+}
+
+impl Default for JsonObj {
+    fn default() -> JsonObj {
+        JsonObj::new()
+    }
+}
+
+impl JsonObj {
+    /// Start an empty object.
+    pub fn new() -> JsonObj {
+        JsonObj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        push_json_str(&mut self.buf, key);
+        self.buf.push(':');
+    }
+
+    /// Add an unsigned integer field.
+    pub fn field_u64(&mut self, key: &str, v: u64) -> &mut JsonObj {
+        self.key(key);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Add a float field, three decimals; non-finite renders `0.000`.
+    pub fn field_f64(&mut self, key: &str, v: f64) -> &mut JsonObj {
+        self.key(key);
+        if v.is_finite() {
+            self.buf.push_str(&format!("{v:.3}"));
+        } else {
+            self.buf.push_str("0.000");
+        }
+        self
+    }
+
+    /// Add a string field (escaped).
+    pub fn field_str(&mut self, key: &str, v: &str) -> &mut JsonObj {
+        self.key(key);
+        push_json_str(&mut self.buf, v);
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn field_bool(&mut self, key: &str, v: bool) -> &mut JsonObj {
+        self.key(key);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Add an optional integer field (`null` when absent).
+    pub fn field_opt_u64(&mut self, key: &str, v: Option<u64>) -> &mut JsonObj {
+        self.key(key);
+        match v {
+            Some(v) => self.buf.push_str(&v.to_string()),
+            None => self.buf.push_str("null"),
+        }
+        self
+    }
+
+    /// Add a pre-rendered JSON value (nested object or array).
+    pub fn field_raw(&mut self, key: &str, raw: &str) -> &mut JsonObj {
+        self.key(key);
+        self.buf.push_str(raw);
+        self
+    }
+
+    /// Close the object and return the rendered document.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Incremental JSON array writer, companion to [`JsonObj`].
+#[derive(Debug, Clone)]
+pub struct JsonArr {
+    buf: String,
+    first: bool,
+}
+
+impl Default for JsonArr {
+    fn default() -> JsonArr {
+        JsonArr::new()
+    }
+}
+
+impl JsonArr {
+    /// Start an empty array.
+    pub fn new() -> JsonArr {
+        JsonArr {
+            buf: String::from("["),
+            first: true,
+        }
+    }
+
+    /// Append a pre-rendered JSON value.
+    pub fn push_raw(&mut self, raw: &str) -> &mut JsonArr {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push_str(raw);
+        self
+    }
+
+    /// Close the array and return the rendered text.
+    pub fn finish(mut self) -> String {
+        self.buf.push(']');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classes() -> Vec<ClassSpec> {
+        vec![
+            ClassSpec {
+                name: "high".to_string(),
+                weight: 1.0,
+                priority: Priority::High,
+                tenant: "gold".to_string(),
+                deadline_us: None,
+            },
+            ClassSpec {
+                name: "normal".to_string(),
+                weight: 3.0,
+                priority: Priority::Normal,
+                tenant: String::new(),
+                deadline_us: Some(5_000),
+            },
+        ]
+    }
+
+    fn cfg(mode: ArrivalMode) -> PlanConfig {
+        PlanConfig {
+            seed: 0xBEEF,
+            connections: 4,
+            requests_per_connection: 64,
+            mode,
+            classes: classes(),
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_prefix_stable() {
+        let a = plan(&cfg(ArrivalMode::Poisson { mean_gap_us: 500 }));
+        let b = plan(&cfg(ArrivalMode::Poisson { mean_gap_us: 500 }));
+        assert_eq!(a, b);
+        // Adding a connection never reshuffles the existing ones.
+        let mut wider = cfg(ArrivalMode::Poisson { mean_gap_us: 500 });
+        wider.connections = 5;
+        let c = plan(&wider).unwrap();
+        assert_eq!(&c[..4], &a.unwrap()[..]);
+    }
+
+    #[test]
+    fn plan_rejects_degenerate_mixes() {
+        let mut empty = cfg(ArrivalMode::Closed { think_us: 0 });
+        empty.classes.clear();
+        assert_eq!(plan(&empty), Err(PlanError::NoClasses));
+        let mut zero = cfg(ArrivalMode::Closed { think_us: 0 });
+        for class in &mut zero.classes {
+            class.weight = 0.0;
+        }
+        assert_eq!(plan(&zero), Err(PlanError::ZeroWeight));
+    }
+
+    #[test]
+    fn slot_seeds_are_unique_across_the_run() {
+        let schedules = plan(&cfg(ArrivalMode::Fixed { period_us: 100 })).unwrap();
+        let mut seeds: Vec<u64> = schedules
+            .iter()
+            .flat_map(|conn| conn.iter().map(|slot| slot.seed))
+            .collect();
+        let n = seeds.len();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), n, "slot seeds collided");
+    }
+
+    #[test]
+    fn class_mix_tracks_weights() {
+        let mut wide = cfg(ArrivalMode::Closed { think_us: 0 });
+        wide.connections = 8;
+        wide.requests_per_connection = 512;
+        let schedules = plan(&wide).unwrap();
+        let total: usize = schedules.iter().map(Vec::len).sum();
+        let high: usize = schedules
+            .iter()
+            .flat_map(|conn| conn.iter())
+            .filter(|slot| slot.class == 0)
+            .count();
+        // Expected 25% ± a generous tolerance for 4096 draws.
+        let frac = high as f64 / total as f64;
+        assert!((0.18..=0.32).contains(&frac), "high fraction {frac}");
+    }
+
+    #[test]
+    fn poisson_gaps_average_near_the_mean() {
+        let mut poisson = cfg(ArrivalMode::Poisson { mean_gap_us: 1_000 });
+        poisson.connections = 4;
+        poisson.requests_per_connection = 1024;
+        let schedules = plan(&poisson).unwrap();
+        let gaps: Vec<u64> = schedules
+            .iter()
+            .flat_map(|conn| conn.iter().map(|slot| slot.gap_us))
+            .collect();
+        let mean = gaps.iter().sum::<u64>() as f64 / gaps.len() as f64;
+        assert!((700.0..=1300.0).contains(&mean), "poisson mean {mean}");
+        assert!(gaps.iter().any(|&g| g > 2_000), "no tail gaps at all");
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), LOG2_BUCKETS - 1);
+
+        let mut hist = LogHistogram::new();
+        assert_eq!(hist.percentile_per_mille(500), None);
+        for us in 1..=1000u64 {
+            hist.record(us);
+        }
+        assert_eq!(hist.total(), 1000);
+        assert_eq!(hist.min_us(), Some(1));
+        assert_eq!(hist.max_us(), Some(1000));
+        let p50 = hist.percentile_per_mille(500).unwrap();
+        let p99 = hist.percentile_per_mille(990).unwrap();
+        let p999 = hist.percentile_per_mille(999).unwrap();
+        // Log2 buckets: interpolated answers land within the hit
+        // bucket, so bound them rather than demand exact ranks.
+        assert!((256..=512).contains(&p50), "p50 {p50}");
+        assert!((512..=1000).contains(&p99), "p99 {p99}");
+        assert!(p99 <= p999 && p999 <= 1000, "p999 {p999}");
+        assert!((hist.mean_us().unwrap() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_merge_is_exact() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut folded = LogHistogram::new();
+        for us in [3u64, 17, 900, 40_000] {
+            a.record(us);
+            folded.record(us);
+        }
+        for us in [0u64, 5, 123_456] {
+            b.record(us);
+            folded.record(us);
+        }
+        a.merge(&b);
+        assert_eq!(a, folded);
+    }
+
+    #[test]
+    fn single_value_histogram_pins_every_percentile() {
+        let mut hist = LogHistogram::new();
+        for _ in 0..64 {
+            hist.record(777);
+        }
+        for pm in [1, 500, 990, 999, 1000] {
+            assert_eq!(hist.percentile_per_mille(pm), Some(777));
+        }
+    }
+
+    #[test]
+    fn outcomes_tally_by_code() {
+        let mut o = Outcomes::default();
+        o.record_served();
+        o.record_served();
+        o.record_error(ErrorCode::Rejected);
+        o.record_error(ErrorCode::RateLimited);
+        o.record_error(ErrorCode::DeadlineExceeded);
+        o.record_transport();
+        assert_eq!(o.served, 2);
+        assert_eq!(o.rejected, 1);
+        assert_eq!(o.rate_limited, 1);
+        assert_eq!(o.expired, 1);
+        assert_eq!(o.transport, 1);
+        assert_eq!(o.total(), 6);
+        let mut merged = Outcomes::default();
+        merged.merge(&o);
+        merged.merge(&o);
+        assert_eq!(merged.total(), 12);
+    }
+
+    #[test]
+    fn json_writers_render_valid_documents() {
+        let mut inner = JsonObj::new();
+        inner.field_u64("count", 3).field_opt_u64("p50_us", None);
+        let inner = inner.finish();
+        let mut arr = JsonArr::new();
+        arr.push_raw(&inner).push_raw("42");
+        let arr = arr.finish();
+        let mut obj = JsonObj::new();
+        obj.field_str("name", "a \"quoted\"\nkey")
+            .field_f64("rate", 1234.5678)
+            .field_f64("bad", f64::NAN)
+            .field_bool("ok", true)
+            .field_raw("rows", &arr);
+        let doc = obj.finish();
+        assert_eq!(
+            doc,
+            "{\"name\":\"a \\\"quoted\\\"\\u000akey\",\"rate\":1234.568,\
+             \"bad\":0.000,\"ok\":true,\"rows\":[{\"count\":3,\"p50_us\":null},42]}"
+        );
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+}

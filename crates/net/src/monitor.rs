@@ -144,9 +144,27 @@ impl Monitor {
     }
 
     /// Consistent copy of everything the monitor knows.
+    ///
+    /// Only the O(window) ring clone and the scalar copies happen
+    /// under the mutex; the O(window log window) sort runs after the
+    /// guard drops, so a `/status` poll never stalls connection
+    /// workers' `record_reply` for the duration of the sort.
     pub fn snapshot(&self) -> MonitorSnapshot {
-        let st = lock(&self.state);
-        let mut sorted = st.ring.clone();
+        let (mut sorted, st) = {
+            let st = lock(&self.state);
+            let sorted = st.ring.clone();
+            let scalars = (
+                st.recorded,
+                st.batch_hist,
+                st.cost,
+                st.rate_limited,
+                st.malformed,
+                st.connections,
+                st.http_requests,
+            );
+            (sorted, scalars)
+        };
+        let (recorded, batch_hist, cost, rate_limited, malformed, connections, http_requests) = st;
         sorted.sort_unstable();
         MonitorSnapshot {
             substrate: self.substrate,
@@ -154,13 +172,13 @@ impl Monitor {
             latency_samples: sorted.len(),
             p50_us: nearest_rank(&sorted, 50),
             p99_us: nearest_rank(&sorted, 99),
-            recorded: st.recorded,
-            batch_hist: st.batch_hist,
-            cost: st.cost,
-            rate_limited: st.rate_limited,
-            malformed: st.malformed,
-            connections: st.connections,
-            http_requests: st.http_requests,
+            recorded,
+            batch_hist,
+            cost,
+            rate_limited,
+            malformed,
+            connections,
+            http_requests,
         }
     }
 
@@ -244,7 +262,9 @@ impl MonitorSnapshot {
     /// layer's counters and gauges.
     pub fn to_json(&self, stats: &ServeStats) -> String {
         let mut s = String::with_capacity(768);
-        s.push_str("{\"protocol_version\":1,\"substrate\":");
+        // Advertises the newest protocol this build speaks; v1 peers
+        // are still accepted (the version is negotiated per frame).
+        s.push_str("{\"protocol_version\":2,\"substrate\":");
         push_json_str(&mut s, self.substrate);
         s.push_str(&format!(
             ",\"admission\":{{\"served\":{},\"shed\":{},\"expired\":{},\"failed\":{},\"rejected\":{},\"queued\":{},\"in_flight\":{}}}",
@@ -369,6 +389,43 @@ mod tests {
         assert_eq!(snap.cost.mem_bytes, 8192);
         assert!((snap.cost.modelled_latency_ms - 0.5).abs() < 1e-9);
         assert_eq!(snap.batch_hist[2], 2); // both coalesced=3 → "3-4"
+    }
+
+    /// Snapshot under concurrent `record_reply` must never observe a
+    /// torn ring: every writer records the same latency, so any
+    /// consistent snapshot has p50 == p99 == that latency, at most
+    /// `window` samples, and a recorded count that only grows.
+    #[test]
+    fn snapshot_under_concurrent_record_never_tears() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let m = Arc::new(Monitor::new(64, "fused"));
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let m = Arc::clone(&m);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        m.record_reply(Duration::from_micros(777), 2, &report(4, 0.1, None));
+                    }
+                });
+            }
+            let mut last_recorded = 0;
+            for _ in 0..200 {
+                let snap = m.snapshot();
+                assert!(snap.latency_samples <= snap.window);
+                assert!(snap.recorded >= last_recorded, "recorded went backwards");
+                last_recorded = snap.recorded;
+                if snap.latency_samples > 0 {
+                    assert_eq!(snap.p50_us, Some(777), "torn ring: {:?}", snap.p50_us);
+                    assert_eq!(snap.p99_us, Some(777), "torn ring: {:?}", snap.p99_us);
+                }
+                assert_eq!(snap.cost.requests, snap.recorded);
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
     }
 
     #[test]

@@ -20,7 +20,7 @@ use std::net::{
     ToSocketAddrs,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -37,6 +37,11 @@ pub struct NetConfig {
     /// Maximum simultaneously-open connections; excess accepts are
     /// closed immediately.
     pub max_connections: usize,
+    /// Per-connection pipelining bound (protocol v2): how many
+    /// admitted requests one connection may have awaiting replies
+    /// before the server stops reading further frames from it (TCP
+    /// backpressure). Clamped to at least 1.
+    pub max_pipeline: usize,
 }
 
 impl Default for NetConfig {
@@ -46,6 +51,7 @@ impl Default for NetConfig {
             latency_window: 1024,
             read_timeout: Duration::from_millis(50),
             max_connections: 256,
+            max_pipeline: 64,
         }
     }
 }
@@ -62,6 +68,7 @@ struct NetShared {
     workers: Mutex<Vec<JoinHandle<()>>>,
     read_timeout: Duration,
     max_connections: usize,
+    max_pipeline: usize,
 }
 
 /// The running front door. Owns the [`Server`] it fronts: dropping
@@ -96,6 +103,7 @@ impl NetServer {
             workers: Mutex::new(Vec::new()),
             read_timeout: cfg.read_timeout,
             max_connections: cfg.max_connections.max(1),
+            max_pipeline: cfg.max_pipeline.max(1),
         });
         let accept_shared = Arc::clone(&shared);
         // audit:allow(concurrency) the resident acceptor thread is the front door's owner loop (one per NetServer, joined on shutdown) — not data-parallel fan-out, which still routes through WorkerPool.
@@ -315,43 +323,229 @@ fn serve_connection(stream: TcpStream, shared: &NetShared) {
     }
 }
 
-/// The binary request → reply loop.
-fn serve_binary(mut stream: TcpStream, shared: &NetShared) {
-    let mut out = Vec::new();
+/// Outcome of reading and decoding one request frame.
+enum NextFrame {
+    Request(Request),
+    /// Clean close, transport error, or shutdown: just return.
+    Closed,
+    /// Framing or decode failure: answer `Malformed`, then close.
+    Malformed,
+}
+
+/// Read and decode the next request frame, polling the shutdown flag
+/// on idle ticks. Shared by the lock-step and pipelined loops.
+fn next_frame(stream: &mut TcpStream, shared: &NetShared) -> NextFrame {
     loop {
-        let payload = match wire::read_frame(&mut stream) {
+        let payload = match wire::read_frame(stream) {
             Ok(Some(payload)) => payload,
-            Ok(None) => return, // clean close
+            Ok(None) => return NextFrame::Closed, // clean close
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
+                    return NextFrame::Closed;
                 }
                 continue; // idle poll tick
             }
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                // Oversized prefix or stalled frame: tell the peer,
-                // then drop the connection (framing is lost).
+                // Oversized prefix or stalled frame: framing is lost.
                 shared.monitor.record_malformed();
-                wire::encode_error(ErrorCode::Malformed, None, None, &mut out);
-                let _ = wire::write_frame(&mut stream, &out);
-                return;
+                return NextFrame::Malformed;
             }
-            Err(_) => return,
+            Err(_) => return NextFrame::Closed,
         };
-        let request = match wire::decode_request(&payload) {
-            Ok(request) => request,
+        match wire::decode_request(&payload) {
+            Ok(request) => return NextFrame::Request(request),
             Err(_) => {
                 // Typed decode error: the stream itself is still
                 // framed, but trust nothing after a bad frame.
                 shared.monitor.record_malformed();
-                wire::encode_error(ErrorCode::Malformed, None, None, &mut out);
+                return NextFrame::Malformed;
+            }
+        }
+    }
+}
+
+/// The binary request → reply loop. Lock-step (read → submit → wait →
+/// write) until the peer sends a correlation id; the first
+/// corr-carrying frame upgrades the connection to the pipelined
+/// reader/writer pair, gated on protocol v2 so v1 peers never pay for
+/// the second thread.
+fn serve_binary(mut stream: TcpStream, shared: &NetShared) {
+    let mut out = Vec::new();
+    loop {
+        let request = match next_frame(&mut stream, shared) {
+            NextFrame::Request(request) => request,
+            NextFrame::Closed => return,
+            NextFrame::Malformed => {
+                wire::encode_error(ErrorCode::Malformed, None, None, None, &mut out);
                 let _ = wire::write_frame(&mut stream, &out);
                 return;
             }
         };
+        if request.corr.is_some() {
+            serve_pipelined(stream, shared, request);
+            return;
+        }
         if !serve_request(&mut stream, shared, request, &mut out) {
+            return;
+        }
+    }
+}
+
+/// One unit of work handed from the pipelined reader to its writer.
+enum PipeStep {
+    /// Admitted: the writer waits on the pending and answers.
+    Submitted {
+        pending: bnn_serve::Pending,
+        corr: Option<u64>,
+        seed: Option<u64>,
+        t0: Instant,
+    },
+    /// Refused before admission (gate refusal or malformed frame):
+    /// the writer emits the typed error in submission order.
+    Refused {
+        code: ErrorCode,
+        corr: Option<u64>,
+        seed: Option<u64>,
+    },
+}
+
+/// Longest one pipelined reply write may stall before the writer
+/// declares the peer dead and tears the connection down.
+const PIPELINE_WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A pipelined (protocol v2) connection: the reader half keeps
+/// admitting frames while the writer half answers completions, so up
+/// to `max_pipeline` requests per connection overlap in the admission
+/// queue instead of one. Replies are written in submission order
+/// (requests may *complete* out of order under priority scheduling;
+/// the client correlates by id either way), and the bounded channel
+/// between the halves turns a peer that submits faster than it reads
+/// replies into plain TCP backpressure rather than unbounded memory.
+fn serve_pipelined(reader: TcpStream, shared: &NetShared, first: Request) {
+    let writer_stream = match reader.try_clone() {
+        Ok(stream) => stream,
+        Err(_) => return,
+    };
+    if writer_stream
+        .set_write_timeout(Some(PIPELINE_WRITE_TIMEOUT))
+        .is_err()
+    {
+        return;
+    }
+    let (tx, rx) = mpsc::sync_channel::<PipeStep>(shared.max_pipeline);
+    // audit:allow(concurrency) the pipelined writer is this connection's second owner thread — scoped, joined before the connection worker returns — because reply writes must overlap frame reads; the compute fan-out behind it still routes through WorkerPool.
+    thread::scope(|scope| {
+        let writer = scope.spawn(|| pipeline_write_loop(writer_stream, shared, rx));
+        pipeline_read_loop(reader, shared, first, tx);
+        // `tx` was moved into the read loop and dropped there, so the
+        // writer drains every queued step and exits; the join bounds
+        // the connection worker's lifetime.
+        let _ = writer.join();
+    });
+}
+
+/// The pipelined reader: read → decode → admit → hand to the writer.
+/// Never writes to the socket itself.
+fn pipeline_read_loop(
+    mut stream: TcpStream,
+    shared: &NetShared,
+    first: Request,
+    tx: mpsc::SyncSender<PipeStep>,
+) {
+    let mut next = Some(first);
+    loop {
+        let request = match next.take() {
+            Some(request) => request,
+            None => match next_frame(&mut stream, shared) {
+                NextFrame::Request(request) => request,
+                NextFrame::Closed => return,
+                NextFrame::Malformed => {
+                    // Queued behind the in-flight steps, so every
+                    // already-admitted request still gets its answer
+                    // before the connection closes.
+                    let _ = tx.send(PipeStep::Refused {
+                        code: ErrorCode::Malformed,
+                        corr: None,
+                        seed: None,
+                    });
+                    return;
+                }
+            },
+        };
+        let corr = request.corr;
+        let step = match shared.gate.admit(&request.tenant, request.priority) {
+            Err(_) => {
+                shared.monitor.record_rate_limited();
+                PipeStep::Refused {
+                    code: ErrorCode::RateLimited,
+                    corr,
+                    seed: request.seed,
+                }
+            }
+            Ok(granted) => {
+                let t0 = Instant::now();
+                let mut submission = shared.handle.request(request.input).priority(granted);
+                if let Some(us) = request.deadline_us {
+                    submission = submission.deadline(Duration::from_micros(us));
+                }
+                if let Some(seed) = request.seed {
+                    submission = submission.seed(seed);
+                }
+                PipeStep::Submitted {
+                    pending: submission.submit(),
+                    corr,
+                    seed: request.seed,
+                    t0,
+                }
+            }
+        };
+        // A full channel blocks here — the backpressure path — until
+        // the writer frees a slot; a dead writer (write failure) tears
+        // the pair down via the send error instead.
+        if tx.send(step).is_err() {
+            return;
+        }
+    }
+}
+
+/// The pipelined writer: wait on each step in submission order and
+/// write its reply or typed error frame. A failed or stalled write
+/// ends the loop; dropping the receiver then unblocks the reader.
+fn pipeline_write_loop(mut stream: TcpStream, shared: &NetShared, rx: mpsc::Receiver<PipeStep>) {
+    let mut out = Vec::new();
+    while let Ok(step) = rx.recv() {
+        let wrote = match step {
+            PipeStep::Refused { code, corr, seed } => {
+                wire::encode_error(code, None, seed, corr, &mut out);
+                wire::write_frame(&mut stream, &out).is_ok()
+            }
+            PipeStep::Submitted {
+                pending,
+                corr,
+                seed,
+                t0,
+            } => {
+                let id = pending.id();
+                match pending.wait() {
+                    Ok(reply) => {
+                        let seed = seed.unwrap_or_else(|| request_seed(shared.base_seed, reply.id));
+                        shared
+                            .monitor
+                            .record_reply(t0.elapsed(), reply.coalesced, &reply.cost);
+                        wire::encode_reply(&reply, seed, corr, &mut out);
+                        wire::write_frame(&mut stream, &out).is_ok()
+                    }
+                    Err(err) => {
+                        let seed = seed.or_else(|| id.map(|id| request_seed(shared.base_seed, id)));
+                        wire::encode_error(ErrorCode::from(err), id, seed, corr, &mut out);
+                        wire::write_frame(&mut stream, &out).is_ok()
+                    }
+                }
+            }
+        };
+        if !wrote {
             return;
         }
     }
@@ -370,7 +564,7 @@ fn serve_request(
         Ok(granted) => granted,
         Err(_) => {
             shared.monitor.record_rate_limited();
-            wire::encode_error(ErrorCode::RateLimited, None, request.seed, out);
+            wire::encode_error(ErrorCode::RateLimited, None, request.seed, None, out);
             return wire::write_frame(stream, out).is_ok();
         }
     };
@@ -394,14 +588,14 @@ fn serve_request(
             shared
                 .monitor
                 .record_reply(t0.elapsed(), reply.coalesced, &reply.cost);
-            wire::encode_reply(&reply, seed, out);
+            wire::encode_reply(&reply, seed, None, out);
             wire::write_frame(stream, out).is_ok()
         }
         Err(err) => {
             let seed = request
                 .seed
                 .or_else(|| id.map(|id| request_seed(shared.base_seed, id)));
-            wire::encode_error(ErrorCode::from(err), id, seed, out);
+            wire::encode_error(ErrorCode::from(err), id, seed, None, out);
             wire::write_frame(stream, out).is_ok()
         }
     }

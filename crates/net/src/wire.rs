@@ -1,25 +1,36 @@
-//! The length-prefixed binary protocol, version 1.
+//! The length-prefixed binary protocol, versions 1 and 2.
 //!
 //! Every frame on the wire is a little-endian `u32` payload length
 //! followed by that many payload bytes. The payload's first two bytes
-//! are always the protocol version ([`PROTOCOL_VERSION`]) and the
-//! frame kind; everything after is kind-specific. All integers are
-//! little-endian; `f32`/`f64` travel as their IEEE-754 bit patterns,
-//! so a reply's probabilities are **bit-identical** to what the
-//! engine produced — the loopback conformance suite depends on it.
+//! are always the protocol version ([`PROTOCOL_VERSION`] or
+//! [`PROTOCOL_V2`]) and the frame kind; everything after is
+//! kind-specific. All integers are little-endian; `f32`/`f64` travel
+//! as their IEEE-754 bit patterns, so a reply's probabilities are
+//! **bit-identical** to what the engine produced — the loopback
+//! conformance suite depends on it.
+//!
+//! **Version 2 is version 1 plus correlation ids.** A v2 request may
+//! carry a client-chosen `corr` id (flag bit 2); the server echoes it
+//! in the answering reply or error frame, which lets a pipelined
+//! client keep many requests in flight per connection and match
+//! responses out of order. Frames without a correlation id are
+//! encoded as v1 byte-for-byte, so lock-step v1 peers keep working
+//! against a v2 server and vice versa — version negotiation is
+//! per-frame, not per-connection.
 //!
 //! # Request frame (`kind = 1`)
 //!
 //! | field | type | notes |
 //! |---|---|---|
-//! | version | `u8` | must be [`PROTOCOL_VERSION`] |
+//! | version | `u8` | [`PROTOCOL_VERSION`], or [`PROTOCOL_V2`] when flag bit 2 is used |
 //! | kind | `u8` | `1` |
-//! | flags | `u8` | bit 0: deadline present, bit 1: seed present |
+//! | flags | `u8` | bit 0: deadline present, bit 1: seed present, bit 2 (v2 only): corr present |
 //! | priority | `u8` | `0` Low, `1` Normal, `2` High |
 //! | tenant len | `u8` | tenant id length in bytes (0 = anonymous) |
 //! | tenant | bytes | UTF-8 tenant id |
 //! | deadline | `u64` | queue-time budget in µs (iff flag bit 0) |
 //! | seed | `u64` | pinned mask-stream seed (iff flag bit 1) |
+//! | corr | `u64` | client correlation id (iff flag bit 2; v2 only) |
 //! | n, c, h, w | `4 × u32` | input shape; `n` must be 1 |
 //! | data | `c·h·w × f32` | the input tensor, NCHW order |
 //!
@@ -28,6 +39,7 @@
 //! | field | type | notes |
 //! |---|---|---|
 //! | version, kind | `u8, u8` | kind `2` |
+//! | corr | `u64` | echoed correlation id (v2 frames only) |
 //! | id | `u64` | server-assigned request id |
 //! | seed | `u64` | **seed echo** — see below |
 //! | coalesced | `u32` | requests in this reply's micro-batch |
@@ -51,9 +63,16 @@
 //! |---|---|---|
 //! | version, kind | `u8, u8` | kind `3` |
 //! | code | `u8` | see [`ErrorCode`] |
-//! | flags | `u8` | bit 0: id present, bit 1: seed present |
+//! | flags | `u8` | bit 0: id present, bit 1: seed present, bit 2 (v2 only): corr present |
 //! | id | `u64` | request id, if one was assigned |
 //! | seed | `u64` | seed echo, if one is known |
+//! | corr | `u64` | echoed correlation id (iff flag bit 2; v2 only) |
+//!
+//! An error frame always echoes the correlation id of the request it
+//! answers when that request carried one — so a typed error
+//! mid-pipeline fails exactly its own request and no other. The one
+//! exception is `Malformed`: the offending frame never decoded, so
+//! there is no id to echo and the connection closes after the frame.
 //!
 //! # Seed echo
 //!
@@ -80,8 +99,14 @@ use bnn_serve::{Priority, ServeError};
 use bnn_tensor::{Shape4, Tensor};
 use std::io::{self, Read, Write};
 
-/// The one protocol version this build speaks.
+/// The baseline (lock-step) protocol version. Frames without a
+/// correlation id are always encoded at this version.
 pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Protocol version 2: version 1 plus correlation ids for pipelined
+/// connections. Emitted only for frames that actually carry a `corr`
+/// field, so v1 peers never see it unless they asked for it.
+pub const PROTOCOL_V2: u8 = 2;
 
 /// Hard bound on any frame payload (16 MiB): a length prefix past
 /// this is rejected before any allocation, so a hostile or corrupt
@@ -98,6 +123,9 @@ pub const KIND_ERROR: u8 = 3;
 const FLAG_DEADLINE: u8 = 1;
 const FLAG_SEED: u8 = 2;
 const FLAG_ID: u8 = 1;
+/// Request flag bit 2 / error flag bit 2: a correlation id follows
+/// the other optional fields. Only defined at [`PROTOCOL_V2`].
+const FLAG_CORR: u8 = 4;
 
 /// One decoded request frame.
 #[derive(Debug, Clone, PartialEq)]
@@ -113,6 +141,10 @@ pub struct Request {
     /// Optional pinned mask-stream seed; absent means the server
     /// derives one from its base seed and the request id.
     pub seed: Option<u64>,
+    /// Optional client correlation id (protocol v2). The server
+    /// echoes it verbatim in the answering reply or error frame, so a
+    /// pipelined client can match responses out of order.
+    pub corr: Option<u64>,
     /// The single-item input tensor.
     pub input: Tensor,
 }
@@ -126,6 +158,7 @@ impl Request {
             priority: Priority::Normal,
             deadline_us: None,
             seed: None,
+            corr: None,
             input,
         }
     }
@@ -153,11 +186,20 @@ impl Request {
         self.seed = Some(seed);
         self
     }
+
+    /// Attach a correlation id (upgrades the frame to protocol v2).
+    pub fn corr(mut self, corr: u64) -> Request {
+        self.corr = Some(corr);
+        self
+    }
 }
 
 /// One decoded reply frame (`kind = 2`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct WireReply {
+    /// Echoed client correlation id (present iff the request carried
+    /// one — a protocol-v2 frame).
+    pub corr: Option<u64>,
     /// Server-assigned request id.
     pub id: u64,
     /// The effective mask-stream seed (see the module docs on seed
@@ -254,6 +296,10 @@ pub struct WireError {
     /// The effective seed, if one is known (pinned by the client, or
     /// derived once the id was assigned).
     pub seed: Option<u64>,
+    /// Echoed client correlation id, when the failed request carried
+    /// one — this is what lets a typed error mid-pipeline fail only
+    /// its own request.
+    pub corr: Option<u64>,
 }
 
 /// A decoded server-to-client frame: a reply or a typed error.
@@ -283,7 +329,8 @@ pub enum DecodeError {
         /// The enforced maximum.
         max: usize,
     },
-    /// The version byte is not [`PROTOCOL_VERSION`].
+    /// The version byte is neither [`PROTOCOL_VERSION`] nor
+    /// [`PROTOCOL_V2`].
     BadVersion(u8),
     /// The kind byte names no known frame kind.
     BadKind(u8),
@@ -332,7 +379,7 @@ impl std::fmt::Display for DecodeError {
             DecodeError::BadVersion(v) => {
                 write!(
                     f,
-                    "bad version byte {v} (this build speaks {PROTOCOL_VERSION})"
+                    "bad version byte {v} (this build speaks {PROTOCOL_VERSION} and {PROTOCOL_V2})"
                 )
             }
             DecodeError::BadKind(k) => write!(f, "unknown frame kind {k}"),
@@ -473,7 +520,11 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) -> Result<(), EncodeErro
     if shape.n != 1 {
         return Err(EncodeError::MultiItemInput(shape.n));
     }
-    out.push(PROTOCOL_VERSION);
+    out.push(if req.corr.is_some() {
+        PROTOCOL_V2
+    } else {
+        PROTOCOL_VERSION
+    });
     out.push(KIND_REQUEST);
     let mut flags = 0u8;
     if req.deadline_us.is_some() {
@@ -481,6 +532,9 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) -> Result<(), EncodeErro
     }
     if req.seed.is_some() {
         flags |= FLAG_SEED;
+    }
+    if req.corr.is_some() {
+        flags |= FLAG_CORR;
     }
     out.push(flags);
     out.push(priority_byte(req.priority));
@@ -491,6 +545,9 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) -> Result<(), EncodeErro
     }
     if let Some(seed) = req.seed {
         out.extend_from_slice(&seed.to_le_bytes());
+    }
+    if let Some(corr) = req.corr {
+        out.extend_from_slice(&corr.to_le_bytes());
     }
     for dim in [shape.n, shape.c, shape.h, shape.w] {
         out.extend_from_slice(&(dim as u32).to_le_bytes());
@@ -511,7 +568,7 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) -> Result<(), EncodeErro
 pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
     let mut cur = Cursor::new(payload);
     let version = cur.u8()?;
-    if version != PROTOCOL_VERSION {
+    if version != PROTOCOL_VERSION && version != PROTOCOL_V2 {
         return Err(DecodeError::BadVersion(version));
     }
     let kind = cur.u8()?;
@@ -519,7 +576,14 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
         return Err(DecodeError::BadKind(kind));
     }
     let flags = cur.u8()?;
-    if flags & !(FLAG_DEADLINE | FLAG_SEED) != 0 {
+    // FLAG_CORR is defined only at v2; a v1 frame carrying it is as
+    // malformed as any other undefined bit.
+    let defined = if version == PROTOCOL_V2 {
+        FLAG_DEADLINE | FLAG_SEED | FLAG_CORR
+    } else {
+        FLAG_DEADLINE | FLAG_SEED
+    };
+    if flags & !defined != 0 {
         return Err(DecodeError::BadFlags(flags));
     }
     let priority = priority_from(cur.u8()?)?;
@@ -533,6 +597,11 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
         None
     };
     let seed = if flags & FLAG_SEED != 0 {
+        Some(cur.u64()?)
+    } else {
+        None
+    };
+    let corr = if flags & FLAG_CORR != 0 {
         Some(cur.u64()?)
     } else {
         None
@@ -565,6 +634,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
         priority,
         deadline_us,
         seed,
+        corr,
         input: Tensor::from_vec(
             Shape4::new(n as usize, c as usize, h as usize, w as usize),
             data,
@@ -573,11 +643,21 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
 }
 
 /// Encode a served reply (the serve-layer [`bnn_serve::Reply`] plus
-/// its effective seed) into `out` (cleared first).
-pub fn encode_reply(reply: &bnn_serve::Reply, seed: u64, out: &mut Vec<u8>) {
+/// its effective seed and, for protocol-v2 requests, the echoed
+/// correlation id) into `out` (cleared first).
+pub fn encode_reply(reply: &bnn_serve::Reply, seed: u64, corr: Option<u64>, out: &mut Vec<u8>) {
     out.clear();
-    out.push(PROTOCOL_VERSION);
-    out.push(KIND_REPLY);
+    match corr {
+        Some(corr) => {
+            out.push(PROTOCOL_V2);
+            out.push(KIND_REPLY);
+            out.extend_from_slice(&corr.to_le_bytes());
+        }
+        None => {
+            out.push(PROTOCOL_VERSION);
+            out.push(KIND_REPLY);
+        }
+    }
     out.extend_from_slice(&reply.id.to_le_bytes());
     out.extend_from_slice(&seed.to_le_bytes());
     out.extend_from_slice(
@@ -610,10 +690,21 @@ pub fn encode_reply(reply: &bnn_serve::Reply, seed: u64, out: &mut Vec<u8>) {
     }
 }
 
-/// Encode a typed error frame into `out` (cleared first).
-pub fn encode_error(code: ErrorCode, id: Option<u64>, seed: Option<u64>, out: &mut Vec<u8>) {
+/// Encode a typed error frame into `out` (cleared first). A `corr`
+/// echo upgrades the frame to protocol v2.
+pub fn encode_error(
+    code: ErrorCode,
+    id: Option<u64>,
+    seed: Option<u64>,
+    corr: Option<u64>,
+    out: &mut Vec<u8>,
+) {
     out.clear();
-    out.push(PROTOCOL_VERSION);
+    out.push(if corr.is_some() {
+        PROTOCOL_V2
+    } else {
+        PROTOCOL_VERSION
+    });
     out.push(KIND_ERROR);
     out.push(code.as_u8());
     let mut flags = 0u8;
@@ -623,12 +714,18 @@ pub fn encode_error(code: ErrorCode, id: Option<u64>, seed: Option<u64>, out: &m
     if seed.is_some() {
         flags |= FLAG_SEED;
     }
+    if corr.is_some() {
+        flags |= FLAG_CORR;
+    }
     out.push(flags);
     if let Some(id) = id {
         out.extend_from_slice(&id.to_le_bytes());
     }
     if let Some(seed) = seed {
         out.extend_from_slice(&seed.to_le_bytes());
+    }
+    if let Some(corr) = corr {
+        out.extend_from_slice(&corr.to_le_bytes());
     }
 }
 
@@ -637,12 +734,18 @@ pub fn encode_error(code: ErrorCode, id: Option<u64>, seed: Option<u64>, out: &m
 pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
     let mut cur = Cursor::new(payload);
     let version = cur.u8()?;
-    if version != PROTOCOL_VERSION {
+    if version != PROTOCOL_VERSION && version != PROTOCOL_V2 {
         return Err(DecodeError::BadVersion(version));
     }
     let kind = cur.u8()?;
     match kind {
         KIND_REPLY => {
+            // A v2 reply always opens with the echoed correlation id.
+            let corr = if version == PROTOCOL_V2 {
+                Some(cur.u64()?)
+            } else {
+                None
+            };
             let id = cur.u64()?;
             let seed = cur.u64()?;
             let coalesced = cur.u32()?;
@@ -679,6 +782,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
             };
             cur.finish()?;
             Ok(Response::Reply(WireReply {
+                corr,
                 id,
                 seed,
                 coalesced,
@@ -696,7 +800,12 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
             let code_byte = cur.u8()?;
             let code = ErrorCode::from_u8(code_byte).ok_or(DecodeError::BadErrorCode(code_byte))?;
             let flags = cur.u8()?;
-            if flags & !(FLAG_ID | FLAG_SEED) != 0 {
+            let defined = if version == PROTOCOL_V2 {
+                FLAG_ID | FLAG_SEED | FLAG_CORR
+            } else {
+                FLAG_ID | FLAG_SEED
+            };
+            if flags & !defined != 0 {
                 return Err(DecodeError::BadFlags(flags));
             }
             let id = if flags & FLAG_ID != 0 {
@@ -709,8 +818,18 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
             } else {
                 None
             };
+            let corr = if flags & FLAG_CORR != 0 {
+                Some(cur.u64()?)
+            } else {
+                None
+            };
             cur.finish()?;
-            Ok(Response::Error(WireError { code, id, seed }))
+            Ok(Response::Error(WireError {
+                code,
+                id,
+                seed,
+                corr,
+            }))
         }
         other => Err(DecodeError::BadKind(other)),
     }

@@ -39,6 +39,36 @@ fn request_from(
     req
 }
 
+/// Correlation ids are the only v1→v2 delta, so a corr-less request
+/// must encode byte-for-byte as protocol v1 — v1 servers keep
+/// working — while a corr-carrying one flips to v2.
+#[test]
+fn corr_gates_the_version_byte() {
+    let plain = request_from("t", Priority::Normal, Some(9), Some(7), (1, 2, 2), &[3]);
+    let mut v1 = Vec::new();
+    encode_request(&plain, &mut v1).unwrap();
+    assert_eq!(v1[0], 1, "corr-less requests stay protocol v1");
+
+    let mut v2 = Vec::new();
+    encode_request(&plain.clone().corr(55), &mut v2).unwrap();
+    assert_eq!(v2[0], 2, "corr upgrades the frame to protocol v2");
+    let back = decode_request(&v2).unwrap();
+    assert_eq!(back.corr, Some(55));
+    assert_eq!(back.seed, Some(7));
+    assert_eq!(back.deadline_us, Some(9));
+}
+
+/// The corr flag bit is defined only for v2: a v1 frame carrying it
+/// is typed `BadFlags`, not silently misparsed.
+#[test]
+fn corr_flag_on_a_v1_frame_is_typed() {
+    let req = request_from("", Priority::Normal, None, None, (1, 1, 1), &[0]);
+    let mut payload = Vec::new();
+    encode_request(&req, &mut payload).unwrap();
+    payload[2] |= 0x04; // FLAG_CORR on a version-1 frame
+    assert_eq!(decode_request(&payload), Err(DecodeError::BadFlags(0x04)));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -55,6 +85,8 @@ proptest! {
         deadline_raw in 0u64..5_000_000,
         has_seed in any::<bool>(),
         seed_raw in any::<u64>(),
+        has_corr in any::<bool>(),
+        corr_raw in any::<u64>(),
         c in 1usize..5,
         h in 1usize..6,
         w in 1usize..6,
@@ -62,14 +94,20 @@ proptest! {
     ) {
         let deadline = has_deadline.then_some(deadline_raw);
         let seed = has_seed.then_some(seed_raw);
-        let req = request_from(&tenant, priority, deadline, seed, (c, h, w), &bits);
+        let mut req = request_from(&tenant, priority, deadline, seed, (c, h, w), &bits);
+        if has_corr {
+            req = req.corr(corr_raw);
+        }
         let mut payload = Vec::new();
         encode_request(&req, &mut payload).expect("encode");
+        // Per-frame version negotiation: v2 iff a corr id rides along.
+        prop_assert_eq!(payload[0], if has_corr { 2 } else { 1 });
         let back = decode_request(&payload).expect("decode");
         prop_assert_eq!(&back.tenant, &req.tenant);
         prop_assert_eq!(back.priority, req.priority);
         prop_assert_eq!(back.deadline_us, req.deadline_us);
         prop_assert_eq!(back.seed, req.seed);
+        prop_assert_eq!(back.corr, req.corr);
         prop_assert_eq!(back.input.shape(), req.input.shape());
         // Bit-exact data round trip, NaN payloads included.
         let a: Vec<u32> = back.input.as_slice().iter().map(|v| v.to_bits()).collect();
@@ -87,6 +125,8 @@ proptest! {
         samples in 1usize..1000,
         wall_bits in any::<u64>(),
         with_model in any::<bool>(),
+        has_corr in any::<bool>(),
+        corr_raw in any::<u64>(),
     ) {
         let probs: Vec<f32> = prob_bits.iter().map(|&b| f32::from_bits(b)).collect();
         let k = probs.len();
@@ -111,12 +151,15 @@ proptest! {
             },
             coalesced,
         };
+        let corr = has_corr.then_some(corr_raw);
         let mut payload = Vec::new();
-        encode_reply(&reply, seed, &mut payload);
+        encode_reply(&reply, seed, corr, &mut payload);
+        prop_assert_eq!(payload[0], if has_corr { 2 } else { 1 });
         let back = match decode_response(&payload) {
             Ok(Response::Reply(r)) => r,
             other => panic!("bad decode: {other:?}"),
         };
+        prop_assert_eq!(back.corr, corr);
         prop_assert_eq!(back.id, id);
         prop_assert_eq!(back.seed, seed);
         prop_assert_eq!(back.coalesced as usize, coalesced);
@@ -144,15 +187,20 @@ proptest! {
         id_raw in any::<u64>(),
         has_seed in any::<bool>(),
         seed_raw in any::<u64>(),
+        has_corr in any::<bool>(),
+        corr_raw in any::<u64>(),
     ) {
         let (id, seed) = (has_id.then_some(id_raw), has_seed.then_some(seed_raw));
+        let corr = has_corr.then_some(corr_raw);
         let mut payload = Vec::new();
-        encode_error(code, id, seed, &mut payload);
+        encode_error(code, id, seed, corr, &mut payload);
+        prop_assert_eq!(payload[0], if has_corr { 2 } else { 1 });
         match decode_response(&payload) {
             Ok(Response::Error(e)) => {
                 prop_assert_eq!(e.code, code);
                 prop_assert_eq!(e.id, id);
                 prop_assert_eq!(e.seed, seed);
+                prop_assert_eq!(e.corr, corr);
             }
             other => panic!("bad decode: {other:?}"),
         }
@@ -318,7 +366,7 @@ fn trailing_bytes_are_typed() {
 #[test]
 fn bad_error_code_is_typed() {
     let mut payload = Vec::new();
-    encode_error(ErrorCode::Rejected, None, None, &mut payload);
+    encode_error(ErrorCode::Rejected, None, None, None, &mut payload);
     payload[2] = 0;
     assert_eq!(decode_response(&payload), Err(DecodeError::BadErrorCode(0)));
 }

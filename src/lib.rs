@@ -163,6 +163,23 @@
 //! audited after the fact (`tests/net_loopback.rs` pins this on all
 //! four substrates).
 //!
+//! **Protocol v2: pipelining** — a request carrying a client-chosen
+//! correlation id (`Request::corr`, flag bit `0x04`) upgrades the
+//! frame to version 2 and the connection to pipelined mode: the
+//! server keeps up to `NetConfig::max_pipeline` requests from one
+//! connection in flight concurrently and echoes each id on the
+//! matching reply or error frame, so responses correlate even when
+//! admission reorders completion. Corr-less requests encode
+//! byte-identical v1 frames, so lock-step peers keep working
+//! unchanged. [`PipelinedClient`] is the client half: `submit` keeps
+//! up to `depth` requests outstanding (draining the oldest response
+//! when full), `recv`/`drain` correlate replies by echoed id, a typed
+//! error frame mid-pipeline resolves only its own id, and every
+//! socket wait is bounded by [`net::Timeouts`] surfacing as typed
+//! `TimedOut` instead of hanging. `tests/net_pipeline.rs` pins
+//! pipelined replies bit-identical to lock-step v1 on all four
+//! substrates.
+//!
 //! **HTTP `GET /status`** — one-shot JSON telemetry from a
 //! rolling-window monitor: nearest-rank p50/p99 latency over a ring
 //! buffer, the admission counters and backlog gauges (exactly
@@ -172,6 +189,27 @@
 //! maps tenant ids to a priority ceiling plus a token-bucket rate
 //! limit, enforced before admission so the wire boundary cannot jump
 //! the in-process queue.
+//!
+//! ## Load testing: `bnn-loadgen`
+//!
+//! `cargo run -p bnn-net --bin loadgen --release -- --smoke` drives a
+//! deterministic load test against the front door and writes a
+//! machine-readable `BENCH_net.json` snapshot. The schedule is planned
+//! entirely from `--seed` by [`net::loadgen::plan`] — per-connection
+//! request classes (priority, tenant, deadline, weighted mix) and
+//! arrival gaps replay bit-identically run to run, and adding
+//! connections never reshuffles existing ones. `--mode closed` (the
+//! default) submits through a [`PipelinedClient`] with bounded think
+//! time so offered load tracks service capacity; `--mode fixed` and
+//! `--mode poisson` are open-loop pacers at `--rate` requests/sec per
+//! connection (Poisson gaps drawn from the seeded stream). Latencies
+//! land in log2-bucket histograms ([`net::loadgen::LogHistogram`])
+//! reported as interpolated p50/p99/p999 per class with
+//! `latency_samples` counts, and at quiesce every client-side outcome
+//! counter is cross-checked against `GET /status` — any mismatch or
+//! transport error fails the run (and the CI smoke step). `--addr`
+//! points the same workload at an external server instead of the
+//! self-hosted fused LeNet-5.
 //!
 //! # Invariants (statically enforced by `bnn-audit`)
 //!
@@ -186,7 +224,8 @@
 //!   crate roof carries `#![deny(unsafe_code)]` or stricter. One
 //!   audited lifetime-erasure must not quietly become two.
 //! * **`determinism`** — the engine/kernel crates (`tensor`, `nn`,
-//!   `rng`, `quant`, and the deterministic modules of `mcd`) may
+//!   `rng`, `quant`, the deterministic modules of `mcd`, plus the
+//!   load-generator planner and the `bnn-net` binaries) may
 //!   consume only seed-derived state: no `HashMap`/`HashSet`
 //!   (hash-order iteration), no `Instant::now`/`SystemTime`
 //!   (wall-clock), no OS randomness, no env-dependent branching.
@@ -221,7 +260,7 @@
 //! | [`data`] | `bnn-data` | synthetic MNIST/SVHN/CIFAR-like datasets, OOD noise |
 //! | [`mcd`] | `bnn-mcd` | the `BayesBackend` trait, generic MC engine, `FloatBackend`/`FusedBackend`, conformance harness, uncertainty metrics |
 //! | [`serve`] | `bnn-serve` | the request-coalescing serving front door: `Server`, `Handle`, `BatchPolicy` |
-//! | [`net`] | `bnn-net` | the TCP front door: binary protocol v1, `GET /status` telemetry, tenant gate |
+//! | [`net`] | `bnn-net` | the TCP front door: binary protocol v1/v2 (pipelining), `GET /status` telemetry, tenant gate, `loadgen` |
 //! | [`quant`] | `bnn-quant` | 8-bit linear quantization, int8 executor, `Int8Backend` |
 //! | [`platforms`] | `bnn-platforms` | CPU/GPU latency models, VIBNN and BYNQNet baselines |
 //! | [`framework`] | `bnn-framework` | the automatic hardware/algorithm optimization framework |
@@ -240,7 +279,7 @@ pub use bnn_data as data;
 pub use bnn_framework as framework;
 pub use bnn_mcd as mcd;
 pub use bnn_net as net;
-pub use bnn_net::{NetClient, NetConfig, NetServer};
+pub use bnn_net::{NetClient, NetConfig, NetServer, PipelinedClient, Timeouts};
 pub use bnn_nn as nn;
 pub use bnn_platforms as platforms;
 pub use bnn_quant as quant;
