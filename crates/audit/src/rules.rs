@@ -140,8 +140,11 @@ impl Rule for UnsafeAudit {
 /// load-generator planning module and the `bnn-net` binaries are held
 /// to the same bar: a loadgen schedule must replay bit-identically
 /// from its seed, so any clock or env read there needs an explicit
-/// `audit:allow` waiver at its single intake point.
-pub const DETERMINISTIC_CRATES: [&str; 7] = [
+/// `audit:allow` waiver at its single intake point. `bnn-trace` is in
+/// scope too — the span recorder rides inside every deterministic
+/// layer, so its one wall-clock intake (the `clock` module) carries
+/// the same single-site waiver discipline.
+pub const DETERMINISTIC_CRATES: [&str; 8] = [
     "crates/tensor/src/",
     "crates/nn/src/",
     "crates/rng/src/",
@@ -149,6 +152,7 @@ pub const DETERMINISTIC_CRATES: [&str; 7] = [
     "crates/mcd/src/",
     "crates/net/src/loadgen.rs",
     "crates/net/src/bin/",
+    "crates/trace/src/",
 ];
 
 /// `mcd` modules where wall-clock reads are legitimate: chaos fault

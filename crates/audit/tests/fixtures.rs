@@ -364,6 +364,60 @@ fn loadgen_binary_clock_intake_is_waivable() {
 }
 
 #[test]
+fn determinism_rule_covers_the_trace_crate() {
+    // The span recorder rides inside every deterministic layer, so
+    // its sources sit in the determinism scope: a clock read outside
+    // the dedicated clock module — or a HashMap anywhere in the
+    // crate — is a finding.
+    let report = run(&[
+        (
+            "crates/trace/src/lib.rs",
+            r#"//! Docs.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+fn stamp() -> u64 { let _ = std::time::Instant::now(); 0 }
+"#,
+        ),
+        (
+            "crates/trace/src/chrome.rs",
+            r#"fn f() { let m: std::collections::HashMap<u64, u64> = Default::default(); let _ = m; }
+"#,
+        ),
+    ]);
+    let mut hits: Vec<(String, usize)> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "determinism")
+        .map(|f| (f.path.clone(), f.line))
+        .collect();
+    hits.sort();
+    assert_eq!(
+        hits,
+        vec![
+            ("crates/trace/src/chrome.rs".to_string(), 1),
+            ("crates/trace/src/lib.rs".to_string(), 4),
+        ]
+    );
+}
+
+#[test]
+fn trace_clock_module_intake_is_waivable() {
+    // The tracer's single wall-clock intake mirrors the loadgen
+    // binary's discipline: one waived site in one module, clean
+    // everywhere else.
+    let report = run(&[(
+        "crates/trace/src/clock.rs",
+        r#"fn epoch() {
+    // audit:allow(determinism) the tracer's one clock intake; timestamps are telemetry only.
+    let _ = std::time::Instant::now();
+}
+"#,
+    )]);
+    assert!(report.is_clean(), "{}", report.render_text());
+    assert_eq!(report.waived_count("determinism"), 1);
+}
+
+#[test]
 fn panic_rule_covers_net_binaries() {
     // crates/net/src/bin/ sits inside PANIC_SCOPE by prefix: the load
     // generator must report failures through its exit code, not

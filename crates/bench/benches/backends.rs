@@ -23,6 +23,12 @@
 //! against `serial_`, not against each other across hosts. The
 //! accelerator's *modelled* hardware latency is printed alongside its
 //! simulation wall time.
+//!
+//! Besides the criterion rows, every backend/mode/S combination is
+//! hand-timed over a few iterations and persisted as machine-readable
+//! `BENCH_backends.json` at the workspace root (same hand-assembled
+//! JSON dialect as `BENCH_serve.json` and `BENCH_net.json`), with the
+//! modelled cycle/traffic numbers alongside the measured wall time.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -42,6 +48,7 @@ fn bench_backends(c: &mut Criterion) {
     let qgraph = Quantizer::new(&net).calibrate(&calib).quantize();
     let accel = Accelerator::new(AccelConfig::default(), &net, &qgraph, shape);
     let x = calib.select_item(0);
+    let mut rows = bnn_fpga::net::loadgen::JsonArr::new();
 
     for &s in &[10usize, 100] {
         let bayes = BayesConfig::new(3, s);
@@ -72,7 +79,44 @@ fn bench_backends(c: &mut Criterion) {
                 c.bench_function(&format!("session_{label}_{pmode}s{s}"), |bch| {
                     bch.iter(|| black_box(session.predictive(&x)))
                 });
-                if let Some(m) = session.last_cost().and_then(|cost| cost.model) {
+                // The persisted row is hand-timed over a few extra
+                // iterations: criterion keeps its statistics private,
+                // and a short mean is enough for trajectory tracking.
+                const JSON_ITERS: u32 = 3;
+                let t0 = Instant::now();
+                for _ in 0..JSON_ITERS {
+                    black_box(session.predictive(&x));
+                }
+                let mean_us = t0.elapsed().as_micros() as f64 / f64::from(JSON_ITERS);
+                let model = session.last_cost().and_then(|cost| cost.model);
+                let mut row = bnn_fpga::net::loadgen::JsonObj::new();
+                row.field_str("name", &format!("session_{label}_{pmode}s{s}"))
+                    .field_str("backend", label)
+                    .field_str(
+                        "mode",
+                        if pmode.is_empty() {
+                            "max_parallel"
+                        } else {
+                            pmode.trim_end_matches('_')
+                        },
+                    )
+                    .field_u64("s", s as u64)
+                    .field_u64("iters", u64::from(JSON_ITERS))
+                    .field_f64("mean_us", mean_us);
+                match model {
+                    Some(m) => {
+                        row.field_u64("cycles", m.cycles)
+                            .field_u64("mem_bytes", m.mem_bytes)
+                            .field_f64("modelled_latency_ms", m.latency_ms);
+                    }
+                    None => {
+                        row.field_opt_u64("cycles", None)
+                            .field_opt_u64("mem_bytes", None)
+                            .field_opt_u64("modelled_latency_ms", None);
+                    }
+                }
+                rows.push_raw(&row.finish());
+                if let Some(m) = model {
                     if m.cycles > 0 {
                         println!(
                             "  session_{label}_{pmode}s{s}: modelled hardware latency {:.3} ms \
@@ -91,6 +135,12 @@ fn bench_backends(c: &mut Criterion) {
             }
         }
     }
+
+    let mut doc = bnn_fpga::net::loadgen::JsonObj::new();
+    doc.field_str("bench", "backends")
+        .field_raw("rows", &rows.finish());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_backends.json");
+    std::fs::write(path, format!("{}\n", doc.finish())).expect("write BENCH_backends.json");
 }
 
 /// Closed-loop serving: `clients` threads each submit `PER_CLIENT`

@@ -307,7 +307,9 @@ fn run_samples<B: BayesBackend>(
         let mut scratch = backend.make_scratch();
         let mut out = Vec::with_capacity(mask_sets.len());
         for ms in mask_sets.chunks(chunk) {
+            let span = bnn_trace::start();
             out.extend(backend.forward_batch(ms, &mut scratch));
+            bnn_trace::finish(span, bnn_trace::Stage::Chunk, 0, ms.len() as u64);
         }
         out
     } else {
@@ -317,8 +319,11 @@ fn run_samples<B: BayesBackend>(
             .chunks(chunk)
             .map(|ms| {
                 Box::new(move || {
+                    let span = bnn_trace::start();
                     let mut scratch = backend.make_scratch();
-                    backend.forward_batch(ms, &mut scratch)
+                    let probs = backend.forward_batch(ms, &mut scratch);
+                    bnn_trace::finish(span, bnn_trace::Stage::Chunk, 0, ms.len() as u64);
+                    probs
                 }) as Box<dyn FnOnce() -> Vec<Tensor> + Send + '_>
             })
             .collect();
@@ -676,8 +681,17 @@ fn run_request<B: BayesBackend>(
 ) -> RequestResult {
     // audit:allow(determinism) wall_ms is CostReport telemetry; it never feeds the computation, so replies stay bit-identical.
     let t0 = Instant::now();
+    let prepare_span = bnn_trace::start();
     backend.prepare(x, active);
+    bnn_trace::finish(
+        prepare_span,
+        bnn_trace::Stage::Prepare,
+        0,
+        x.shape().n as u64,
+    );
+    let forward_span = bnn_trace::start();
     let passes = run_prepared(backend, cfg.s, masks, parallel, pool);
+    bnn_trace::finish(forward_span, bnn_trace::Stage::Forward, 0, cfg.s as u64);
     let probs = mean_probs(&passes, passes.len());
     let cost = CostReport {
         samples: cfg.s,

@@ -17,11 +17,13 @@
 //! loadgen [--smoke] [--mode closed|fixed|poisson] [--connections N]
 //!         [--requests N] [--depth N] [--think-us N] [--rate R]
 //!         [--seed N] [--addr HOST:PORT] [--out PATH]
+//!         [--metrics-check] [--trace-check]
 //! ```
 //!
-//! Exit status is nonzero when the counter cross-check fails or any
-//! transport-level error occurred — CI runs `--smoke` as a release
-//! gate.
+//! Exit status is nonzero when the counter cross-check fails, any
+//! transport-level error occurred, or a requested `--metrics-check` /
+//! `--trace-check` reconciliation fails — CI runs `--smoke` with both
+//! checks as a release gate.
 //!
 //! Determinism note: the *schedule* (which requests, which seeds,
 //! which gaps) is a pure function of `--seed`; the *measurements*
@@ -35,8 +37,8 @@ use bnn_net::loadgen::{
     plan, ArrivalMode, ClassSpec, JsonArr, JsonObj, LogHistogram, Outcomes, PlanConfig, Slot,
 };
 use bnn_net::{
-    http_get_status_with, NetConfig, PipelinedClient, Request, Response, TenantPolicy, TenantTable,
-    Timeouts,
+    http_get, http_get_status_with, NetConfig, PipelinedClient, Request, Response, TenantPolicy,
+    TenantTable, Timeouts,
 };
 use bnn_nn::models;
 use bnn_serve::{BatchPolicy, Priority, ServeBackend, Server};
@@ -67,6 +69,12 @@ OPTIONS:
                        counter cross-check; default self-hosts a fused
                        LeNet-5 NetServer on an ephemeral port)
     --out PATH         report path [default: <workspace>/BENCH_net.json]
+    --metrics-check    at quiesce, fetch GET /metrics and require the
+                       served-latency histogram count to equal the
+                       client-side served count (self-hosted runs only)
+    --trace-check      enable span tracing for the run, then fetch
+                       GET /trace and require a valid Chrome trace with
+                       every pipeline stage present (self-hosted only)
     --help             print this text
 ";
 
@@ -102,6 +110,8 @@ struct Options {
     seed: u64,
     addr: Option<String>,
     out: Option<String>,
+    metrics_check: bool,
+    trace_check: bool,
 }
 
 impl Default for Options {
@@ -116,6 +126,8 @@ impl Default for Options {
             seed: 45223,
             addr: None,
             out: None,
+            metrics_check: false,
+            trace_check: false,
         }
     }
 }
@@ -161,11 +173,20 @@ impl Options {
                 "--seed" => opts.seed = parse_num(value("--seed")?)?,
                 "--addr" => opts.addr = Some(value("--addr")?.clone()),
                 "--out" => opts.out = Some(value("--out")?.clone()),
+                "--metrics-check" => opts.metrics_check = true,
+                "--trace-check" => opts.trace_check = true,
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
         if opts.connections == 0 || opts.requests == 0 {
             return Err("--connections and --requests must be nonzero".to_string());
+        }
+        if opts.addr.is_some() && (opts.metrics_check || opts.trace_check) {
+            return Err(
+                "--metrics-check/--trace-check reconcile against a self-hosted server; \
+                 drop --addr"
+                    .to_string(),
+            );
         }
         Ok(Some(opts))
     }
@@ -437,6 +458,57 @@ fn counters_match(client: &Outcomes, server: &StatusCounters) -> bool {
         && server.in_flight == 0
 }
 
+/// Scrape one sample value from a Prometheus-style text exposition:
+/// the first line whose metric name (before labels) is exactly
+/// `name`, parsed as the integer after the last space.
+fn metrics_u64(text: &str, name: &str) -> Result<u64, String> {
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix(name) else {
+            continue;
+        };
+        if !(rest.starts_with('{') || rest.starts_with(' ')) {
+            continue; // longer metric name sharing the prefix
+        }
+        let value = rest
+            .rsplit_once(' ')
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("no value on `{name}` line"))?;
+        return value
+            .parse()
+            .map_err(|e| format!("bad `{name}` sample `{value}`: {e}"));
+    }
+    Err(format!("/metrics has no `{name}` sample"))
+}
+
+/// Stages every traced request must leave behind: the full pipeline
+/// from frame decode to reply write. `chunk`/`prepare`/`forward` are
+/// engine-internal and backend-dependent, so they are not required.
+const REQUIRED_STAGES: [&str; 9] = [
+    "request",
+    "decode",
+    "admission",
+    "submit",
+    "queue_wait",
+    "batch_form",
+    "compute",
+    "write",
+    "writer_wait",
+];
+
+/// Check that `/trace` returned a Chrome trace-event document with
+/// every required pipeline stage represented.
+fn validate_trace(json: &str) -> Result<(), String> {
+    if !json.starts_with("{\"traceEvents\":[") || !json.ends_with('}') {
+        return Err("not a chrome trace-event document".to_string());
+    }
+    for stage in REQUIRED_STAGES {
+        if !json.contains(&format!("\"name\":\"{stage}\"")) {
+            return Err(format!("trace has no `{stage}` spans"));
+        }
+    }
+    Ok(())
+}
+
 fn latency_row(name: &str, hist: &LogHistogram) -> String {
     let mut row = JsonObj::new();
     row.field_str("class", name)
@@ -458,6 +530,10 @@ struct RunOutcome {
     checked: bool,
     matched: bool,
     transport: u64,
+    /// `Some(Err(why))` when a requested `--metrics-check` or
+    /// `--trace-check` failed; `None` when not requested.
+    metrics_check: Option<Result<(), String>>,
+    trace_check: Option<Result<(), String>>,
 }
 
 fn run(opts: &Options) -> Result<RunOutcome, String> {
@@ -513,6 +589,12 @@ fn run(opts: &Options) -> Result<RunOutcome, String> {
         (None, None) => return Err("no server".to_string()),
     };
 
+    // Tracing must be on before the first request so every stage span
+    // lands in the rings the /trace poll will drain.
+    if opts.trace_check {
+        bnn_trace::set_enabled(true);
+    }
+
     let t_start = now();
     // audit:allow(concurrency) one scoped driver thread per load-generator connection, joined before the run summarizes — the generator is a client of the stack, its concurrency IS the workload; server-side compute still routes through WorkerPool.
     let reports: Vec<ConnReport> = thread::scope(|scope| {
@@ -562,6 +644,30 @@ fn run(opts: &Options) -> Result<RunOutcome, String> {
         }
         None => (false, false, None),
     };
+    // Observability cross-checks, still at quiesce: the histogram
+    // behind /metrics must account for exactly the replies the
+    // clients counted, and /trace must render every pipeline stage.
+    let metrics_check = opts.metrics_check.then(|| {
+        let text = http_get(addr, "/metrics", Timeouts::default())
+            .map_err(|e| format!("GET /metrics failed: {e}"))?;
+        let count = metrics_u64(&text, "bnn_request_latency_us_count")?;
+        if count == outcomes.served {
+            Ok(())
+        } else {
+            Err(format!(
+                "latency histogram count {count} != client served {}",
+                outcomes.served
+            ))
+        }
+    });
+    let trace_check = opts.trace_check.then(|| {
+        let json = http_get(addr, "/trace", Timeouts::default())
+            .map_err(|e| format!("GET /trace failed: {e}"))?;
+        validate_trace(&json)
+    });
+    if opts.trace_check {
+        bnn_trace::set_enabled(false);
+    }
     if let Some(net) = hosted {
         net.shutdown();
     }
@@ -667,11 +773,20 @@ fn run(opts: &Options) -> Result<RunOutcome, String> {
             "MISMATCH against /status"
         }
     );
+    for (label, check) in [("metrics", &metrics_check), ("trace", &trace_check)] {
+        match check {
+            None => {}
+            Some(Ok(())) => println!("loadgen: {label} check passed"),
+            Some(Err(why)) => println!("loadgen: {label} check FAILED: {why}"),
+        }
+    }
     Ok(RunOutcome {
         report_path,
         checked,
         matched,
         transport: outcomes.transport,
+        metrics_check,
+        trace_check,
     })
 }
 
@@ -690,10 +805,14 @@ fn main() -> ExitCode {
     };
     match run(&opts) {
         Ok(outcome) => {
-            if outcome.transport > 0 || (outcome.checked && !outcome.matched) {
+            let check_failed = [&outcome.metrics_check, &outcome.trace_check]
+                .iter()
+                .any(|check| matches!(check, Some(Err(_))));
+            if outcome.transport > 0 || (outcome.checked && !outcome.matched) || check_failed {
                 eprintln!(
-                    "loadgen: FAILED ({} transport errors, counters_match={}); see {}",
-                    outcome.transport, outcome.matched, outcome.report_path
+                    "loadgen: FAILED ({} transport errors, counters_match={}, \
+                     observability checks ok={}); see {}",
+                    outcome.transport, outcome.matched, !check_failed, outcome.report_path
                 );
                 ExitCode::FAILURE
             } else {

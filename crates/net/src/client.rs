@@ -1,8 +1,9 @@
 //! Blocking clients for the binary protocol — the lock-step
 //! [`NetClient`] (protocol v1) and the depth-bounded
-//! [`PipelinedClient`] (protocol v2) — plus a one-shot `/status` HTTP
-//! helper. Enough for tests, examples and load drivers without
-//! pulling in an HTTP stack.
+//! [`PipelinedClient`] (protocol v2) — plus a one-shot HTTP GET
+//! helper for the `/status`, `/metrics` and `/trace` endpoints.
+//! Enough for tests, examples and load drivers without pulling in an
+//! HTTP stack.
 //!
 //! Every connection is time-bounded: [`Timeouts`] (default bounded)
 //! covers connect, read and write, and a stalled or half-dead server
@@ -267,9 +268,26 @@ pub fn http_get_status<A: ToSocketAddrs>(addr: A) -> io::Result<String> {
 /// [`http_get_status`] with explicit time bounds: a server that
 /// accepts and never replies surfaces as a typed `TimedOut` error.
 pub fn http_get_status_with<A: ToSocketAddrs>(addr: A, timeouts: Timeouts) -> io::Result<String> {
+    http_get(addr, "/status", timeouts)
+}
+
+/// Fetch any front-door GET endpoint (`/status`, `/metrics`,
+/// `/trace`) and return the response body with status line and
+/// headers stripped. Non-200 responses and transport failures
+/// surface as typed I/O errors; a server that accepts and never
+/// replies surfaces as `TimedOut`.
+pub fn http_get<A: ToSocketAddrs>(addr: A, path: &str, timeouts: Timeouts) -> io::Result<String> {
+    if path.is_empty() || !path.starts_with('/') || path.contains(char::is_whitespace) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("path must be absolute and whitespace-free: {path:?}"),
+        ));
+    }
     let mut stream = connect_stream(addr, timeouts)?;
     stream
-        .write_all(b"GET /status HTTP/1.1\r\nHost: bnn\r\nConnection: close\r\n\r\n")
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: bnn\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
         .map_err(as_timeout)?;
     stream.flush().map_err(as_timeout)?;
     let mut raw = Vec::new();

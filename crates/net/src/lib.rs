@@ -26,7 +26,12 @@
 //! * **minimal HTTP/1.1** — `GET /status` returns live JSON
 //!   telemetry from the rolling-window [`monitor`] (p50/p99 latency,
 //!   queue-depth and in-flight gauges, batch-size histogram,
-//!   per-substrate cost aggregates, shed/expired/rejected counters).
+//!   per-substrate cost aggregates, shed/expired/rejected counters);
+//!   `GET /metrics` renders the same counters plus cumulative latency
+//!   and per-stage span histograms as a Prometheus-style text
+//!   exposition; `GET /trace` drains the `bnn-trace` span rings as a
+//!   Chrome trace-event JSON document (empty unless tracing is
+//!   enabled via [`bnn_trace::set_enabled`]).
 //!
 //! Admission is tenant-aware ([`tenant`]): each tenant gets a
 //! priority ceiling and a token-bucket rate limit, mapped onto the
@@ -62,7 +67,8 @@ pub mod tenant;
 pub mod wire;
 
 pub use client::{
-    http_get_status, http_get_status_with, NetClient, PipelinedClient, Submitted, Timeouts,
+    http_get, http_get_status, http_get_status_with, NetClient, PipelinedClient, Submitted,
+    Timeouts,
 };
 pub use monitor::{CostAgg, Monitor, MonitorSnapshot};
 pub use server::{NetConfig, NetServer};

@@ -1,17 +1,21 @@
-//! Rolling-window serving telemetry behind `GET /status`.
+//! Rolling-window serving telemetry behind `GET /status` and the
+//! Prometheus-style `GET /metrics` exposition.
 //!
 //! The monitor grows the one-shot `BENCH_serve.json` pass into live
 //! telemetry: a ring buffer of recent request latencies (nearest-rank
-//! p50/p99), a batch-size histogram, aggregated [`CostReport`]s keyed
-//! by substrate, and net-layer counters (connections, HTTP hits,
-//! rate-limited and malformed frames). Admission counters and the
-//! queue-depth/in-flight gauges come straight from
-//! [`bnn_serve::ServeStats`] at snapshot time, so `/status` and
-//! `Server::stats()` can never disagree at quiesce.
+//! p50/p99 answered from log2 bucket counts folded at record time —
+//! no per-snapshot copy or sort), a cumulative [`LogHistogram`] of
+//! every latency ever recorded, a batch-size histogram, aggregated
+//! [`CostReport`]s keyed by substrate, and net-layer counters
+//! (connections, HTTP hits, rate-limited and malformed frames).
+//! Admission counters and the queue-depth/in-flight gauges come
+//! straight from [`bnn_serve::ServeStats`] at snapshot time, so
+//! `/status` and `Server::stats()` can never disagree at quiesce.
 
 use crate::lock;
 use bnn_mcd::CostReport;
 use bnn_serve::ServeStats;
+use bnn_trace::{bucket_bounds, bucket_of, LogHistogram, LOG2_BUCKETS};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -65,8 +69,15 @@ impl CostAgg {
 /// Mutable monitor state; one lock, touched once per reply.
 struct State {
     /// Latency ring, microseconds; `next` is the overwrite cursor.
+    /// Kept so window bucket counts can be decremented on eviction
+    /// and so the window min/max are exact.
     ring: Vec<u64>,
     next: usize,
+    /// Log2 bucket counts over exactly the ring's contents,
+    /// maintained incrementally: +1 on record, -1 on eviction.
+    window_buckets: [u64; LOG2_BUCKETS],
+    /// Every latency ever recorded — the `/metrics` histogram.
+    cumulative: LogHistogram,
     /// Total replies recorded (ring may hold only the tail).
     recorded: u64,
     batch_hist: [u64; BATCH_BUCKETS],
@@ -94,6 +105,8 @@ impl Monitor {
             state: Mutex::new(State {
                 ring: Vec::new(),
                 next: 0,
+                window_buckets: [0; LOG2_BUCKETS],
+                cumulative: LogHistogram::new(),
                 recorded: 0,
                 batch_hist: [0; BATCH_BUCKETS],
                 cost: CostAgg::default(),
@@ -107,7 +120,9 @@ impl Monitor {
 
     /// Fold one served reply: wall-clock latency as seen by the
     /// connection worker, the coalesced batch size, and the cost
-    /// slice.
+    /// slice. O(1): the latency lands in the ring, the window bucket
+    /// counts (evicted slot decremented first), and the cumulative
+    /// histogram — snapshots never re-scan or sort.
     pub fn record_reply(&self, latency: Duration, coalesced: usize, cost: &CostReport) {
         let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
         let mut st = lock(&self.state);
@@ -115,8 +130,12 @@ impl Monitor {
             st.ring.push(us);
         } else {
             let slot = st.next;
+            let evicted = st.ring[slot];
+            st.window_buckets[bucket_of(evicted)] -= 1;
             st.ring[slot] = us;
         }
+        st.window_buckets[bucket_of(us)] += 1;
+        st.cumulative.record(us);
         st.next = (st.next + 1) % self.window;
         st.recorded += 1;
         st.batch_hist[batch_bucket(coalesced.max(1))] += 1;
@@ -145,40 +164,32 @@ impl Monitor {
 
     /// Consistent copy of everything the monitor knows.
     ///
-    /// Only the O(window) ring clone and the scalar copies happen
-    /// under the mutex; the O(window log window) sort runs after the
-    /// guard drops, so a `/status` poll never stalls connection
-    /// workers' `record_reply` for the duration of the sort.
+    /// Percentiles are answered from the window bucket counts folded
+    /// at record time — no ring copy and no sort, just an O(window)
+    /// min/max scan plus an O(buckets) walk, all allocation-free — so
+    /// a `/status` poll holds the lock for a bounded, tiny interval
+    /// regardless of window size or polling rate.
     pub fn snapshot(&self) -> MonitorSnapshot {
-        let (mut sorted, st) = {
-            let st = lock(&self.state);
-            let sorted = st.ring.clone();
-            let scalars = (
-                st.recorded,
-                st.batch_hist,
-                st.cost,
-                st.rate_limited,
-                st.malformed,
-                st.connections,
-                st.http_requests,
-            );
-            (sorted, scalars)
-        };
-        let (recorded, batch_hist, cost, rate_limited, malformed, connections, http_requests) = st;
-        sorted.sort_unstable();
+        let st = lock(&self.state);
+        let (mut min_us, mut max_us) = (u64::MAX, 0u64);
+        for &us in &st.ring {
+            min_us = min_us.min(us);
+            max_us = max_us.max(us);
+        }
+        let total = st.ring.len() as u64;
         MonitorSnapshot {
             substrate: self.substrate,
             window: self.window,
-            latency_samples: sorted.len(),
-            p50_us: nearest_rank(&sorted, 50),
-            p99_us: nearest_rank(&sorted, 99),
-            recorded,
-            batch_hist,
-            cost,
-            rate_limited,
-            malformed,
-            connections,
-            http_requests,
+            latency_samples: st.ring.len(),
+            p50_us: window_percentile(&st.window_buckets, total, min_us, max_us, 50),
+            p99_us: window_percentile(&st.window_buckets, total, min_us, max_us, 99),
+            recorded: st.recorded,
+            batch_hist: st.batch_hist,
+            cost: st.cost,
+            rate_limited: st.rate_limited,
+            malformed: st.malformed,
+            connections: st.connections,
+            http_requests: st.http_requests,
         }
     }
 
@@ -187,17 +198,119 @@ impl Monitor {
     pub fn status_json(&self, stats: &ServeStats) -> String {
         self.snapshot().to_json(stats)
     }
+
+    /// Render the Prometheus-style text exposition behind
+    /// `GET /metrics`: the always-on cumulative served-latency
+    /// histogram (its `_count` equals the admission layer's `served`
+    /// at quiesce — the reconciliation `bnn-loadgen --metrics-check`
+    /// relies on), admission and front-door counters, and — when
+    /// tracing is enabled — the per-stage span-duration histograms.
+    pub fn metrics_text(&self, stats: &ServeStats) -> String {
+        use bnn_trace::metrics::{push_header, push_histogram, push_sample};
+        let (latency, rate_limited, malformed, connections, http_requests) = {
+            let st = lock(&self.state);
+            (
+                st.cumulative.clone(),
+                st.rate_limited,
+                st.malformed,
+                st.connections,
+                st.http_requests,
+            )
+        };
+        let mut out = String::with_capacity(2048);
+        push_header(
+            &mut out,
+            "bnn_request_latency_us",
+            "histogram",
+            "end-to-end served-reply latency in microseconds, cumulative since start",
+        );
+        push_histogram(
+            &mut out,
+            "bnn_request_latency_us",
+            &[("substrate", self.substrate)],
+            &latency,
+        );
+        push_header(
+            &mut out,
+            "bnn_admission_total",
+            "counter",
+            "terminal admission outcomes by disposition",
+        );
+        for (disposition, value) in [
+            ("served", stats.served),
+            ("shed", stats.shed),
+            ("expired", stats.expired),
+            ("failed", stats.failed),
+            ("rejected", stats.rejected),
+        ] {
+            push_sample(
+                &mut out,
+                "bnn_admission_total",
+                &[("disposition", disposition)],
+                value,
+            );
+        }
+        push_header(
+            &mut out,
+            "bnn_queue_depth",
+            "gauge",
+            "requests accepted into the admission queue but not yet batched",
+        );
+        push_sample(&mut out, "bnn_queue_depth", &[], stats.queued);
+        push_header(
+            &mut out,
+            "bnn_in_flight",
+            "gauge",
+            "requests taken into a micro-batch whose replies are still pending",
+        );
+        push_sample(&mut out, "bnn_in_flight", &[], stats.in_flight);
+        push_header(&mut out, "bnn_net_total", "counter", "front-door events");
+        for (event, value) in [
+            ("connections", connections),
+            ("http_requests", http_requests),
+            ("rate_limited", rate_limited),
+            ("malformed", malformed),
+        ] {
+            push_sample(&mut out, "bnn_net_total", &[("event", event)], value);
+        }
+        bnn_trace::metrics::push_stage_histograms(&mut out, "bnn_stage_duration_us");
+        out
+    }
 }
 
-/// Nearest-rank percentile over an ascending-sorted slice; `None`
-/// when empty.
-fn nearest_rank(sorted: &[u64], pct: usize) -> Option<u64> {
-    if sorted.is_empty() {
+/// Nearest-rank percentile over the window's log2 bucket counts:
+/// find the bucket holding rank `ceil(pct/100 * total)`, interpolate
+/// linearly within it by rank position, and clamp to the window's
+/// exact `[min, max]` — same semantics as
+/// [`LogHistogram::percentile_per_mille`], but over the rolling
+/// window rather than the cumulative record.
+fn window_percentile(
+    buckets: &[u64; LOG2_BUCKETS],
+    total: u64,
+    min_us: u64,
+    max_us: u64,
+    pct: u64,
+) -> Option<u64> {
+    if total == 0 {
         return None;
     }
-    // ceil(pct/100 * n), clamped to [1, n], then 1-indexed.
-    let rank = (pct * sorted.len()).div_ceil(100).clamp(1, sorted.len());
-    Some(sorted[rank - 1])
+    // ceil(pct/100 * total), clamped to [1, total], 1-indexed.
+    let rank = (pct * total).div_ceil(100).clamp(1, total);
+    let mut cum = 0u64;
+    for (i, &count) in buckets.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        if cum + count >= rank {
+            let (lo, hi) = bucket_bounds(i);
+            let within = (rank - cum - 1) as f64 / count as f64;
+            let value = lo.saturating_add(((hi - lo) as f64 * within) as u64);
+            return Some(value.clamp(min_us, max_us));
+        }
+        cum += count;
+    }
+    // Unreachable while counts sum to `total`; fall back to max.
+    Some(max_us)
 }
 
 /// Point-in-time copy of the monitor state.
@@ -209,9 +322,12 @@ pub struct MonitorSnapshot {
     pub window: usize,
     /// Latencies currently in the ring (≤ window).
     pub latency_samples: usize,
-    /// Nearest-rank median latency over the window, µs.
+    /// Nearest-rank median latency over the window, µs, answered at
+    /// log2-bucket resolution (interpolated within the hit bucket,
+    /// clamped to the window's exact min/max).
     pub p50_us: Option<u64>,
-    /// Nearest-rank 99th-percentile latency over the window, µs.
+    /// Nearest-rank 99th-percentile latency over the window, µs, at
+    /// the same log2-bucket resolution as `p50_us`.
     pub p99_us: Option<u64>,
     /// Total replies ever recorded.
     pub recorded: u64,
@@ -350,12 +466,18 @@ mod tests {
 
     #[test]
     fn percentiles_use_nearest_rank() {
-        assert_eq!(nearest_rank(&[], 50), None);
-        assert_eq!(nearest_rank(&[7], 50), Some(7));
-        assert_eq!(nearest_rank(&[7], 99), Some(7));
-        let hundred: Vec<u64> = (1..=100).collect();
-        assert_eq!(nearest_rank(&hundred, 50), Some(50));
-        assert_eq!(nearest_rank(&hundred, 99), Some(99));
+        let zero = [0u64; LOG2_BUCKETS];
+        assert_eq!(window_percentile(&zero, 0, u64::MAX, 0, 50), None);
+        // One sample pins every percentile via the min/max clamp.
+        let mut one = [0u64; LOG2_BUCKETS];
+        one[bucket_of(7)] = 1;
+        assert_eq!(window_percentile(&one, 1, 7, 7, 50), Some(7));
+        assert_eq!(window_percentile(&one, 1, 7, 7, 99), Some(7));
+        // Uniform values collapse to that value regardless of rank.
+        let mut uniform = [0u64; LOG2_BUCKETS];
+        uniform[bucket_of(777)] = 64;
+        assert_eq!(window_percentile(&uniform, 64, 777, 777, 50), Some(777));
+        assert_eq!(window_percentile(&uniform, 64, 777, 777, 99), Some(777));
     }
 
     #[test]
@@ -367,9 +489,12 @@ mod tests {
         let snap = m.snapshot();
         assert_eq!(snap.latency_samples, 4);
         assert_eq!(snap.recorded, 6);
-        // Window now holds {30, 40, 1000, 2000}.
-        assert_eq!(snap.p50_us, Some(40));
-        assert_eq!(snap.p99_us, Some(2000));
+        // Window now holds {30, 40, 1000, 2000}: rank 2 of 4 lands at
+        // the start of 40's bucket [32, 63], rank 4 at the start of
+        // 2000's bucket [1024, 2047] — log2-bucket resolution, so the
+        // answers are the bucket floors, not the exact samples.
+        assert_eq!(snap.p50_us, Some(32));
+        assert_eq!(snap.p99_us, Some(1024));
         assert_eq!(snap.cost.requests, 6);
         assert_eq!(snap.cost.samples, 48);
     }
@@ -454,5 +579,42 @@ mod tests {
         assert!(json.contains("\"connections\":1"));
         assert!(json.contains("\"http_requests\":1"));
         assert!(json.contains("\"p50_us\":123"));
+    }
+
+    #[test]
+    fn metrics_text_reconciles_with_recorded_replies() {
+        let m = Monitor::new(8, "fused");
+        for us in [100u64, 200, 300] {
+            m.record_reply(Duration::from_micros(us), 1, &report(4, 0.1, None));
+        }
+        m.record_connection();
+        m.record_rate_limited();
+        let stats = ServeStats {
+            served: 3,
+            queued: 2,
+            ..Default::default()
+        };
+        let text = m.metrics_text(&stats);
+        assert!(text.contains("# TYPE bnn_request_latency_us histogram"));
+        assert!(
+            text.contains("bnn_request_latency_us_count{substrate=\"fused\"} 3"),
+            "histogram count must equal recorded replies:\n{text}"
+        );
+        assert!(text.contains("bnn_request_latency_us_bucket{substrate=\"fused\",le=\"+Inf\"} 3"));
+        assert!(text.contains("bnn_request_latency_us_sum{substrate=\"fused\"} 600"));
+        assert!(text.contains("bnn_admission_total{disposition=\"served\"} 3"));
+        assert!(text.contains("bnn_queue_depth 2"));
+        assert!(text.contains("bnn_net_total{event=\"connections\"} 1"));
+        assert!(text.contains("bnn_net_total{event=\"rate_limited\"} 1"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparsable sample value in {line:?}"
+            );
+            assert!(parts.next().is_some(), "missing name in {line:?}");
+        }
     }
 }

@@ -323,9 +323,12 @@ fn serve_connection(stream: TcpStream, shared: &NetShared) {
     }
 }
 
-/// Outcome of reading and decoding one request frame.
+/// Outcome of reading and decoding one request frame. `Request`
+/// carries the request's root trace span id (0 when tracing is
+/// disabled), allocated the moment the frame arrived so every
+/// downstream stage span can nest under it.
 enum NextFrame {
-    Request(Request),
+    Request(Request, u64),
     /// Clean close, transport error, or shutdown: just return.
     Closed,
     /// Framing or decode failure: answer `Malformed`, then close.
@@ -354,8 +357,18 @@ fn next_frame(stream: &mut TcpStream, shared: &NetShared) -> NextFrame {
             }
             Err(_) => return NextFrame::Closed,
         };
+        let root = bnn_trace::new_span();
+        let decode_span = bnn_trace::start();
         match wire::decode_request(&payload) {
-            Ok(request) => return NextFrame::Request(request),
+            Ok(request) => {
+                bnn_trace::finish(
+                    decode_span,
+                    bnn_trace::Stage::Decode,
+                    root,
+                    payload.len() as u64,
+                );
+                return NextFrame::Request(request, root);
+            }
             Err(_) => {
                 // Typed decode error: the stream itself is still
                 // framed, but trust nothing after a bad frame.
@@ -374,8 +387,8 @@ fn next_frame(stream: &mut TcpStream, shared: &NetShared) -> NextFrame {
 fn serve_binary(mut stream: TcpStream, shared: &NetShared) {
     let mut out = Vec::new();
     loop {
-        let request = match next_frame(&mut stream, shared) {
-            NextFrame::Request(request) => request,
+        let (request, root) = match next_frame(&mut stream, shared) {
+            NextFrame::Request(request, root) => (request, root),
             NextFrame::Closed => return,
             NextFrame::Malformed => {
                 wire::encode_error(ErrorCode::Malformed, None, None, None, &mut out);
@@ -384,10 +397,10 @@ fn serve_binary(mut stream: TcpStream, shared: &NetShared) {
             }
         };
         if request.corr.is_some() {
-            serve_pipelined(stream, shared, request);
+            serve_pipelined(stream, shared, request, root);
             return;
         }
-        if !serve_request(&mut stream, shared, request, &mut out) {
+        if !serve_request(&mut stream, shared, request, root, &mut out) {
             return;
         }
     }
@@ -401,6 +414,8 @@ enum PipeStep {
         corr: Option<u64>,
         seed: Option<u64>,
         t0: Instant,
+        /// Root trace span id (0 when tracing is disabled).
+        root: u64,
     },
     /// Refused before admission (gate refusal or malformed frame):
     /// the writer emits the typed error in submission order.
@@ -423,7 +438,7 @@ const PIPELINE_WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 /// the client correlates by id either way), and the bounded channel
 /// between the halves turns a peer that submits faster than it reads
 /// replies into plain TCP backpressure rather than unbounded memory.
-fn serve_pipelined(reader: TcpStream, shared: &NetShared, first: Request) {
+fn serve_pipelined(reader: TcpStream, shared: &NetShared, first: Request, first_root: u64) {
     let writer_stream = match reader.try_clone() {
         Ok(stream) => stream,
         Err(_) => return,
@@ -438,7 +453,7 @@ fn serve_pipelined(reader: TcpStream, shared: &NetShared, first: Request) {
     // audit:allow(concurrency) the pipelined writer is this connection's second owner thread — scoped, joined before the connection worker returns — because reply writes must overlap frame reads; the compute fan-out behind it still routes through WorkerPool.
     thread::scope(|scope| {
         let writer = scope.spawn(|| pipeline_write_loop(writer_stream, shared, rx));
-        pipeline_read_loop(reader, shared, first, tx);
+        pipeline_read_loop(reader, shared, first, first_root, tx);
         // `tx` was moved into the read loop and dropped there, so the
         // writer drains every queued step and exits; the join bounds
         // the connection worker's lifetime.
@@ -452,14 +467,15 @@ fn pipeline_read_loop(
     mut stream: TcpStream,
     shared: &NetShared,
     first: Request,
+    first_root: u64,
     tx: mpsc::SyncSender<PipeStep>,
 ) {
-    let mut next = Some(first);
+    let mut next = Some((first, first_root));
     loop {
-        let request = match next.take() {
-            Some(request) => request,
+        let (request, root) = match next.take() {
+            Some(pair) => pair,
             None => match next_frame(&mut stream, shared) {
-                NextFrame::Request(request) => request,
+                NextFrame::Request(request, root) => (request, root),
                 NextFrame::Closed => return,
                 NextFrame::Malformed => {
                     // Queued behind the in-flight steps, so every
@@ -475,7 +491,10 @@ fn pipeline_read_loop(
             },
         };
         let corr = request.corr;
-        let step = match shared.gate.admit(&request.tenant, request.priority) {
+        let admit_span = bnn_trace::start();
+        let admitted = shared.gate.admit(&request.tenant, request.priority);
+        bnn_trace::finish(admit_span, bnn_trace::Stage::Admission, root, 0);
+        let step = match admitted {
             Err(_) => {
                 shared.monitor.record_rate_limited();
                 PipeStep::Refused {
@@ -486,18 +505,26 @@ fn pipeline_read_loop(
             }
             Ok(granted) => {
                 let t0 = Instant::now();
-                let mut submission = shared.handle.request(request.input).priority(granted);
+                let mut submission = shared
+                    .handle
+                    .request(request.input)
+                    .priority(granted)
+                    .trace(root);
                 if let Some(us) = request.deadline_us {
                     submission = submission.deadline(Duration::from_micros(us));
                 }
                 if let Some(seed) = request.seed {
                     submission = submission.seed(seed);
                 }
+                let submit_span = bnn_trace::start();
+                let pending = submission.submit();
+                bnn_trace::finish(submit_span, bnn_trace::Stage::Submit, root, 0);
                 PipeStep::Submitted {
-                    pending: submission.submit(),
+                    pending,
                     corr,
                     seed: request.seed,
                     t0,
+                    root,
                 }
             }
         };
@@ -526,9 +553,13 @@ fn pipeline_write_loop(mut stream: TcpStream, shared: &NetShared, rx: mpsc::Rece
                 corr,
                 seed,
                 t0,
+                root,
             } => {
                 let id = pending.id();
-                match pending.wait() {
+                let wait_span = bnn_trace::start();
+                let waited = pending.wait();
+                bnn_trace::finish(wait_span, bnn_trace::Stage::WriterWait, root, 0);
+                let wrote = match waited {
                     Ok(reply) => {
                         let seed = seed.unwrap_or_else(|| request_seed(shared.base_seed, reply.id));
                         shared
@@ -542,7 +573,9 @@ fn pipeline_write_loop(mut stream: TcpStream, shared: &NetShared, rx: mpsc::Rece
                         wire::encode_error(ErrorCode::from(err), id, seed, corr, &mut out);
                         wire::write_frame(&mut stream, &out).is_ok()
                     }
-                }
+                };
+                record_request_span(root, t0);
+                wrote
             }
         };
         if !wrote {
@@ -551,16 +584,39 @@ fn pipeline_write_loop(mut stream: TcpStream, shared: &NetShared, rx: mpsc::Rece
     }
 }
 
+/// Record the request's root span — the whole server-side residency,
+/// admission through reply write — so every stage span recorded with
+/// `parent == root` nests under one top-level bar in the trace view.
+fn record_request_span(root: u64, t0: Instant) {
+    if !bnn_trace::enabled() {
+        return;
+    }
+    let dur = t0.elapsed().as_micros() as u64;
+    let now = bnn_trace::clock::now_us();
+    bnn_trace::record(
+        bnn_trace::Stage::Request,
+        root,
+        0,
+        now.saturating_sub(dur),
+        dur,
+        0,
+    );
+}
+
 /// Admit, submit and answer one decoded request. Returns `false`
 /// when the connection should close (a write failed).
 fn serve_request(
     stream: &mut TcpStream,
     shared: &NetShared,
     request: Request,
+    root: u64,
     out: &mut Vec<u8>,
 ) -> bool {
     let t0 = Instant::now();
-    let granted = match shared.gate.admit(&request.tenant, request.priority) {
+    let admit_span = bnn_trace::start();
+    let admitted = shared.gate.admit(&request.tenant, request.priority);
+    bnn_trace::finish(admit_span, bnn_trace::Stage::Admission, root, 0);
+    let granted = match admitted {
         Ok(granted) => granted,
         Err(_) => {
             shared.monitor.record_rate_limited();
@@ -568,16 +624,25 @@ fn serve_request(
             return wire::write_frame(stream, out).is_ok();
         }
     };
-    let mut submission = shared.handle.request(request.input).priority(granted);
+    let mut submission = shared
+        .handle
+        .request(request.input)
+        .priority(granted)
+        .trace(root);
     if let Some(us) = request.deadline_us {
         submission = submission.deadline(Duration::from_micros(us));
     }
     if let Some(seed) = request.seed {
         submission = submission.seed(seed);
     }
+    let submit_span = bnn_trace::start();
     let pending = submission.submit();
+    bnn_trace::finish(submit_span, bnn_trace::Stage::Submit, root, 0);
     let id = pending.id();
-    match pending.wait() {
+    let wait_span = bnn_trace::start();
+    let waited = pending.wait();
+    bnn_trace::finish(wait_span, bnn_trace::Stage::WriterWait, root, 0);
+    let wrote = match waited {
         Ok(reply) => {
             // Seed echo: the client's pinned seed, or the derived
             // per-request seed — either way the reply is offline-
@@ -598,7 +663,9 @@ fn serve_request(
             wire::encode_error(ErrorCode::from(err), id, seed, None, out);
             wire::write_frame(stream, out).is_ok()
         }
-    }
+    };
+    record_request_span(root, t0);
+    wrote
 }
 
 /// Largest HTTP request head we accept before answering 431.
@@ -614,7 +681,13 @@ fn serve_http(mut stream: TcpStream, shared: &NetShared) {
             break;
         }
         if head.len() > MAX_HTTP_HEAD {
-            let _ = write_http(&mut stream, 431, "Request Header Fields Too Large", "");
+            let _ = write_http(
+                &mut stream,
+                431,
+                "Request Header Fields Too Large",
+                JSON,
+                "",
+            );
             return;
         }
         match stream.read(&mut chunk) {
@@ -639,17 +712,37 @@ fn serve_http(mut stream: TcpStream, shared: &NetShared) {
     let _ = match (method, path) {
         ("GET", "/status") => {
             let body = shared.monitor.status_json(&shared.handle.stats());
-            write_http(&mut stream, 200, "OK", &body)
+            write_http(&mut stream, 200, "OK", JSON, &body)
         }
-        ("GET", _) => write_http(&mut stream, 404, "Not Found", ""),
-        _ => write_http(&mut stream, 405, "Method Not Allowed", ""),
+        ("GET", "/metrics") => {
+            let body = shared.monitor.metrics_text(&shared.handle.stats());
+            write_http(&mut stream, 200, "OK", "text/plain; version=0.0.4", &body)
+        }
+        ("GET", "/trace") => {
+            // Draining hands the rings to this reader and clears them;
+            // stage histograms behind /metrics are unaffected.
+            let body = bnn_trace::drain_chrome_json();
+            write_http(&mut stream, 200, "OK", JSON, &body)
+        }
+        ("GET", _) => write_http(&mut stream, 404, "Not Found", JSON, ""),
+        _ => write_http(&mut stream, 405, "Method Not Allowed", JSON, ""),
     };
     let _ = stream.shutdown(SockShutdown::Both);
 }
 
-fn write_http(stream: &mut TcpStream, code: u16, reason: &str, body: &str) -> io::Result<()> {
+/// Content-Type of every JSON-bodied response (`/status`, `/trace`,
+/// and bodiless error statuses).
+const JSON: &str = "application/json";
+
+fn write_http(
+    stream: &mut TcpStream,
+    code: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
     let response = format!(
-        "HTTP/1.1 {code} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(response.as_bytes())?;

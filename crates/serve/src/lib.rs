@@ -428,6 +428,11 @@ struct Queued {
     enqueued: Instant,
     deadline: Option<Instant>,
     reply: mpsc::Sender<Result<Reply, ServeError>>,
+    /// Root trace span this request nests under (0 = untraced). The
+    /// dispatcher parents its queue-wait / batch-form / compute /
+    /// write spans here, so a drained trace reconstructs the
+    /// request's full cross-layer timeline.
+    trace: u64,
 }
 
 /// EMA smoothing factor for the arrival-gap tracker (the adaptive
@@ -630,6 +635,7 @@ impl Handle {
             priority: Priority::Normal,
             deadline: None,
             seed: None,
+            trace: 0,
         }
     }
 
@@ -687,6 +693,7 @@ impl Handle {
         seed: Option<u64>,
         priority: Priority,
         deadline: Option<Duration>,
+        trace: u64,
         block: bool,
     ) -> Result<Pending, SubmitError> {
         assert_eq!(
@@ -767,6 +774,7 @@ impl Handle {
                 enqueued: now,
                 deadline,
                 reply: tx,
+                trace,
             });
             Counters::bump(&shared.counters.queued, 1);
             drop(st);
@@ -783,6 +791,7 @@ pub struct Submission<'h> {
     priority: Priority,
     deadline: Option<Duration>,
     seed: Option<u64>,
+    trace: u64,
 }
 
 impl Submission<'_> {
@@ -809,14 +818,28 @@ impl Submission<'_> {
         self
     }
 
+    /// Attach a root trace span id (from [`bnn_trace::new_span`]):
+    /// the dispatcher's queue-wait / batch-form / compute / write
+    /// spans for this request parent under it. 0 (the default) means
+    /// untraced — spans still record while tracing is enabled, just
+    /// parentless. Trace ids never influence the reply.
+    pub fn trace(mut self, span: u64) -> Self {
+        self.trace = span;
+        self
+    }
+
     /// Submit, blocking while the queue is at capacity with nothing
     /// to shed. Non-queue rejections (shutdown, tripped breaker)
     /// come back as an immediately-resolved [`Pending`].
     pub fn submit(self) -> Pending {
-        match self
-            .handle
-            .submit(self.x, self.seed, self.priority, self.deadline, true)
-        {
+        match self.handle.submit(
+            self.x,
+            self.seed,
+            self.priority,
+            self.deadline,
+            self.trace,
+            true,
+        ) {
             Ok(pending) => pending,
             Err(err) => resolved_pending(err.error),
         }
@@ -826,8 +849,14 @@ impl Submission<'_> {
     /// victim rejects with [`ServeError::Rejected`] and the input
     /// handed back.
     pub fn try_submit(self) -> Result<Pending, SubmitError> {
-        self.handle
-            .submit(self.x, self.seed, self.priority, self.deadline, false)
+        self.handle.submit(
+            self.x,
+            self.seed,
+            self.priority,
+            self.deadline,
+            self.trace,
+            false,
+        )
     }
 }
 
@@ -1076,6 +1105,16 @@ impl Server {
         lock(&self.shared.state).tripped
     }
 
+    /// Drain every thread's buffered trace spans as a Chrome
+    /// trace-event JSON document (loadable at `chrome://tracing` or
+    /// Perfetto) — the in-process counterpart of the net layer's
+    /// `GET /trace`. Empty `traceEvents` unless tracing is enabled
+    /// ([`bnn_trace::set_enabled`]); draining clears the rings, so
+    /// consecutive calls partition the span stream.
+    pub fn drain_trace(&self) -> String {
+        bnn_trace::drain_chrome_json()
+    }
+
     /// Graceful shutdown: close the queue (new submissions fail
     /// [`ServeError::Shutdown`]), serve every already-accepted
     /// request (queue deadlines still honoured mid-drain), and join
@@ -1303,6 +1342,22 @@ fn next_batch(shared: &SharedQ, policy: &BatchPolicy) -> Option<Vec<Queued>> {
         Counters::bump(&shared.counters.in_flight, batch.len() as u64);
         drop(st);
         shared.space.notify_all();
+        if bnn_trace::enabled() {
+            // Queue-wait spans, recorded outside the queue lock: one
+            // per dequeued request, spanning enqueue to dequeue.
+            let now = bnn_trace::clock::now_us();
+            for q in &batch {
+                let dur = q.enqueued.elapsed().as_micros() as u64;
+                bnn_trace::record(
+                    bnn_trace::Stage::QueueWait,
+                    bnn_trace::new_span(),
+                    q.trace,
+                    now.saturating_sub(dur),
+                    dur,
+                    0,
+                );
+            }
+        }
         return Some(batch);
     }
 }
@@ -1318,6 +1373,7 @@ fn serve_batch<B: BayesBackend + Send>(
     ctx: &DispatchCtx,
 ) -> bool {
     let coalesced = batch.len();
+    let form_start = bnn_trace::start();
     let requests: Vec<SeededRequest<'_>> = batch
         .iter()
         .map(|q| SeededRequest {
@@ -1325,10 +1381,40 @@ fn serve_batch<B: BayesBackend + Send>(
             seed: q.seed,
         })
         .collect();
+    let compute_start = bnn_trace::start();
+    if let (Some(f0), Some(c0)) = (form_start, compute_start) {
+        // Batch-form spans: dequeue to compute start, one per
+        // request, carrying the coalesce size as payload.
+        for q in &batch {
+            bnn_trace::record(
+                bnn_trace::Stage::BatchForm,
+                bnn_trace::new_span(),
+                q.trace,
+                f0,
+                c0.saturating_sub(f0),
+                coalesced as u64,
+            );
+        }
+    }
     let served = catch_unwind(AssertUnwindSafe(|| {
         serve_requests_pooled(backend, &requests, ctx.bayes, ctx.parallel, &ctx.pool)
     }));
     drop(requests);
+    if let Some(c0) = compute_start {
+        // Compute spans: the engine pass serving this micro-batch,
+        // one per coalesced request (same interval, distinct roots).
+        let now = bnn_trace::clock::now_us();
+        for q in &batch {
+            bnn_trace::record(
+                bnn_trace::Stage::Compute,
+                bnn_trace::new_span(),
+                q.trace,
+                c0,
+                now.saturating_sub(c0),
+                coalesced as u64,
+            );
+        }
+    }
     match served {
         Ok(outs) => {
             // Counter and gauge move before any reply is delivered
@@ -1337,6 +1423,8 @@ fn serve_batch<B: BayesBackend + Send>(
             Counters::drop_gauge(&ctx.shared.counters.in_flight, coalesced as u64);
             for (q, out) in batch.into_iter().zip(outs) {
                 let uncertainty = Uncertainty::summarize(&out.probs, &out.passes, 0);
+                let write_start = bnn_trace::start();
+                let trace = q.trace;
                 let _ = q.reply.send(Ok(Reply {
                     id: q.id,
                     probs: out.probs,
@@ -1344,6 +1432,7 @@ fn serve_batch<B: BayesBackend + Send>(
                     cost: out.cost,
                     coalesced,
                 }));
+                bnn_trace::finish(write_start, bnn_trace::Stage::Write, trace, 0);
             }
             true
         }
@@ -1652,6 +1741,7 @@ mod tests {
                 enqueued: Instant::now(),
                 deadline: None,
                 reply: tx,
+                trace: 0,
             }
         };
         st.queues[Priority::Low.index()].push_back(queued(0));
@@ -1784,6 +1874,7 @@ mod tests {
                 enqueued: Instant::now(),
                 deadline: None,
                 reply: reply_tx,
+                trace: 0,
             });
         }
         let dispatcher_shared = Arc::clone(&shared);

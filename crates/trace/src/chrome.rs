@@ -1,0 +1,86 @@
+//! Chrome trace-event rendering: drained spans become a JSON document
+//! loadable at `chrome://tracing` or <https://ui.perfetto.dev>.
+//!
+//! Every span renders as one complete event (`"ph":"X"`) with µs
+//! timestamps from the shared trace epoch, `pid` 1 and the recording
+//! thread's stable ring id as `tid`, so each thread gets its own
+//! track and nested stages stack visually by time. The span id,
+//! parent id and stage payload ride along in `args` for scripted
+//! consumers (the span-nesting test reconstructs trees from them).
+
+use crate::{JsonArr, JsonObj, ThreadTrace};
+
+/// Render drained thread traces as a Chrome trace-event JSON document:
+/// `{"traceEvents":[...],"displayTimeUnit":"ms"}`.
+pub fn chrome_trace_json(threads: &[ThreadTrace]) -> String {
+    let mut events = JsonArr::new();
+    for thread in threads {
+        for ev in &thread.events {
+            let mut args = JsonObj::new();
+            args.field_u64("span", ev.span_id)
+                .field_u64("parent", ev.parent)
+                .field_u64("meta", ev.meta);
+            let mut obj = JsonObj::new();
+            obj.field_str("name", ev.stage.name())
+                .field_str("cat", "bnn")
+                .field_str("ph", "X")
+                .field_u64("ts", ev.t_start_us)
+                .field_u64("dur", ev.dur_us)
+                .field_u64("pid", 1)
+                .field_u64("tid", u64::from(thread.tid))
+                .field_raw("args", &args.finish());
+            events.push_raw(&obj.finish());
+        }
+    }
+    let mut root = JsonObj::new();
+    root.field_raw("traceEvents", &events.finish())
+        .field_str("displayTimeUnit", "ms");
+    root.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, Stage};
+
+    #[test]
+    fn renders_complete_events_with_span_args() {
+        let threads = vec![ThreadTrace {
+            tid: 3,
+            events: vec![
+                Event {
+                    span_id: 10,
+                    parent: 0,
+                    stage: Stage::Request,
+                    t_start_us: 1000,
+                    dur_us: 250,
+                    meta: 0,
+                },
+                Event {
+                    span_id: 11,
+                    parent: 10,
+                    stage: Stage::Compute,
+                    t_start_us: 1050,
+                    dur_us: 100,
+                    meta: 4,
+                },
+            ],
+        }];
+        let doc = chrome_trace_json(&threads);
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.contains("\"name\":\"request\""));
+        assert!(doc.contains("\"name\":\"compute\""));
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"ts\":1050"));
+        assert!(doc.contains("\"tid\":3"));
+        assert!(doc.contains("\"args\":{\"span\":11,\"parent\":10,\"meta\":4}"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn empty_drain_is_still_a_valid_document() {
+        let doc = chrome_trace_json(&[]);
+        assert_eq!(doc, "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+    }
+}

@@ -1,0 +1,41 @@
+//! The tracer's single wall-clock intake.
+//!
+//! `bnn-trace` sits inside the determinism audit scope — spans measure
+//! real time by definition, but that time must never feed computed
+//! values, so the clock read is confined to this one module and waived
+//! at exactly one site. Everything else in the crate (and in the
+//! crates that record spans through it) works in the monotonic µs this
+//! module hands out, keeping `Instant::now` tokens out of the engine
+//! crates entirely.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    // audit:allow(determinism) the tracer's one clock intake: span timestamps are telemetry and never feed computed values, so replies stay bit-identical with tracing on or off.
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Monotonic microseconds since the process's first trace-clock read.
+///
+/// All span timestamps share this epoch, so events recorded on
+/// different threads order correctly in one Chrome trace timeline.
+pub fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::now_us;
+
+    #[test]
+    fn clock_is_monotonic_from_a_shared_epoch() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a, "monotonic: {a} then {b}");
+        // The epoch is first-read: early reads sit near zero, far from
+        // any absolute wall-clock representation.
+        assert!(a < 60_000_000, "epoch is process-local, got {a}");
+    }
+}

@@ -1,0 +1,139 @@
+//! Prometheus-style text exposition (version 0.0.4) for the
+//! `GET /metrics` endpoint: counters, gauges and log2-bucketed
+//! histograms rendered with cumulative `le` buckets.
+//!
+//! The log2 buckets of [`LogHistogram`] map directly onto Prometheus
+//! histogram semantics: each non-empty bucket emits one cumulative
+//! `_bucket{le="<inclusive upper bound>"}` sample, the open-ended top
+//! bucket folds into the mandatory `le="+Inf"` line, and `_sum` /
+//! `_count` carry the exact tallies the histogram already keeps.
+
+use crate::{bucket_bounds, LogHistogram};
+
+fn label_block(labels: &[(&str, &str)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Append a `# HELP` + `# TYPE` header for one metric family.
+pub fn push_header(out: &mut String, name: &str, kind: &str, help: &str) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+}
+
+/// Append one counter/gauge sample line.
+pub fn push_sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: u64) {
+    out.push_str(&format!("{name}{} {value}\n", label_block(labels, None)));
+}
+
+/// Append one histogram series (`_bucket` lines, `_sum`, `_count`)
+/// for a [`LogHistogram`]. Empty buckets are skipped — cumulative
+/// `le` semantics make them redundant — and the `le="+Inf"` line is
+/// always present, so an empty histogram still exposes its zero
+/// count.
+pub fn push_histogram(out: &mut String, name: &str, labels: &[(&str, &str)], hist: &LogHistogram) {
+    let mut cum = 0u64;
+    for (i, &count) in hist.buckets().iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let (_, hi) = bucket_bounds(i);
+        if hi == u64::MAX {
+            // The open-ended top bucket is exactly the +Inf line below.
+            break;
+        }
+        cum += count;
+        let lb = label_block(labels, Some(("le", &hi.to_string())));
+        out.push_str(&format!("{name}_bucket{lb} {cum}\n"));
+    }
+    let inf = label_block(labels, Some(("le", "+Inf")));
+    out.push_str(&format!("{name}_bucket{inf} {}\n", hist.total()));
+    let plain = label_block(labels, None);
+    out.push_str(&format!("{name}_sum{plain} {}\n", hist.sum_us()));
+    out.push_str(&format!("{name}_count{plain} {}\n", hist.total()));
+}
+
+/// Append every non-empty per-stage duration histogram from the
+/// global recorder as one metric family labelled by stage name.
+/// Stages that never recorded are omitted rather than exposed as
+/// empty series.
+pub fn push_stage_histograms(out: &mut String, name: &str) {
+    let hists = crate::stage_histograms();
+    if hists.iter().all(|(_, h)| h.total() == 0) {
+        return;
+    }
+    push_header(
+        out,
+        name,
+        "histogram",
+        "per-stage span duration in microseconds (tracing must be enabled)",
+    );
+    for (stage, hist) in &hists {
+        if hist.total() == 0 {
+            continue;
+        }
+        push_histogram(out, name, &[("stage", stage.name())], hist);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_exposition_is_cumulative_and_exact() {
+        let mut h = LogHistogram::new();
+        for us in [1u64, 1, 3, 3, 3, 100] {
+            h.record(us);
+        }
+        let mut out = String::new();
+        push_histogram(&mut out, "lat_us", &[("stage", "compute")], &h);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "lat_us_bucket{stage=\"compute\",le=\"1\"} 2",
+                "lat_us_bucket{stage=\"compute\",le=\"3\"} 5",
+                "lat_us_bucket{stage=\"compute\",le=\"127\"} 6",
+                "lat_us_bucket{stage=\"compute\",le=\"+Inf\"} 6",
+                "lat_us_sum{stage=\"compute\"} 111",
+                "lat_us_count{stage=\"compute\"} 6",
+            ]
+        );
+    }
+
+    #[test]
+    fn unlabelled_empty_histogram_still_exposes_count() {
+        let h = LogHistogram::new();
+        let mut out = String::new();
+        push_histogram(&mut out, "lat_us", &[], &h);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "lat_us_bucket{le=\"+Inf\"} 0",
+                "lat_us_sum 0",
+                "lat_us_count 0",
+            ]
+        );
+    }
+
+    #[test]
+    fn samples_and_headers_render_plain() {
+        let mut out = String::new();
+        push_header(&mut out, "served_total", "counter", "served replies");
+        push_sample(&mut out, "served_total", &[("outcome", "ok")], 7);
+        push_sample(&mut out, "up", &[], 1);
+        assert_eq!(
+            out,
+            "# HELP served_total served replies\n# TYPE served_total counter\n\
+             served_total{outcome=\"ok\"} 7\nup 1\n"
+        );
+    }
+}

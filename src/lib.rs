@@ -190,6 +190,35 @@
 //! limit, enforced before admission so the wire boundary cannot jump
 //! the in-process queue.
 //!
+//! ## Observability: `bnn-trace` spans, `GET /trace`, `GET /metrics`
+//!
+//! Every request that crosses the front door is decomposed into
+//! stage spans by [`trace`] (`bnn-trace`): `decode` → `admission` →
+//! `submit` on the socket thread, `queue_wait` → `batch_form` →
+//! `compute` → `write` inside the serving engine, `writer_wait` on
+//! the reply path, all nested under one `request` root span per
+//! frame. The recorder is a per-thread bounded ring (oldest events
+//! evicted, never blocking), gated behind one atomic flag: with
+//! tracing disabled every instrumentation point is a single relaxed
+//! load, and replies stay bit-identical either way — timestamps are
+//! telemetry, never inputs (`tests/trace.rs` pins this on all four
+//! substrates). Two export surfaces:
+//!
+//! * **`GET /trace`** drains the rings as Chrome trace-event JSON —
+//!   load it in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)
+//!   to see queueing, batching and compute laid out on a timeline.
+//!   [`serve::Server::drain_trace`] is the in-process equivalent.
+//! * **`GET /metrics`** renders Prometheus-style text: the rolling
+//!   monitor's cumulative log2 request-latency histogram
+//!   (`bnn_request_latency_us`), admission/net counters and backlog
+//!   gauges, plus per-stage duration histograms
+//!   (`bnn_stage_duration_us{stage=...}`) folded at record time — the
+//!   stage aggregates survive `/trace` drains, so scrapes and trace
+//!   pulls don't fight over the same data.
+//!
+//! The one wall-clock intake is `trace::clock`, a single audited
+//! waiver site; everything downstream of it is display-only.
+//!
 //! ## Load testing: `bnn-loadgen`
 //!
 //! `cargo run -p bnn-net --bin loadgen --release -- --smoke` drives a
@@ -224,8 +253,10 @@
 //!   crate roof carries `#![deny(unsafe_code)]` or stricter. One
 //!   audited lifetime-erasure must not quietly become two.
 //! * **`determinism`** — the engine/kernel crates (`tensor`, `nn`,
-//!   `rng`, `quant`, the deterministic modules of `mcd`, plus the
-//!   load-generator planner and the `bnn-net` binaries) may
+//!   `rng`, `quant`, the deterministic modules of `mcd`, the
+//!   load-generator planner and the `bnn-net` binaries, plus the
+//!   `trace` recorder — whose only wall-clock intake is the
+//!   single waived `trace::clock` module) may
 //!   consume only seed-derived state: no `HashMap`/`HashSet`
 //!   (hash-order iteration), no `Instant::now`/`SystemTime`
 //!   (wall-clock), no OS randomness, no env-dependent branching.
@@ -261,6 +292,7 @@
 //! | [`mcd`] | `bnn-mcd` | the `BayesBackend` trait, generic MC engine, `FloatBackend`/`FusedBackend`, conformance harness, uncertainty metrics |
 //! | [`serve`] | `bnn-serve` | the request-coalescing serving front door: `Server`, `Handle`, `BatchPolicy` |
 //! | [`net`] | `bnn-net` | the TCP front door: binary protocol v1/v2 (pipelining), `GET /status` telemetry, tenant gate, `loadgen` |
+//! | [`trace`] | `bnn-trace` | stage-span recorder: per-thread rings, log2 histograms, Chrome-trace export behind `/trace` + `/metrics` |
 //! | [`quant`] | `bnn-quant` | 8-bit linear quantization, int8 executor, `Int8Backend` |
 //! | [`platforms`] | `bnn-platforms` | CPU/GPU latency models, VIBNN and BYNQNet baselines |
 //! | [`framework`] | `bnn-framework` | the automatic hardware/algorithm optimization framework |
@@ -290,4 +322,5 @@ pub use bnn_serve::{
     ServeError, ServeStats, Server, Submission, SubmitError,
 };
 pub use bnn_tensor as tensor;
+pub use bnn_trace as trace;
 pub use session::{Backend, Session, SessionBuilder};
